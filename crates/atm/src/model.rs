@@ -1,0 +1,663 @@
+//! The latitude-decomposed atmosphere model: QG dynamics + spectral
+//! tracers + column physics, exchanging surface fields with the coupler.
+
+use foam_grid::constants::R_DRY;
+use foam_grid::{AtmGrid, Field2};
+use foam_mpi::Comm;
+use foam_physics::{
+    AtmColumn, ColumnPhysics, PhysicsConfig, SurfaceKind, SurfaceState,
+};
+use foam_physics::radiation::OrbitalState;
+use foam_physics::surface::BulkFluxes;
+use foam_spectral::{Complex, ParTransform, SpectralField, SphericalTransform, Truncation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dynamics::{QgConfig, QgCore, QgState};
+use crate::tracers::{advect_grid_tracer, winds_on_rows};
+
+/// Midlatitude reference Coriolis parameter for thermal-wind coupling.
+const F0: f64 = 1.0e-4;
+
+/// Atmosphere configuration. The default is the paper's R15 setup
+/// (48 × 40 × 18, Δt = 30 min); tests use smaller grids.
+#[derive(Debug, Clone)]
+pub struct AtmConfig {
+    pub nlon: usize,
+    pub nlat: usize,
+    /// Rhomboidal truncation wavenumber (15 for R15).
+    pub m_max: usize,
+    /// Physics levels (paper: 18).
+    pub nlev_phys: usize,
+    /// Time step \[s\] (paper: 30 min).
+    pub dt: f64,
+    pub dynamics: QgConfig,
+    pub physics: PhysicsConfig,
+    /// Tracer hyperdiffusion \[m⁴/s\].
+    pub tracer_nu4: f64,
+    /// Include orographic forcing of the bottom dynamic level
+    /// (stationary waves from the synthetic topography).
+    pub orography: bool,
+    /// Seed for the initial perturbation.
+    pub seed: u64,
+}
+
+impl Default for AtmConfig {
+    fn default() -> Self {
+        AtmConfig {
+            nlon: 48,
+            nlat: 40,
+            m_max: 15,
+            nlev_phys: 18,
+            dt: 1800.0,
+            dynamics: QgConfig::default(),
+            physics: PhysicsConfig::default(),
+            tracer_nu4: 1.0e16,
+            orography: true,
+            seed: 7,
+        }
+    }
+}
+
+impl AtmConfig {
+    /// A reduced configuration for fast tests: 24 × 16 grid, R5, 8 levels.
+    pub fn tiny(seed: u64) -> Self {
+        AtmConfig {
+            nlon: 24,
+            nlat: 16,
+            m_max: 5,
+            nlev_phys: 8,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Full prognostic state of the atmosphere on one rank.
+#[derive(Debug, Clone)]
+pub struct AtmState {
+    pub qg: QgState,
+    /// Temperature per physics level, this rank's latitude rows \[K\].
+    pub t: Vec<Field2>,
+    /// Specific humidity per physics level.
+    pub q: Vec<Field2>,
+    /// Radiation caches, one per local column (flattened `jl·nlon + i`).
+    pub rad: Vec<foam_physics::RadCache>,
+    /// Simulated seconds since the run started.
+    pub sim_t: f64,
+    pub step_count: u64,
+}
+
+/// Surface forcing handed to the atmosphere by the coupler for one step,
+/// on this rank's local cells (flattened `jl·nlon + i`).
+#[derive(Debug, Clone)]
+pub struct AtmForcing {
+    /// Turbulent surface fluxes computed on the overlap grid and
+    /// area-averaged to the atmosphere cells.
+    pub fluxes: Vec<BulkFluxes>,
+    /// Effective radiating surface temperature \[K\].
+    pub t_sfc: Vec<f64>,
+    /// Effective surface albedo.
+    pub albedo: Vec<f64>,
+}
+
+/// What the atmosphere exports to the coupler after a step (local rows).
+#[derive(Debug, Clone)]
+pub struct AtmExport {
+    /// Lowest-level air temperature \[K\], humidity, winds \[m/s\].
+    pub t_low: Field2,
+    pub q_low: Field2,
+    pub u_low: Field2,
+    pub v_low: Field2,
+    /// Precipitation rate over the step \[kg m⁻² s⁻¹\].
+    pub precip: Field2,
+    /// Shortwave absorbed at the surface and downwelling longwave \[W/m²\].
+    pub sw_sfc: Field2,
+    pub lw_down: Field2,
+    /// Column cloud fraction.
+    pub cloud: Field2,
+    /// Physics work units per local column (load-imbalance diagnostic).
+    pub work: Vec<usize>,
+}
+
+/// The atmosphere component bound to one rank of its communicator.
+pub struct AtmModel {
+    pub cfg: AtmConfig,
+    pub par: ParTransform,
+    core: QgCore,
+    pub phys: ColumnPhysics,
+    /// Orographic PV (f·h/H) in spectral space, if enabled.
+    orog_pv: Option<SpectralField>,
+}
+
+impl AtmModel {
+    pub fn new(cfg: AtmConfig, comm: &Comm) -> Self {
+        let grid = AtmGrid::new(cfg.nlon, cfg.nlat);
+        let trunc = Truncation::rhomboidal(cfg.m_max);
+        let par = ParTransform::new(SphericalTransform::new(grid, trunc), comm);
+        let core = QgCore::new(cfg.dynamics.clone(), trunc);
+        let phys = ColumnPhysics::new(cfg.physics);
+        let orog_pv = if cfg.orography {
+            // f·h/H with H = 8 km scale height, from the synthetic planet,
+            // analyzed on the full grid (identical on every rank).
+            let world = foam_grid::World::earthlike();
+            let grid = &par.base.grid;
+            let f = Field2::from_fn(grid.nlon, grid.nlat, |i, j| {
+                let h = world.elevation(grid.lons[i], grid.lats[j]);
+                foam_grid::constants::coriolis(grid.lats[j]) * h / 8000.0
+            });
+            Some(par.base.analyze(&f))
+        } else {
+            None
+        };
+        AtmModel {
+            cfg,
+            par,
+            core,
+            phys,
+            orog_pv,
+        }
+    }
+
+    #[inline]
+    pub fn grid(&self) -> &AtmGrid {
+        &self.par.base.grid
+    }
+
+    /// Local latitude rows `[j0, j1)`.
+    #[inline]
+    pub fn rows(&self) -> (usize, usize) {
+        (self.par.j0, self.par.j1)
+    }
+
+    #[inline]
+    pub fn n_local(&self) -> usize {
+        self.par.n_local_rows() * self.cfg.nlon
+    }
+
+    /// Climatological surface air temperature used for initialization
+    /// \[K\].
+    pub fn t_init(lat: f64) -> f64 {
+        250.0 + 50.0 * lat.cos() * lat.cos()
+    }
+
+    /// Build a balanced initial state: thermal-wind jets consistent with
+    /// the initial temperature field plus a small seeded perturbation.
+    pub fn init_state(&self) -> AtmState {
+        let grid = self.grid();
+        let nlocal_rows = self.par.n_local_rows();
+        let nl = self.cfg.nlev_phys;
+
+        // Temperature/humidity columns by latitude.
+        let mut t = vec![Field2::zeros(grid.nlon, nlocal_rows); nl];
+        let mut q = vec![Field2::zeros(grid.nlon, nlocal_rows); nl];
+        for jl in 0..nlocal_rows {
+            let lat = grid.lats[self.par.j0 + jl];
+            let col = AtmColumn::standard(nl, Self::t_init(lat));
+            for k in 0..nl {
+                for i in 0..grid.nlon {
+                    t[k].set(i, jl, col.t[k]);
+                    q[k].set(i, jl, col.q[k]);
+                }
+            }
+        }
+
+        // Balanced QG state from the equilibrium shear of that T field,
+        // plus a deterministic seeded perturbation to break zonal
+        // symmetry (same on every rank).
+        let nld = self.cfg.dynamics.nlev;
+        let dpsi_eq = self.equilibrium_shear_serial(&t);
+        let mut psi: Vec<SpectralField> = (0..nld)
+            .map(|_| SpectralField::zeros(self.par.base.trunc))
+            .collect();
+        // ψ with zero vertical mean and the prescribed shears.
+        // ψ_k = Σ_{j≥k} Δψ_j − mean over levels.
+        for k in (0..nld - 1).rev() {
+            let mut p = psi[k + 1].clone();
+            p.axpy(1.0, &dpsi_eq[k]);
+            psi[k] = p;
+        }
+        let mut mean = SpectralField::zeros(self.par.base.trunc);
+        for p in &psi {
+            mean.axpy(1.0 / nld as f64, p);
+        }
+        for p in psi.iter_mut() {
+            p.axpy(-1.0, &mean);
+        }
+        let mut qg_now = self.core.pv_from_psi(&psi);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        for qf in qg_now.iter_mut() {
+            for (m, n) in self.par.base.trunc.pairs() {
+                if (2..=5).contains(&m) && n <= m + 3 {
+                    let idx = self.par.base.trunc.idx(m, n);
+                    let amp = 2.0e-7; // small PV noise (1/s)
+                    qf.data[idx] += Complex::new(
+                        amp * (rng.random::<f64>() - 0.5),
+                        amp * (rng.random::<f64>() - 0.5),
+                    );
+                }
+            }
+        }
+        let qg = QgState {
+            q_prev: qg_now.clone(),
+            q_now: qg_now,
+        };
+
+        AtmState {
+            qg,
+            t,
+            q,
+            rad: (0..self.n_local())
+                .map(|_| foam_physics::RadCache::empty(nl))
+                .collect(),
+            sim_t: 0.0,
+            step_count: 0,
+        }
+    }
+
+    /// Map a physics level index to the dynamic level advecting it.
+    #[inline]
+    fn dyn_level_for(&self, k_phys: usize) -> usize {
+        (k_phys * self.cfg.dynamics.nlev) / self.cfg.nlev_phys
+    }
+
+    /// Equilibrium interface shears (thermal wind) from the local
+    /// temperature field — *serial* version used at init (no comm):
+    /// computed from the zonal structure only via a local analysis that
+    /// is completed lazily on first step. To stay simple and correct we
+    /// compute it from the analytic initial profile here.
+    fn equilibrium_shear_serial(&self, t: &[Field2]) -> Vec<SpectralField> {
+        // Build the full-grid zonal-mean T̄ per dynamic layer from the
+        // *initialization formula* (identical on all ranks, no comm).
+        let grid = self.grid();
+        let nld = self.cfg.dynamics.nlev;
+        let nl = self.cfg.nlev_phys;
+        let _ = t;
+        let st = &self.par.base;
+        let mut out = Vec::with_capacity(nld - 1);
+        for itf in 0..nld - 1 {
+            // Mean T of the physics levels in dynamic layers itf and
+            // itf+1, from the analytic initial column.
+            let mut field = Field2::zeros(grid.nlon, grid.nlat);
+            for j in 0..grid.nlat {
+                let col = AtmColumn::standard(nl, Self::t_init(grid.lats[j]));
+                let tbar = self.layer_pair_mean(&col.t, itf);
+                for i in 0..grid.nlon {
+                    field.set(i, j, tbar);
+                }
+            }
+            out.push(self.shear_from_tbar_field(st.analyze(&field), itf));
+        }
+        out
+    }
+
+    /// Mean temperature of the physics levels belonging to dynamic
+    /// layers `itf` and `itf + 1` (the air column spanning the interface).
+    fn layer_pair_mean(&self, t_col: &[f64], itf: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut cnt = 0.0;
+        for (k, &tv) in t_col.iter().enumerate() {
+            let d = self.dyn_level_for(k);
+            if d == itf || d == itf + 1 {
+                sum += tv;
+                cnt += 1.0;
+            }
+        }
+        sum / f64::max(cnt, 1.0)
+    }
+
+    /// Convert a spectral T̄ field into an equilibrium interface shear:
+    /// Δψ_eq = (R_d Δln p / f₀) · T̄′ (thermal wind), with the global mean
+    /// removed (it has no dynamical meaning).
+    fn shear_from_tbar_field(&self, mut tbar: SpectralField, itf: usize) -> SpectralField {
+        let nld = self.cfg.dynamics.nlev;
+        // Pressure ratio across the interface: equally spaced sigma-like
+        // dynamic levels at (k+1/2)/nld of the column.
+        let p_of = |d: usize| 2.0e4 + 8.0e4 * (d as f64 + 0.5) / nld as f64;
+        let dlnp = (p_of(itf + 1) / p_of(itf)).ln();
+        let k00 = self.par.base.trunc.idx(0, 0);
+        tbar.data[k00] = Complex::ZERO;
+        tbar.scale(R_DRY * dlnp / F0);
+        tbar
+    }
+
+    /// Equilibrium shears from the *current* temperature state
+    /// (distributed analysis).
+    fn equilibrium_shear(&self, comm: &Comm, t: &[Field2]) -> Vec<SpectralField> {
+        let nld = self.cfg.dynamics.nlev;
+        let nlocal = self.par.n_local_rows();
+        let grid = self.grid();
+        let mut out = Vec::with_capacity(nld - 1);
+        for itf in 0..nld - 1 {
+            let mut field = Field2::zeros(grid.nlon, nlocal);
+            let mut cnt = 0.0;
+            for k in 0..self.cfg.nlev_phys {
+                let d = self.dyn_level_for(k);
+                if d == itf || d == itf + 1 {
+                    field.axpy(1.0, &t[k]);
+                    cnt += 1.0;
+                }
+            }
+            field.scale(1.0 / f64::max(cnt, 1.0));
+            let spec = self.par.analyze(comm, &field);
+            out.push(self.shear_from_tbar_field(spec, itf));
+        }
+        out
+    }
+
+    /// Advance the atmosphere by one step (`cfg.dt` seconds).
+    pub fn step(&self, state: &mut AtmState, comm: &Comm, forcing: &AtmForcing) -> AtmExport {
+        let grid = self.grid();
+        let nlocal_rows = self.par.n_local_rows();
+        let nlon = grid.nlon;
+        let nl = self.cfg.nlev_phys;
+        let dt = self.cfg.dt;
+        assert_eq!(forcing.fluxes.len(), self.n_local());
+
+        // --- Dynamics: winds for this step. ---------------------------
+        let psi = self.core.psi_from_pv(&state.qg.q_now);
+        let nld = self.cfg.dynamics.nlev;
+        let winds: Vec<(Field2, Field2)> =
+            (0..nld).map(|d| winds_on_rows(&self.par, &psi[d])).collect();
+        let (u_low, v_low) = winds[nld - 1].clone();
+
+        // --- Column physics (embarrassingly parallel, load-imbalanced).
+        let orb = OrbitalState::at(state.sim_t);
+        let refresh = state.step_count == 0 || self.phys.radiation_due(state.sim_t, dt);
+        let mut precip = Field2::zeros(nlon, nlocal_rows);
+        let mut sw_sfc = Field2::zeros(nlon, nlocal_rows);
+        let mut lw_down = Field2::zeros(nlon, nlocal_rows);
+        let mut cloud = Field2::zeros(nlon, nlocal_rows);
+        let mut work = vec![0usize; self.n_local()];
+        let mut col = AtmColumn::isothermal(nl, 2000.0, 280.0);
+        for jl in 0..nlocal_rows {
+            let lat = grid.lats[self.par.j0 + jl];
+            for i in 0..nlon {
+                let idx = jl * nlon + i;
+                // Load the column.
+                for k in 0..nl {
+                    col.t[k] = state.t[k].get(i, jl);
+                    col.q[k] = state.q[k].get(i, jl);
+                }
+                let sfc = SurfaceState {
+                    kind: SurfaceKind::Ocean, // kind is unused with external fluxes
+                    t_sfc: forcing.t_sfc[idx],
+                    albedo: forcing.albedo[idx],
+                    wetness: 1.0,
+                };
+                let out = self.phys.step_with_fluxes(
+                    &mut col,
+                    &sfc,
+                    forcing.fluxes[idx],
+                    orb,
+                    grid.lons[i],
+                    lat,
+                    &mut state.rad[idx],
+                    refresh,
+                    dt,
+                );
+                for k in 0..nl {
+                    state.t[k].set(i, jl, col.t[k]);
+                    state.q[k].set(i, jl, col.q[k]);
+                }
+                precip.set(i, jl, out.precip / dt);
+                sw_sfc.set(i, jl, out.sw_sfc);
+                lw_down.set(i, jl, out.lw_down_sfc);
+                cloud.set(i, jl, out.cloud);
+                work[idx] = out.iterations;
+            }
+        }
+
+        // --- Tracer advection (T, q at every physics level). ----------
+        for k in 0..nl {
+            let d = self.dyn_level_for(k);
+            state.t[k] = advect_grid_tracer(
+                &self.par,
+                comm,
+                &psi[d],
+                &state.t[k],
+                dt,
+                self.cfg.tracer_nu4,
+                150.0, // physical floor on T [K]
+            );
+            state.q[k] = advect_grid_tracer(
+                &self.par,
+                comm,
+                &psi[d],
+                &state.q[k],
+                dt,
+                self.cfg.tracer_nu4,
+                0.0,
+            );
+        }
+
+        // --- QG step forced by the new temperature field. --------------
+        let dpsi_eq = self.equilibrium_shear(comm, &state.t);
+        let tend = self.core.tendencies(
+            &self.par,
+            comm,
+            &state.qg.q_now,
+            &dpsi_eq,
+            self.orog_pv.as_ref(),
+        );
+        if state.step_count == 0 {
+            self.core.step_euler(&mut state.qg, &tend, dt);
+        } else {
+            self.core.step_leapfrog(&mut state.qg, &tend, dt);
+        }
+
+        state.sim_t += dt;
+        state.step_count += 1;
+
+        AtmExport {
+            t_low: state.t[nl - 1].clone(),
+            q_low: state.q[nl - 1].clone(),
+            u_low,
+            v_low,
+            precip,
+            sw_sfc,
+            lw_down,
+            cloud,
+            work,
+        }
+    }
+
+    /// Export fields from a state without stepping — used to prime the
+    /// coupler before the first atmosphere step.
+    pub fn initial_export(&self, state: &AtmState) -> AtmExport {
+        let nl = self.cfg.nlev_phys;
+        let psi = self.core.psi_from_pv(&state.qg.q_now);
+        let (u_low, v_low) = winds_on_rows(&self.par, &psi[self.cfg.dynamics.nlev - 1]);
+        let grid = self.grid();
+        let z = Field2::zeros(grid.nlon, self.par.n_local_rows());
+        AtmExport {
+            t_low: state.t[nl - 1].clone(),
+            q_low: state.q[nl - 1].clone(),
+            u_low,
+            v_low,
+            precip: z.clone(),
+            sw_sfc: Field2::filled(grid.nlon, self.par.n_local_rows(), 160.0),
+            lw_down: Field2::filled(grid.nlon, self.par.n_local_rows(), 320.0),
+            cloud: z.clone(),
+            work: vec![0; self.n_local()],
+        }
+    }
+
+    /// Standalone forcing for running the atmosphere without a coupler:
+    /// bulk fluxes over a prescribed climatological SST (land treated as
+    /// ocean) — used by spin-up tests and examples.
+    pub fn standalone_forcing(&self, state: &AtmState, world: &foam_grid::World) -> AtmForcing {
+        let grid = self.grid();
+        let nl = self.cfg.nlev_phys;
+        let psi = self.core.psi_from_pv(&state.qg.q_now);
+        let (u, v) = winds_on_rows(&self.par, &psi[self.cfg.dynamics.nlev - 1]);
+        let mut fluxes = Vec::with_capacity(self.n_local());
+        let mut t_sfc = Vec::with_capacity(self.n_local());
+        let mut albedo = Vec::with_capacity(self.n_local());
+        let mut col = AtmColumn::isothermal(nl, 2000.0, 280.0);
+        for jl in 0..self.par.n_local_rows() {
+            let lat = grid.lats[self.par.j0 + jl];
+            for i in 0..grid.nlon {
+                for k in 0..nl {
+                    col.t[k] = state.t[k].get(i, jl);
+                    col.q[k] = state.q[k].get(i, jl);
+                }
+                let sst_c = world.sst_climatology(grid.lons[i], lat);
+                let sfc = SurfaceState::open_ocean(sst_c + 273.15);
+                let f = self.phys.surface_fluxes(&col, &sfc, (u.get(i, jl), v.get(i, jl)));
+                fluxes.push(f);
+                t_sfc.push(sfc.t_sfc);
+                albedo.push(sfc.albedo);
+            }
+        }
+        AtmForcing {
+            fluxes,
+            t_sfc,
+            albedo,
+        }
+    }
+
+    /// Total kinetic-energy-like diagnostic: Σ over dynamic levels of the
+    /// mean-square rotational wind (∝ Σ L |ψ|²) — used by tests to verify
+    /// that baroclinic eddies grow and then equilibrate.
+    pub fn eddy_energy(&self, state: &AtmState) -> f64 {
+        let psi = self.core.psi_from_pv(&state.qg.q_now);
+        let mut e = 0.0;
+        for p in &psi {
+            let grad = p.laplacian();
+            // ∫ |∇ψ|² = −∫ ψ∇²ψ: spectrally Σ L |ψ|².
+            for (m, n) in p.trunc.pairs() {
+                if m == 0 {
+                    continue; // zonal-mean flow excluded: *eddy* energy
+                }
+                let idx = p.trunc.idx(m, n);
+                e += -(p.data[idx].re * grad.data[idx].re
+                    + p.data[idx].im * grad.data[idx].im)
+                    * 2.0;
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foam_grid::World;
+    use foam_mpi::Universe;
+
+    #[test]
+    fn init_state_is_balanced_and_identical_across_ranks() {
+        let out = Universe::run(3, |comm| {
+            let model = AtmModel::new(AtmConfig::tiny(11), comm);
+            let state = model.init_state();
+            // Return a digest of the (replicated) spectral state.
+            state.qg.q_now[0]
+                .data
+                .iter()
+                .map(|c| c.re + 2.0 * c.im)
+                .sum::<f64>()
+        });
+        for r in 1..3 {
+            assert!(
+                (out.results[r] - out.results[0]).abs() < 1e-14,
+                "rank {r} differs: {} vs {}",
+                out.results[r],
+                out.results[0]
+            );
+        }
+    }
+
+    #[test]
+    fn one_day_standalone_run_stays_physical() {
+        Universe::run(2, |comm| {
+            let model = AtmModel::new(AtmConfig::tiny(3), comm);
+            let world = World::earthlike();
+            let mut state = model.init_state();
+            for _ in 0..48 {
+                let forcing = model.standalone_forcing(&state, &world);
+                let export = model.step(&mut state, comm, &forcing);
+                assert!(export.t_low.all_finite());
+                assert!(export.q_low.all_finite());
+                for k in 0..model.cfg.nlev_phys {
+                    for &tv in state.t[k].as_slice() {
+                        assert!((140.0..360.0).contains(&tv), "T = {tv}");
+                    }
+                    for &qv in state.q[k].as_slice() {
+                        assert!((0.0..0.1).contains(&qv), "q = {qv}");
+                    }
+                }
+            }
+            // Winds should be alive (jets spun up) but bounded.
+            let forcing = model.standalone_forcing(&state, &world);
+            let export = model.step(&mut state, comm, &forcing);
+            let umax = export.u_low.max_abs();
+            assert!(umax > 0.5, "no circulation developed: umax = {umax}");
+            assert!(umax < 150.0, "runaway winds: umax = {umax}");
+        });
+    }
+
+    #[test]
+    fn different_seeds_diverge_chaotically() {
+        // Two runs differing only in the initial perturbation seed must
+        // decorrelate — the weather is chaotic, which is what makes
+        // climate (not weather) the object of study.
+        let digest = |seed: u64| {
+            let out = Universe::run(1, move |comm| {
+                let model = AtmModel::new(AtmConfig::tiny(seed), comm);
+                let world = World::earthlike();
+                let mut state = model.init_state();
+                for _ in 0..96 {
+                    let forcing = model.standalone_forcing(&state, &world);
+                    model.step(&mut state, comm, &forcing);
+                }
+                model.eddy_energy(&state)
+            });
+            out.results[0]
+        };
+        let a = digest(1);
+        let b = digest(2);
+        assert!(a.is_finite() && b.is_finite());
+        assert!(
+            (a - b).abs() > 1e-12 * a.abs().max(1e-30),
+            "seeds produced identical energies {a}"
+        );
+    }
+
+    #[test]
+    fn radiation_refresh_happens_twice_daily_in_model() {
+        Universe::run(1, |comm| {
+            let model = AtmModel::new(AtmConfig::tiny(5), comm);
+            let mut refreshes = 0;
+            let dt = model.cfg.dt;
+            for s in 0..48u64 {
+                let t = s as f64 * dt;
+                if s == 0 || model.phys.radiation_due(t, dt) {
+                    refreshes += 1;
+                }
+            }
+            assert_eq!(refreshes, 3); // initial + 2 boundary crossings
+        });
+    }
+
+    #[test]
+    fn work_field_shows_horizontal_variation() {
+        Universe::run(1, |comm| {
+            let model = AtmModel::new(AtmConfig::tiny(9), comm);
+            let world = World::earthlike();
+            let mut state = model.init_state();
+            let mut last = Vec::new();
+            for _ in 0..8 {
+                let forcing = model.standalone_forcing(&state, &world);
+                let export = model.step(&mut state, comm, &forcing);
+                last = export.work;
+            }
+            let min = *last.iter().min().unwrap();
+            let max = *last.iter().max().unwrap();
+            assert!(
+                max > min,
+                "physics work should vary across columns (load imbalance)"
+            );
+        });
+    }
+}

@@ -1,0 +1,44 @@
+//! Experiment F2's quantitative companion: the cost of one coupled
+//! simulated day, and its split between components, at the reduced
+//! configuration (Criterion needs many repetitions; the full R15 day is
+//! exercised by the `figure2_timeline` and `table1_scaling` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use foam::{run_coupled, FoamConfig};
+use foam_physics::radiation::{full_radiation, RadParams};
+use foam_physics::AtmColumn;
+use std::hint::black_box;
+
+fn bench_coupled_day(c: &mut Criterion) {
+    let cfg = FoamConfig::tiny(5);
+    c.bench_function("coupled/one_simulated_day_tiny", |b| {
+        b.iter(|| black_box(run_coupled(black_box(&cfg), 1.0)))
+    });
+}
+
+fn bench_radiation_refresh(c: &mut Criterion) {
+    // The "long atmosphere steps" of Figure 2: a full radiation
+    // recomputation vs the cheap solar rescale.
+    let col = AtmColumn::standard(18, 295.0);
+    let p = RadParams::default();
+    c.bench_function("physics/full_radiation_18lev", |b| {
+        b.iter(|| black_box(full_radiation(black_box(&col), 296.0, 0.07, &p)))
+    });
+    let cache = full_radiation(&col, 296.0, 0.07, &p);
+    c.bench_function("physics/cached_heating_18lev", |b| {
+        b.iter(|| {
+            let mut s = 0.0;
+            for k in 0..18 {
+                s += cache.heating(k, black_box(0.6));
+            }
+            black_box(s)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coupled_day, bench_radiation_refresh
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation A2 — the overlap grid (paper Fig. 1) against naive
+//! nearest-neighbour regridding: construction cost, per-exchange cost,
+//! and — the reason FOAM bothers — the flux conservation error, printed
+//! once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use foam_grid::{AtmGrid, Field2, NearestNeighbour, OceanGrid, OverlapGrid, World};
+use std::hint::black_box;
+
+fn setup() -> (AtmGrid, OceanGrid, Vec<bool>) {
+    let world = World::earthlike();
+    let atm = AtmGrid::r15();
+    let ocn = OceanGrid::foam_default();
+    let mask = world.ocean_sea_mask(&ocn);
+    (atm, ocn, mask)
+}
+
+fn report_conservation() {
+    let (atm, ocn, mask) = setup();
+    let ov = OverlapGrid::build(&atm, &ocn, &mask);
+    let nn = NearestNeighbour::build(&atm, &ocn, &mask);
+    // A realistic heat-flux-like field on the ocean grid.
+    let f = Field2::from_fn(ocn.nx, ocn.ny, |i, j| {
+        100.0 * (ocn.lats[j]).cos() + 30.0 * ((i as f64) * 0.4).sin()
+    });
+    let truth = ov.integral_ocean(&f);
+    let cons = ov.integral_atm_sea(&ov.ocean_to_atm(&f));
+    let naive = ov.integral_atm_sea(&nn.ocean_to_atm(&f));
+    println!("--- A2 conservation check (global flux integral, W) ---");
+    println!("  ocean-side truth     : {truth:+.6e}");
+    println!(
+        "  overlap-grid regrid  : {cons:+.6e}  (rel err {:.2e})",
+        ((cons - truth) / truth).abs()
+    );
+    println!(
+        "  nearest-neighbour    : {naive:+.6e}  (rel err {:.2e})",
+        ((naive - truth) / truth).abs()
+    );
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    report_conservation();
+    let (atm, ocn, mask) = setup();
+    c.bench_function("overlap/build_r15_x_128", |b| {
+        b.iter(|| black_box(OverlapGrid::build(&atm, &ocn, &mask)))
+    });
+    let ov = OverlapGrid::build(&atm, &ocn, &mask);
+    let f_ocn = Field2::from_fn(ocn.nx, ocn.ny, |i, j| (i as f64 * 0.3).sin() + j as f64 * 0.01);
+    let f_atm = Field2::from_fn(atm.nlon, atm.nlat, |i, j| (j as f64 * 0.2).cos() + i as f64 * 0.02);
+    c.bench_function("overlap/ocean_to_atm", |b| {
+        b.iter(|| black_box(ov.ocean_to_atm(black_box(&f_ocn))))
+    });
+    c.bench_function("overlap/atm_to_ocean", |b| {
+        b.iter(|| black_box(ov.atm_to_ocean(black_box(&f_atm))))
+    });
+    c.bench_function("overlap/flux_on_overlap", |b| {
+        b.iter(|| {
+            black_box(ov.compute_on_overlap(|ka, ko| (ka % 7) as f64 - (ko % 5) as f64))
+        })
+    });
+    let nn = NearestNeighbour::build(&atm, &ocn, &mask);
+    c.bench_function("nearest_neighbour/ocean_to_atm", |b| {
+        b.iter(|| black_box(nn.ocean_to_atm(black_box(&f_ocn))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_overlap
+}
+criterion_main!(benches);

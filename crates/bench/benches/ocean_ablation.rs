@@ -1,0 +1,66 @@
+//! Ablation A1 — the three FOAM ocean throughput devices, toggled one at
+//! a time on a fixed simulated interval:
+//!
+//! * slowed free surface (α = 16 vs α = 1),
+//! * tracer subcycling (n_trac = 2 vs 1),
+//! * the whole splitting (FOAM scheme vs unsplit gravity-wave stepping).
+//!
+//! The paper: the combination is "roughly a tenfold increase in the
+//! amount of simulated time represented per unit of computation".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use foam_grid::World;
+use foam_ocean::{OceanConfig, OceanForcing, OceanModel};
+use std::hint::black_box;
+
+const SIM: f64 = 21_600.0; // one coupling interval
+
+fn run_case(c: &mut Criterion, name: &str, cfg: OceanConfig, unsplit: bool) {
+    let world = World::earthlike();
+    let model = OceanModel::new(cfg, &world);
+    let state0 = model.init_state(&world);
+    let forcing = OceanForcing::climatological(&model.grid, &world, &model.sst(&state0));
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || state0.clone(),
+            |mut st| {
+                if unsplit {
+                    black_box(model.step_unsplit(&mut st, &forcing, SIM))
+                } else {
+                    black_box(model.step_coupled(&mut st, &forcing, SIM))
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // Reduced grid so Criterion can sample comfortably; ratios carry.
+    let base = || OceanConfig {
+        nx: 64,
+        ny: 48,
+        nz: 8,
+        lat_max_deg: 70.0,
+        ..OceanConfig::default()
+    };
+
+    run_case(c, "ocean_6h/foam_full_scheme", base(), false);
+
+    let mut no_slow = base();
+    no_slow.slowdown = 1.0; // external waves at full √(gH)
+    run_case(c, "ocean_6h/no_slowed_surface", no_slow, false);
+
+    let mut no_sub = base();
+    no_sub.n_trac = 1; // tracers every internal step
+    run_case(c, "ocean_6h/no_tracer_subcycle", no_sub, false);
+
+    run_case(c, "ocean_6h/unsplit_baseline", base(), true);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation A3 — spectral transform costs: the FFT against a naive DFT,
+//! and the full R15 analysis/synthesis/Jacobian pipeline whose global
+//! communication structure the paper highlights.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use foam_grid::{AtmGrid, Field2};
+use foam_spectral::fft::{real_analysis, Complex, FftPlan};
+use foam_spectral::{SpectralField, SphericalTransform, Truncation};
+use std::hint::black_box;
+
+fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_vs_dft");
+    for n in [48usize, 128] {
+        let plan = FftPlan::new(n);
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        g.bench_function(format!("fft_{n}"), |b| {
+            b.iter(|| black_box(plan.forward(black_box(&x))))
+        });
+        g.bench_function(format!("naive_dft_{n}"), |b| {
+            b.iter(|| black_box(naive_dft(black_box(&x))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let t = SphericalTransform::r15();
+    let mut spec = SpectralField::zeros(Truncation::r15());
+    for (i, (m, n)) in Truncation::r15().pairs().enumerate() {
+        spec.set(m, n, Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.05).cos()));
+    }
+    let grid_field = t.synthesize(&spec);
+
+    let mut g = c.benchmark_group("r15_transform");
+    g.bench_function("analysis", |b| {
+        b.iter(|| black_box(t.analyze(black_box(&grid_field))))
+    });
+    g.bench_function("synthesis", |b| {
+        b.iter(|| black_box(t.synthesize(black_box(&spec))))
+    });
+    g.bench_function("row_fourier_analysis", |b| {
+        let plan = FftPlan::new(48);
+        let row: Vec<f64> = grid_field.row(20).to_vec();
+        b.iter(|| black_box(real_analysis(&plan, black_box(&row), 15)))
+    });
+    g.finish();
+}
+
+fn bench_field_roundtrip(c: &mut Criterion) {
+    // The per-tracer cost of the atmosphere: analysis + synthesis of a
+    // grid field (two of the seven transforms in one advection step).
+    let t = SphericalTransform::r15();
+    let f = Field2::from_fn(48, 40, |i, j| ((i + 2 * j) as f64 * 0.21).sin());
+    let grid = AtmGrid::r15();
+    let _ = grid;
+    c.bench_function("r15_roundtrip_per_tracer", |b| {
+        b.iter(|| {
+            let s = t.analyze(black_box(&f));
+            black_box(t.synthesize(&s))
+        })
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_transform, bench_field_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Experiment F2 — regenerate the paper's **Figure 2**: "Time allocation
+//! for a typical FOAM run. Each bar represents a single SP processor.
+//! Green sections represent atmosphere calculations, red: coupler code,
+//! blue: ocean, and purple: idle time."
+//!
+//! Here: `A` = atmosphere, `C` = coupler, `O` = ocean, `.` = idle/wait.
+//! One simulated day on the paper's 17-node layout (16 atmosphere +
+//! 1 ocean) by default; the ocean is called four times (6-h coupling) and
+//! the radiation recomputation twice a day makes two atmosphere steps
+//! visibly longer, exactly as in the original figure.
+//!
+//! ```sh
+//! cargo run --release -p foam-bench --bin figure2_timeline [n_atm_ranks] [days]
+//! ```
+
+use foam::{run_coupled, FoamConfig, TraceSummary};
+use foam_bench::arg_or;
+
+fn main() {
+    let n_atm: usize = arg_or(1, 16);
+    let days: f64 = arg_or(2, 1.0);
+    let mut cfg = FoamConfig::paper(n_atm, 42);
+    cfg.tracing = true;
+
+    println!("=== Figure 2: per-processor time allocation ===");
+    println!(
+        "{} atmosphere ranks + 1 ocean rank, {days} simulated day(s), R15 atmosphere / 128×128×16 ocean\n",
+        n_atm
+    );
+    let out = run_coupled(&cfg, days);
+
+    // Common time window across ranks.
+    let t0 = out
+        .traces
+        .iter()
+        .filter_map(|t| t.segments.first().map(|s| s.start))
+        .fold(f64::INFINITY, f64::min);
+    let t1 = out
+        .traces
+        .iter()
+        .flat_map(|t| t.segments.iter().map(|s| s.end))
+        .fold(0.0f64, f64::max);
+
+    let width = 100;
+    println!(
+        "timeline ({:.2} s wall; A = atmosphere, C = coupler, O = ocean, . = idle):\n",
+        t1 - t0
+    );
+    for (r, trace) in out.traces.iter().enumerate() {
+        let label = if r < n_atm {
+            format!("atm {r:>2}")
+        } else {
+            "ocean ".to_string()
+        };
+        println!("{label} |{}|", trace.ascii_bar(t0, t1, width));
+    }
+
+    println!("\nper-rank totals (seconds):");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "rank", "atm", "coupler", "ocean", "idle"
+    );
+    for (r, trace) in out.traces.iter().enumerate() {
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            r,
+            trace.work_time("atmosphere"),
+            trace.work_time("coupler"),
+            trace.work_time("ocean"),
+            trace.wait_time()
+        );
+    }
+
+    let summary = TraceSummary::from_traces(&out.traces);
+    println!("\naggregate shares of traced time:");
+    for label in ["atmosphere", "coupler", "ocean", "wait"] {
+        println!("  {label:<11} {:5.1} %", 100.0 * summary.fraction(label));
+    }
+
+    // The paper's observations, checked quantitatively:
+    let atm_work: f64 = out.traces[..n_atm]
+        .iter()
+        .map(|t| t.work_time("atmosphere"))
+        .sum();
+    let ocean_work = out.traces[n_atm].work_time("ocean");
+    println!("\npaper comparisons:");
+    println!(
+        "  atmosphere : ocean total work = {:.1} : 1   (paper: ~16 : 1 at these resolutions)",
+        atm_work / ocean_work.max(1e-9)
+    );
+    let ocean_busy = ocean_work / (t1 - t0);
+    println!(
+        "  ocean rank busy {:.0} % of the run → {} keep up with {} atmosphere ranks \
+         (paper: 1 ocean node keeps up with 16, not 32)",
+        100.0 * ocean_busy,
+        if ocean_busy < 0.95 { "CAN" } else { "can NOT" },
+        n_atm
+    );
+    println!(
+        "  model speedup this run: {:.0}× real time",
+        out.model_speedup
+    );
+}

@@ -1,0 +1,97 @@
+//! Experiment F3 — regenerate the paper's **Figure 3**: annual-average
+//! sea surface temperature, (a) model output, (b) observations,
+//! (c) model minus observations.
+//!
+//! The paper ran FOAM with CCM3 moist physics and compared against the
+//! Shea–Trenberth–Reynolds climatology; we run the coupled model from
+//! its climatological initial state and compare the final-period mean
+//! SST against the synthetic observed climatology (DESIGN.md §4). The
+//! published result to match in *shape*: broad pattern captured, tight
+//! western-boundary gradients smeared at this resolution, largest errors
+//! at high southern latitudes where the ice treatment is crude.
+//!
+//! ```sh
+//! cargo run --release -p foam-bench --bin figure3_sst [days] [n_atm_ranks]
+//! ```
+
+use foam::{run_coupled, FoamConfig, World};
+use foam_bench::{arg_or, observed_sst, sea_weights};
+use foam_grid::Field2;
+use foam_stats::ascii::{render_diff_map, render_map};
+use foam_stats::pattern_stats;
+
+fn main() {
+    let days: f64 = arg_or(1, 60.0);
+    let n_atm: usize = arg_or(2, 4);
+    let mut cfg = FoamConfig::paper(n_atm, 1997);
+    cfg.collect_monthly_sst = true;
+
+    println!("=== Figure 3: sea surface temperature vs observations ===");
+    println!("coupled run: {days} simulated days, {n_atm} atm ranks + 1 ocean rank\n");
+    let out = run_coupled(&cfg, days);
+
+    // Time-mean over the last half of the run (or the final field for
+    // very short runs).
+    let model_sst = if out.monthly_sst.len() >= 2 {
+        let half = out.monthly_sst.len() / 2;
+        let mut acc = Field2::zeros(cfg.ocean.nx, cfg.ocean.ny);
+        for f in &out.monthly_sst[half..] {
+            acc.axpy(1.0, f);
+        }
+        acc.scale(1.0 / (out.monthly_sst.len() - half) as f64);
+        acc
+    } else {
+        out.final_sst.clone()
+    };
+
+    let world = World::earthlike();
+    let (grid, mask, obs) = observed_sst(&cfg.ocean, &world);
+    let mut diff = model_sst.clone();
+    diff.axpy(-1.0, &obs);
+
+    println!(
+        "{}",
+        render_map(&model_sst, Some(&mask), "(a) FOAM-RS annual-mean SST (°C)")
+    );
+    println!(
+        "{}",
+        render_map(&obs, Some(&mask), "(b) observations (synthetic climatology, °C)")
+    );
+    println!(
+        "{}",
+        render_diff_map(&diff, Some(&mask), "(c) model minus observations (°C)")
+    );
+
+    let w = sea_weights(&grid, &mask);
+    let stats = pattern_stats(model_sst.as_slice(), obs.as_slice(), &w);
+    println!("global statistics (area-weighted over sea):");
+    println!("  bias                {:>7.2} °C", stats.bias);
+    println!("  RMSE                {:>7.2} °C", stats.rmse);
+    println!("  pattern correlation {:>7.3}", stats.pattern_correlation);
+    println!("  max |difference|    {:>7.2} °C", stats.max_abs_diff);
+
+    // Regional breakdown, mirroring the paper's narrative.
+    let mut bands = vec![("tropics (|φ| < 20°)", -20.0, 20.0), ("northern midlat", 20.0, 55.0), ("southern midlat", -55.0, -20.0), ("Antarctic band", -90.0, -55.0)];
+    println!("\nregional RMSE (the paper: errors worst in the Antarctic):");
+    for (name, lo, hi) in bands.drain(..) {
+        let wb: Vec<f64> = (0..grid.len())
+            .map(|k| {
+                let latd = grid.lats[k / grid.nx].to_degrees();
+                if mask[k] && latd >= lo && latd < hi {
+                    grid.cell_area(k % grid.nx, k / grid.nx)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        if wb.iter().sum::<f64>() > 0.0 {
+            let s = pattern_stats(model_sst.as_slice(), obs.as_slice(), &wb);
+            println!("  {name:<22} {:>6.2} °C (bias {:+.2})", s.rmse, s.bias);
+        }
+    }
+    println!(
+        "\nrun throughput: {:.0}× real time on {} ranks",
+        out.model_speedup,
+        cfg.n_ranks()
+    );
+}

@@ -1,0 +1,113 @@
+//! Configuration of a coupled FOAM run.
+
+use foam_atm::AtmConfig;
+use foam_ocean::{OceanConfig, SplitScheme};
+
+/// How the atmosphere and ocean exchange information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CouplingMode {
+    /// FOAM's scheme: the ocean integrates each coupling interval
+    /// *concurrently* with the atmosphere's next one (SSTs lag one
+    /// interval). One ocean node thus overlaps 16 atmosphere nodes.
+    Lagged,
+    /// Naive scheme: the atmosphere blocks while the ocean integrates
+    /// (the conventional sequential coupling of contemporary models).
+    Sequential,
+}
+
+/// Full configuration of a coupled run.
+#[derive(Debug, Clone)]
+pub struct FoamConfig {
+    pub atm: AtmConfig,
+    pub ocean: OceanConfig,
+    /// Number of atmosphere ranks ("nodes"); the coupler is co-located
+    /// on them. One additional rank runs the ocean.
+    pub n_atm_ranks: usize,
+    /// Ocean coupling interval \[s\] (paper: 6 h — the ocean is called
+    /// four times per simulated day).
+    pub dt_couple: f64,
+    pub coupling: CouplingMode,
+    /// Ocean stepping scheme (FOAM split vs unsplit baseline).
+    pub ocean_scheme: SplitScheme,
+    /// Record per-rank activity traces (Figure 2).
+    pub tracing: bool,
+    /// Collect monthly-mean SST fields (needed by Figures 3–4; costs
+    /// memory on long runs).
+    pub collect_monthly_sst: bool,
+}
+
+impl FoamConfig {
+    /// The paper's production configuration: R15 atmosphere (48×40×18,
+    /// Δt = 30 min) on `n_atm_ranks` nodes, 128×128×16 ocean on one node,
+    /// 6-hour lagged coupling.
+    pub fn paper(n_atm_ranks: usize, seed: u64) -> Self {
+        FoamConfig {
+            atm: AtmConfig {
+                seed,
+                ..Default::default()
+            },
+            ocean: OceanConfig::default(),
+            n_atm_ranks,
+            dt_couple: 21_600.0,
+            coupling: CouplingMode::Lagged,
+            ocean_scheme: SplitScheme::FoamSplit,
+            tracing: false,
+            collect_monthly_sst: false,
+        }
+    }
+
+    /// A reduced configuration for tests and demos: 24×16 R5 atmosphere,
+    /// 32×24×6 ocean, 2 atmosphere ranks.
+    pub fn tiny(seed: u64) -> Self {
+        FoamConfig {
+            atm: AtmConfig::tiny(seed),
+            ocean: OceanConfig::tiny(),
+            n_atm_ranks: 2,
+            dt_couple: 21_600.0,
+            coupling: CouplingMode::Lagged,
+            ocean_scheme: SplitScheme::FoamSplit,
+            tracing: false,
+            collect_monthly_sst: false,
+        }
+    }
+
+    /// Total ranks of the job (atmosphere + one ocean node).
+    pub fn n_ranks(&self) -> usize {
+        self.n_atm_ranks + 1
+    }
+
+    /// Atmosphere steps per coupling interval.
+    pub fn atm_steps_per_couple(&self) -> usize {
+        (self.dt_couple / self.atm.dt).round().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_paper_numbers() {
+        let c = FoamConfig::paper(16, 1);
+        assert_eq!(c.atm.nlon, 48);
+        assert_eq!(c.atm.nlat, 40);
+        assert_eq!(c.atm.m_max, 15);
+        assert_eq!(c.atm.nlev_phys, 18);
+        assert_eq!(c.atm.dt, 1800.0);
+        assert_eq!(c.ocean.nx, 128);
+        assert_eq!(c.ocean.ny, 128);
+        assert_eq!(c.ocean.nz, 16);
+        // Ocean called 4 times per simulated day.
+        assert_eq!((86_400.0 / c.dt_couple) as usize, 4);
+        // 48 atmosphere steps per day (30-minute step).
+        assert_eq!(c.atm_steps_per_couple() * 4, 48);
+        assert_eq!(c.n_ranks(), 17); // the paper's typical 17-node runs
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let c = FoamConfig::tiny(3);
+        assert_eq!(c.n_ranks(), 3);
+        assert!(c.atm_steps_per_couple() >= 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! The coupled SPMD driver: N atmosphere ranks (with the coupler
+//! co-located, as in the paper) plus one ocean rank.
+//!
+//! Rank layout (world communicator):
+//! * ranks `0 .. n_atm` — atmosphere + coupler,
+//! * rank `n_atm` — ocean.
+//!
+//! Exchange protocol (tags on the world communicator):
+//! * the ocean sends the initial SST, then loops
+//!   `recv forcing → integrate one coupling interval → send SST`;
+//! * in **lagged** mode the atmosphere posts its forcing and only
+//!   collects the SST produced from the *previous* forcing after it has
+//!   finished its own next interval — so the single ocean node works
+//!   concurrently with all the atmosphere nodes (the overlap visible in
+//!   the paper's Figure 2, where "one ocean processor has no difficulty
+//!   keeping up with 16 atmosphere processors");
+//! * in **sequential** mode (the CSM-like baseline) the atmosphere
+//!   blocks on the SST immediately.
+
+use foam_atm::{AtmForcing, AtmModel};
+use foam_coupler::{AtmSurfaceFields, Coupler};
+use foam_grid::constants::SECONDS_PER_DAY;
+use foam_grid::{Field2, World};
+use foam_mpi::{Comm, RankTrace, Universe};
+use foam_ocean::{OceanForcing, OceanModel, SplitScheme};
+
+use crate::config::{CouplingMode, FoamConfig};
+
+const TAG_FORCING: u32 = 10;
+const TAG_SST: u32 = 11;
+
+/// Results of a coupled run.
+#[derive(Debug)]
+pub struct CoupledOutput {
+    /// Simulated span \[s\].
+    pub sim_seconds: f64,
+    /// Wall-clock span of the integration \[s\].
+    pub wall_seconds: f64,
+    /// The paper's headline metric: simulated time per wall-clock time.
+    pub model_speedup: f64,
+    /// Area-mean SST after each coupling interval \[°C\].
+    pub mean_sst_series: Vec<f64>,
+    /// Monthly-mean SST fields (ocean grid), if collection was enabled.
+    pub monthly_sst: Vec<Field2>,
+    /// SST at the end of the run.
+    pub final_sst: Field2,
+    /// Sea-ice fraction of the ocean area at the end.
+    pub ice_fraction: f64,
+    /// Per-rank activity traces (when tracing was enabled).
+    pub traces: Vec<RankTrace>,
+    /// Total physics work units per atmosphere rank (load balance).
+    pub work_per_rank: Vec<usize>,
+}
+
+/// Per-rank result carried out of the SPMD closure.
+#[derive(Debug, Default, Clone)]
+struct RankResult {
+    mean_sst_series: Vec<f64>,
+    monthly_sst: Vec<Field2>,
+    final_sst: Option<Field2>,
+    wall_seconds: f64,
+    work: usize,
+}
+
+/// The baseline ("CSM-like") variant of a configuration: identical
+/// physics with FOAM's two throughput devices removed — sequential
+/// coupling and the unsplit gravity-wave-limited ocean (experiment T2).
+pub fn baseline_config(cfg: &FoamConfig) -> FoamConfig {
+    let mut c = cfg.clone();
+    c.coupling = CouplingMode::Sequential;
+    c.ocean_scheme = SplitScheme::Unsplit;
+    c
+}
+
+/// Run the coupled model for `days` simulated days.
+pub fn run_coupled(cfg: &FoamConfig, days: f64) -> CoupledOutput {
+    let n_couple = ((days * SECONDS_PER_DAY) / cfg.dt_couple).round().max(1.0) as usize;
+    let n_atm = cfg.n_atm_ranks;
+    let out = Universe::run_traced(cfg.n_ranks(), cfg.tracing, |world| {
+        if world.rank() < n_atm {
+            atm_rank(cfg, world, n_couple)
+        } else {
+            ocean_rank(cfg, world, n_couple)
+        }
+    });
+    let r0 = out.results[0].clone();
+    let work_per_rank = out.results[..n_atm].iter().map(|r| r.work).collect();
+    let sim_seconds = n_couple as f64 * cfg.dt_couple;
+    let wall = r0.wall_seconds.max(1e-9);
+    let final_sst = r0.final_sst.expect("rank 0 must produce a final SST");
+    // Ice fraction diagnosed from the clamp on the final field.
+    let world_obj = World::earthlike();
+    let mask = OceanModel::effective_sea_mask(&cfg.ocean, &world_obj);
+    let icy: Vec<f64> = final_sst
+        .as_slice()
+        .iter()
+        .map(|&t| {
+            if t <= foam_grid::constants::SEAWATER_FREEZE_C + 1e-6 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let grid = foam_grid::OceanGrid::mercator(cfg.ocean.nx, cfg.ocean.ny, cfg.ocean.lat_max_deg);
+    let ice_fraction = grid.masked_mean(&icy, &mask);
+    CoupledOutput {
+        sim_seconds,
+        wall_seconds: wall,
+        model_speedup: sim_seconds / wall,
+        mean_sst_series: r0.mean_sst_series,
+        monthly_sst: r0.monthly_sst,
+        final_sst,
+        ice_fraction,
+        traces: out.traces,
+        work_per_rank,
+    }
+}
+
+fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
+    let n_atm = cfg.n_atm_ranks;
+    let ocean_rank_id = n_atm;
+    let atm_comm = world
+        .split(0, world.rank() as i64)
+        .expect("atmosphere rank must join the atmosphere communicator");
+    let is_root = atm_comm.rank() == 0;
+
+    let planet = World::earthlike();
+    let model = AtmModel::new(cfg.atm.clone(), &atm_comm);
+    let nlon = model.grid().nlon;
+    let sea_mask = OceanModel::effective_sea_mask(&cfg.ocean, &planet);
+    let ocn_grid =
+        foam_grid::OceanGrid::mercator(cfg.ocean.nx, cfg.ocean.ny, cfg.ocean.lat_max_deg);
+    let coupler = Coupler::new(
+        model.grid().clone(),
+        ocn_grid.clone(),
+        sea_mask.clone(),
+        &planet,
+        cfg.atm.physics,
+    );
+
+    // Initial SST from the ocean.
+    let mut sst = if is_root {
+        let s: Field2 = world.recv(ocean_rank_id, TAG_SST);
+        atm_comm.bcast(0, Some(s))
+    } else {
+        atm_comm.bcast(0, None)
+    };
+
+    let mut atm_state = model.init_state();
+    let mut coupler_state = coupler.init_state(&sst, AtmModel::t_init);
+    let mut export = model.initial_export(&atm_state);
+
+    let steps_per_couple = cfg.atm_steps_per_couple();
+    let intervals_per_month = ((30.0 * SECONDS_PER_DAY) / cfg.dt_couple).round() as usize;
+    let mut res = RankResult::default();
+    let mut month_acc: Option<(Field2, usize)> = None;
+    let t_start = world.now();
+
+    for c in 0..n_couple {
+        for _ in 0..steps_per_couple {
+            // ---- Coupler, distributed by latitude rows (co-located
+            //      with the atmosphere decomposition, as in the paper).
+            let forcing_local = world.region("coupler", || {
+                let (j0, j1) = model.rows();
+                let (ka0, ka1) = (j0 * nlon, j1 * nlon);
+                // The export fields already hold exactly this rank's rows.
+                let fields = AtmSurfaceFields {
+                    t_low: export.t_low.clone(),
+                    q_low: export.q_low.clone(),
+                    u_low: export.u_low.clone(),
+                    v_low: export.v_low.clone(),
+                    precip: export.precip.clone(),
+                    sw_sfc: export.sw_sfc.clone(),
+                    lw_down: export.lw_down.clone(),
+                };
+                let (sfc, runoff) = coupler.step_rows(
+                    &mut coupler_state,
+                    &fields,
+                    &sst,
+                    cfg.atm.dt,
+                    ka0,
+                    ka1,
+                    ka0,
+                );
+                // Rivers need the global runoff; they are cheap, so they
+                // run replicated from the allgathered field.
+                let local_runoff = runoff[ka0..ka1].to_vec();
+                let full_runoff: Vec<f64> = atm_comm
+                    .allgather(local_runoff)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                coupler.route_rivers(&mut coupler_state, &full_runoff, cfg.atm.dt);
+                AtmForcing {
+                    fluxes: sfc.fluxes[ka0..ka1].to_vec(),
+                    t_sfc: sfc.t_sfc[ka0..ka1].to_vec(),
+                    albedo: sfc.albedo[ka0..ka1].to_vec(),
+                }
+            });
+            // ---- Atmosphere step. ------------------------------------
+            export = world.region("atmosphere", || {
+                model.step(&mut atm_state, &atm_comm, &forcing_local)
+            });
+            res.work += export.work.iter().sum::<usize>();
+        }
+
+        // ---- Ocean exchange: sum the row-local forcing parts across
+        //      the atmosphere ranks, add the replicated part once. -----
+        let forcing = world.region("coupler", || {
+            let (local, shared) = coupler.take_ocean_forcing_parts(&mut coupler_state);
+            let n_o = local.heat.as_slice().len();
+            let mut flat = Vec::with_capacity(4 * n_o);
+            flat.extend_from_slice(local.tau_x.as_slice());
+            flat.extend_from_slice(local.tau_y.as_slice());
+            flat.extend_from_slice(local.heat.as_slice());
+            flat.extend_from_slice(local.freshwater.as_slice());
+            let summed = atm_comm.allreduce(&flat, foam_mpi::ReduceOp::Sum);
+            let (onx, ony) = (ocn_grid.nx, ocn_grid.ny);
+            let mut f = foam_ocean::OceanForcing {
+                tau_x: Field2::from_vec(onx, ony, summed[..n_o].to_vec()),
+                tau_y: Field2::from_vec(onx, ony, summed[n_o..2 * n_o].to_vec()),
+                heat: Field2::from_vec(onx, ony, summed[2 * n_o..3 * n_o].to_vec()),
+                freshwater: Field2::from_vec(onx, ony, summed[3 * n_o..].to_vec()),
+            };
+            f.tau_x.axpy(1.0, &shared.tau_x);
+            f.tau_y.axpy(1.0, &shared.tau_y);
+            f.heat.axpy(1.0, &shared.heat);
+            f.freshwater.axpy(1.0, &shared.freshwater);
+            f
+        });
+        let received = world.region("coupler", || {
+            let mut got: Option<Field2> = None;
+            if is_root {
+                world.send(ocean_rank_id, TAG_FORCING, forcing);
+                let due = match cfg.coupling {
+                    CouplingMode::Sequential => true,
+                    CouplingMode::Lagged => c >= 1,
+                };
+                if due {
+                    got = Some(world.recv(ocean_rank_id, TAG_SST));
+                }
+            }
+            // Everyone learns whether an update arrived.
+            let flag = atm_comm.bcast(0, if atm_comm.rank() == 0 { Some(got.is_some()) } else { None });
+            if flag {
+                let s = if atm_comm.rank() == 0 {
+                    atm_comm.bcast(0, got)
+                } else {
+                    atm_comm.bcast(0, None)
+                };
+                Some(s)
+            } else {
+                None
+            }
+        });
+        if let Some(new_sst) = received {
+            sst = new_sst;
+            coupler.update_ice(&mut coupler_state, &sst);
+        }
+
+        // ---- Bookkeeping on the root. --------------------------------
+        if is_root {
+            let mean = ocn_grid.masked_mean(sst.as_slice(), &sea_mask);
+            res.mean_sst_series.push(mean);
+            if cfg.collect_monthly_sst {
+                let (acc, n) = month_acc.get_or_insert_with(|| {
+                    (Field2::zeros(ocn_grid.nx, ocn_grid.ny), 0usize)
+                });
+                acc.axpy(1.0, &sst);
+                *n += 1;
+                if *n == intervals_per_month {
+                    let mut mean_field = acc.clone();
+                    mean_field.scale(1.0 / *n as f64);
+                    res.monthly_sst.push(mean_field);
+                    month_acc = None;
+                }
+            }
+        }
+    }
+
+    // Drain the final SST in lagged mode (the ocean always sends one per
+    // interval).
+    if is_root && cfg.coupling == CouplingMode::Lagged {
+        sst = world.recv(ocean_rank_id, TAG_SST);
+    }
+    res.wall_seconds = world.now() - t_start;
+    if is_root {
+        res.final_sst = Some(sst);
+    }
+    res
+}
+
+fn ocean_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
+    // Participate in the split even though the ocean keeps no sub-comm.
+    let _ = world.split(-1, 0);
+    let planet = World::earthlike();
+    let model = OceanModel::new(cfg.ocean.clone(), &planet);
+    let mut state = model.init_state(&planet);
+    let atm_root = 0usize;
+
+    world.send(atm_root, TAG_SST, model.sst(&state));
+    for _ in 0..n_couple {
+        let forcing: OceanForcing = world.recv(atm_root, TAG_FORCING);
+        world.region("ocean", || match cfg.ocean_scheme {
+            SplitScheme::FoamSplit => model.step_coupled(&mut state, &forcing, cfg.dt_couple),
+            SplitScheme::Unsplit => model.step_unsplit(&mut state, &forcing, cfg.dt_couple),
+        });
+        world.send(atm_root, TAG_SST, model.sst(&state));
+    }
+    RankResult::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupled_run_advances_and_stays_physical() {
+        let cfg = FoamConfig::tiny(1);
+        let out = run_coupled(&cfg, 2.0);
+        assert_eq!(out.mean_sst_series.len(), 8); // 4 exchanges/day
+        assert!(out.final_sst.all_finite());
+        let last = *out.mean_sst_series.last().unwrap();
+        assert!((-2.0..30.0).contains(&last), "mean SST {last}");
+        assert!(out.model_speedup > 1.0, "slower than real time?!");
+        assert!((0.0..=1.0).contains(&out.ice_fraction));
+    }
+
+    #[test]
+    fn lagged_and_sequential_agree_on_short_runs() {
+        // The lag changes SST timing by one interval; over a couple of
+        // days the mean-SST trajectories must still be close.
+        let cfg = FoamConfig::tiny(2);
+        let lag = run_coupled(&cfg, 2.0);
+        let mut cfg_seq = cfg.clone();
+        cfg_seq.coupling = CouplingMode::Sequential;
+        let seq = run_coupled(&cfg_seq, 2.0);
+        let a = lag.mean_sst_series.last().unwrap();
+        let b = seq.mean_sst_series.last().unwrap();
+        assert!((a - b).abs() < 0.3, "lagged {a} vs sequential {b}");
+    }
+
+    #[test]
+    fn tracing_produces_all_three_component_labels() {
+        let mut cfg = FoamConfig::tiny(3);
+        cfg.tracing = true;
+        let out = run_coupled(&cfg, 0.5);
+        // Atmosphere ranks show atmosphere + coupler work.
+        for t in &out.traces[..cfg.n_atm_ranks] {
+            assert!(t.work_time("atmosphere") > 0.0, "rank {} no atm work", t.rank);
+            assert!(t.work_time("coupler") > 0.0, "rank {} no coupler work", t.rank);
+        }
+        // The ocean rank shows ocean work and (waiting for forcing) idle
+        // time.
+        let to = &out.traces[cfg.n_atm_ranks];
+        assert!(to.work_time("ocean") > 0.0);
+    }
+
+    #[test]
+    fn monthly_sst_collection_counts_months() {
+        let mut cfg = FoamConfig::tiny(4);
+        cfg.collect_monthly_sst = true;
+        // 1/4 month → 0 complete months; keep the test fast.
+        let out = run_coupled(&cfg, 7.5);
+        assert!(out.monthly_sst.is_empty());
+        assert_eq!(out.mean_sst_series.len(), 30);
+    }
+
+    #[test]
+    fn baseline_config_flips_both_devices() {
+        let cfg = FoamConfig::tiny(5);
+        let base = baseline_config(&cfg);
+        assert_eq!(base.coupling, CouplingMode::Sequential);
+        assert_eq!(base.ocean_scheme, SplitScheme::Unsplit);
+        assert_eq!(base.atm.nlon, cfg.atm.nlon);
+    }
+}

@@ -1,0 +1,181 @@
+//! History output: a minimal self-describing binary format for field
+//! sequences.
+//!
+//! The paper's outlook section discusses making FOAM's "large datasets"
+//! browsable (Vis5D, remote I/O). This module provides the library
+//! equivalent: monthly SST (or any `Field2` sequence) can be streamed to
+//! disk during a long run and read back for analysis, so multi-century
+//! experiments need not hold their history in memory.
+//!
+//! Format (little-endian): magic `FOAMHIST`, `u32` version, `u32 nx`,
+//! `u32 ny`, then frames of (`f64` time \[s\], `nx·ny` × `f64` values).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use foam_grid::Field2;
+
+const MAGIC: &[u8; 8] = b"FOAMHIST";
+const VERSION: u32 = 1;
+
+/// Streams frames to a file.
+pub struct HistoryWriter {
+    out: BufWriter<File>,
+    nx: usize,
+    ny: usize,
+    frames: usize,
+}
+
+impl HistoryWriter {
+    pub fn create(path: impl AsRef<Path>, nx: usize, ny: usize) -> io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&(nx as u32).to_le_bytes())?;
+        out.write_all(&(ny as u32).to_le_bytes())?;
+        Ok(HistoryWriter {
+            out,
+            nx,
+            ny,
+            frames: 0,
+        })
+    }
+
+    /// Append one frame at simulated time `t` \[s\].
+    pub fn write_frame(&mut self, t: f64, field: &Field2) -> io::Result<()> {
+        assert_eq!((field.nx(), field.ny()), (self.nx, self.ny));
+        self.out.write_all(&t.to_le_bytes())?;
+        for v in field.as_slice() {
+            self.out.write_all(&v.to_le_bytes())?;
+        }
+        self.frames += 1;
+        Ok(())
+    }
+
+    pub fn frames_written(&self) -> usize {
+        self.frames
+    }
+
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Reads a history file produced by [`HistoryWriter`].
+pub struct HistoryReader {
+    inp: BufReader<File>,
+    pub nx: usize,
+    pub ny: usize,
+}
+
+impl HistoryReader {
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut inp = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        inp.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a FOAM history file",
+            ));
+        }
+        let mut b4 = [0u8; 4];
+        inp.read_exact(&mut b4)?;
+        let version = u32::from_le_bytes(b4);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported history version {version}"),
+            ));
+        }
+        inp.read_exact(&mut b4)?;
+        let nx = u32::from_le_bytes(b4) as usize;
+        inp.read_exact(&mut b4)?;
+        let ny = u32::from_le_bytes(b4) as usize;
+        Ok(HistoryReader { inp, nx, ny })
+    }
+
+    /// Read the next frame, or `None` at end of file.
+    pub fn next_frame(&mut self) -> io::Result<Option<(f64, Field2)>> {
+        let mut b8 = [0u8; 8];
+        match self.inp.read_exact(&mut b8) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let t = f64::from_le_bytes(b8);
+        let mut data = Vec::with_capacity(self.nx * self.ny);
+        for _ in 0..self.nx * self.ny {
+            self.inp.read_exact(&mut b8)?;
+            data.push(f64::from_le_bytes(b8));
+        }
+        Ok(Some((t, Field2::from_vec(self.nx, self.ny, data))))
+    }
+
+    /// Read every remaining frame.
+    pub fn read_all(&mut self) -> io::Result<Vec<(f64, Field2)>> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("foam_hist_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_frames_exactly() {
+        let path = tmp("roundtrip");
+        let mut w = HistoryWriter::create(&path, 8, 4).unwrap();
+        let f1 = Field2::from_fn(8, 4, |i, j| (i * 10 + j) as f64 * 0.5);
+        let f2 = Field2::from_fn(8, 4, |i, j| -(i as f64) + j as f64 * 3.0);
+        w.write_frame(0.0, &f1).unwrap();
+        w.write_frame(21_600.0, &f2).unwrap();
+        assert_eq!(w.frames_written(), 2);
+        w.finish().unwrap();
+
+        let mut r = HistoryReader::open(&path).unwrap();
+        assert_eq!((r.nx, r.ny), (8, 4));
+        let frames = r.read_all().unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].0, 0.0);
+        assert_eq!(frames[1].0, 21_600.0);
+        assert_eq!(frames[0].1, f1);
+        assert_eq!(frames[1].1, f2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a history file").unwrap();
+        assert!(HistoryReader::open(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_history_reads_zero_frames() {
+        let path = tmp("empty");
+        HistoryWriter::create(&path, 4, 4).unwrap().finish().unwrap();
+        let mut r = HistoryReader::open(&path).unwrap();
+        assert!(r.read_all().unwrap().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn shape_mismatch_panics() {
+        let path = tmp("shape");
+        let mut w = HistoryWriter::create(&path, 4, 4).unwrap();
+        let wrong = Field2::zeros(5, 4);
+        let _ = w.write_frame(0.0, &wrong);
+    }
+}

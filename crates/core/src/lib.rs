@@ -1,0 +1,51 @@
+//! `foam` — the Fast Ocean-Atmosphere Model, reproduced in Rust.
+//!
+//! This crate is the paper's deliverable: a *coupled* ocean–atmosphere
+//! climate model engineered for throughput, assembled from the substrate
+//! crates:
+//!
+//! * `foam-atm` — the R15 spectral atmosphere (latitude-decomposed SPMD),
+//! * `foam-ocean` — the 128×128×16 Mercator ocean with FOAM's slowed,
+//!   mode-split, subcycled time stepping,
+//! * `foam-coupler` — overlap-grid fluxes, land surface, rivers, sea ice,
+//! * `foam-mpi` — the message-passing runtime (one thread per "node").
+//!
+//! [`run_coupled`] launches the paper's production configuration: N
+//! atmosphere ranks (the coupler co-located on them, as in the paper) and
+//! one ocean rank, with **lagged coupling**: the ocean integrates a 6-hour
+//! interval concurrently with the atmosphere's next interval, so one
+//! ocean node overlaps its work with 16 atmosphere nodes — the structure
+//! visible in the paper's Figure 2. The [`baseline_config`] driver variant integrates
+//! the identical physics with the two FOAM advantages removed (unsplit
+//! gravity-wave-limited ocean, sequential blocking coupling) — the
+//! NCAR-CSM-like comparator of experiment T2.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use foam::{FoamConfig, run_coupled};
+//!
+//! let cfg = FoamConfig::tiny(42); // reduced resolution for a demo
+//! let out = run_coupled(&cfg, 5.0); // five simulated days
+//! println!(
+//!     "simulated {:.1} days at {:.0}× real time; mean SST {:.2} °C",
+//!     out.sim_seconds / 86_400.0,
+//!     out.model_speedup,
+//!     out.mean_sst_series.last().unwrap()
+//! );
+//! ```
+
+mod config;
+pub mod diagnostics;
+mod driver;
+pub mod history;
+
+pub use config::{CouplingMode, FoamConfig};
+pub use driver::{baseline_config, run_coupled, CoupledOutput};
+pub use history::{HistoryReader, HistoryWriter};
+
+pub use foam_atm::{AtmConfig, AtmModel};
+pub use foam_coupler::Coupler;
+pub use foam_grid::{Field2, World};
+pub use foam_mpi::{RankTrace, TraceSummary, Universe};
+pub use foam_ocean::{OceanConfig, OceanModel, SplitScheme};

@@ -1,0 +1,754 @@
+//! `foam-coupler` — the FOAM coupler.
+//!
+//! "The separately developed atmosphere and ocean models are integrated
+//! into a functioning whole by a set of routines called the coupler. The
+//! coupler is essentially a model of the land surface and
+//! atmosphere-ocean interface." (paper §"The FOAM Coupler")
+//!
+//! Responsibilities implemented here, all on full grids (the SPMD
+//! choreography — which ranks run this, co-located with the atmosphere —
+//! lives in the `foam` crate):
+//!
+//! * **overlap-grid fluxes** (paper Fig. 1): latent/sensible heat and
+//!   momentum are evaluated on each atmosphere×ocean intersection cell
+//!   with the atmosphere side's low-level state and the ocean side's SST
+//!   (CCM3 stability-dependent bulk formulas with diagnosed ocean
+//!   roughness), then area-averaged back to both grids — conserving the
+//!   exchange without interpolating state to a common grid;
+//! * **land surface**: 4-layer soil diffusion per land cell (5 soil
+//!   types), CCM2 bulk fluxes over land, snow albedo modification;
+//! * **hydrology**: the 15-cm bucket, snowfall criterion (ground and
+//!   lowest atmosphere below freezing), runoff to the **river model**,
+//!   river mouths as freshwater point sources for the ocean — the closed
+//!   hydrological cycle that prevents long-term ocean salinity drift;
+//! * **sea ice**: treated as another soil type; SST clamped at −1.92 °C
+//!   by the ocean, ice–atmosphere stress divided by 15 before reaching
+//!   the ocean, formation booked as a 2-m freshwater withdrawal;
+//! * **forcing accumulation**: the atmosphere runs on a 30-minute step
+//!   and the ocean is called four times per day (6-h coupling), so
+//!   fluxes are accumulated between ocean calls.
+
+use foam_grid::constants::{SEAWATER_FREEZE_C, STEFAN_BOLTZMANN};
+use foam_grid::{AtmGrid, Field2, OceanGrid, OverlapGrid, World};
+use foam_land::hydrology::Bucket;
+use foam_land::river::{RiverModel, RiverState};
+use foam_land::soil::{ice_column, SoilColumn, SOIL_CLASSES};
+use foam_land::{ICE_FORMATION_WATER, ICE_STRESS_FACTOR};
+use foam_ocean::OceanForcing;
+use foam_physics::surface::BulkFluxes;
+use foam_physics::{AtmColumn, ColumnPhysics, PhysicsConfig, SurfaceKind, SurfaceState};
+
+/// Fields the atmosphere exposes to the coupler each step (full grid).
+#[derive(Debug, Clone)]
+pub struct AtmSurfaceFields {
+    /// Lowest-level air temperature \[K\], humidity, winds \[m/s\].
+    pub t_low: Field2,
+    pub q_low: Field2,
+    pub u_low: Field2,
+    pub v_low: Field2,
+    /// Precipitation rate \[kg m⁻² s⁻¹\].
+    pub precip: Field2,
+    /// Shortwave absorbed at the surface and downwelling longwave \[W/m²\].
+    pub sw_sfc: Field2,
+    pub lw_down: Field2,
+}
+
+/// What the coupler returns to the atmosphere (full grid, flattened).
+#[derive(Debug, Clone)]
+pub struct SurfaceForAtm {
+    pub fluxes: Vec<BulkFluxes>,
+    /// Effective radiating surface temperature \[K\].
+    pub t_sfc: Vec<f64>,
+    pub albedo: Vec<f64>,
+}
+
+/// Mutable coupler state.
+#[derive(Debug, Clone)]
+pub struct CouplerState {
+    /// Soil column per atmosphere cell (meaningful on land cells).
+    pub soil: Vec<SoilColumn>,
+    /// Water bucket per atmosphere cell (land).
+    pub bucket: Vec<Bucket>,
+    pub river: RiverState,
+    /// Sea-ice presence per *ocean* cell.
+    pub ice: Vec<bool>,
+    /// Ice thermodynamic column per atmosphere cell (used where its sea
+    /// overlap is icy).
+    pub ice_col: Vec<SoilColumn>,
+    /// Ocean forcing accumulated since the last ocean call — the
+    /// *row-local* part (overlap fluxes of this rank's atmosphere rows;
+    /// summed across ranks at exchange time when distributed).
+    pub acc: OceanForcing,
+    /// The *replicated* part (river mouths, ice formation water) — added
+    /// once, identically, on every rank.
+    pub acc_shared: OceanForcing,
+    pub acc_seconds: f64,
+    /// One-shot freshwater adjustments (ice formation/melt), ocean grid
+    /// \[kg/m²\] to be applied at the next ocean call.
+    pub fw_oneshot: Field2,
+}
+
+/// The coupler: static geometry + component models.
+pub struct Coupler {
+    pub atm_grid: AtmGrid,
+    pub ocn_grid: OceanGrid,
+    pub overlap: OverlapGrid,
+    pub river: RiverModel,
+    pub phys: ColumnPhysics,
+    /// Land mask on the atmosphere grid.
+    pub land: Vec<bool>,
+    /// Soil class index per atmosphere cell.
+    pub soil_type: Vec<usize>,
+    /// Sea fraction per atmosphere cell.
+    pub sea_frac: Vec<f64>,
+    /// Ocean-grid sea mask.
+    pub sea_mask: Vec<bool>,
+    /// Total overlap area of each ocean cell \[m²\] (for normalizing
+    /// partial flux sums when the coupler is distributed by rows).
+    ocn_overlap_area: Vec<f64>,
+    /// Reference column used to adapt bulk formulas (levels only).
+    nlev_ref: usize,
+}
+
+impl Coupler {
+    pub fn new(
+        atm_grid: AtmGrid,
+        ocn_grid: OceanGrid,
+        sea_mask: Vec<bool>,
+        world: &World,
+        phys_cfg: PhysicsConfig,
+    ) -> Self {
+        let overlap = OverlapGrid::build(&atm_grid, &ocn_grid, &sea_mask);
+        let land = world.atm_land_mask(&atm_grid);
+        let river = RiverModel::build(&atm_grid, &land);
+        let soil_type: Vec<usize> = (0..atm_grid.len())
+            .map(|k| {
+                let (i, j) = (k % atm_grid.nlon, k / atm_grid.nlon);
+                world.soil_type(atm_grid.lons[i], atm_grid.lats[j]) as usize
+            })
+            .collect();
+        let sea_frac = overlap.sea_fraction_atm().into_vec();
+        let mut ocn_overlap_area = vec![0.0; ocn_grid.len()];
+        overlap.for_each_pair(|_ka, ko, a| ocn_overlap_area[ko] += a);
+        Coupler {
+            atm_grid,
+            ocn_grid,
+            overlap,
+            river,
+            phys: ColumnPhysics::new(phys_cfg),
+            land,
+            soil_type,
+            sea_frac,
+            sea_mask,
+            ocn_overlap_area,
+            nlev_ref: 8,
+        }
+    }
+
+    /// Initial coupler state, with soil temperatures set from the
+    /// latitude profile and ice where the initial SST sits at the clamp.
+    pub fn init_state(&self, sst: &Field2, t_init: impl Fn(f64) -> f64) -> CouplerState {
+        let n = self.atm_grid.len();
+        let soil = (0..n)
+            .map(|k| {
+                let j = k / self.atm_grid.nlon;
+                SoilColumn::new(
+                    SOIL_CLASSES[self.soil_type[k]],
+                    t_init(self.atm_grid.lats[j]),
+                )
+            })
+            .collect();
+        let bucket = vec![
+            Bucket {
+                soil_water: 0.10,
+                snow: 0.0,
+            };
+            n
+        ];
+        let ice = (0..self.ocn_grid.len())
+            .map(|ko| {
+                self.sea_mask[ko] && sst.as_slice()[ko] <= SEAWATER_FREEZE_C + 0.01
+            })
+            .collect();
+        let ice_col = (0..n).map(|_| ice_column(265.0)).collect();
+        CouplerState {
+            soil,
+            bucket,
+            river: self.river.init_state(),
+            ice,
+            ice_col,
+            acc: OceanForcing::zeros(&self.ocn_grid),
+            acc_shared: OceanForcing::zeros(&self.ocn_grid),
+            acc_seconds: 0.0,
+            fw_oneshot: Field2::zeros(self.ocn_grid.nx, self.ocn_grid.ny),
+        }
+    }
+
+    /// A pseudo-column carrying the lowest-level state at cell `ka`
+    /// (the bulk formulas only read the bottom level). `off` is the flat
+    /// index of `atm`'s first entry (0 for full-grid fields).
+    fn pseudo_column(&self, atm: &AtmSurfaceFields, ka: usize, off: usize) -> AtmColumn {
+        let mut col = AtmColumn::isothermal(self.nlev_ref, 2000.0, 280.0);
+        let n = col.nlev();
+        col.t[n - 1] = atm.t_low.as_slice()[ka - off];
+        col.q[n - 1] = atm.q_low.as_slice()[ka - off];
+        col
+    }
+
+    /// One coupler pass for one atmosphere step of length `dt` \[s\]:
+    /// compute all surface exchanges, advance the land/ice state, and
+    /// accumulate the ocean forcing. Returns the surface the atmosphere
+    /// sees. (Serial convenience wrapper over [`Coupler::step_rows`] +
+    /// [`Coupler::route_rivers`] covering the whole grid.)
+    pub fn step(
+        &self,
+        st: &mut CouplerState,
+        atm: &AtmSurfaceFields,
+        sst: &Field2,
+        dt: f64,
+    ) -> SurfaceForAtm {
+        let n = self.atm_grid.len();
+        let (out, runoff) = self.step_rows(st, atm, sst, dt, 0, n, 0);
+        self.route_rivers(st, &runoff, dt);
+        out
+    }
+
+    /// The distributed coupler pass: process only atmosphere cells
+    /// `ka0..ka1` (this rank's latitude rows, co-located with its
+    /// atmosphere decomposition, as in the paper). `atm` may hold just
+    /// the local rows, with `ka_offset` the flat index of its first
+    /// entry. Returns the surface (full-length vectors, entries filled in
+    /// the range) and the local runoff \[m over the step\] (full-length;
+    /// allgather it and call [`Coupler::route_rivers`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_rows(
+        &self,
+        st: &mut CouplerState,
+        atm: &AtmSurfaceFields,
+        sst: &Field2,
+        dt: f64,
+        ka0: usize,
+        ka1: usize,
+        ka_offset: usize,
+    ) -> (SurfaceForAtm, Vec<f64>) {
+        let n_atm = self.atm_grid.len();
+        let at = |f: &Field2, ka: usize| f.as_slice()[ka - ka_offset];
+
+        // ---------------- Overlap-grid air–sea fluxes. -----------------
+        // Accumulate per-atm (sea-average) and per-ocean quantities.
+        let mut sea_flux_atm: Vec<BulkFluxes> = vec![BulkFluxes::default(); n_atm];
+        let mut sea_area_atm = vec![0.0; n_atm];
+        let mut sea_tsfc_atm = vec![0.0; n_atm];
+        let mut sea_albedo_atm = vec![0.0; n_atm];
+
+        for ka in ka0..ka1 {
+            let col = self.pseudo_column(atm, ka, ka_offset);
+            let wind = (at(&atm.u_low, ka), at(&atm.v_low, ka));
+            self.overlap.for_each_pair_of_atm(ka, |ko, area| {
+            let icy = st.ice[ko];
+            let sst_c = sst.as_slice()[ko];
+            let (sfc, albedo) = if icy {
+                (
+                    SurfaceState {
+                        kind: SurfaceKind::SeaIce,
+                        t_sfc: st.ice_col[ka].skin(),
+                        albedo: st.ice_col[ka].props.albedo,
+                        wetness: 1.0,
+                    },
+                    st.ice_col[ka].props.albedo,
+                )
+            } else {
+                (SurfaceState::open_ocean(sst_c + 273.15), 0.07)
+            };
+            let f = self.phys.surface_fluxes(&col, &sfc, wind);
+
+            // Atmosphere side: area-weighted sea-average flux.
+            let w = area;
+            let sa = &mut sea_flux_atm[ka];
+            sa.sensible += w * f.sensible;
+            sa.latent += w * f.latent;
+            sa.evaporation += w * f.evaporation;
+            sa.tau_x += w * f.tau_x;
+            sa.tau_y += w * f.tau_y;
+            sa.stress += w * f.stress;
+            sa.c_exchange += w * f.c_exchange;
+            sea_area_atm[ka] += w;
+            sea_tsfc_atm[ka] += w * sfc.t_sfc;
+            sea_albedo_atm[ka] += w * albedo;
+
+            // Ocean side: net heat and momentum into the water.
+            let t_water_k = sst_c + 273.15;
+            let (heat, taux, tauy, evap) = if icy {
+                // Conduction with the lowest ice layer; stress divided by
+                // 15 (paper, verbatim); no direct evaporation from water.
+                let g_ice =
+                    st.ice_col[ka].props.conductivity / foam_land::soil::SOIL_DZ[3];
+                let q_cond = g_ice * (st.ice_col[ka].t[3] - t_water_k);
+                (
+                    q_cond,
+                    f.tau_x * ICE_STRESS_FACTOR,
+                    f.tau_y * ICE_STRESS_FACTOR,
+                    0.0,
+                )
+            } else {
+                let q = at(&atm.sw_sfc, ka) + at(&atm.lw_down, ka)
+                    - STEFAN_BOLTZMANN * t_water_k.powi(4)
+                    - f.sensible
+                    - f.latent;
+                (q, f.tau_x, f.tau_y, f.evaporation)
+            };
+            // Accumulate directly into the local forcing, normalized by
+            // the ocean cell's *total* overlap area so that partial sums
+            // from different ranks add up to the correct average.
+            let wn = dt * w / self.ocn_overlap_area[ko].max(1e-9);
+            st.acc.tau_x.as_mut_slice()[ko] += wn * taux;
+            st.acc.tau_y.as_mut_slice()[ko] += wn * tauy;
+            st.acc.heat.as_mut_slice()[ko] += wn * heat;
+            // P − E on the sea part; rivers are added by route_rivers.
+            st.acc.freshwater.as_mut_slice()[ko] += wn * (at(&atm.precip, ka) - evap);
+            });
+        }
+
+        // ---------------- Land surface + hydrology. --------------------
+        let mut out = SurfaceForAtm {
+            fluxes: vec![BulkFluxes::default(); n_atm],
+            t_sfc: vec![288.0; n_atm],
+            albedo: vec![0.07; n_atm],
+        };
+        let mut runoff = vec![0.0; n_atm];
+        for ka in ka0..ka1 {
+            let sea_a = sea_area_atm[ka];
+            let cell_a = self.overlap.atm_cell_area(ka);
+            let land_frac = (1.0 - sea_a / cell_a).clamp(0.0, 1.0);
+
+            // Land-side fluxes and updates (also covers polar caps with
+            // no ocean coverage, treated as land/ice surface).
+            let mut land_flux = BulkFluxes::default();
+            let mut land_t = 0.0;
+            let mut land_albedo = 0.0;
+            if land_frac > 1.0e-6 {
+                let col = self.pseudo_column(atm, ka, ka_offset);
+                let wind = (at(&atm.u_low, ka), at(&atm.v_low, ka));
+                let props = SOIL_CLASSES[self.soil_type[ka]];
+                let snow_covered = st.bucket[ka].snow > 1.0e-4;
+                let albedo = if snow_covered {
+                    0.65
+                } else {
+                    props.albedo
+                };
+                let sfc = SurfaceState {
+                    kind: if snow_covered {
+                        SurfaceKind::Snow
+                    } else {
+                        SurfaceKind::Land {
+                            z0: props.roughness,
+                        }
+                    },
+                    t_sfc: st.soil[ka].skin(),
+                    albedo,
+                    wetness: st.bucket[ka].wetness(),
+                };
+                land_flux = self.phys.surface_fluxes(&col, &sfc, wind);
+                // Soil energy budget.
+                let skin = st.soil[ka].skin();
+                let net = at(&atm.sw_sfc, ka) + at(&atm.lw_down, ka)
+                    - STEFAN_BOLTZMANN * skin.powi(4)
+                    - land_flux.sensible
+                    - land_flux.latent;
+                // Hydrology first (melt energy cools the soil).
+                let snowing = at(&atm.t_low, ka) < 273.15 && skin < 273.15;
+                let h = st.bucket[ka].step(
+                    at(&atm.precip, ka),
+                    land_flux.evaporation,
+                    snowing,
+                    skin,
+                    dt,
+                );
+                st.soil[ka].step(net - h.melt_energy / dt, dt);
+                runoff[ka] = h.runoff;
+                land_t = st.soil[ka].skin();
+                land_albedo = albedo;
+            }
+
+            // Ice-column thermodynamics for icy sea parts of this cell.
+            let icy_area: f64 = 0.0; // recomputed below if needed
+            let _ = icy_area;
+            if sea_a > 0.0 {
+                // Advance the ice column with the cell's net surface
+                // energy when any of its overlap is icy.
+                let any_ice = {
+                    let mut any = false;
+                    self.overlap.for_each_pair_of_atm(ka, |ko, _a| {
+                        any = any || st.ice[ko];
+                    });
+                    any
+                };
+                if any_ice {
+                    let skin = st.ice_col[ka].skin();
+                    let f = &sea_flux_atm[ka];
+                    let net = at(&atm.sw_sfc, ka) + at(&atm.lw_down, ka)
+                        - STEFAN_BOLTZMANN * skin.powi(4)
+                        - f.sensible / sea_a.max(1.0)
+                        - f.latent / sea_a.max(1.0);
+                    st.ice_col[ka].step(net, dt);
+                    // The base stays pinned near freezing by the ocean.
+                    st.ice_col[ka].t[3] = st.ice_col[ka].t[3]
+                        .clamp(SEAWATER_FREEZE_C + 273.15 - 2.0, 273.15);
+                }
+            }
+
+            // Blend land and sea for the atmosphere.
+            let (sea_flux, sea_t, sea_alb) = if sea_a > 0.0 {
+                let inv = 1.0 / sea_a;
+                let f = &sea_flux_atm[ka];
+                (
+                    BulkFluxes {
+                        sensible: f.sensible * inv,
+                        latent: f.latent * inv,
+                        evaporation: f.evaporation * inv,
+                        stress: f.stress * inv,
+                        tau_x: f.tau_x * inv,
+                        tau_y: f.tau_y * inv,
+                        c_exchange: f.c_exchange * inv,
+                    },
+                    sea_tsfc_atm[ka] * inv,
+                    sea_albedo_atm[ka] * inv,
+                )
+            } else {
+                (BulkFluxes::default(), 0.0, 0.0)
+            };
+            let lf = land_frac;
+            let sf = 1.0 - lf;
+            let blend = |a: f64, b: f64| lf * a + sf * b;
+            out.fluxes[ka] = BulkFluxes {
+                sensible: blend(land_flux.sensible, sea_flux.sensible),
+                latent: blend(land_flux.latent, sea_flux.latent),
+                evaporation: blend(land_flux.evaporation, sea_flux.evaporation),
+                stress: blend(land_flux.stress, sea_flux.stress),
+                tau_x: blend(land_flux.tau_x, sea_flux.tau_x),
+                tau_y: blend(land_flux.tau_y, sea_flux.tau_y),
+                c_exchange: blend(land_flux.c_exchange, sea_flux.c_exchange),
+            };
+            // Where there is no land, fall back to sea values and vice
+            // versa.
+            out.t_sfc[ka] = if lf >= 1.0 - 1e-9 {
+                land_t
+            } else if lf <= 1e-9 {
+                sea_t
+            } else {
+                blend(land_t, sea_t)
+            };
+            out.albedo[ka] = if lf >= 1.0 - 1e-9 {
+                land_albedo
+            } else if lf <= 1e-9 {
+                sea_alb
+            } else {
+                blend(land_albedo, sea_alb)
+            };
+        }
+
+        st.acc_seconds += dt;
+        (out, runoff)
+    }
+
+    /// Route runoff through the river network and book the mouth inflow
+    /// into the *shared* ocean-forcing accumulator. `runoff` must be the
+    /// full-grid field (allgather the per-rank pieces first when
+    /// distributed); every rank calls this with identical inputs so the
+    /// replicated river state stays in lockstep.
+    pub fn route_rivers(&self, st: &mut CouplerState, runoff: &[f64], dt: f64) {
+        let mouths_atm = self.river.step(&mut st.river, runoff, dt);
+        let mouths_ocn = self.overlap.atm_to_ocean(&mouths_atm);
+        for ko in 0..self.ocn_grid.len() {
+            if self.sea_mask[ko] {
+                st.acc_shared.freshwater.as_mut_slice()[ko] +=
+                    dt * mouths_ocn.as_slice()[ko];
+            }
+        }
+    }
+
+    /// Hand the accumulated (time-averaged) forcing to the ocean and
+    /// reset the accumulators — serial form (local + shared combined).
+    pub fn take_ocean_forcing(&self, st: &mut CouplerState) -> OceanForcing {
+        let (mut local, shared) = self.take_ocean_forcing_parts(st);
+        local.tau_x.axpy(1.0, &shared.tau_x);
+        local.tau_y.axpy(1.0, &shared.tau_y);
+        local.heat.axpy(1.0, &shared.heat);
+        local.freshwater.axpy(1.0, &shared.freshwater);
+        local
+    }
+
+    /// Distributed form: returns `(local, shared)`, both time-averaged
+    /// over the coupling interval and reset. Sum `local` across the
+    /// atmosphere ranks (it holds only this rank's rows' contributions)
+    /// and add `shared` (identical on every rank) once.
+    pub fn take_ocean_forcing_parts(
+        &self,
+        st: &mut CouplerState,
+    ) -> (OceanForcing, OceanForcing) {
+        let secs = st.acc_seconds.max(1.0);
+        st.acc_seconds = 0.0;
+        let inv = 1.0 / secs;
+        let mut local = std::mem::replace(&mut st.acc, OceanForcing::zeros(&self.ocn_grid));
+        local.tau_x.scale(inv);
+        local.tau_y.scale(inv);
+        local.heat.scale(inv);
+        local.freshwater.scale(inv);
+        let mut shared =
+            std::mem::replace(&mut st.acc_shared, OceanForcing::zeros(&self.ocn_grid));
+        shared.tau_x.scale(inv);
+        shared.tau_y.scale(inv);
+        shared.heat.scale(inv);
+        shared.freshwater.scale(inv);
+        // One-shot ice formation/melt freshwater adjustments, spread over
+        // the coupling interval (replicated → shared).
+        for ko in 0..self.ocn_grid.len() {
+            shared.freshwater.as_mut_slice()[ko] += st.fw_oneshot.as_slice()[ko] / secs;
+            st.fw_oneshot.as_mut_slice()[ko] = 0.0;
+        }
+        (local, shared)
+    }
+
+    /// Refresh the ice distribution after an ocean call: ice forms where
+    /// the SST sits at the clamp, melts where the water has warmed. Books
+    /// the paper's 2-m freshwater exchange for formation/melt.
+    pub fn update_ice(&self, st: &mut CouplerState, sst: &Field2) {
+        for ko in 0..self.ocn_grid.len() {
+            if !self.sea_mask[ko] {
+                continue;
+            }
+            let frozen = sst.as_slice()[ko] <= SEAWATER_FREEZE_C + 1.0e-6;
+            if frozen && !st.ice[ko] {
+                st.ice[ko] = true;
+                // Formation: 2 m of water leaves the ocean.
+                st.fw_oneshot.as_mut_slice()[ko] -= ICE_FORMATION_WATER * 1000.0;
+            } else if !frozen && st.ice[ko] && sst.as_slice()[ko] > SEAWATER_FREEZE_C + 0.5 {
+                st.ice[ko] = false;
+                // Melt: the water comes back.
+                st.fw_oneshot.as_mut_slice()[ko] += ICE_FORMATION_WATER * 1000.0;
+            }
+        }
+    }
+
+    /// Ice fraction of the ocean's sea area (diagnostic).
+    pub fn ice_fraction(&self, st: &CouplerState) -> f64 {
+        let f: Vec<f64> = st
+            .ice
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect();
+        self.ocn_grid.masked_mean(&f, &self.sea_mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Coupler, Field2) {
+        let world = World::earthlike();
+        let atm_grid = AtmGrid::new(24, 16);
+        let ocn_grid = OceanGrid::mercator(32, 24, 70.0);
+        let sea_mask = world.ocean_sea_mask(&ocn_grid);
+        // Initial SST from the climatology.
+        let sst = Field2::from_fn(32, 24, |i, j| {
+            if sea_mask[ocn_grid.idx(i, j)] {
+                world.sst_climatology(ocn_grid.lons[i], ocn_grid.lats[j])
+            } else {
+                0.0
+            }
+        });
+        let coupler = Coupler::new(atm_grid, ocn_grid, sea_mask, &world, PhysicsConfig::default());
+        (coupler, sst)
+    }
+
+    fn atm_fields(g: &AtmGrid) -> AtmSurfaceFields {
+        AtmSurfaceFields {
+            t_low: Field2::from_fn(g.nlon, g.nlat, |_i, j| 250.0 + 45.0 * g.lats[j].cos()),
+            q_low: Field2::filled(g.nlon, g.nlat, 0.008),
+            u_low: Field2::filled(g.nlon, g.nlat, 5.0),
+            v_low: Field2::filled(g.nlon, g.nlat, 1.0),
+            precip: Field2::filled(g.nlon, g.nlat, 3.0e-5),
+            sw_sfc: Field2::filled(g.nlon, g.nlat, 180.0),
+            lw_down: Field2::filled(g.nlon, g.nlat, 330.0),
+        }
+    }
+
+    #[test]
+    fn step_produces_finite_surface_everywhere() {
+        let (c, sst) = setup();
+        let mut st = c.init_state(&sst, |lat| 250.0 + 45.0 * lat.cos());
+        let atm = atm_fields(&c.atm_grid);
+        let out = c.step(&mut st, &atm, &sst, 1800.0);
+        for ka in 0..c.atm_grid.len() {
+            assert!(out.t_sfc[ka].is_finite() && out.t_sfc[ka] > 150.0, "t_sfc[{ka}] = {}", out.t_sfc[ka]);
+            assert!((0.0..=1.0).contains(&out.albedo[ka]));
+            assert!(out.fluxes[ka].sensible.is_finite());
+        }
+    }
+
+    #[test]
+    fn ocean_forcing_accumulates_and_averages() {
+        let (c, sst) = setup();
+        let mut st = c.init_state(&sst, |lat| 250.0 + 45.0 * lat.cos());
+        let atm = atm_fields(&c.atm_grid);
+        for _ in 0..12 {
+            c.step(&mut st, &atm, &sst, 1800.0);
+        }
+        assert!((st.acc_seconds - 21_600.0).abs() < 1e-9);
+        let f = c.take_ocean_forcing(&mut st);
+        assert_eq!(st.acc_seconds, 0.0);
+        // Wind stress points with the wind over open water.
+        let mut saw_sea = false;
+        for ko in 0..c.ocn_grid.len() {
+            if c.sea_mask[ko] && !st.ice[ko] && f.tau_x.as_slice()[ko] != 0.0 {
+                assert!(f.tau_x.as_slice()[ko] > 0.0, "tau_x against the wind");
+                saw_sea = true;
+            }
+        }
+        assert!(saw_sea);
+        // Taking again yields zeros.
+        let f2 = c.take_ocean_forcing(&mut st);
+        assert!(f2.heat.max_abs() == 0.0);
+    }
+
+    #[test]
+    fn freshwater_into_ocean_is_positive_with_rain_and_rivers() {
+        let (c, sst) = setup();
+        let mut st = c.init_state(&sst, |lat| 250.0 + 45.0 * lat.cos());
+        // Saturate the buckets so rain becomes runoff feeding rivers.
+        for b in st.bucket.iter_mut() {
+            b.soil_water = foam_land::hydrology::BUCKET_CAPACITY;
+        }
+        let mut atm = atm_fields(&c.atm_grid);
+        atm.precip.fill(3.0e-4); // heavy rain, little evap
+        atm.q_low.fill(0.012);
+        // Spin a few days so rivers start delivering.
+        let mut f = OceanForcing::zeros(&c.ocn_grid);
+        for _d in 0..6 {
+            for _ in 0..12 {
+                c.step(&mut st, &atm, &sst, 1800.0);
+            }
+            f = c.take_ocean_forcing(&mut st);
+        }
+        let mut total_fw = 0.0;
+        for ko in 0..c.ocn_grid.len() {
+            if c.sea_mask[ko] {
+                total_fw += f.freshwater.as_slice()[ko]
+                    * c.ocn_grid.cell_area(ko % c.ocn_grid.nx, ko / c.ocn_grid.nx);
+            }
+        }
+        assert!(total_fw > 0.0, "net freshwater {total_fw} kg/s");
+        // Rivers are flowing.
+        assert!(c.river.total_storage(&st.river) > 0.0);
+    }
+
+    #[test]
+    fn warm_sea_cools_heats_atmosphere_consistently() {
+        let (c, sst) = setup();
+        let mut st = c.init_state(&sst, |lat| 250.0 + 45.0 * lat.cos());
+        let mut atm = atm_fields(&c.atm_grid);
+        // Make air much colder than the tropical sea.
+        atm.t_low.fill(280.0);
+        let out = c.step(&mut st, &atm, &sst, 1800.0);
+        // Find a fully-sea tropical cell: upward sensible heat.
+        let g = &c.atm_grid;
+        let mut checked = false;
+        for j in 0..g.nlat {
+            if g.lats[j].to_degrees().abs() < 15.0 {
+                for i in 0..g.nlon {
+                    let ka = g.idx(i, j);
+                    if c.sea_frac[ka] > 0.999 {
+                        assert!(out.fluxes[ka].sensible > 0.0);
+                        assert!(out.fluxes[ka].latent > 0.0);
+                        checked = true;
+                    }
+                }
+            }
+        }
+        assert!(checked, "no all-sea tropical cell found");
+    }
+
+    #[test]
+    fn ice_forms_at_clamp_and_books_freshwater() {
+        let (c, mut sst) = setup();
+        let mut st = c.init_state(&sst, |lat| 250.0 + 45.0 * lat.cos());
+        // Freeze a patch of open water.
+        let mut target = None;
+        for ko in 0..c.ocn_grid.len() {
+            if c.sea_mask[ko] && !st.ice[ko] {
+                target = Some(ko);
+                break;
+            }
+        }
+        let ko = target.expect("some open water");
+        sst.as_mut_slice()[ko] = SEAWATER_FREEZE_C;
+        c.update_ice(&mut st, &sst);
+        assert!(st.ice[ko]);
+        assert!(st.fw_oneshot.as_slice()[ko] < 0.0, "formation must remove water");
+        // Melt it again.
+        sst.as_mut_slice()[ko] = 2.0;
+        c.update_ice(&mut st, &sst);
+        assert!(!st.ice[ko]);
+        assert!(st.fw_oneshot.as_slice()[ko].abs() < 1e-9, "melt must return the water");
+    }
+
+    #[test]
+    fn ice_reduces_stress_reaching_ocean() {
+        let (c, mut sst) = setup();
+        let mut st = c.init_state(&sst, |lat| 250.0 + 45.0 * lat.cos());
+        let atm = atm_fields(&c.atm_grid);
+        // Pick an open-water cell; record stress, then freeze it.
+        c.step(&mut st, &atm, &sst, 1800.0);
+        let f_open = c.take_ocean_forcing(&mut st);
+        // Freeze everything.
+        for ko in 0..c.ocn_grid.len() {
+            if c.sea_mask[ko] {
+                sst.as_mut_slice()[ko] = SEAWATER_FREEZE_C;
+            }
+        }
+        c.update_ice(&mut st, &sst);
+        c.step(&mut st, &atm, &sst, 1800.0);
+        let f_ice = c.take_ocean_forcing(&mut st);
+        let mut checked = 0;
+        for ko in 0..c.ocn_grid.len() {
+            if c.sea_mask[ko] && f_open.tau_x.as_slice()[ko] > 1e-6 {
+                let ratio = f_ice.tau_x.as_slice()[ko] / f_open.tau_x.as_slice()[ko];
+                assert!(ratio < 0.2, "ice stress ratio {ratio} at {ko}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn snow_raises_albedo() {
+        let (c, sst) = setup();
+        let mut st = c.init_state(&sst, |lat| 250.0 + 45.0 * lat.cos());
+        let atm = atm_fields(&c.atm_grid);
+        // Find a land cell and give it snow.
+        // A non-ice land cell (ice is already brighter than snow).
+        let ka = (0..c.atm_grid.len())
+            .find(|&k| c.land[k] && c.sea_frac[k] < 1e-6 && c.soil_type[k] != 4)
+            .expect("an all-land, non-ice cell");
+        let before = c.step(&mut st, &atm, &sst, 1800.0).albedo[ka];
+        st.bucket[ka].snow = 0.2;
+        let after = c.step(&mut st, &atm, &sst, 1800.0).albedo[ka];
+        assert!(after > before + 0.2, "snow albedo: {before} -> {after}");
+    }
+
+    #[test]
+    fn evaporation_and_latent_flux_consistent_in_blend() {
+        let (c, sst) = setup();
+        let mut st = c.init_state(&sst, |lat| 250.0 + 45.0 * lat.cos());
+        let atm = atm_fields(&c.atm_grid);
+        let out = c.step(&mut st, &atm, &sst, 1800.0);
+        for ka in 0..c.atm_grid.len() {
+            let f = &out.fluxes[ka];
+            if f.evaporation.abs() > 1e-12 {
+                let l = f.latent / f.evaporation;
+                assert!((l / foam_grid::constants::L_VAP - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Physical constants shared across FOAM-RS components.
+//!
+//! Values follow the CCM2/CCM3 technical notes where the paper inherits
+//! them; everything is SI.
+
+/// Earth radius \[m\].
+pub const EARTH_RADIUS: f64 = 6.371e6;
+/// Earth rotation rate \[s⁻¹\].
+pub const OMEGA: f64 = 7.292e-5;
+/// Gravitational acceleration \[m s⁻²\].
+pub const GRAVITY: f64 = 9.80616;
+/// Dry-air gas constant \[J kg⁻¹ K⁻¹\].
+pub const R_DRY: f64 = 287.04;
+/// Dry-air specific heat at constant pressure \[J kg⁻¹ K⁻¹\].
+pub const CP_DRY: f64 = 1004.64;
+/// Latent heat of vaporization \[J kg⁻¹\].
+pub const L_VAP: f64 = 2.501e6;
+/// Latent heat of fusion \[J kg⁻¹\].
+pub const L_FUS: f64 = 3.336e5;
+/// Stefan–Boltzmann constant \[W m⁻² K⁻⁴\].
+pub const STEFAN_BOLTZMANN: f64 = 5.67e-8;
+/// Solar constant \[W m⁻²\].
+pub const SOLAR_CONSTANT: f64 = 1367.0;
+/// Reference sea-water density \[kg m⁻³\].
+pub const RHO_SEAWATER: f64 = 1025.0;
+/// Sea-water specific heat \[J kg⁻¹ K⁻¹\].
+pub const CP_SEAWATER: f64 = 3990.0;
+/// Reference air density at the surface \[kg m⁻³\].
+pub const RHO_AIR: f64 = 1.2;
+/// Freezing point of sea water; FOAM clamps SST here under ice \[°C\].
+pub const SEAWATER_FREEZE_C: f64 = -1.92;
+/// Reference salinity \[psu\].
+pub const S_REF: f64 = 34.7;
+/// Von Kármán constant.
+pub const VON_KARMAN: f64 = 0.4;
+/// Simulated seconds per day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+/// Simulated days per (idealized 360-day) model year, the common GCM
+/// calendar choice for climatological bookkeeping.
+pub const DAYS_PER_YEAR: f64 = 360.0;
+/// Days per model month (12 equal months of the 360-day calendar).
+pub const DAYS_PER_MONTH: f64 = 30.0;
+
+/// Degrees → radians.
+#[inline]
+pub fn deg2rad(d: f64) -> f64 {
+    d * std::f64::consts::PI / 180.0
+}
+
+/// Radians → degrees.
+#[inline]
+pub fn rad2deg(r: f64) -> f64 {
+    r * 180.0 / std::f64::consts::PI
+}
+
+/// Coriolis parameter f = 2Ω sin φ at latitude `lat` (radians).
+#[inline]
+pub fn coriolis(lat: f64) -> f64 {
+    2.0 * OMEGA * lat.sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        for d in [-90.0, -12.5, 0.0, 45.0, 180.0] {
+            assert!((rad2deg(deg2rad(d)) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coriolis_signs_and_magnitude() {
+        assert!(coriolis(deg2rad(45.0)) > 0.0);
+        assert!(coriolis(deg2rad(-45.0)) < 0.0);
+        assert!((coriolis(deg2rad(90.0)) - 2.0 * OMEGA).abs() < 1e-12);
+        assert_eq!(coriolis(0.0), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Gauss–Legendre quadrature: the latitudes of the spectral-transform
+//! grid and the exact quadrature weights used both for the Legendre
+//! transform and for conservative cell areas.
+
+/// Gaussian nodes and weights on μ = sin(latitude) ∈ (−1, 1).
+#[derive(Debug, Clone)]
+pub struct GaussQuadrature {
+    /// Nodes μ_j, ascending (south → north).
+    pub nodes: Vec<f64>,
+    /// Weights w_j, ∑ w_j = 2.
+    pub weights: Vec<f64>,
+}
+
+/// Compute the `n`-point Gauss–Legendre rule by Newton iteration on the
+/// roots of P_n(μ), with the standard asymptotic initial guess.
+pub fn gauss_legendre(n: usize) -> GaussQuadrature {
+    assert!(n >= 1);
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    let m = n.div_ceil(2);
+    for k in 0..m {
+        // Initial guess (Abramowitz & Stegun 25.4.38), root k+1 from the top.
+        let mut x = (std::f64::consts::PI * (k as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            let (p, d) = legendre_pn(n, x);
+            dp = d;
+            let dx = p / d;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        // x is the (k+1)-th root from the top (northernmost); store
+        // ascending.
+        nodes[n - 1 - k] = x;
+        weights[n - 1 - k] = w;
+        nodes[k] = -x;
+        weights[k] = w;
+    }
+    if n % 2 == 1 {
+        // Middle node is exactly 0.
+        nodes[n / 2] = 0.0;
+        let (_, d) = legendre_pn(n, 0.0);
+        weights[n / 2] = 2.0 / (d * d);
+    }
+    GaussQuadrature { nodes, weights }
+}
+
+/// Evaluate (P_n(x), P_n'(x)) by the three-term recurrence.
+pub fn legendre_pn(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0;
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let mut p1 = x;
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    // Derivative from the standard identity.
+    let d = if (1.0 - x * x).abs() < 1e-300 {
+        0.0
+    } else {
+        n as f64 * (x * p1 - p0) / (x * x - 1.0)
+    };
+    (p1, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in [1, 2, 3, 8, 40, 64] {
+            let q = gauss_legendre(n);
+            let s: f64 = q.weights.iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "n={n}: sum={s}");
+        }
+    }
+
+    #[test]
+    fn nodes_are_roots_and_sorted() {
+        let n = 40;
+        let q = gauss_legendre(n);
+        for w in q.nodes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &x in &q.nodes {
+            let (p, _) = legendre_pn(n, x);
+            assert!(p.abs() < 1e-12, "P_{n}({x}) = {p}");
+        }
+    }
+
+    #[test]
+    fn quadrature_is_exact_for_low_degree_polynomials() {
+        // n-point Gauss rule integrates degree <= 2n-1 exactly.
+        let q = gauss_legendre(5);
+        // ∫_{-1}^{1} x^k dμ = 0 (odd), 2/(k+1) (even)
+        for k in 0..=9usize {
+            let approx: f64 = q
+                .nodes
+                .iter()
+                .zip(&q.weights)
+                .map(|(&x, &w)| w * x.powi(k as i32))
+                .sum();
+            let exact = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+            assert!((approx - exact).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn matches_known_two_point_rule() {
+        let q = gauss_legendre(2);
+        let r = 1.0 / 3.0f64.sqrt();
+        assert!((q.nodes[0] + r).abs() < 1e-14);
+        assert!((q.nodes[1] - r).abs() < 1e-14);
+        assert!((q.weights[0] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn symmetric_about_equator() {
+        let q = gauss_legendre(40);
+        for j in 0..20 {
+            assert!((q.nodes[j] + q.nodes[39 - j]).abs() < 1e-13);
+            assert!((q.weights[j] - q.weights[39 - j]).abs() < 1e-13);
+        }
+    }
+}

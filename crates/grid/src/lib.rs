@@ -1,0 +1,32 @@
+//! `foam-grid` — grids, geometry and the overlap decomposition.
+//!
+//! FOAM represents the globe on two grids: the atmosphere's Gaussian
+//! spectral-transform grid (R15: 48 × 40) and the ocean's 128 × 128
+//! Mercator grid. A third decomposition — the *overlap grid*, the
+//! intersection of the two — carries the air–sea fluxes (paper Fig. 1):
+//! exchanges are computed per overlap cell and area-averaged back to each
+//! parent grid, so both sides see a consistent, conservative flux without
+//! interpolating state to a common grid.
+//!
+//! This crate provides:
+//! * [`gauss`] — Gaussian latitudes/weights (quadrature for the spectral
+//!   transform and exact cell areas for conservation),
+//! * [`AtmGrid`] and [`OceanGrid`] — the two lat–lon product grids,
+//! * [`world`] — the synthetic planet (continents, topography, basins)
+//!   standing in for observed geography (see DESIGN.md §4),
+//! * [`OverlapGrid`] — intersection cells with conservative averaging in
+//!   both directions plus a deliberately non-conservative nearest-neighbour
+//!   scheme used as the ablation baseline (experiment A2),
+//! * [`Field2`] — a dense 2-D field storage type used across the model.
+
+pub mod constants;
+mod field;
+pub mod gauss;
+mod grids;
+mod overlap;
+pub mod world;
+
+pub use field::Field2;
+pub use grids::{AtmGrid, OceanGrid, VerticalGrid};
+pub use overlap::{NearestNeighbour, OverlapGrid};
+pub use world::{Basin, World};

@@ -1,0 +1,223 @@
+//! The 15-cm bucket hydrology (Manabe 1969 / Budyko 1956 — the scheme
+//! FOAM retains from CCM1/early CCM2).
+
+use foam_grid::constants::L_FUS;
+
+/// Bucket capacity \[m of liquid water\] — the paper's 15 cm, verbatim.
+pub const BUCKET_CAPACITY: f64 = 0.15;
+/// Snow deeper than this (liquid equivalent) is shed to the river model
+/// "to mimic the near-equilibrium of the Greenland and Antarctic ice
+/// sheets" \[m\] — the paper's 1 m, verbatim.
+pub const SNOW_CAP: f64 = 1.0;
+/// Soil moisture at which evaporation becomes unrestricted (fraction of
+/// capacity); below it the wetness factor D_w falls linearly.
+pub const FIELD_FRACTION: f64 = 0.75;
+/// Density of water \[kg/m³\] for flux conversions.
+pub const RHO_WATER: f64 = 1000.0;
+
+/// One land cell's water stores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bucket {
+    /// Soil moisture \[m of liquid water\], 0 ..= capacity.
+    pub soil_water: f64,
+    /// Snow pack \[m liquid-water equivalent\].
+    pub snow: f64,
+}
+
+/// What one hydrology step produced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HydroOutput {
+    /// Runoff sent to the river model \[m of water over the step\].
+    pub runoff: f64,
+    /// Snow melted \[m over the step\] (already added to the bucket).
+    pub melt: f64,
+    /// Latent heat consumed by the melt \[J/m²\] (cools the surface).
+    pub melt_energy: f64,
+    /// Whether snow covers the ground after the step.
+    pub snow_covered: bool,
+}
+
+impl Bucket {
+    /// Wetness factor D_w for the latent heat flux: 1 for snow-covered
+    /// ground (and, in the coupler, for ocean/ice), else a linear ramp in
+    /// soil moisture up to 75 % of capacity (standard bucket closure).
+    pub fn wetness(&self) -> f64 {
+        if self.snow > 1.0e-4 {
+            1.0
+        } else {
+            (self.soil_water / (FIELD_FRACTION * BUCKET_CAPACITY)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Advance one step.
+    ///
+    /// * `precip` — precipitation rate \[kg m⁻² s⁻¹\],
+    /// * `evap` — evaporation rate \[kg m⁻² s⁻¹\] (removes snow first,
+    ///   then soil water),
+    /// * `snowing` — true when the paper's criterion holds (ground and
+    ///   the two lowest atmosphere levels below freezing),
+    /// * `skin_t` — surface temperature \[K\] (melts snow above 0 °C),
+    /// * `dt` — step \[s\].
+    pub fn step(
+        &mut self,
+        precip: f64,
+        evap: f64,
+        snowing: bool,
+        skin_t: f64,
+        dt: f64,
+    ) -> HydroOutput {
+        let mut out = HydroOutput::default();
+        let p = precip.max(0.0) * dt / RHO_WATER; // m over the step
+        let e = evap * dt / RHO_WATER;
+
+        if snowing {
+            self.snow += p;
+        } else {
+            self.soil_water += p;
+        }
+
+        // Evaporation: snow sublimates first, then soil dries.
+        let mut e_rem = e;
+        if e_rem > 0.0 {
+            let from_snow = e_rem.min(self.snow);
+            self.snow -= from_snow;
+            e_rem -= from_snow;
+            let from_soil = e_rem.min(self.soil_water);
+            self.soil_water -= from_soil;
+        } else {
+            // Dew/frost deposit.
+            self.soil_water -= e_rem; // e_rem negative
+        }
+
+        // Snow melt when the skin is above freezing: bounded by an energy
+        // budget (all available melt happens at a capped rate so a single
+        // warm step cannot flash a deep pack).
+        if skin_t > 273.15 && self.snow > 0.0 {
+            let melt_rate = 3.0e-7 * (skin_t - 273.15); // m/s per K
+            let melt = (melt_rate * dt).min(self.snow);
+            self.snow -= melt;
+            self.soil_water += melt;
+            out.melt = melt;
+            out.melt_energy = melt * RHO_WATER * L_FUS;
+        }
+
+        // Bucket overflow → runoff.
+        if self.soil_water > BUCKET_CAPACITY {
+            out.runoff += self.soil_water - BUCKET_CAPACITY;
+            self.soil_water = BUCKET_CAPACITY;
+        }
+        // Ice-sheet equilibrium: shed snow beyond 1 m to the rivers.
+        if self.snow > SNOW_CAP {
+            out.runoff += self.snow - SNOW_CAP;
+            self.snow = SNOW_CAP;
+        }
+        out.snow_covered = self.snow > 1.0e-4;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rain_fills_bucket_then_runs_off() {
+        let mut b = Bucket::default();
+        // 10 mm/h of rain for 20 hours = 0.2 m > capacity.
+        let mut total_runoff = 0.0;
+        for _ in 0..20 {
+            let out = b.step(10.0 / 3600.0, 0.0, false, 285.0, 3600.0);
+            total_runoff += out.runoff;
+        }
+        assert!((b.soil_water - BUCKET_CAPACITY).abs() < 1e-12);
+        assert!((total_runoff - 0.05).abs() < 1e-9, "runoff {total_runoff}");
+    }
+
+    #[test]
+    fn wetness_ramp() {
+        let mut b = Bucket::default();
+        assert_eq!(b.wetness(), 0.0);
+        b.soil_water = FIELD_FRACTION * BUCKET_CAPACITY / 2.0;
+        assert!((b.wetness() - 0.5).abs() < 1e-12);
+        b.soil_water = BUCKET_CAPACITY;
+        assert_eq!(b.wetness(), 1.0);
+        // Snow forces D_w = 1 (paper: snow covered surfaces have D_w = 1).
+        let snowy = Bucket {
+            soil_water: 0.0,
+            snow: 0.05,
+        };
+        assert_eq!(snowy.wetness(), 1.0);
+    }
+
+    #[test]
+    fn snowfall_accumulates_and_caps_at_one_meter() {
+        let mut b = Bucket::default();
+        let mut shed = 0.0;
+        // Heavy snowfall, frozen ground.
+        for _ in 0..2000 {
+            let out = b.step(5.0 / 3600.0, 0.0, true, 260.0, 3600.0);
+            shed += out.runoff;
+        }
+        assert!((b.snow - SNOW_CAP).abs() < 1e-9, "snow {}", b.snow);
+        assert!(shed > 0.5, "excess snow must reach the rivers: {shed}");
+    }
+
+    #[test]
+    fn melt_moves_snow_to_soil_and_costs_energy() {
+        let mut b = Bucket {
+            soil_water: 0.0,
+            snow: 0.10,
+        };
+        let out = b.step(0.0, 0.0, false, 278.15, 86_400.0);
+        assert!(out.melt > 0.0);
+        assert!(b.snow < 0.10);
+        assert!((b.soil_water - out.melt).abs() < 1e-12);
+        assert!((out.melt_energy - out.melt * RHO_WATER * L_FUS).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaporation_takes_snow_first() {
+        let mut b = Bucket {
+            soil_water: 0.05,
+            snow: 0.001,
+        };
+        b.step(0.0, 1.0e-4, false, 270.0, 3600.0);
+        // 1e-4 kg/m²/s · 3600 s = 0.36 mm; snow (1 mm) partially consumed.
+        assert!(b.snow < 0.001);
+        assert!((b.soil_water - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_is_conserved() {
+        let mut b = Bucket::default();
+        let mut in_total = 0.0;
+        let mut out_total = 0.0;
+        let dt = 1800.0;
+        for step in 0..500 {
+            let p = if step % 3 == 0 { 8.0e-4 } else { 0.0 };
+            let e = 5.0e-5;
+            let snowing = step % 7 == 0;
+            let stored_before = b.soil_water + b.snow;
+            let out = b.step(p, e, snowing, 280.0, dt);
+            let stored_after = b.soil_water + b.snow;
+            let actually_evap = (stored_before + p * dt / RHO_WATER
+                - out.runoff
+                - stored_after)
+                .max(0.0);
+            in_total += p * dt / RHO_WATER;
+            out_total += out.runoff + actually_evap;
+        }
+        let residual = in_total - out_total - (b.soil_water + b.snow);
+        assert!(
+            residual.abs() < 1e-9,
+            "water budget residual {residual} (in {in_total}, out {out_total})"
+        );
+    }
+
+    #[test]
+    fn dew_deposits_water() {
+        let mut b = Bucket::default();
+        b.step(0.0, -2.0e-5, false, 280.0, 3600.0);
+        assert!(b.soil_water > 0.0);
+    }
+}

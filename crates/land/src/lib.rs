@@ -1,0 +1,36 @@
+//! `foam-land` — the land-surface pieces owned by FOAM's coupler.
+//!
+//! In FOAM the coupler is "essentially a model of the land surface and
+//! atmosphere-ocean interface". This crate supplies the land half:
+//!
+//! * [`soil`] — the 4-layer heat-diffusion soil model with per-type heat
+//!   capacities, conductivities, roughness and albedo (5 soil classes
+//!   derived from vegetation data in the original; our synthetic planet
+//!   provides the same 5 classes). Sea ice is "treated as another soil
+//!   type", so the ice column lives here too.
+//! * [`hydrology`] — the 15-cm bucket model (after Manabe and Budyko):
+//!   precipitation fills the bucket or the snow pack, the bucket level
+//!   sets the wetness factor D_w used in the latent-heat flux, overflow
+//!   becomes runoff, snow deeper than 1 m (liquid equivalent) is shed to
+//!   the rivers to mimic ice-sheet equilibrium.
+//! * [`river`] — the Miller et al. river-routing model: one flow
+//!   direction per land cell, F = V·u/d with u = 0.35 m/s, mouths
+//!   injecting fresh water into coastal ocean cells — closing the
+//!   hydrological cycle, which the paper needs to avoid long-term ocean
+//!   salinity drift.
+
+pub mod hydrology;
+pub mod river;
+pub mod soil;
+
+pub use hydrology::{Bucket, HydroOutput};
+pub use river::{RiverModel, RiverState};
+pub use soil::{ice_column, SoilColumn, SoilProperties};
+
+/// FOAM divides the ice–atmosphere stress by 15 before passing it to the
+/// ocean (paper §"The FOAM Coupler", verbatim constant).
+pub const ICE_STRESS_FACTOR: f64 = 1.0 / 15.0;
+
+/// Sea-ice formation is treated as a flux of 2 m of water out of the
+/// ocean (paper, verbatim constant) \[m\].
+pub const ICE_FORMATION_WATER: f64 = 2.0;

@@ -1,0 +1,344 @@
+//! The river routing model (after Miller, Russell & Caliri, as used by
+//! FOAM's coupler).
+//!
+//! Each land cell gets one of its eight neighbours as a flow direction;
+//! flow out of a cell is F = V·u/d with a constant effective velocity
+//! u = 0.35 m/s (the paper's verbatim constant) and d the downstream
+//! distance. Coastal outflow becomes a freshwater point source (a river
+//! mouth) for the ocean, closing the hydrological cycle.
+//!
+//! The original sets directions from observed topography, hand-tuned so
+//! basin boundaries match; our synthetic planet instead derives them from
+//! the breadth-first distance to the coast, which guarantees every land
+//! cell drains to the sea with no interior sinks (the same *topological*
+//! property the hand-tuning establishes).
+
+use foam_grid::constants::EARTH_RADIUS;
+use foam_grid::{AtmGrid, Field2};
+
+/// Effective river flow velocity \[m/s\] (Miller et al., used verbatim in
+/// the paper).
+pub const FLOW_VELOCITY: f64 = 0.35;
+
+/// Static routing structure on the atmosphere grid.
+#[derive(Debug, Clone)]
+pub struct RiverModel {
+    nlon: usize,
+    nlat: usize,
+    /// `true` = land (rivers live on land cells).
+    pub is_land: Vec<bool>,
+    /// Downstream cell (flat index) for each land cell.
+    pub downstream: Vec<Option<u32>>,
+    /// Distance to the downstream cell \[m\].
+    dist: Vec<f64>,
+    /// Cell areas \[m²\].
+    area: Vec<f64>,
+}
+
+/// River water volumes \[m³\] per cell.
+#[derive(Debug, Clone)]
+pub struct RiverState {
+    pub volume: Vec<f64>,
+}
+
+impl RiverModel {
+    /// Build routing from a land mask by steepest descent of the
+    /// breadth-first coast distance (8-connected).
+    pub fn build(grid: &AtmGrid, is_land: &[bool]) -> Self {
+        let (nlon, nlat) = (grid.nlon, grid.nlat);
+        assert_eq!(is_land.len(), nlon * nlat);
+        // BFS distance to the nearest sea cell.
+        let mut dist = vec![u32::MAX; nlon * nlat];
+        let mut queue = std::collections::VecDeque::new();
+        for (k, &land) in is_land.iter().enumerate() {
+            if !land {
+                dist[k] = 0;
+                queue.push_back(k);
+            }
+        }
+        let neighbours = |k: usize| -> Vec<usize> {
+            let i = k % nlon;
+            let j = k / nlon;
+            let mut out = Vec::with_capacity(8);
+            for dj in -1i64..=1 {
+                for di in -1i64..=1 {
+                    if di == 0 && dj == 0 {
+                        continue;
+                    }
+                    let jj = j as i64 + dj;
+                    if jj < 0 || jj >= nlat as i64 {
+                        continue;
+                    }
+                    let ii = (i as i64 + di).rem_euclid(nlon as i64);
+                    out.push(jj as usize * nlon + ii as usize);
+                }
+            }
+            out
+        };
+        while let Some(k) = queue.pop_front() {
+            for n in neighbours(k) {
+                if dist[n] == u32::MAX {
+                    dist[n] = dist[k] + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+
+        // Flow direction: the neighbour closest to the coast; among ties,
+        // a deterministic hash of the cell index picks one so parallel
+        // rivers on flat distance plateaus do not all merge.
+        let mut downstream = vec![None; nlon * nlat];
+        let mut ddist = vec![0.0; nlon * nlat];
+        for k in 0..nlon * nlat {
+            if !is_land[k] {
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            let mut best_key = (u32::MAX, u64::MAX);
+            for n in neighbours(k) {
+                let tie = hash2(k as u64, n as u64);
+                if (dist[n], tie) < best_key {
+                    best_key = (dist[n], tie);
+                    best = Some(n);
+                }
+            }
+            let b = best.expect("land cell with no neighbours");
+            downstream[k] = Some(b as u32);
+            ddist[k] = cell_distance(grid, k, b);
+        }
+
+        let area = (0..nlon * nlat)
+            .map(|k| grid.cell_area(k % nlon, k / nlon))
+            .collect();
+        RiverModel {
+            nlon,
+            nlat,
+            is_land: is_land.to_vec(),
+            downstream,
+            dist: ddist,
+            area,
+        }
+    }
+
+    pub fn init_state(&self) -> RiverState {
+        RiverState {
+            volume: vec![0.0; self.nlon * self.nlat],
+        }
+    }
+
+    /// Advance one step.
+    ///
+    /// `runoff` is the local runoff per land cell \[m of water over the
+    /// step\]. Returns the freshwater delivered to each *sea* cell of the
+    /// atmosphere grid \[kg m⁻² s⁻¹\] (the coupler regrids it to the
+    /// ocean) — the river mouths of the paper.
+    pub fn step(&self, state: &mut RiverState, runoff: &[f64], dt: f64) -> Field2 {
+        let n = self.nlon * self.nlat;
+        assert_eq!(runoff.len(), n);
+        // Add local runoff volume.
+        for k in 0..n {
+            if self.is_land[k] && runoff[k] > 0.0 {
+                state.volume[k] += runoff[k] * self.area[k];
+            }
+        }
+        // F = V·u/d, capped so a cell cannot export more than it holds.
+        let mut outflow = vec![0.0; n];
+        for k in 0..n {
+            if self.is_land[k] {
+                let f = state.volume[k] * FLOW_VELOCITY / self.dist[k].max(1.0);
+                outflow[k] = (f * dt).min(state.volume[k]);
+            }
+        }
+        let mut mouths = Field2::zeros(self.nlon, self.nlat);
+        for k in 0..n {
+            if !self.is_land[k] || outflow[k] == 0.0 {
+                continue;
+            }
+            state.volume[k] -= outflow[k];
+            let d = self.downstream[k].unwrap() as usize;
+            if self.is_land[d] {
+                state.volume[d] += outflow[k];
+            } else {
+                // River mouth: convert m³ over the step into kg m⁻² s⁻¹
+                // on the receiving sea cell.
+                let flux = outflow[k] * 1000.0 / (self.area[d] * dt);
+                mouths[(d % self.nlon, d / self.nlon)] += flux;
+            }
+        }
+        mouths
+    }
+
+    /// Total river water in storage \[m³\].
+    pub fn total_storage(&self, state: &RiverState) -> f64 {
+        state.volume.iter().sum()
+    }
+
+    /// Number of hops from cell `k` to the sea (for tests/diagnostics);
+    /// `None` if a cycle is detected.
+    pub fn hops_to_sea(&self, mut k: usize) -> Option<usize> {
+        let mut hops = 0;
+        while self.is_land[k] {
+            k = self.downstream[k]? as usize;
+            hops += 1;
+            if hops > self.nlon * self.nlat {
+                return None;
+            }
+        }
+        Some(hops)
+    }
+}
+
+/// Great-circle distance between the centres of two atmosphere cells \[m\].
+fn cell_distance(grid: &AtmGrid, a: usize, b: usize) -> f64 {
+    let (ia, ja) = (a % grid.nlon, a / grid.nlon);
+    let (ib, jb) = (b % grid.nlon, b / grid.nlon);
+    let (lo1, la1) = (grid.lons[ia], grid.lats[ja]);
+    let (lo2, la2) = (grid.lons[ib], grid.lats[jb]);
+    let c = la1.sin() * la2.sin() + la1.cos() * la2.cos() * (lo1 - lo2).cos();
+    EARTH_RADIUS * c.clamp(-1.0, 1.0).acos()
+}
+
+#[inline]
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut x = a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xC2B2AE3D27D4EB4F);
+    x ^= x >> 31;
+    x = x.wrapping_mul(0xD6E8FEB86659FD93);
+    x ^ (x >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foam_grid::World;
+
+    fn setup() -> (AtmGrid, RiverModel) {
+        let grid = AtmGrid::new(24, 16);
+        let world = World::earthlike();
+        let mask = world.atm_land_mask(&grid);
+        let model = RiverModel::build(&grid, &mask);
+        (grid, model)
+    }
+
+    #[test]
+    fn every_land_cell_drains_to_the_sea() {
+        let (_g, model) = setup();
+        for k in 0..model.is_land.len() {
+            if model.is_land[k] {
+                let hops = model.hops_to_sea(k);
+                assert!(hops.is_some(), "cycle or sink at cell {k}");
+                assert!(hops.unwrap() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn runoff_eventually_reaches_the_ocean_in_full() {
+        let (grid, model) = setup();
+        let mut state = model.init_state();
+        let n = grid.len();
+        // One burst of 1 cm runoff on every land cell.
+        let runoff: Vec<f64> = (0..n)
+            .map(|k| if model.is_land[k] { 0.01 } else { 0.0 })
+            .collect();
+        let zero = vec![0.0; n];
+        let dt = 86_400.0;
+        let injected: f64 = (0..n)
+            .filter(|&k| model.is_land[k])
+            .map(|k| 0.01 * grid.cell_area(k % grid.nlon, k / grid.nlon))
+            .sum();
+        let mut delivered = 0.0;
+        let mouths = model.step(&mut state, &runoff, dt);
+        delivered += mouth_volume(&grid, &mouths, dt);
+        for _ in 0..2000 {
+            let mouths = model.step(&mut state, &zero, dt);
+            delivered += mouth_volume(&grid, &mouths, dt);
+            if model.total_storage(&state) < 1e-6 * injected {
+                break;
+            }
+        }
+        assert!(
+            (delivered / injected - 1.0).abs() < 1e-6,
+            "delivered {delivered} of {injected} (left {})",
+            model.total_storage(&state)
+        );
+    }
+
+    fn mouth_volume(grid: &AtmGrid, mouths: &Field2, dt: f64) -> f64 {
+        let mut v = 0.0;
+        for j in 0..grid.nlat {
+            for i in 0..grid.nlon {
+                v += mouths.get(i, j) * grid.cell_area(i, j) * dt / 1000.0;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn water_in_transit_is_conserved_each_step() {
+        let (grid, model) = setup();
+        let mut state = model.init_state();
+        let n = grid.len();
+        let runoff: Vec<f64> = (0..n)
+            .map(|k| if model.is_land[k] { 2.0e-4 } else { 0.0 })
+            .collect();
+        let dt = 21_600.0;
+        for _ in 0..50 {
+            let before = model.total_storage(&state);
+            let injected: f64 = (0..n)
+                .filter(|&k| model.is_land[k])
+                .map(|k| 2.0e-4 * grid.cell_area(k % grid.nlon, k / grid.nlon))
+                .sum();
+            let mouths = model.step(&mut state, &runoff, dt);
+            let after = model.total_storage(&state);
+            let out = mouth_volume(&grid, &mouths, dt);
+            let residual = before + injected - out - after;
+            assert!(
+                residual.abs() < 1e-6 * injected.max(1.0),
+                "residual {residual}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_is_finite_and_velocity_sized() {
+        // A cell ~2000 km inland at 0.35 m/s should take weeks, not one
+        // step and not forever: check the farthest cell's transit time.
+        let (_grid, model) = setup();
+        let max_hops = (0..model.is_land.len())
+            .filter(|&k| model.is_land[k])
+            .filter_map(|k| model.hops_to_sea(k))
+            .max()
+            .unwrap();
+        assert!(max_hops >= 3, "continents should have interiors");
+        assert!(max_hops < 40, "drainage paths unreasonably long");
+    }
+
+    #[test]
+    fn mouths_are_coastal_sea_cells() {
+        let (grid, model) = setup();
+        let mut state = model.init_state();
+        let n = grid.len();
+        let runoff: Vec<f64> = (0..n)
+            .map(|k| if model.is_land[k] { 0.01 } else { 0.0 })
+            .collect();
+        let zero = vec![0.0; n];
+        let mut mouths_acc = Field2::zeros(grid.nlon, grid.nlat);
+        let mouths = model.step(&mut state, &runoff, 86_400.0);
+        mouths_acc.axpy(1.0, &mouths);
+        for _ in 0..100 {
+            let m = model.step(&mut state, &zero, 86_400.0);
+            mouths_acc.axpy(1.0, &m);
+        }
+        let mut n_mouths = 0;
+        for j in 0..grid.nlat {
+            for i in 0..grid.nlon {
+                if mouths_acc.get(i, j) > 0.0 {
+                    let k = grid.idx(i, j);
+                    assert!(!model.is_land[k], "mouth on land at ({i},{j})");
+                    n_mouths += 1;
+                }
+            }
+        }
+        assert!(n_mouths > 5, "expected multiple river mouths, got {n_mouths}");
+    }
+}

@@ -1,0 +1,224 @@
+//! The 4-layer soil heat-diffusion column (CCM2's land surface, used by
+//! FOAM's coupler), with sea ice as a fifth "soil" configuration.
+
+/// Thermal and radiative properties of a soil class.
+#[derive(Debug, Clone, Copy)]
+pub struct SoilProperties {
+    /// Volumetric heat capacity \[J m⁻³ K⁻¹\].
+    pub heat_capacity: f64,
+    /// Thermal conductivity \[W m⁻¹ K⁻¹\].
+    pub conductivity: f64,
+    /// Shortwave albedo (effective single band; CCM2 carries two bands —
+    /// visible and near-IR — whose mean this represents).
+    pub albedo: f64,
+    /// Roughness length \[m\].
+    pub roughness: f64,
+}
+
+/// Properties for the five land classes (desert, grassland, forest,
+/// tundra, land ice) in that order — mirrors
+/// `foam_grid::world::SoilType`.
+pub const SOIL_CLASSES: [SoilProperties; 5] = [
+    // Desert
+    SoilProperties {
+        heat_capacity: 1.2e6,
+        conductivity: 0.30,
+        albedo: 0.33,
+        roughness: 0.01,
+    },
+    // Grassland
+    SoilProperties {
+        heat_capacity: 2.0e6,
+        conductivity: 0.80,
+        albedo: 0.20,
+        roughness: 0.05,
+    },
+    // Forest
+    SoilProperties {
+        heat_capacity: 2.5e6,
+        conductivity: 1.00,
+        albedo: 0.13,
+        roughness: 1.0,
+    },
+    // Tundra
+    SoilProperties {
+        heat_capacity: 2.2e6,
+        conductivity: 0.60,
+        albedo: 0.25,
+        roughness: 0.03,
+    },
+    // Land ice
+    SoilProperties {
+        heat_capacity: 1.9e6,
+        conductivity: 2.2,
+        albedo: 0.70,
+        roughness: 5.0e-4,
+    },
+];
+
+/// Layer thicknesses \[m\], top to bottom.
+pub const SOIL_DZ: [f64; 4] = [0.05, 0.20, 0.60, 2.00];
+
+/// A 4-layer soil (or sea-ice) column.
+#[derive(Debug, Clone, Copy)]
+pub struct SoilColumn {
+    /// Layer temperatures \[K\], index 0 at the surface.
+    pub t: [f64; 4],
+    pub props: SoilProperties,
+}
+
+impl SoilColumn {
+    /// Start isothermal at `t0` \[K\].
+    pub fn new(props: SoilProperties, t0: f64) -> Self {
+        SoilColumn { t: [t0; 4], props }
+    }
+
+    /// Skin (radiating/flux) temperature \[K\].
+    #[inline]
+    pub fn skin(&self) -> f64 {
+        self.t[0]
+    }
+
+    /// Advance by `dt` with a prescribed net heat flux *into* the surface
+    /// \[W/m²\] and a zero-flux bottom boundary. Implicit (backward Euler)
+    /// — unconditionally stable for the 30-minute coupler step.
+    pub fn step(&mut self, net_flux: f64, dt: f64) {
+        let n = 4;
+        let cap = self.props.heat_capacity;
+        let k = self.props.conductivity;
+        // Interface conductances [W m⁻² K⁻¹].
+        let mut g = [0.0; 3];
+        for i in 0..3 {
+            g[i] = k / (0.5 * (SOIL_DZ[i] + SOIL_DZ[i + 1]));
+        }
+        // Tridiagonal backward Euler: C dz dT/dt = flux divergence.
+        let mut a = [0.0; 4];
+        let mut b = [0.0; 4];
+        let mut c = [0.0; 4];
+        let mut d = [0.0; 4];
+        for i in 0..n {
+            let cz = cap * SOIL_DZ[i];
+            let gu = if i > 0 { g[i - 1] } else { 0.0 };
+            let gd = if i < n - 1 { g[i] } else { 0.0 };
+            b[i] = cz / dt + gu + gd;
+            if i > 0 {
+                a[i] = -gu;
+            }
+            if i < n - 1 {
+                c[i] = -gd;
+            }
+            d[i] = cz / dt * self.t[i] + if i == 0 { net_flux } else { 0.0 };
+        }
+        // Thomas solve.
+        let mut cp = [0.0; 4];
+        let mut dp = [0.0; 4];
+        cp[0] = c[0] / b[0];
+        dp[0] = d[0] / b[0];
+        for i in 1..n {
+            let den = b[i] - a[i] * cp[i - 1];
+            cp[i] = c[i] / den;
+            dp[i] = (d[i] - a[i] * dp[i - 1]) / den;
+        }
+        self.t[n - 1] = dp[n - 1];
+        for i in (0..n - 1).rev() {
+            self.t[i] = dp[i] - cp[i] * self.t[i + 1];
+        }
+    }
+
+    /// Total heat content relative to 0 K \[J/m²\].
+    pub fn heat_content(&self) -> f64 {
+        (0..4)
+            .map(|i| self.props.heat_capacity * SOIL_DZ[i] * self.t[i])
+            .sum()
+    }
+}
+
+/// A sea-ice column: FOAM treats ice as another soil type with prescribed
+/// roughness and albedo; the ocean below clamps its base near freezing.
+pub fn ice_column(t0: f64) -> SoilColumn {
+    SoilColumn::new(
+        SoilProperties {
+            heat_capacity: 1.9e6,
+            conductivity: 2.2,
+            albedo: 0.60,
+            roughness: 5.0e-4,
+        },
+        t0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heating_warms_top_first() {
+        let mut col = SoilColumn::new(SOIL_CLASSES[1], 280.0);
+        col.step(300.0, 1800.0);
+        assert!(col.t[0] > 280.0);
+        assert!(col.t[0] > col.t[1]);
+        assert!(col.t[3] < 280.05, "deep layer responds too fast");
+    }
+
+    #[test]
+    fn energy_balance_matches_flux_input() {
+        let mut col = SoilColumn::new(SOIL_CLASSES[2], 285.0);
+        let h0 = col.heat_content();
+        let flux = 150.0;
+        let dt = 1800.0;
+        for _ in 0..10 {
+            col.step(flux, dt);
+        }
+        let h1 = col.heat_content();
+        let expected = flux * dt * 10.0;
+        assert!(
+            ((h1 - h0) / expected - 1.0).abs() < 1e-9,
+            "gained {} vs input {}",
+            h1 - h0,
+            expected
+        );
+    }
+
+    #[test]
+    fn zero_flux_preserves_equilibrium() {
+        let mut col = SoilColumn::new(SOIL_CLASSES[0], 290.0);
+        col.step(0.0, 86_400.0);
+        for t in col.t {
+            assert!((t - 290.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn large_dt_is_stable() {
+        let mut col = SoilColumn::new(SOIL_CLASSES[3], 260.0);
+        col.step(-200.0, 86_400.0); // a full day of strong cooling
+        assert!(col.t.iter().all(|t| t.is_finite() && *t > 200.0));
+        // Monotone profile under steady cooling, bounded drop.
+        assert!(col.t[0] < col.t[3]);
+        assert!(col.t[0] > 260.0 - 60.0);
+    }
+
+    #[test]
+    fn desert_skin_swings_more_than_forest() {
+        let mut desert = SoilColumn::new(SOIL_CLASSES[0], 290.0);
+        let mut forest = SoilColumn::new(SOIL_CLASSES[2], 290.0);
+        desert.step(400.0, 1800.0);
+        forest.step(400.0, 1800.0);
+        assert!(
+            desert.skin() > forest.skin(),
+            "desert {} vs forest {}",
+            desert.skin(),
+            forest.skin()
+        );
+    }
+
+    #[test]
+    fn soil_classes_cover_expected_albedo_ordering() {
+        // Ice brightest, forest darkest.
+        let albedos: Vec<f64> = SOIL_CLASSES.iter().map(|p| p.albedo).collect();
+        assert!(albedos[4] > albedos[0]); // ice > desert
+        assert!(albedos[2] < albedos[1]); // forest < grassland
+        let ice = ice_column(260.0);
+        assert!(ice.props.albedo >= 0.5);
+    }
+}

@@ -1,0 +1,741 @@
+//! The communicator: tagged typed point-to-point messaging, collectives,
+//! and communicator splitting, in the style of MPI.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::trace::{RankTrace, Tracer};
+
+/// Reduction operators supported by [`Comm::reduce`] and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// A message in flight. `src` is the *world* rank of the sender; matching
+/// is on `(ctx, src, tag)`.
+pub(crate) struct Envelope {
+    ctx: u32,
+    src: usize,
+    tag: u32,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Internal tags live above this bound; user tags must stay below it.
+const INTERNAL_TAG: u32 = 0x8000_0000;
+const TAG_BARRIER_UP: u32 = INTERNAL_TAG;
+const TAG_BARRIER_DOWN: u32 = INTERNAL_TAG + 1;
+const TAG_BCAST: u32 = INTERNAL_TAG + 2;
+const TAG_REDUCE: u32 = INTERNAL_TAG + 3;
+const TAG_GATHER: u32 = INTERNAL_TAG + 4;
+const TAG_SCATTER: u32 = INTERNAL_TAG + 5;
+const TAG_ALLTOALL: u32 = INTERNAL_TAG + 6;
+const TAG_SPLIT: u32 = INTERNAL_TAG + 7;
+
+/// Per-thread endpoint shared by every communicator that lives on this
+/// rank: the inbound channel, the stash of out-of-order messages, the
+/// tracer, and the context-id allocator.
+pub(crate) struct Endpoint {
+    rx: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+    pub(crate) tracer: Tracer,
+    next_ctx: u32,
+}
+
+/// A communicator over a group of ranks.
+///
+/// Cheap to clone within a rank (shared endpoint). `Comm` is deliberately
+/// *not* `Send`: like an `MPI_Comm`, it belongs to the rank that holds it.
+pub struct Comm {
+    endpoint: Rc<RefCell<Endpoint>>,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    /// Context id distinguishing this communicator's traffic.
+    ctx: u32,
+    /// Map from communicator rank to world rank.
+    group: Rc<Vec<usize>>,
+    /// This process's rank within the group.
+    rank: usize,
+}
+
+impl Comm {
+    pub(crate) fn new_world(
+        world_rank: usize,
+        rx: Receiver<Envelope>,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        epoch: Instant,
+        tracing: bool,
+    ) -> Self {
+        let n = senders.len();
+        let mut tracer = Tracer::new(world_rank, epoch);
+        tracer.set_enabled(tracing);
+        Comm {
+            endpoint: Rc::new(RefCell::new(Endpoint {
+                rx,
+                pending: VecDeque::new(),
+                tracer,
+                next_ctx: 1,
+            })),
+            senders,
+            ctx: 0,
+            group: Rc::new((0..n).collect()),
+            rank: world_rank,
+        }
+    }
+
+    /// Rank of this process within this communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// World rank of this process.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.group[self.rank]
+    }
+
+    /// Translate a rank of this communicator into a world rank.
+    #[inline]
+    pub fn translate(&self, rank: usize) -> usize {
+        self.group[rank]
+    }
+
+    /// Seconds since the universe epoch.
+    pub fn now(&self) -> f64 {
+        self.endpoint.borrow().tracer.now()
+    }
+
+    /// Enable or disable activity tracing on this rank.
+    pub fn set_tracing(&self, on: bool) {
+        self.endpoint.borrow_mut().tracer.set_enabled(on);
+    }
+
+    /// Run `f` inside a named work region (for Figure 2-style traces).
+    /// Time spent blocked in `recv`/collectives inside the region is
+    /// recorded as wait, not work.
+    pub fn region<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
+        self.endpoint.borrow_mut().tracer.open_region(label);
+        let out = f();
+        self.endpoint.borrow_mut().tracer.close_region();
+        out
+    }
+
+    /// Extract the trace recorded so far, resetting the recorder.
+    pub fn take_trace(&self) -> RankTrace {
+        self.endpoint.borrow_mut().tracer.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send `value` to `dst` (a rank of this communicator) with `tag`.
+    /// Non-blocking (buffered): like MPI's eager protocol.
+    ///
+    /// # Panics
+    /// Panics if `tag` is in the internal range (>= 2^31) or `dst` is out
+    /// of range.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u32, value: T) {
+        assert!(tag < INTERNAL_TAG, "user tags must be < 2^31");
+        self.send_internal(dst, tag, value);
+    }
+
+    fn send_internal<T: Send + 'static>(&self, dst: usize, tag: u32, value: T) {
+        let dst_world = self.group[dst];
+        let env = Envelope {
+            ctx: self.ctx,
+            src: self.world_rank(),
+            tag,
+            payload: Box::new(value),
+        };
+        self.senders[dst_world]
+            .send(env)
+            .expect("peer rank endpoint dropped while sending");
+    }
+
+    /// Receive a `T` from rank `src` of this communicator with `tag`,
+    /// blocking until it arrives. Messages between the same (ctx, src,
+    /// tag) triple are delivered in send order.
+    ///
+    /// # Panics
+    /// Panics if the matched message's payload is not a `T`.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u32) -> T {
+        assert!(tag < INTERNAL_TAG, "user tags must be < 2^31");
+        self.recv_internal(src, tag)
+    }
+
+    fn recv_internal<T: Send + 'static>(&self, src: usize, tag: u32) -> T {
+        let src_world = self.group[src];
+        let mut ep = self.endpoint.borrow_mut();
+
+        // Check the stash first.
+        if let Some(pos) = ep
+            .pending
+            .iter()
+            .position(|e| e.ctx == self.ctx && e.src == src_world && e.tag == tag)
+        {
+            let env = ep.pending.remove(pos).unwrap();
+            return downcast(env);
+        }
+
+        // Drain the channel without blocking.
+        loop {
+            match ep.rx.try_recv() {
+                Ok(env) => {
+                    if env.ctx == self.ctx && env.src == src_world && env.tag == tag {
+                        return downcast(env);
+                    }
+                    ep.pending.push_back(env);
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Block; account the blocked interval as wait time.
+        let t0 = ep.tracer.now();
+        loop {
+            let env = ep
+                .rx
+                .recv()
+                .expect("all senders dropped while this rank is still receiving");
+            if env.ctx == self.ctx && env.src == src_world && env.tag == tag {
+                let t1 = ep.tracer.now();
+                ep.tracer.record_wait(t0, t1);
+                return downcast(env);
+            }
+            ep.pending.push_back(env);
+        }
+    }
+
+    /// Non-blocking probe: is a message from `src` with `tag` available?
+    pub fn probe(&self, src: usize, tag: u32) -> bool {
+        let src_world = self.group[src];
+        let mut ep = self.endpoint.borrow_mut();
+        while let Ok(env) = ep.rx.try_recv() {
+            ep.pending.push_back(env);
+        }
+        ep.pending
+            .iter()
+            .any(|e| e.ctx == self.ctx && e.src == src_world && e.tag == tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (binomial trees; all ranks of the comm must call)
+    // ------------------------------------------------------------------
+
+    /// Block until every rank of this communicator has entered.
+    /// Implemented as a binomial-tree fan-in to rank 0 followed by a
+    /// tree broadcast release (O(log p) rounds).
+    pub fn barrier(&self) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        // Fan-in to rank 0.
+        let r = self.rank;
+        let mut mask = 1usize;
+        while mask < p {
+            if r & mask != 0 {
+                self.send_internal(r - mask, TAG_BARRIER_UP, ());
+                break;
+            }
+            if r + mask < p {
+                let () = self.recv_internal(r + mask, TAG_BARRIER_UP);
+            }
+            mask <<= 1;
+        }
+        // Release via the bcast tree.
+        let _ = TAG_BARRIER_DOWN;
+        let v = if r == 0 { Some(()) } else { None };
+        self.bcast(0, v);
+    }
+
+    /// Broadcast from `root`. `value` must be `Some` on the root and is
+    /// ignored elsewhere; every rank returns the root's value.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        let p = self.size();
+        let vr = (self.rank + p - root) % p; // virtual rank, root -> 0
+        let mut current: Option<T> = if vr == 0 {
+            Some(value.expect("bcast root must supply a value"))
+        } else {
+            None
+        };
+        // Receive from virtual parent.
+        if vr != 0 {
+            let mut mask = 1usize;
+            while mask < p {
+                if vr & mask != 0 {
+                    let parent = ((vr - mask) + root) % p;
+                    current = Some(self.recv_internal(parent, TAG_BCAST));
+                    break;
+                }
+                mask <<= 1;
+            }
+        }
+        // Forward to virtual children.
+        let v = current.expect("bcast tree delivered no value");
+        let mut mask = 1usize;
+        while mask < p && vr & mask == 0 {
+            mask <<= 1;
+        }
+        let mut child = mask >> 1;
+        while child > 0 {
+            if vr + child < p {
+                let dst = (vr + child + root) % p;
+                self.send_internal(dst, TAG_BCAST, v.clone());
+            }
+            child >>= 1;
+        }
+        v
+    }
+
+    /// Element-wise reduction of `data` to `root`. Returns `Some(result)`
+    /// on the root and `None` elsewhere. All ranks must pass slices of the
+    /// same length.
+    pub fn reduce(&self, data: &[f64], op: ReduceOp, root: usize) -> Option<Vec<f64>> {
+        let p = self.size();
+        let vr = (self.rank + p - root) % p;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                let parent = ((vr - mask) + root) % p;
+                self.send_internal(parent, TAG_REDUCE, acc);
+                return None;
+            } else if vr + mask < p {
+                let src = (vr + mask + root) % p;
+                let other: Vec<f64> = self.recv_internal(src, TAG_REDUCE);
+                assert_eq!(
+                    other.len(),
+                    acc.len(),
+                    "reduce called with mismatched lengths"
+                );
+                for (a, b) in acc.iter_mut().zip(other.iter()) {
+                    *a = op.apply(*a, *b);
+                }
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Reduction delivered to every rank.
+    pub fn allreduce(&self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        let r = self.reduce(data, op, 0);
+        self.bcast(0, r)
+    }
+
+    /// Scalar convenience wrapper over [`Comm::allreduce`].
+    pub fn allreduce_scalar(&self, x: f64, op: ReduceOp) -> f64 {
+        self.allreduce(&[x], op)[0]
+    }
+
+    /// Gather one `T` from each rank to `root`, in rank order.
+    pub fn gather<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for r in 0..self.size() {
+                if r != root {
+                    out[r] = Some(self.recv_internal(r, TAG_GATHER));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send_internal(root, TAG_GATHER, value);
+            None
+        }
+    }
+
+    /// Gather delivered to every rank.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let g = self.gather(value, 0);
+        self.bcast(0, g)
+    }
+
+    /// Scatter one `T` to each rank from `root` (which supplies
+    /// `Some(vec)` of length `size()`).
+    pub fn scatter<T: Send + 'static>(&self, values: Option<Vec<T>>, root: usize) -> T {
+        if self.rank == root {
+            let values = values.expect("scatter root must supply values");
+            assert_eq!(values.len(), self.size(), "scatter length != comm size");
+            let mut mine: Option<T> = None;
+            for (r, v) in values.into_iter().enumerate() {
+                if r == root {
+                    mine = Some(v);
+                } else {
+                    self.send_internal(r, TAG_SCATTER, v);
+                }
+            }
+            mine.unwrap()
+        } else {
+            self.recv_internal(root, TAG_SCATTER)
+        }
+    }
+
+    /// Variable all-to-all: rank `i` sends `sends[j]` to rank `j`; returns
+    /// the vector received from each rank, in rank order.
+    pub fn alltoallv(&self, sends: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        assert_eq!(sends.len(), self.size(), "alltoallv length != comm size");
+        for (j, buf) in sends.into_iter().enumerate() {
+            if j == self.rank {
+                // Deliver to self without touching the channel below.
+                self.send_internal(j, TAG_ALLTOALL, buf);
+            } else {
+                self.send_internal(j, TAG_ALLTOALL, buf);
+            }
+        }
+        (0..self.size())
+            .map(|j| self.recv_internal::<Vec<f64>>(j, TAG_ALLTOALL))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Splitting
+    // ------------------------------------------------------------------
+
+    /// Partition this communicator by `color` (like `MPI_Comm_split`).
+    /// Ranks passing the same non-negative color form a new communicator
+    /// ordered by `(key, parent rank)`; a negative color returns `None`.
+    /// All ranks of this communicator must call.
+    pub fn split(&self, color: i64, key: i64) -> Option<Comm> {
+        // Agree on a fresh context id: max of everyone's allocator, +1.
+        let my_next = self.endpoint.borrow().next_ctx;
+        let new_ctx = self.allreduce_scalar(my_next as f64, ReduceOp::Max) as u32;
+        self.endpoint.borrow_mut().next_ctx = new_ctx + 1;
+
+        // Share (color, key, world_rank) with everyone.
+        let entries: Vec<(i64, i64, usize)> = {
+            let mine = (color, key, self.world_rank());
+            // allgather over parent ctx
+            let g = self.gather(mine, 0);
+            self.bcast(0, g)
+        };
+        // Explicit sync point so no one reuses TAG_SPLIT traffic across
+        // overlapping splits on the same parent.
+        let _ = TAG_SPLIT;
+
+        if color < 0 {
+            return None;
+        }
+        let mut members: Vec<(i64, usize, usize)> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _, _))| *c == color)
+            .map(|(parent_rank, (_, k, w))| (*k, parent_rank, *w))
+            .collect();
+        members.sort();
+        let group: Vec<usize> = members.iter().map(|(_, _, w)| *w).collect();
+        let my_world = self.world_rank();
+        let rank = group
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("split member missing from its own group");
+        Some(Comm {
+            endpoint: Rc::clone(&self.endpoint),
+            senders: Arc::clone(&self.senders),
+            ctx: new_ctx,
+            group: Rc::new(group),
+            rank,
+        })
+    }
+
+    /// Duplicate this communicator with a fresh context id (like
+    /// `MPI_Comm_dup`): same group, isolated traffic.
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.rank as i64)
+            .expect("dup split cannot fail")
+    }
+}
+
+fn downcast<T: Send + 'static>(env: Envelope) -> T {
+    *env.payload.downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "message type mismatch: received payload is not a {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+            } else {
+                let v: Vec<f64> = comm.recv(0, 7);
+                assert_eq!(v, vec![1.0, 2.0, 3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10i32);
+                comm.send(1, 2, 20i32);
+            } else {
+                // Receive tag 2 first even though tag 1 was sent first.
+                let b: i32 = comm.recv(0, 2);
+                let a: i32 = comm.recv(0, 1);
+                assert_eq!((a, b), (10, 20));
+            }
+        });
+    }
+
+    #[test]
+    fn fifo_order_within_a_tag() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100i64 {
+                    comm.send(1, 3, i);
+                }
+            } else {
+                for i in 0..100i64 {
+                    let got: i64 = comm.recv(0, 3);
+                    assert_eq!(got, i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1.5f64);
+            } else {
+                let _: i32 = comm.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_all_sizes() {
+        for p in 1..=9 {
+            Universe::run(p, |comm| {
+                for _ in 0..5 {
+                    comm.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for p in 1..=6 {
+            Universe::run(p, move |comm| {
+                for root in 0..p {
+                    let v = if comm.rank() == root {
+                        Some(vec![root as f64; 3])
+                    } else {
+                        None
+                    };
+                    let got = comm.bcast(root, v);
+                    assert_eq!(got, vec![root as f64; 3]);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_sum_min_max() {
+        Universe::run(7, |comm| {
+            let x = comm.rank() as f64;
+            let s = comm.allreduce_scalar(x, ReduceOp::Sum);
+            let mn = comm.allreduce_scalar(x, ReduceOp::Min);
+            let mx = comm.allreduce_scalar(x, ReduceOp::Max);
+            assert_eq!(s, 21.0);
+            assert_eq!(mn, 0.0);
+            assert_eq!(mx, 6.0);
+        });
+    }
+
+    #[test]
+    fn reduce_vector_to_nonzero_root() {
+        Universe::run(5, |comm| {
+            let data = vec![comm.rank() as f64, 1.0];
+            let out = comm.reduce(&data, ReduceOp::Sum, 3);
+            if comm.rank() == 3 {
+                assert_eq!(out.unwrap(), vec![10.0, 5.0]);
+            } else {
+                assert!(out.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn gather_and_allgather_preserve_rank_order() {
+        Universe::run(6, |comm| {
+            let all = comm.allgather(comm.rank() * 2);
+            assert_eq!(all, vec![0, 2, 4, 6, 8, 10]);
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_in_rank_order() {
+        Universe::run(4, |comm| {
+            let vals = if comm.rank() == 0 {
+                Some(vec![10, 11, 12, 13])
+            } else {
+                None
+            };
+            let mine = comm.scatter(vals, 0);
+            assert_eq!(mine, 10 + comm.rank());
+        });
+    }
+
+    #[test]
+    fn alltoallv_exchanges_all_pairs() {
+        Universe::run(4, |comm| {
+            let sends: Vec<Vec<f64>> = (0..4)
+                .map(|j| vec![(comm.rank() * 10 + j) as f64])
+                .collect();
+            let recvd = comm.alltoallv(sends);
+            for (j, buf) in recvd.iter().enumerate() {
+                assert_eq!(buf, &vec![(j * 10 + comm.rank()) as f64]);
+            }
+        });
+    }
+
+    #[test]
+    fn split_into_even_odd_groups() {
+        Universe::run(6, |comm| {
+            let color = (comm.rank() % 2) as i64;
+            let sub = comm.split(color, comm.rank() as i64).unwrap();
+            assert_eq!(sub.size(), 3);
+            // Sum of ranks within each sub-comm is over world ranks with
+            // the same parity.
+            let s = sub.allreduce_scalar(comm.rank() as f64, ReduceOp::Sum);
+            if color == 0 {
+                assert_eq!(s, 0.0 + 2.0 + 4.0);
+            } else {
+                assert_eq!(s, 1.0 + 3.0 + 5.0);
+            }
+        });
+    }
+
+    #[test]
+    fn split_with_negative_color_excludes() {
+        Universe::run(4, |comm| {
+            let color = if comm.rank() == 0 { -1 } else { 0 };
+            let sub = comm.split(color, 0);
+            if comm.rank() == 0 {
+                assert!(sub.is_none());
+            } else {
+                let sub = sub.unwrap();
+                assert_eq!(sub.size(), 3);
+                sub.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn sub_comm_traffic_is_isolated_from_parent() {
+        Universe::run(4, |comm| {
+            let sub = comm.split(0, comm.rank() as i64).unwrap();
+            if comm.rank() == 0 {
+                comm.send(1, 5, 111i32);
+                sub.send(1, 5, 222i32);
+            } else if comm.rank() == 1 {
+                // Receive in the opposite order: ctx separation must hold.
+                let from_sub: i32 = sub.recv(0, 5);
+                let from_parent: i32 = comm.recv(0, 5);
+                assert_eq!(from_sub, 222);
+                assert_eq!(from_parent, 111);
+            }
+        });
+    }
+
+    #[test]
+    fn dup_isolates_traffic() {
+        Universe::run(2, |comm| {
+            let d = comm.dup();
+            if comm.rank() == 0 {
+                d.send(1, 9, 1u8);
+                comm.send(1, 9, 2u8);
+            } else {
+                let b: u8 = comm.recv(0, 9);
+                let a: u8 = d.recv(0, 9);
+                assert_eq!((a, b), (1, 2));
+            }
+        });
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        Universe::run(4, |comm| {
+            // Reverse order via descending keys.
+            let sub = comm.split(0, -(comm.rank() as i64)).unwrap();
+            assert_eq!(sub.rank(), 3 - comm.rank());
+            assert_eq!(sub.translate(sub.rank()), comm.rank());
+        });
+    }
+
+    #[test]
+    fn probe_sees_pending_message() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 4, 5i32);
+                comm.barrier();
+            } else {
+                comm.barrier();
+                assert!(comm.probe(0, 4));
+                assert!(!comm.probe(0, 99));
+                let _: i32 = comm.recv(0, 4);
+            }
+        });
+    }
+
+    #[test]
+    fn wait_time_is_recorded_when_tracing() {
+        let out = Universe::run_traced(2, true, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                comm.send(1, 0, ());
+            } else {
+                comm.region("work", || {
+                    let () = comm.recv(0, 0);
+                });
+            }
+        });
+        let t1 = &out.traces[1];
+        assert!(
+            t1.wait_time() > 0.01,
+            "expected blocked recv to record wait, got {:?}",
+            t1
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! `foam-mpi` — a message-passing runtime standing in for MPI.
+//!
+//! The SC'97 FOAM paper runs its coupled climate model as an SPMD program
+//! over MPI on IBM SP distributed-memory nodes. Rust has no mature MPI
+//! bindings, so this crate provides the same programming model with one OS
+//! thread per rank and channel-based communication:
+//!
+//! * tagged, typed point-to-point [`Comm::send`] / [`Comm::recv`] with
+//!   MPI-style (source, tag) matching and out-of-order message stashing,
+//! * the collectives FOAM needs: [`Comm::barrier`], [`Comm::bcast`],
+//!   [`Comm::reduce`], [`Comm::allreduce`], [`Comm::gather`],
+//!   [`Comm::allgather`], [`Comm::alltoallv`], [`Comm::scatter`],
+//! * communicator splitting ([`Comm::split`]) so the atmosphere, ocean and
+//!   coupler can each own a sub-communicator exactly as in the paper,
+//! * built-in activity tracing ([`Comm::region`]) so the per-processor time
+//!   allocation of the paper's Figure 2 can be regenerated: time blocked in
+//!   `recv`/collectives is recorded as *wait* (idle) time.
+//!
+//! The communication *pattern* of the original — global sums for the
+//! spectral transform, gather/scatter at the coupler boundary, idle time
+//! from load imbalance — is preserved; only the transport differs.
+//!
+//! # Example
+//!
+//! ```
+//! use foam_mpi::Universe;
+//!
+//! let out = Universe::run(4, |comm| {
+//!     // Each rank contributes its rank id; everyone learns the sum.
+//!     let total = comm.allreduce_scalar(comm.rank() as f64, foam_mpi::ReduceOp::Sum);
+//!     total as usize
+//! });
+//! assert_eq!(out.results, vec![6, 6, 6, 6]);
+//! ```
+
+mod comm;
+mod trace;
+mod universe;
+
+pub use comm::{Comm, ReduceOp};
+pub use trace::{RankTrace, Segment, SegmentKind, TraceSummary};
+pub use universe::{RunOutput, Universe};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_universe_runs() {
+        let out = Universe::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            42
+        });
+        assert_eq!(out.results, vec![42]);
+    }
+
+    #[test]
+    fn ranks_are_distinct_and_complete() {
+        let out = Universe::run(8, |comm| comm.rank());
+        let mut got = out.results.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let out = Universe::run(5, |comm| comm.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Launching an SPMD "job": one OS thread per rank, like `mpirun -np N`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::trace::RankTrace;
+
+/// Results of a [`Universe::run`]: per-rank closure outputs and activity
+/// traces, both indexed by rank.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    pub results: Vec<R>,
+    pub traces: Vec<RankTrace>,
+}
+
+/// Entry point of the message-passing runtime.
+pub struct Universe;
+
+/// Stack size per rank thread. The spectral atmosphere keeps its large
+/// arrays on the heap, but physics drivers recurse over columns; 16 MiB
+/// gives ample headroom (matching common MPI defaults).
+const RANK_STACK: usize = 16 * 1024 * 1024;
+
+impl Universe {
+    /// Run `f` on `n` ranks and wait for all of them. Panics in any rank
+    /// propagate (the whole job aborts, like an MPI error).
+    pub fn run<R, F>(n: usize, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_traced(n, false, f)
+    }
+
+    /// Like [`Universe::run`] but with activity tracing enabled from the
+    /// start on every rank (used to regenerate the paper's Figure 2).
+    pub fn run_traced<R, F>(n: usize, tracing: bool, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        assert!(n > 0, "a universe needs at least one rank");
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let senders = Arc::new(txs);
+        let epoch = Instant::now();
+
+        let results: Vec<Mutex<Option<(R, RankTrace)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, rx) in rxs.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let f = &f;
+                let slot = &results[rank];
+                let handle = std::thread::Builder::new()
+                    .name(format!("foam-rank-{rank}"))
+                    .stack_size(RANK_STACK)
+                    .spawn_scoped(s, move || {
+                        let comm = Comm::new_world(rank, rx, senders, epoch, tracing);
+                        let out = f(&comm);
+                        let trace = comm.take_trace();
+                        *slot.lock() = Some((out, trace));
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for h in handles {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        });
+
+        let mut outs = Vec::with_capacity(n);
+        let mut traces = Vec::with_capacity(n);
+        for slot in results {
+            let (r, t) = slot
+                .into_inner()
+                .expect("rank finished without storing a result");
+            outs.push(r);
+            traces.push(t);
+        }
+        RunOutput {
+            results: outs,
+            traces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_come_back_per_rank() {
+        let out = Universe::run_traced(3, true, |comm| {
+            comm.region("alpha", || std::thread::sleep(std::time::Duration::from_millis(5)));
+            comm.rank()
+        });
+        assert_eq!(out.traces.len(), 3);
+        for (i, t) in out.traces.iter().enumerate() {
+            assert_eq!(t.rank, i);
+            assert!(t.work_time("alpha") > 0.0);
+        }
+    }
+
+    #[test]
+    fn untraced_run_has_empty_traces() {
+        let out = Universe::run(2, |comm| {
+            comm.region("alpha", || {});
+        });
+        assert!(out.traces.iter().all(|t| t.segments.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn rank_panic_propagates() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use crate::ReduceOp;
+
+    #[test]
+    fn many_interleaved_collectives_and_pt2pt() {
+        // A stress pattern mixing rings of sends with collectives, the
+        // kind of traffic one coupled step generates.
+        let p = 5;
+        Universe::run(p, move |comm| {
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let mut acc = comm.rank() as f64;
+            for round in 0..50u32 {
+                comm.send(right, round, acc);
+                let from_left: f64 = comm.recv(left, round);
+                acc += from_left;
+                if round % 7 == 0 {
+                    let total = comm.allreduce_scalar(acc, ReduceOp::Sum);
+                    assert!(total.is_finite());
+                }
+                if round % 11 == 0 {
+                    comm.barrier();
+                }
+            }
+            // Everyone survived with a finite accumulator.
+            assert!(acc.is_finite());
+        });
+    }
+
+    #[test]
+    fn nested_splits_stay_isolated() {
+        Universe::run(6, |comm| {
+            let half = comm.split((comm.rank() / 3) as i64, comm.rank() as i64).unwrap();
+            let pair = half.split((half.rank() % 2) as i64, 0).unwrap();
+            // Sum ranks at each level; sizes must be consistent.
+            assert_eq!(half.size(), 3);
+            assert!(pair.size() == 1 || pair.size() == 2);
+            let s = half.allreduce_scalar(1.0, ReduceOp::Sum);
+            assert_eq!(s, 3.0);
+            let s2 = pair.allreduce_scalar(1.0, ReduceOp::Sum);
+            assert_eq!(s2, pair.size() as f64);
+        });
+    }
+
+    #[test]
+    fn large_payloads_round_trip() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let big: Vec<f64> = (0..200_000).map(|i| i as f64 * 0.5).collect();
+                comm.send(1, 0, big);
+            } else {
+                let got: Vec<f64> = comm.recv(0, 0);
+                assert_eq!(got.len(), 200_000);
+                assert_eq!(got[199_999], 199_999.0 * 0.5);
+            }
+        });
+    }
+}

@@ -1,0 +1,409 @@
+//! The slowed, mode-split free-surface (barotropic) subsystem.
+//!
+//! FOAM's ocean explicitly represents the free surface but (1) slows its
+//! dynamics artificially — g → g/α, which Tobis & Anderson show leaves
+//! the internal motions essentially unchanged — and (2) integrates it as
+//! a separate 2-D system subcycled inside the 3-D internal step
+//! (Killworth et al. free-surface splitting). Together these turn the
+//! harshest CFL constraint of a free-surface ocean (external gravity
+//! waves at √(gH) ≈ 220 m/s) into a cheap 2-D loop at √(gH/α).
+//!
+//! Forward–backward time stepping (velocities first, then the surface
+//! with the *new* velocities) with semi-implicit Coriolis rotation; a
+//! weak surface smoother suppresses the A-grid checkerboard mode.
+
+use foam_grid::constants::{coriolis, GRAVITY};
+use foam_grid::{Field2, OceanGrid};
+
+/// The 2-D subsystem bound to a grid, mask and mean depth.
+#[derive(Debug, Clone)]
+pub struct BarotropicSystem {
+    pub grid: OceanGrid,
+    /// `true` = sea.
+    pub mask: Vec<bool>,
+    /// Mean depth H \[m\].
+    pub depth: f64,
+    /// Gravity-wave slowdown factor α ≥ 1 (paper's "artificially slowed"
+    /// free surface; 1 recovers the physical system).
+    pub slowdown: f64,
+    /// Linear bottom drag \[s⁻¹\].
+    pub drag: f64,
+    /// Disable rotation (for wave-speed unit tests).
+    pub coriolis_on: bool,
+    /// Per-row Coriolis parameter.
+    f_row: Vec<f64>,
+}
+
+/// Free-surface state: elevation and depth-mean velocities.
+#[derive(Debug, Clone)]
+pub struct BarotropicState {
+    pub eta: Field2,
+    pub u: Field2,
+    pub v: Field2,
+}
+
+impl BarotropicState {
+    pub fn rest(grid: &OceanGrid) -> Self {
+        BarotropicState {
+            eta: Field2::zeros(grid.nx, grid.ny),
+            u: Field2::zeros(grid.nx, grid.ny),
+            v: Field2::zeros(grid.nx, grid.ny),
+        }
+    }
+}
+
+impl BarotropicSystem {
+    pub fn new(grid: OceanGrid, mask: Vec<bool>, depth: f64, slowdown: f64) -> Self {
+        assert!(slowdown >= 1.0);
+        assert_eq!(mask.len(), grid.len());
+        let f_row = grid.lats.iter().map(|&l| coriolis(l)).collect();
+        BarotropicSystem {
+            grid,
+            mask,
+            depth,
+            slowdown,
+            drag: 1.0e-6,
+            coriolis_on: true,
+            f_row,
+        }
+    }
+
+    /// Effective (slowed) gravity \[m/s²\].
+    #[inline]
+    pub fn g_eff(&self) -> f64 {
+        GRAVITY / self.slowdown
+    }
+
+    /// Slowed external gravity-wave speed \[m/s\].
+    pub fn wave_speed(&self) -> f64 {
+        (self.g_eff() * self.depth).sqrt()
+    }
+
+    /// CFL-limited time step for this subsystem \[s\].
+    pub fn max_dt(&self) -> f64 {
+        let dx_min = self
+            .grid
+            .dx
+            .iter()
+            .chain(self.grid.dy.iter())
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        0.5 * dx_min / self.wave_speed()
+    }
+
+    /// Surface value with a zero-gradient (no pressure force) condition
+    /// across coastlines.
+    #[inline]
+    fn eta_at(&self, eta: &Field2, i: isize, j: usize, i0: usize, j0: usize) -> f64 {
+        let nx = self.grid.nx as isize;
+        let iw = (((i % nx) + nx) % nx) as usize;
+        if self.mask[self.grid.idx(iw, j)] {
+            eta.get(iw, j)
+        } else {
+            eta.get(i0, j0)
+        }
+    }
+
+    /// One forward–backward step: `fx`, `fy` are body accelerations
+    /// \[m/s²\] (wind stress / H, vertically integrated baroclinic
+    /// forcing).
+    pub fn step(&self, st: &mut BarotropicState, fx: &Field2, fy: &Field2, dt: f64) {
+        let g = &self.grid;
+        let (nx, ny) = (g.nx, g.ny);
+        let ge = self.g_eff();
+
+        // --- Momentum (semi-implicit rotation). -----------------------
+        for j in 0..ny {
+            let f = if self.coriolis_on { self.f_row[j] } else { 0.0 };
+            let a = f * dt;
+            let denom = 1.0 + a * a;
+            for i in 0..nx {
+                let k = g.idx(i, j);
+                if !self.mask[k] {
+                    st.u.set(i, j, 0.0);
+                    st.v.set(i, j, 0.0);
+                    continue;
+                }
+                let detadx = (self.eta_at(&st.eta, i as isize + 1, j, i, j)
+                    - self.eta_at(&st.eta, i as isize - 1, j, i, j))
+                    / (2.0 * g.dx[j]);
+                let detady = if j > 0 && j < ny - 1 {
+                    let n = if self.mask[g.idx(i, j + 1)] {
+                        st.eta.get(i, j + 1)
+                    } else {
+                        st.eta.get(i, j)
+                    };
+                    let s = if self.mask[g.idx(i, j - 1)] {
+                        st.eta.get(i, j - 1)
+                    } else {
+                        st.eta.get(i, j)
+                    };
+                    (n - s) / (2.0 * g.dy[j])
+                } else {
+                    0.0
+                };
+                // Explicit accelerations except rotation.
+                let au = -ge * detadx + fx.get(i, j) - self.drag * st.u.get(i, j);
+                let av = -ge * detady + fy.get(i, j) - self.drag * st.v.get(i, j);
+                let us = st.u.get(i, j) + dt * au;
+                let vs = st.v.get(i, j) + dt * av;
+                // Semi-implicit rotation of (us, vs) by f dt.
+                let un = (us + a * vs) / denom;
+                let vn = (vs - a * us) / denom;
+                st.u.set(i, j, un);
+                st.v.set(i, j, vn);
+            }
+        }
+
+        // --- Continuity with the *new* velocities (backward part), in
+        // exactly conservative finite-volume form: volume fluxes through
+        // faces, zero through coastlines and the domain's N/S walls. ----
+        let mut eta_new = st.eta.clone();
+        let sea = |i: usize, j: usize| self.mask[g.idx(i, j)];
+        for j in 1..ny - 1 {
+            // Face lengths: x-faces have length dy; y-faces have length
+            // dx evaluated at the face latitude.
+            let dxf_n = 0.5 * (g.dx[j] + g.dx[j + 1]);
+            let dxf_s = 0.5 * (g.dx[j] + g.dx[j - 1]);
+            for i in 0..nx {
+                if !sea(i, j) {
+                    continue;
+                }
+                let area = g.cell_area(i, j);
+                let ie = (i + 1) % nx;
+                let iw = (i + nx - 1) % nx;
+                let fe = if sea(ie, j) {
+                    0.5 * (st.u.get(i, j) + st.u.get(ie, j)) * g.dy[j]
+                } else {
+                    0.0
+                };
+                let fw = if sea(iw, j) {
+                    0.5 * (st.u.get(iw, j) + st.u.get(i, j)) * g.dy[j]
+                } else {
+                    0.0
+                };
+                let fn_ = if j + 1 < ny - 1 && sea(i, j + 1) {
+                    0.5 * (st.v.get(i, j) + st.v.get(i, j + 1)) * dxf_n
+                } else {
+                    0.0
+                };
+                let fs = if j > 1 && sea(i, j - 1) {
+                    0.5 * (st.v.get(i, j - 1) + st.v.get(i, j)) * dxf_s
+                } else {
+                    0.0
+                };
+                let div = (fe - fw + fn_ - fs) / area;
+                eta_new.set(i, j, st.eta.get(i, j) - dt * self.depth * div);
+            }
+        }
+        // Weak conservative smoother on η (flux exchange between sea
+        // neighbours) to suppress the unstaggered-grid checkerboard —
+        // the 2-D counterpart of the paper's ∇⁴ dissipation.
+        let c = 0.01;
+        st.eta = eta_new.clone();
+        for j in 1..ny - 1 {
+            for i in 0..nx {
+                if !sea(i, j) {
+                    continue;
+                }
+                let ie = (i + 1) % nx;
+                let a0 = g.cell_area(i, j);
+                if sea(ie, j) {
+                    let f = c * (eta_new.get(ie, j) - eta_new.get(i, j));
+                    st.eta[(i, j)] += 0.5 * f;
+                    st.eta[(ie, j)] -= 0.5 * f * a0 / g.cell_area(ie, j);
+                }
+                if j + 1 < ny - 1 && sea(i, j + 1) {
+                    let f = c * (eta_new.get(i, j + 1) - eta_new.get(i, j));
+                    st.eta[(i, j)] += 0.5 * f;
+                    st.eta[(i, j + 1)] -= 0.5 * f * a0 / g.cell_area(i, j + 1);
+                }
+            }
+        }
+    }
+
+    /// Subcycle the subsystem over `dt_total` in `n_sub` equal steps.
+    pub fn subcycle(
+        &self,
+        st: &mut BarotropicState,
+        fx: &Field2,
+        fy: &Field2,
+        dt_total: f64,
+        n_sub: usize,
+    ) {
+        let dt = dt_total / n_sub as f64;
+        for _ in 0..n_sub {
+            self.step(st, fx, fy, dt);
+        }
+    }
+
+    /// Area-integrated surface volume anomaly \[m³\] (conservation check).
+    pub fn volume(&self, st: &BarotropicState) -> f64 {
+        let g = &self.grid;
+        let mut v = 0.0;
+        for j in 0..g.ny {
+            for i in 0..g.nx {
+                if self.mask[g.idx(i, j)] {
+                    v += st.eta.get(i, j) * g.cell_area(i, j);
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> BarotropicSystem {
+        // An all-sea band: periodic zonal channel.
+        let grid = OceanGrid::mercator(32, 16, 60.0);
+        let mask = vec![true; grid.len()];
+        let mut sys = BarotropicSystem::new(grid, mask, 4000.0, 16.0);
+        sys.coriolis_on = false;
+        sys.drag = 0.0;
+        sys
+    }
+
+    #[test]
+    fn slowdown_reduces_wave_speed_and_raises_dt() {
+        let grid = OceanGrid::mercator(32, 16, 60.0);
+        let mask = vec![true; grid.len()];
+        let fast = BarotropicSystem::new(grid.clone(), mask.clone(), 4000.0, 1.0);
+        let slow = BarotropicSystem::new(grid, mask, 4000.0, 16.0);
+        assert!((fast.wave_speed() / slow.wave_speed() - 4.0).abs() < 1e-12);
+        assert!((slow.max_dt() / fast.max_dt() - 4.0).abs() < 1e-9);
+        // Physical external wave speed ≈ √(gH) ≈ 198 m/s for H = 4000 m.
+        assert!((fast.wave_speed() - 198.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn gravity_wave_oscillates_at_shallow_water_frequency() {
+        let sys = channel();
+        let g = &sys.grid;
+        let mut st = BarotropicState::rest(g);
+        // Standing zonal wave, uniform in latitude: η = A cos(kx),
+        // k = 2π/L with L the domain circumference at the mid-row.
+        let jm = g.ny / 2;
+        let m = 2.0; // wavenumber 2 around the circle
+        for j in 0..g.ny {
+            for i in 0..g.nx {
+                st.eta
+                    .set(i, j, 0.01 * (m * 2.0 * std::f64::consts::PI * i as f64 / g.nx as f64).cos());
+            }
+        }
+        // Wave at row jm: k = m / (a cosφ) — expected period 2π/(c k).
+        let circumference = g.dx[jm] * g.nx as f64;
+        let k = m * 2.0 * std::f64::consts::PI / circumference;
+        let period = 2.0 * std::f64::consts::PI / (sys.wave_speed() * k);
+        let dt = sys.max_dt() * 0.5;
+        let zero = Field2::zeros(g.nx, g.ny);
+        // After half a period the pattern should be inverted at mid-row.
+        let steps = (0.5 * period / dt).round() as usize;
+        let before = st.eta.get(0, jm);
+        for _ in 0..steps {
+            sys.step(&mut st, &zero, &zero, dt);
+        }
+        let after = st.eta.get(0, jm);
+        assert!(
+            after < -0.4 * before,
+            "expected inversion: before {before}, after {after} (steps {steps})"
+        );
+    }
+
+    #[test]
+    fn volume_is_conserved() {
+        let sys = channel();
+        let g = &sys.grid;
+        let mut st = BarotropicState::rest(g);
+        for j in 2..g.ny - 2 {
+            for i in 0..g.nx {
+                st.eta.set(i, j, 0.05 * ((i + j) as f64 * 0.7).sin());
+            }
+        }
+        let v0 = sys.volume(&st);
+        let zero = Field2::zeros(g.nx, g.ny);
+        let dt = sys.max_dt() * 0.5;
+        for _ in 0..200 {
+            sys.step(&mut st, &zero, &zero, dt);
+        }
+        let v1 = sys.volume(&st);
+        let area_scale = 4.0e14; // ~ocean area, for a relative scale
+        assert!(
+            (v1 - v0).abs() / area_scale < 1e-6,
+            "volume drift {v0} → {v1}"
+        );
+        assert!(st.eta.all_finite() && st.u.all_finite());
+    }
+
+    #[test]
+    fn subcycling_stays_stable_where_single_step_blows_up() {
+        let sys = channel();
+        let g = &sys.grid;
+        let zero = Field2::zeros(g.nx, g.ny);
+        let dt_big = sys.max_dt() * 8.0;
+
+        // Single big steps: unstable.
+        let mut bad = BarotropicState::rest(g);
+        bad.eta.set(5, 8, 0.1);
+        for _ in 0..50 {
+            sys.step(&mut bad, &zero, &zero, dt_big);
+        }
+        let bad_max = bad.eta.max_abs();
+
+        // Same span, subcycled: stable.
+        let mut good = BarotropicState::rest(g);
+        good.eta.set(5, 8, 0.1);
+        for _ in 0..50 {
+            sys.subcycle(&mut good, &zero, &zero, dt_big, 16);
+        }
+        let good_max = good.eta.max_abs();
+        assert!(
+            !(bad_max.is_finite() && bad_max < 1.0),
+            "expected instability at 8× CFL, max = {bad_max}"
+        );
+        assert!(good_max < 0.2, "subcycled run should stay bounded: {good_max}");
+    }
+
+    #[test]
+    fn wind_stress_drives_circulation() {
+        let grid = OceanGrid::mercator(32, 16, 60.0);
+        let mask = vec![true; grid.len()];
+        let sys = BarotropicSystem::new(grid, mask, 4000.0, 16.0);
+        let g = &sys.grid;
+        let mut st = BarotropicState::rest(g);
+        // Zonal wind-stress acceleration.
+        let fx = Field2::filled(g.nx, g.ny, 1.0e-6);
+        let fy = Field2::zeros(g.nx, g.ny);
+        let dt = sys.max_dt() * 0.5;
+        for _ in 0..100 {
+            sys.step(&mut st, &fx, &fy, dt);
+        }
+        assert!(st.u.max_abs() > 0.0);
+        assert!(st.eta.all_finite());
+    }
+
+    #[test]
+    fn land_cells_stay_quiet() {
+        let grid = OceanGrid::mercator(16, 12, 55.0);
+        let mut mask = vec![true; grid.len()];
+        for j in 0..grid.ny {
+            mask[grid.idx(7, j)] = false; // meridional wall
+        }
+        let sys = BarotropicSystem::new(grid, mask, 3000.0, 16.0);
+        let g = &sys.grid;
+        let mut st = BarotropicState::rest(g);
+        st.eta.set(3, 6, 0.2);
+        let zero = Field2::zeros(g.nx, g.ny);
+        let dt = sys.max_dt() * 0.4;
+        for _ in 0..100 {
+            sys.step(&mut st, &zero, &zero, dt);
+        }
+        for j in 0..g.ny {
+            assert_eq!(st.u.get(7, j), 0.0);
+            assert_eq!(st.v.get(7, j), 0.0);
+        }
+        assert!(st.eta.all_finite());
+    }
+}

@@ -1,0 +1,76 @@
+//! Equation of state and static-stability helpers.
+//!
+//! A linearized seawater EOS around (T₀ = 10 °C, S₀ = 34.7 psu) — the
+//! standard choice for efficiency-focused z-coordinate climate oceans of
+//! this vintage (the full UNESCO polynomial buys nothing for the
+//! phenomena FOAM targets).
+
+use foam_grid::constants::{RHO_SEAWATER, S_REF};
+
+/// Thermal expansion coefficient \[°C⁻¹\].
+pub const ALPHA_T: f64 = 2.0e-4;
+/// Haline contraction coefficient \[psu⁻¹\].
+pub const BETA_S: f64 = 7.6e-4;
+/// Reference temperature \[°C\].
+pub const T_REF: f64 = 10.0;
+
+/// In-situ density \[kg/m³\] from temperature \[°C\] and salinity \[psu\].
+#[inline]
+pub fn density(t: f64, s: f64) -> f64 {
+    RHO_SEAWATER * (1.0 - ALPHA_T * (t - T_REF) + BETA_S * (s - S_REF))
+}
+
+/// Density anomaly ρ′ = ρ − ρ₀ \[kg/m³\].
+#[inline]
+pub fn density_anomaly(t: f64, s: f64) -> f64 {
+    RHO_SEAWATER * (-ALPHA_T * (t - T_REF) + BETA_S * (s - S_REF))
+}
+
+/// Squared buoyancy frequency N² \[s⁻²\] between two vertically adjacent
+/// samples (upper first), separated by `dz` \[m\].
+#[inline]
+pub fn brunt_vaisala_sq(t_up: f64, s_up: f64, t_dn: f64, s_dn: f64, dz: f64) -> f64 {
+    let g = foam_grid::constants::GRAVITY;
+    let drho = density(t_dn, s_dn) - density(t_up, s_up);
+    g * drho / (RHO_SEAWATER * dz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_water_is_lighter() {
+        assert!(density(25.0, S_REF) < density(5.0, S_REF));
+    }
+
+    #[test]
+    fn salty_water_is_denser() {
+        assert!(density(T_REF, 36.0) > density(T_REF, 33.0));
+    }
+
+    #[test]
+    fn reference_point_is_rho0() {
+        assert!((density(T_REF, S_REF) - RHO_SEAWATER).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_density_range() {
+        // Ocean densities live in ~1020–1030 kg/m³.
+        for (t, s) in [(28.0, 34.0), (2.0, 34.9), (10.0, 35.5)] {
+            let r = density(t, s);
+            assert!((1018.0..1032.0).contains(&r), "rho({t},{s}) = {r}");
+        }
+    }
+
+    #[test]
+    fn stable_stratification_gives_positive_n2() {
+        // Warm over cold: stable.
+        let n2 = brunt_vaisala_sq(20.0, S_REF, 5.0, S_REF, 100.0);
+        assert!(n2 > 0.0);
+        // Magnitude ~1e-4..1e-5 s⁻² for a thermocline.
+        assert!((1.0e-6..1.0e-3).contains(&n2), "N² = {n2}");
+        // Cold over warm: unstable.
+        assert!(brunt_vaisala_sq(5.0, S_REF, 20.0, S_REF, 100.0) < 0.0);
+    }
+}

@@ -1,0 +1,1171 @@
+//! The full ocean model: internal (baroclinic) dynamics, tracers, and the
+//! nested FOAM time-stepping scheme, plus the unsplit baseline.
+
+use foam_grid::constants::{
+    coriolis, CP_SEAWATER, GRAVITY, RHO_SEAWATER, SEAWATER_FREEZE_C, S_REF,
+};
+use foam_grid::{Field2, OceanGrid, VerticalGrid, World};
+
+use crate::barotropic::{BarotropicState, BarotropicSystem};
+use crate::eos::density_anomaly;
+use crate::mixing::{convective_adjustment, diffuse_column, richardson, PpParams};
+use crate::polar::PolarFilter;
+
+/// Which stepping scheme a run uses (the subject of ablation A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitScheme {
+    /// FOAM's scheme: slowed barotropic subsystem subcycled inside the
+    /// internal step; tracers on a longer step still.
+    FoamSplit,
+    /// Naive scheme: one global step limited by the *unslowed* external
+    /// gravity wave CFL; everything advanced every step.
+    Unsplit,
+}
+
+/// Ocean configuration. Defaults reproduce the paper's setup: 128 × 128
+/// Mercator grid, 16 stretched levels, 6-h coupling, slowed free surface.
+#[derive(Debug, Clone)]
+pub struct OceanConfig {
+    pub nx: usize,
+    pub ny: usize,
+    pub lat_max_deg: f64,
+    pub nz: usize,
+    pub depth: f64,
+    /// Vertical stretching ratio (thickness growth per layer).
+    pub stretch: f64,
+    /// Internal-dynamics step \[s\].
+    pub dt_int: f64,
+    /// Tracer (advection/diffusion) step, in internal steps.
+    pub n_trac: usize,
+    /// Free-surface slowdown factor α.
+    pub slowdown: f64,
+    /// Non-dimensional grid-scale ∇⁴ damping coefficient for momentum
+    /// (the paper's "∇⁴ numerical dissipation" against A-grid mode
+    /// splitting).
+    pub nu4: f64,
+    /// Horizontal tracer diffusivity \[m²/s\].
+    pub kappa_h: f64,
+    /// Upwind blend for tracer advection ∈ \[0, 1\].
+    pub upwind: f64,
+    pub pp: PpParams,
+    /// Latitude poleward of which the Fourier filter acts \[deg\].
+    pub polar_lat: f64,
+    /// Apply the polar filter at all (ablation hook).
+    pub polar_filter_on: bool,
+}
+
+impl Default for OceanConfig {
+    fn default() -> Self {
+        OceanConfig {
+            nx: 128,
+            ny: 128,
+            lat_max_deg: 72.0,
+            nz: 16,
+            depth: 5000.0,
+            stretch: 1.29,
+            dt_int: 3600.0,
+            n_trac: 2,
+            slowdown: 16.0,
+            nu4: 0.02,
+            kappa_h: 800.0,
+            upwind: 0.15,
+            pp: PpParams::default(),
+            polar_lat: 64.0,
+            polar_filter_on: true,
+        }
+    }
+}
+
+impl OceanConfig {
+    /// Small configuration for tests: 32 × 24 × 6.
+    pub fn tiny() -> Self {
+        OceanConfig {
+            nx: 32,
+            ny: 24,
+            lat_max_deg: 70.0,
+            nz: 6,
+            depth: 4000.0,
+            stretch: 2.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// Full ocean prognostic state.
+#[derive(Debug, Clone)]
+pub struct OceanState {
+    /// Baroclinic (depth-mean-free) velocities per level \[m/s\].
+    pub u: Vec<Field2>,
+    pub v: Vec<Field2>,
+    /// Temperature \[°C\] and salinity \[psu\] per level.
+    pub t: Vec<Field2>,
+    pub s: Vec<Field2>,
+    /// Free surface + depth-mean (barotropic) velocities.
+    pub baro: BarotropicState,
+    pub sim_t: f64,
+    /// Count of internal steps taken (drives the tracer subcycle phase).
+    pub step_count: u64,
+}
+
+/// Surface forcing handed to the ocean by the coupler, on the ocean grid.
+#[derive(Debug, Clone)]
+pub struct OceanForcing {
+    /// Wind stress \[N/m²\] (ice-modified by the coupler where relevant).
+    pub tau_x: Field2,
+    pub tau_y: Field2,
+    /// Net heat flux *into* the ocean \[W/m²\].
+    pub heat: Field2,
+    /// Net freshwater flux *into* the ocean \[kg m⁻² s⁻¹\]
+    /// (P − E + river inflow, the closed hydrological cycle).
+    pub freshwater: Field2,
+}
+
+impl OceanForcing {
+    pub fn zeros(grid: &OceanGrid) -> Self {
+        OceanForcing {
+            tau_x: Field2::zeros(grid.nx, grid.ny),
+            tau_y: Field2::zeros(grid.nx, grid.ny),
+            heat: Field2::zeros(grid.nx, grid.ny),
+            freshwater: Field2::zeros(grid.nx, grid.ny),
+        }
+    }
+
+    /// Idealized standalone forcing: easterly trades / westerlies wind
+    /// pattern and relaxation of SST toward the climatology (for spin-up
+    /// runs without an atmosphere).
+    pub fn climatological(grid: &OceanGrid, world: &World, sst: &Field2) -> Self {
+        let mut f = Self::zeros(grid);
+        for j in 0..grid.ny {
+            let lat = grid.lats[j];
+            let latd = lat.to_degrees();
+            // Trades below 30°, westerlies 30–60°.
+            let tau = -0.08 * (std::f64::consts::PI * latd / 30.0).cos()
+                * (-((latd / 55.0) * (latd / 55.0))).exp()
+                + 0.06 * (-((latd.abs() - 45.0) / 12.0).powi(2)).exp();
+            for i in 0..grid.nx {
+                f.tau_x.set(i, j, tau);
+                let target = world.sst_climatology(grid.lons[i], lat);
+                // 40 W/m²/K restoring.
+                f.heat.set(i, j, 40.0 * (target - sst.get(i, j)));
+            }
+        }
+        f
+    }
+}
+
+/// The ocean component.
+pub struct OceanModel {
+    pub cfg: OceanConfig,
+    pub grid: OceanGrid,
+    pub vert: VerticalGrid,
+    /// `true` = sea.
+    pub mask: Vec<bool>,
+    pub baro_sys: BarotropicSystem,
+    filter: PolarFilter,
+    f_row: Vec<f64>,
+}
+
+impl OceanModel {
+    /// The sea mask this model will use for a given configuration: the
+    /// planet's mask with the first and last rows closed (they sit at the
+    /// Mercator coverage limit and act as walls, which makes the
+    /// flux-form tracer budget exactly closed). The coupler must build
+    /// its overlap grid from this same mask.
+    pub fn effective_sea_mask(cfg: &OceanConfig, world: &World) -> Vec<bool> {
+        let grid = OceanGrid::mercator(cfg.nx, cfg.ny, cfg.lat_max_deg);
+        let mut mask = world.ocean_sea_mask(&grid);
+        for i in 0..grid.nx {
+            mask[grid.idx(i, 0)] = false;
+            mask[grid.idx(i, grid.ny - 1)] = false;
+        }
+        mask
+    }
+
+    pub fn new(cfg: OceanConfig, world: &World) -> Self {
+        let grid = OceanGrid::mercator(cfg.nx, cfg.ny, cfg.lat_max_deg);
+        let vert = VerticalGrid::ocean_stretched(cfg.nz, cfg.depth, cfg.stretch);
+        let mask = Self::effective_sea_mask(&cfg, world);
+        let baro_sys =
+            BarotropicSystem::new(grid.clone(), mask.clone(), cfg.depth, cfg.slowdown);
+        let filter = PolarFilter::new(&grid, cfg.polar_lat);
+        let f_row = grid.lats.iter().map(|&l| coriolis(l)).collect();
+        OceanModel {
+            cfg,
+            grid,
+            vert,
+            mask,
+            baro_sys,
+            filter,
+            f_row,
+        }
+    }
+
+    /// Initial state: climatological SST decaying to a cold abyss,
+    /// uniform salinity, at rest.
+    pub fn init_state(&self, world: &World) -> OceanState {
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.cfg.nz);
+        let zero = Field2::zeros(nx, ny);
+        let mut t = Vec::with_capacity(nz);
+        let mut s = Vec::with_capacity(nz);
+        for k in 0..nz {
+            let z = self.vert.centers[k];
+            let mut tk = Field2::zeros(nx, ny);
+            for j in 0..ny {
+                for i in 0..nx {
+                    if self.mask[self.grid.idx(i, j)] {
+                        let sst = world.sst_climatology(self.grid.lons[i], self.grid.lats[j]);
+                        // Exponential thermocline toward a 1.0 °C abyss;
+                        // where the surface is colder than the abyss
+                        // (polar seas) the column is isothermal, so the
+                        // initial state is statically stable everywhere.
+                        let t_abyss = 1.0;
+                        let tv = if sst > t_abyss {
+                            t_abyss + (sst - t_abyss) * (-z / 800.0).exp()
+                        } else {
+                            sst
+                        };
+                        tk.set(i, j, tv.max(SEAWATER_FREEZE_C));
+                    }
+                }
+            }
+            t.push(tk);
+            s.push(Field2::filled(nx, ny, S_REF));
+        }
+        OceanState {
+            u: vec![zero.clone(); nz],
+            v: vec![zero.clone(); nz],
+            t,
+            s,
+            baro: BarotropicState::rest(&self.grid),
+            sim_t: 0.0,
+            step_count: 0,
+        }
+    }
+
+    /// Sea surface temperature \[°C\].
+    pub fn sst(&self, state: &OceanState) -> Field2 {
+        state.t[0].clone()
+    }
+
+    /// Total velocity (baroclinic + barotropic) of level `k` at `(i, j)`.
+    #[inline]
+    pub fn u_total(&self, state: &OceanState, k: usize, i: usize, j: usize) -> f64 {
+        state.u[k].get(i, j) + state.baro.u.get(i, j)
+    }
+
+    #[inline]
+    pub fn v_total(&self, state: &OceanState, k: usize, i: usize, j: usize) -> f64 {
+        state.v[k].get(i, j) + state.baro.v.get(i, j)
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamics pieces
+    // ------------------------------------------------------------------
+
+    /// Geopotential (p′/ρ₀) per level from the hydrostatic integral of
+    /// the density anomaly \[m²/s²\].
+    fn baroclinic_geopotential(&self, state: &OceanState) -> Vec<Field2> {
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.cfg.nz);
+        let mut phi = vec![Field2::zeros(nx, ny); nz];
+        for j in 0..ny {
+            for i in 0..nx {
+                if !self.mask[self.grid.idx(i, j)] {
+                    continue;
+                }
+                let mut p = 0.0;
+                for k in 0..nz {
+                    let rho = density_anomaly(state.t[k].get(i, j), state.s[k].get(i, j));
+                    let half = 0.5 * GRAVITY * rho * self.vert.thickness[k] / RHO_SEAWATER;
+                    p += half;
+                    phi[k].set(i, j, p);
+                    p += half;
+                }
+            }
+        }
+        phi
+    }
+
+    /// Grid-scale biharmonic damping of a field (non-dimensional
+    /// Laplacian applied twice), masked to sea cells.
+    fn del4(&self, f: &Field2) -> Field2 {
+        let lap = self.lap_gridunits(f);
+        self.lap_gridunits(&lap)
+    }
+
+    fn lap_gridunits(&self, f: &Field2) -> Field2 {
+        let (nx, ny) = (self.grid.nx, self.grid.ny);
+        let mut out = Field2::zeros(nx, ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let k = self.grid.idx(i, j);
+                if !self.mask[k] {
+                    continue;
+                }
+                let c = f.get(i, j);
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                let e = ((i + 1) % nx, j);
+                let w = ((i + nx - 1) % nx, j);
+                for (ii, jj) in [e, w] {
+                    if self.mask[self.grid.idx(ii, jj)] {
+                        acc += f.get(ii, jj) - c;
+                        cnt += 1.0;
+                    }
+                }
+                if j + 1 < ny && self.mask[self.grid.idx(i, j + 1)] {
+                    acc += f.get(i, j + 1) - c;
+                    cnt += 1.0;
+                }
+                if j > 0 && self.mask[self.grid.idx(i, j - 1)] {
+                    acc += f.get(i, j - 1) - c;
+                    cnt += 1.0;
+                }
+                let _ = cnt;
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Per-level momentum forcings (accelerations \[m/s²\]) and their
+    /// depth mean: (Fx levels, Fy levels, fx mean, fy mean).
+    fn momentum_forcings(
+        &self,
+        state: &OceanState,
+        forcing: &OceanForcing,
+    ) -> (Vec<Field2>, Vec<Field2>, Field2, Field2) {
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.cfg.nz);
+        let phi = self.baroclinic_geopotential(state);
+        let mut fx = vec![Field2::zeros(nx, ny); nz];
+        let mut fy = vec![Field2::zeros(nx, ny); nz];
+        let mut mx = Field2::zeros(nx, ny);
+        let mut my = Field2::zeros(nx, ny);
+        for k in 0..nz {
+            let d4u = self.del4(&state.u[k]);
+            let d4v = self.del4(&state.v[k]);
+            for j in 1..ny - 1 {
+                for i in 0..nx {
+                    let kk = self.grid.idx(i, j);
+                    if !self.mask[kk] {
+                        continue;
+                    }
+                    // Baroclinic pressure gradient (zero-gradient at coast).
+                    let pe = if self.mask[self.grid.idx((i + 1) % nx, j)] {
+                        phi[k].get((i + 1) % nx, j)
+                    } else {
+                        phi[k].get(i, j)
+                    };
+                    let pw = if self.mask[self.grid.idx((i + nx - 1) % nx, j)] {
+                        phi[k].get((i + nx - 1) % nx, j)
+                    } else {
+                        phi[k].get(i, j)
+                    };
+                    let pn = if self.mask[self.grid.idx(i, j + 1)] {
+                        phi[k].get(i, j + 1)
+                    } else {
+                        phi[k].get(i, j)
+                    };
+                    let ps = if self.mask[self.grid.idx(i, j - 1)] {
+                        phi[k].get(i, j - 1)
+                    } else {
+                        phi[k].get(i, j)
+                    };
+                    let mut ax = -(pe - pw) / (2.0 * self.grid.dx[j])
+                        - self.cfg.nu4 * d4u.get(i, j) / self.cfg.dt_int;
+                    let mut ay = -(pn - ps) / (2.0 * self.grid.dy[j])
+                        - self.cfg.nu4 * d4v.get(i, j) / self.cfg.dt_int;
+                    if k == 0 {
+                        // Wind stress into the top layer.
+                        ax += forcing.tau_x.get(i, j)
+                            / (RHO_SEAWATER * self.vert.thickness[0]);
+                        ay += forcing.tau_y.get(i, j)
+                            / (RHO_SEAWATER * self.vert.thickness[0]);
+                    }
+                    if k == nz - 1 {
+                        // Linear bottom drag on the bottom layer.
+                        let r = 1.0e-6;
+                        ax -= r * self.u_total(state, k, i, j);
+                        ay -= r * self.v_total(state, k, i, j);
+                    }
+                    fx[k].set(i, j, ax);
+                    fy[k].set(i, j, ay);
+                    let w = self.vert.thickness[k] / self.cfg.depth;
+                    mx[(i, j)] += w * ax;
+                    my[(i, j)] += w * ay;
+                }
+            }
+        }
+        (fx, fy, mx, my)
+    }
+
+    /// Internal momentum step: advance baroclinic shear velocities with
+    /// the deviation forcings and semi-implicit rotation, then remove any
+    /// residual depth mean (it belongs to the barotropic system).
+    fn internal_momentum_step(
+        &self,
+        state: &mut OceanState,
+        fx: &[Field2],
+        fy: &[Field2],
+        mx: &Field2,
+        my: &Field2,
+        dt: f64,
+    ) {
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.cfg.nz);
+        for j in 0..ny {
+            let f = self.f_row[j];
+            let a = f * dt;
+            let denom = 1.0 + a * a;
+            for i in 0..nx {
+                let kk = self.grid.idx(i, j);
+                if !self.mask[kk] {
+                    continue;
+                }
+                let mut ubar = 0.0;
+                let mut vbar = 0.0;
+                for k in 0..nz {
+                    let us = state.u[k].get(i, j) + dt * (fx[k].get(i, j) - mx.get(i, j));
+                    let vs = state.v[k].get(i, j) + dt * (fy[k].get(i, j) - my.get(i, j));
+                    let un = (us + a * vs) / denom;
+                    let vn = (vs - a * us) / denom;
+                    state.u[k].set(i, j, un);
+                    state.v[k].set(i, j, vn);
+                    let w = self.vert.thickness[k] / self.cfg.depth;
+                    ubar += w * un;
+                    vbar += w * vn;
+                }
+                for k in 0..nz {
+                    state.u[k][(i, j)] -= ubar;
+                    state.v[k][(i, j)] -= vbar;
+                }
+            }
+        }
+    }
+
+    /// Vertical PP mixing + convective adjustment for one column sweep
+    /// over the whole grid (implicit, unconditionally stable).
+    fn vertical_mixing(&self, state: &mut OceanState, dt: f64) {
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.cfg.nz);
+        let dz = &self.vert.thickness;
+        let mut tcol = vec![0.0; nz];
+        let mut scol = vec![0.0; nz];
+        let mut ucol = vec![0.0; nz];
+        let mut vcol = vec![0.0; nz];
+        let mut nu_int = vec![0.0; nz - 1];
+        let mut k_int = vec![0.0; nz - 1];
+        for j in 0..ny {
+            for i in 0..nx {
+                if !self.mask[self.grid.idx(i, j)] {
+                    continue;
+                }
+                for k in 0..nz {
+                    tcol[k] = state.t[k].get(i, j);
+                    scol[k] = state.s[k].get(i, j);
+                    ucol[k] = self.u_total(state, k, i, j);
+                    vcol[k] = self.v_total(state, k, i, j);
+                }
+                for k in 0..nz - 1 {
+                    let dzi = 0.5 * (dz[k] + dz[k + 1]);
+                    let ri = richardson(
+                        tcol[k], scol[k], ucol[k], vcol[k], tcol[k + 1], scol[k + 1],
+                        ucol[k + 1], vcol[k + 1], dzi,
+                    );
+                    let (nu, kap) = self.cfg.pp.coefficients(ri);
+                    nu_int[k] = nu;
+                    k_int[k] = kap;
+                }
+                diffuse_column(&mut tcol, &k_int, dz, dt);
+                diffuse_column(&mut scol, &k_int, dz, dt);
+                diffuse_column(&mut ucol, &nu_int, dz, dt);
+                diffuse_column(&mut vcol, &nu_int, dz, dt);
+                convective_adjustment(&mut tcol, &mut scol, dz, 2 * nz);
+                let ub = state.baro.u.get(i, j);
+                let vb = state.baro.v.get(i, j);
+                for k in 0..nz {
+                    state.t[k].set(i, j, tcol[k]);
+                    state.s[k].set(i, j, scol[k]);
+                    state.u[k].set(i, j, ucol[k] - ub);
+                    state.v[k].set(i, j, vcol[k] - vb);
+                }
+            }
+        }
+    }
+
+    /// Tracer advection (flux form with a small upwind blend), horizontal
+    /// diffusion, vertical advection from continuity, surface fluxes and
+    /// the FOAM −1.92 °C clamp.
+    fn tracer_step(&self, state: &mut OceanState, forcing: &OceanForcing, dt: f64) {
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.cfg.nz);
+        let up = self.cfg.upwind;
+
+        // Vertical velocities at layer-top interfaces from continuity.
+        let mut w_int = vec![Field2::zeros(nx, ny); nz + 1];
+        for kz in (0..nz).rev() {
+            for j in 1..ny - 1 {
+                let cosc = self.grid.lats[j].cos();
+                let cosn = self.grid.lats[j + 1].cos();
+                let coss = self.grid.lats[j - 1].cos();
+                for i in 0..nx {
+                    if !self.mask[self.grid.idx(i, j)] {
+                        continue;
+                    }
+                    let sea = |ii: usize, jj: usize| self.mask[self.grid.idx(ii, jj)];
+                    let ie = (i + 1) % nx;
+                    let iw = (i + nx - 1) % nx;
+                    // Face velocities, identical to those used by the
+                    // horizontal tracer fluxes, so that the discrete 3-D
+                    // divergence vanishes exactly and flux-form advection
+                    // conserves tracers to rounding.
+                    let ue = if sea(ie, j) {
+                        0.5 * (self.u_total(state, kz, i, j) + self.u_total(state, kz, ie, j))
+                    } else {
+                        0.0
+                    };
+                    let uw = if sea(iw, j) {
+                        0.5 * (self.u_total(state, kz, iw, j) + self.u_total(state, kz, i, j))
+                    } else {
+                        0.0
+                    };
+                    let cosn_f = 0.5 * (cosc + cosn);
+                    let coss_f = 0.5 * (cosc + coss);
+                    let vn = if sea(i, j + 1) {
+                        0.5 * (self.v_total(state, kz, i, j) + self.v_total(state, kz, i, j + 1))
+                            * cosn_f
+                    } else {
+                        0.0
+                    };
+                    let vs = if sea(i, j - 1) {
+                        0.5 * (self.v_total(state, kz, i, j - 1) + self.v_total(state, kz, i, j))
+                            * coss_f
+                    } else {
+                        0.0
+                    };
+                    let div = (ue - uw) / self.grid.dx[j]
+                        + (vn - vs) / (self.grid.dy[j] * cosc);
+                    let w_below = w_int[kz + 1].get(i, j);
+                    w_int[kz].set(i, j, w_below - div * self.vert.thickness[kz]);
+                }
+            }
+        }
+
+        for tracer in 0..2 {
+            // Work on T then S with identical machinery.
+            let surf_src: Box<dyn Fn(usize, usize, f64) -> f64> = if tracer == 0 {
+                Box::new(|i, j, _old| {
+                    forcing.heat.get(i, j)
+                        / (RHO_SEAWATER * CP_SEAWATER * self.vert.thickness[0])
+                })
+            } else {
+                Box::new(|i, j, old| {
+                    -old * forcing.freshwater.get(i, j)
+                        / (RHO_SEAWATER * self.vert.thickness[0])
+                })
+            };
+            for kz in 0..nz {
+                let x_old = if tracer == 0 {
+                    state.t[kz].clone()
+                } else {
+                    state.s[kz].clone()
+                };
+                let x_above = if kz > 0 {
+                    Some(if tracer == 0 {
+                        state.t[kz - 1].clone()
+                    } else {
+                        state.s[kz - 1].clone()
+                    })
+                } else {
+                    None
+                };
+                let x_below = if kz + 1 < nz {
+                    Some(if tracer == 0 {
+                        state.t[kz + 1].clone()
+                    } else {
+                        state.s[kz + 1].clone()
+                    })
+                } else {
+                    None
+                };
+                let mut x_new = x_old.clone();
+                for j in 1..ny - 1 {
+                    let cosc = self.grid.lats[j].cos();
+                    for i in 0..nx {
+                        let kk = self.grid.idx(i, j);
+                        if !self.mask[kk] {
+                            continue;
+                        }
+                        let sea = |ii: usize, jj: usize| self.mask[self.grid.idx(ii, jj)];
+                        let ie = (i + 1) % nx;
+                        let iw = (i + nx - 1) % nx;
+                        let c0 = x_old.get(i, j);
+
+                        // Horizontal fluxes (zero across coastlines).
+                        let mut tend = 0.0;
+                        if sea(ie, j) {
+                            let uf = 0.5
+                                * (self.uv_at(state, kz, i, j).0
+                                    + self.uv_at(state, kz, ie, j).0);
+                            let xf = face_value(c0, x_old.get(ie, j), uf, up);
+                            tend -= uf * xf / self.grid.dx[j];
+                        }
+                        if sea(iw, j) {
+                            let uf = 0.5
+                                * (self.uv_at(state, kz, iw, j).0
+                                    + self.uv_at(state, kz, i, j).0);
+                            let xf = face_value(x_old.get(iw, j), c0, uf, up);
+                            tend += uf * xf / self.grid.dx[j];
+                        }
+                        let cosn = 0.5 * (cosc + self.grid.lats[j + 1].cos());
+                        let coss = 0.5 * (cosc + self.grid.lats[j - 1].cos());
+                        if sea(i, j + 1) {
+                            let vf = 0.5
+                                * (self.uv_at(state, kz, i, j).1
+                                    + self.uv_at(state, kz, i, j + 1).1);
+                            let xf = face_value(c0, x_old.get(i, j + 1), vf, up);
+                            tend -= vf * xf * cosn / (self.grid.dy[j] * cosc);
+                        }
+                        if sea(i, j - 1) {
+                            let vf = 0.5
+                                * (self.uv_at(state, kz, i, j - 1).1
+                                    + self.uv_at(state, kz, i, j).1);
+                            let xf = face_value(x_old.get(i, j - 1), c0, vf, up);
+                            tend += vf * xf * coss / (self.grid.dy[j] * cosc);
+                        }
+                        // Flux-form correction: + X ∇·u so that constant
+                        // tracers stay constant (divergence compensation).
+                        let ue = if sea(ie, j) {
+                            0.5 * (self.uv_at(state, kz, i, j).0 + self.uv_at(state, kz, ie, j).0)
+                        } else {
+                            0.0
+                        };
+                        let uw2 = if sea(iw, j) {
+                            0.5 * (self.uv_at(state, kz, iw, j).0 + self.uv_at(state, kz, i, j).0)
+                        } else {
+                            0.0
+                        };
+                        let vn2 = if sea(i, j + 1) {
+                            0.5 * (self.uv_at(state, kz, i, j).1
+                                + self.uv_at(state, kz, i, j + 1).1)
+                                * cosn
+                        } else {
+                            0.0
+                        };
+                        let vs2 = if sea(i, j - 1) {
+                            0.5 * (self.uv_at(state, kz, i, j - 1).1
+                                + self.uv_at(state, kz, i, j).1)
+                                * coss
+                        } else {
+                            0.0
+                        };
+                        let div = (ue - uw2) / self.grid.dx[j]
+                            + (vn2 - vs2) / (self.grid.dy[j] * cosc);
+                        tend += c0 * div;
+
+                        // Horizontal diffusion (Laplacian, masked).
+                        let mut lap = 0.0;
+                        if sea(ie, j) {
+                            lap += (x_old.get(ie, j) - c0) / (self.grid.dx[j] * self.grid.dx[j]);
+                        }
+                        if sea(iw, j) {
+                            lap += (x_old.get(iw, j) - c0) / (self.grid.dx[j] * self.grid.dx[j]);
+                        }
+                        if sea(i, j + 1) {
+                            lap += (x_old.get(i, j + 1) - c0)
+                                / (self.grid.dy[j] * self.grid.dy[j]);
+                        }
+                        if sea(i, j - 1) {
+                            lap += (x_old.get(i, j - 1) - c0)
+                                / (self.grid.dy[j] * self.grid.dy[j]);
+                        }
+                        tend += self.cfg.kappa_h * lap;
+
+                        // Vertical advection across layer interfaces.
+                        let dzk = self.vert.thickness[kz];
+                        let w_top = w_int[kz].get(i, j);
+                        let w_bot = w_int[kz + 1].get(i, j);
+                        // Flux at the top interface (positive upward).
+                        // For the surface layer the interface is the
+                        // moving free surface: water crossing it carries
+                        // the surface concentration, which keeps constant
+                        // fields exactly constant (no spurious sources
+                        // where the column converges — important because
+                        // the slowed barotropic amplifies η by α).
+                        let flux_top = if kz == 0 {
+                            w_top * c0
+                        } else {
+                            let xa = x_above.as_ref().unwrap().get(i, j);
+                            w_top * if w_top > 0.0 { c0 } else { xa }
+                        };
+                        let flux_bot = if kz == nz - 1 {
+                            0.0
+                        } else {
+                            let xb = x_below.as_ref().unwrap().get(i, j);
+                            w_bot * if w_bot > 0.0 { xb } else { c0 }
+                        };
+                        tend += (flux_bot - flux_top) / dzk;
+                        // Divergence compensation for the vertical part.
+                        tend -= c0 * (w_bot - w_top) / dzk;
+
+                        // Surface source on the top layer.
+                        if kz == 0 {
+                            tend += surf_src(i, j, c0);
+                        }
+
+                        let mut newv = c0 + dt * tend;
+                        if tracer == 0 && kz == 0 {
+                            // FOAM's sea-ice clamp: "a clamp on temperature
+                            // is imposed by the ocean model at −1.92 °C".
+                            newv = newv.max(SEAWATER_FREEZE_C);
+                        }
+                        x_new.set(i, j, newv);
+                    }
+                }
+                if tracer == 0 {
+                    state.t[kz] = x_new;
+                } else {
+                    state.s[kz] = x_new;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn uv_at(&self, state: &OceanState, k: usize, i: usize, j: usize) -> (f64, f64) {
+        (
+            state.u[k].get(i, j) + state.baro.u.get(i, j),
+            state.v[k].get(i, j) + state.baro.v.get(i, j),
+        )
+    }
+
+    fn apply_polar_filter(&self, state: &mut OceanState) {
+        if !self.cfg.polar_filter_on {
+            return;
+        }
+        self.filter.apply(&mut state.baro.eta);
+        self.filter.apply(&mut state.baro.u);
+        self.filter.apply(&mut state.baro.v);
+        for k in 0..self.cfg.nz {
+            self.filter.apply(&mut state.u[k]);
+            self.filter.apply(&mut state.v[k]);
+        }
+        // Filtering smears across coastlines; re-zero land velocities.
+        for j in 0..self.grid.ny {
+            for i in 0..self.grid.nx {
+                if !self.mask[self.grid.idx(i, j)] {
+                    state.baro.u.set(i, j, 0.0);
+                    state.baro.v.set(i, j, 0.0);
+                    for k in 0..self.cfg.nz {
+                        state.u[k].set(i, j, 0.0);
+                        state.v[k].set(i, j, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The two stepping schemes
+    // ------------------------------------------------------------------
+
+    /// Advance by one coupling interval `dt_couple` with FOAM's nested
+    /// scheme: barotropic subcycled inside internal steps, tracers on a
+    /// multiple of the internal step. Returns the number of "inner work
+    /// units" executed (for the cost accounting of experiments T2/A1).
+    pub fn step_coupled(
+        &self,
+        state: &mut OceanState,
+        forcing: &OceanForcing,
+        dt_couple: f64,
+    ) -> usize {
+        let n_int = (dt_couple / self.cfg.dt_int).round().max(1.0) as usize;
+        let n_sub = (self.cfg.dt_int / self.baro_sys.max_dt()).ceil().max(1.0) as usize;
+        let mut work = 0;
+        for _ in 0..n_int {
+            let (fx, fy, mx, my) = self.momentum_forcings(state, forcing);
+            self.internal_momentum_step(state, &fx, &fy, &mx, &my, self.cfg.dt_int);
+            self.baro_sys
+                .subcycle(&mut state.baro, &mx, &my, self.cfg.dt_int, n_sub);
+            work += self.cfg.nz + n_sub;
+            state.step_count += 1;
+            if state.step_count % self.cfg.n_trac as u64 == 0 {
+                let dt_trac = self.cfg.dt_int * self.cfg.n_trac as f64;
+                self.tracer_step(state, forcing, dt_trac);
+                self.vertical_mixing(state, dt_trac);
+                work += 4 * self.cfg.nz;
+            }
+            self.apply_polar_filter(state);
+            state.sim_t += self.cfg.dt_int;
+        }
+        work
+    }
+
+    /// Advance by `dt_couple` with the naive unsplit scheme: a single
+    /// global step limited by the unslowed external gravity-wave CFL;
+    /// momentum, free surface *and* tracers all advanced every step.
+    /// Same physics, ~30× the work — the T2 baseline.
+    pub fn step_unsplit(
+        &self,
+        state: &mut OceanState,
+        forcing: &OceanForcing,
+        dt_couple: f64,
+    ) -> usize {
+        // Full-gravity subsystem for the CFL and the surface update.
+        let full = BarotropicSystem::new(
+            self.grid.clone(),
+            self.mask.clone(),
+            self.cfg.depth,
+            1.0,
+        );
+        let dt = full.max_dt();
+        let n = (dt_couple / dt).ceil().max(1.0) as usize;
+        let dt = dt_couple / n as f64;
+        let mut work = 0;
+        for _ in 0..n {
+            let (fx, fy, mx, my) = self.momentum_forcings(state, forcing);
+            self.internal_momentum_step(state, &fx, &fy, &mx, &my, dt);
+            full.step(&mut state.baro, &mx, &my, dt);
+            self.tracer_step(state, forcing, dt);
+            self.vertical_mixing(state, dt);
+            self.apply_polar_filter(state);
+            work += 1 + 5 * self.cfg.nz;
+            state.sim_t += dt;
+            state.step_count += 1;
+        }
+        work
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Area-mean SST over sea cells \[°C\].
+    pub fn mean_sst(&self, state: &OceanState) -> f64 {
+        self.grid.masked_mean(state.t[0].as_slice(), &self.mask)
+    }
+
+    /// Volume-integrated heat content anomaly \[J\] relative to 0 °C,
+    /// including the water stored in the free-surface displacement at the
+    /// surface temperature (the tracer budget exchanges heat with that
+    /// reservoir as the surface moves, so it belongs in the total).
+    pub fn heat_content(&self, state: &OceanState) -> f64 {
+        let mut h = 0.0;
+        for j in 0..self.grid.ny {
+            let a = self.grid.cell_area(0, j);
+            for i in 0..self.grid.nx {
+                if !self.mask[self.grid.idx(i, j)] {
+                    continue;
+                }
+                let mut col = state.baro.eta.get(i, j) * state.t[0].get(i, j);
+                for k in 0..self.cfg.nz {
+                    col += state.t[k].get(i, j) * self.vert.thickness[k];
+                }
+                h += RHO_SEAWATER * CP_SEAWATER * col * a;
+            }
+        }
+        h
+    }
+
+    /// Max |u| over all levels \[m/s\] (stability watch).
+    pub fn max_speed(&self, state: &OceanState) -> f64 {
+        let mut m = state.baro.u.max_abs().max(state.baro.v.max_abs());
+        for k in 0..self.cfg.nz {
+            m = m.max(state.u[k].max_abs()).max(state.v[k].max_abs());
+        }
+        m
+    }
+
+    /// True if every prognostic field is finite.
+    pub fn is_finite(&self, state: &OceanState) -> bool {
+        state.baro.eta.all_finite()
+            && state.baro.u.all_finite()
+            && state.baro.v.all_finite()
+            && state.t.iter().all(Field2::all_finite)
+            && state.s.iter().all(Field2::all_finite)
+            && state.u.iter().all(Field2::all_finite)
+            && state.v.iter().all(Field2::all_finite)
+    }
+}
+
+/// Blended face value for flux-form advection: centered with an upwind
+/// fraction `up` (0 = centered, 1 = fully upwind).
+#[inline]
+fn face_value(x_minus: f64, x_plus: f64, vel: f64, up: f64) -> f64 {
+    let centered = 0.5 * (x_minus + x_plus);
+    let upwind = if vel > 0.0 { x_minus } else { x_plus };
+    (1.0 - up) * centered + up * upwind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (OceanModel, OceanState, World) {
+        let world = World::earthlike();
+        let model = OceanModel::new(OceanConfig::tiny(), &world);
+        let state = model.init_state(&world);
+        (model, state, world)
+    }
+
+    #[test]
+    fn init_state_is_physical() {
+        let (model, state, _) = setup();
+        assert!(model.is_finite(&state));
+        let sst = model.mean_sst(&state);
+        assert!((5.0..25.0).contains(&sst), "mean SST {sst}");
+        // Bottom water colder than surface everywhere at low latitude.
+        let jm = model.grid.ny / 2;
+        for i in 0..model.grid.nx {
+            if model.mask[model.grid.idx(i, jm)] {
+                assert!(state.t[0].get(i, jm) > state.t[model.cfg.nz - 1].get(i, jm));
+            }
+        }
+    }
+
+    #[test]
+    fn unforced_ocean_is_quiescent_and_conserves_heat() {
+        let (model, mut state, _) = setup();
+        let forcing = OceanForcing::zeros(&model.grid);
+        let h0 = model.heat_content(&state);
+        for _ in 0..4 {
+            model.step_coupled(&mut state, &forcing, 21_600.0);
+        }
+        assert!(model.is_finite(&state));
+        let h1 = model.heat_content(&state);
+        // No surface fluxes → heat conserved to advection-scheme accuracy
+        // (the initial state is not in perfect balance, so weak currents
+        // appear; conservation should still hold to high relative order).
+        assert!(
+            ((h1 - h0) / h0).abs() < 1e-4,
+            "heat drift {:.3e}",
+            (h1 - h0) / h0
+        );
+        // Residual motions stay small for a day.
+        assert!(model.max_speed(&state) < 0.5, "{}", model.max_speed(&state));
+    }
+
+    #[test]
+    fn wind_driven_spinup_creates_currents() {
+        let (model, mut state, world) = setup();
+        for _ in 0..8 {
+            let f = OceanForcing::climatological(&model.grid, &world, &model.sst(&state));
+            model.step_coupled(&mut state, &f, 21_600.0);
+        }
+        assert!(model.is_finite(&state));
+        let speed = model.max_speed(&state);
+        assert!(speed > 0.01, "no circulation: {speed}");
+        assert!(speed < 3.0, "runaway circulation: {speed}");
+    }
+
+    #[test]
+    fn surface_heating_warms_only_the_surface_first() {
+        // Compare a heated run against an unheated control (the initial
+        // geostrophic-adjustment transient affects both identically).
+        let (model, state0, _) = setup();
+        let mut heated = state0.clone();
+        let mut control = state0.clone();
+        let mut fh = OceanForcing::zeros(&model.grid);
+        fh.heat.fill(200.0); // strong uniform heating
+        let f0 = OceanForcing::zeros(&model.grid);
+        let t_deep0 = state0.t[model.cfg.nz - 1].clone();
+        for _ in 0..4 {
+            model.step_coupled(&mut heated, &fh, 21_600.0);
+            model.step_coupled(&mut control, &f0, 21_600.0);
+        }
+        let d_sst = model.mean_sst(&heated) - model.mean_sst(&control);
+        // Expected: Q·t/(ρ c_p Δz₀) ≈ 0.066 K for these parameters.
+        let expect = 200.0 * 86_400.0
+            / (RHO_SEAWATER * CP_SEAWATER * model.vert.thickness[0]);
+        assert!(
+            (d_sst / expect - 1.0).abs() < 0.3,
+            "ΔSST {d_sst} vs expected {expect}"
+        );
+        // Deep tropical/midlatitude water essentially untouched in one
+        // day (polar columns may convect, which reaches the bottom).
+        let mut dmax = 0.0f64;
+        for j in 0..model.grid.ny {
+            if model.grid.lats[j].to_degrees().abs() > 45.0 {
+                continue;
+            }
+            for i in 0..model.grid.nx {
+                if model.mask[model.grid.idx(i, j)] {
+                    let d = (heated.t[model.cfg.nz - 1].get(i, j)
+                        - t_deep0.get(i, j))
+                    .abs();
+                    dmax = dmax.max(d);
+                }
+            }
+        }
+        assert!(dmax < 0.05, "deep warmed too fast: {dmax}");
+    }
+
+    #[test]
+    fn sst_clamp_holds_at_freezing() {
+        let (model, mut state, _) = setup();
+        let mut forcing = OceanForcing::zeros(&model.grid);
+        forcing.heat.fill(-1500.0); // brutal cooling
+        for _ in 0..8 {
+            model.step_coupled(&mut state, &forcing, 21_600.0);
+        }
+        for j in 0..model.grid.ny {
+            for i in 0..model.grid.nx {
+                if model.mask[model.grid.idx(i, j)] {
+                    assert!(
+                        state.t[0].get(i, j) >= SEAWATER_FREEZE_C - 1e-9,
+                        "SST below clamp at ({i},{j}): {}",
+                        state.t[0].get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freshwater_flux_freshens_surface() {
+        let (model, mut state, _) = setup();
+        let mut forcing = OceanForcing::zeros(&model.grid);
+        forcing.freshwater.fill(5.0e-5); // ~4.3 mm/day everywhere
+        let s0 = model
+            .grid
+            .masked_mean(state.s[0].as_slice(), &model.mask);
+        for _ in 0..8 {
+            model.step_coupled(&mut state, &forcing, 21_600.0);
+        }
+        let s1 = model
+            .grid
+            .masked_mean(state.s[0].as_slice(), &model.mask);
+        assert!(s1 < s0, "salinity should drop: {s0} → {s1}");
+    }
+
+    #[test]
+    fn split_and_unsplit_agree_for_a_quiet_day() {
+        // The splitting is an *efficiency* device: for gentle forcing the
+        // two schemes should land close to each other after a day.
+        let world = World::earthlike();
+        let model = OceanModel::new(OceanConfig::tiny(), &world);
+        let mut a = model.init_state(&world);
+        let mut b = a.clone();
+        let mut forcing = OceanForcing::zeros(&model.grid);
+        forcing.tau_x.fill(0.02);
+        let work_split = model.step_coupled(&mut a, &forcing, 86_400.0);
+        let work_unsplit = model.step_unsplit(&mut b, &forcing, 86_400.0);
+        assert!(model.is_finite(&a) && model.is_finite(&b));
+        // Area-mean SSTs agree closely (pointwise coastal values are
+        // sensitive to the scheme's step size during the initial
+        // adjustment transient, so the basin-mean is the right metric
+        // for "slowing the free surface changes little").
+        let dmean = (model.mean_sst(&a) - model.mean_sst(&b)).abs();
+        assert!(dmean < 0.1, "schemes diverged: mean ΔSST = {dmean}");
+        // And the split scheme does far less work — the whole point.
+        assert!(
+            work_unsplit > 5 * work_split,
+            "unsplit {work_unsplit} vs split {work_split}"
+        );
+    }
+
+    #[test]
+    fn polar_filter_can_be_disabled() {
+        let world = World::earthlike();
+        let mut cfg = OceanConfig::tiny();
+        cfg.polar_filter_on = false;
+        let model = OceanModel::new(cfg, &world);
+        let mut state = model.init_state(&world);
+        let forcing = OceanForcing::zeros(&model.grid);
+        model.step_coupled(&mut state, &forcing, 21_600.0);
+        assert!(model.is_finite(&state));
+    }
+
+    #[test]
+    fn baroclinic_velocities_have_zero_depth_mean() {
+        let (model, mut state, world) = setup();
+        let f = OceanForcing::climatological(&model.grid, &world, &model.sst(&state));
+        model.step_coupled(&mut state, &f, 43_200.0);
+        for j in 1..model.grid.ny - 1 {
+            for i in 0..model.grid.nx {
+                if !model.mask[model.grid.idx(i, j)] {
+                    continue;
+                }
+                let mut ubar = 0.0;
+                for k in 0..model.cfg.nz {
+                    ubar += state.u[k].get(i, j) * model.vert.thickness[k] / model.cfg.depth;
+                }
+                assert!(ubar.abs() < 1e-10, "depth mean {ubar} at ({i},{j})");
+            }
+        }
+    }
+}
+
+impl OceanModel {
+    /// Meridional overturning streamfunction Ψ(y, z) \[Sv\] from the
+    /// *baroclinic* (depth-mean-free) velocities: Ψ at latitude row j and
+    /// interface k is the net northward transport above that interface,
+    /// ∫∫ v′ dx dz. The deep-ocean circulation whose long-period
+    /// variations motivate the whole FOAM project ("Variations in deep
+    /// ocean circulation are believed to be the dominant mechanism for
+    /// climate changes on long time scales"). The barotropic part is
+    /// excluded: with a (slowed) free surface its net meridional
+    /// transport rings during adjustment, while the depth-mean-free part
+    /// is the overturning proper — and makes Ψ close at the bottom
+    /// exactly.
+    ///
+    /// Returns a `(ny × (nz+1))` matrix, row-major in j, in Sverdrups
+    /// (10⁶ m³/s); Ψ = 0 at the surface interface by construction.
+    pub fn overturning_streamfunction(&self, state: &OceanState) -> Vec<f64> {
+        let (nx, ny, nz) = (self.grid.nx, self.grid.ny, self.cfg.nz);
+        let mut psi = vec![0.0; ny * (nz + 1)];
+        for j in 0..ny {
+            let mut acc = 0.0;
+            for k in 0..nz {
+                // Zonally integrated northward transport of layer k.
+                let mut vdx = 0.0;
+                for i in 0..nx {
+                    if self.mask[self.grid.idx(i, j)] {
+                        vdx += state.v[k].get(i, j) * self.grid.dx[j];
+                    }
+                }
+                acc -= vdx * self.vert.thickness[k];
+                psi[j * (nz + 1) + (k + 1)] = acc / 1.0e6;
+            }
+        }
+        psi
+    }
+
+    /// Peak absolute overturning \[Sv\] (a one-number MOC diagnostic).
+    pub fn max_overturning(&self, state: &OceanState) -> f64 {
+        self.overturning_streamfunction(state)
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod moc_tests {
+    use super::*;
+
+    #[test]
+    fn resting_ocean_has_zero_overturning() {
+        let world = World::earthlike();
+        let model = OceanModel::new(OceanConfig::tiny(), &world);
+        let state = model.init_state(&world);
+        assert_eq!(model.max_overturning(&state), 0.0);
+    }
+
+    #[test]
+    fn surface_at_psi_zero_and_finite_everywhere() {
+        let world = World::earthlike();
+        let model = OceanModel::new(OceanConfig::tiny(), &world);
+        let mut state = model.init_state(&world);
+        let f = OceanForcing::climatological(&model.grid, &world, &model.sst(&state));
+        for _ in 0..8 {
+            model.step_coupled(&mut state, &f, 21_600.0);
+        }
+        let psi = model.overturning_streamfunction(&state);
+        let nzp = model.cfg.nz + 1;
+        for j in 0..model.grid.ny {
+            assert_eq!(psi[j * nzp], 0.0, "surface interface must be 0");
+        }
+        assert!(psi.iter().all(|v| v.is_finite()));
+        // Wind-driven spin-up must produce *some* overturning, with a
+        // magnitude in the single-to-tens of Sverdrups band.
+        let peak = model.max_overturning(&state);
+        assert!(peak > 0.01, "no overturning developed: {peak} Sv");
+        assert!(peak < 300.0, "unphysical overturning: {peak} Sv");
+    }
+}

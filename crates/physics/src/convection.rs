@@ -1,0 +1,450 @@
+//! Moist convection and stratiform condensation.
+//!
+//! FOAM started from CCM2's Hack mass-flux scheme and gained CCM3's
+//! Zhang–McFarlane deep convection plus evaporation of stratiform
+//! precipitation — the paper singles out this upgrade as what "vastly
+//! improved its representation of the tropical Pacific". The schemes
+//! here keep that division of labour:
+//!
+//! * a *dry/shallow adjustment* pass (Hack-like: local instability removed
+//!   by mixing adjacent layers, iterated to convergence — iteration count
+//!   varies with cloudiness and is the model's load-imbalance source),
+//! * *deep convection* closed on CAPE (Zhang–McFarlane-like: relax the
+//!   profile toward a moist adiabat over a fixed timescale, precipitating
+//!   the implied moisture),
+//! * *stratiform condensation* removing supersaturation, with
+//!   re-evaporation of falling precipitation in dry layers below (the
+//!   CCM3 addition).
+//!
+//! All tendencies conserve column moist enthalpy (c_p T + L q) and water
+//! to rounding; tests enforce both.
+
+use foam_grid::constants::{CP_DRY, L_VAP, R_DRY};
+
+use crate::column::{moist_adiabat, saturation_humidity, AtmColumn};
+
+/// Tunable parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvectionParams {
+    /// Enable the Zhang–McFarlane-style deep convection (a CCM3
+    /// addition; CCM2 relied on the Hack scheme alone — the paper's §6
+    /// traces its early tropical-Pacific problems to exactly this).
+    pub deep_enabled: bool,
+    /// CAPE needed to trigger deep convection \[J/kg\].
+    pub cape_threshold: f64,
+    /// Deep-convective adjustment timescale \[s\].
+    pub tau_deep: f64,
+    /// Maximum dry/shallow adjustment sweeps.
+    pub max_iters: usize,
+    /// Fraction of falling stratiform precip that may re-evaporate per
+    /// subsaturated layer.
+    pub evap_eff: f64,
+}
+
+impl ConvectionParams {
+    /// The CCM2-era configuration: Hack mass-flux/adjustment only, no
+    /// deep CAPE closure, no re-evaporation of falling precipitation.
+    pub fn ccm2() -> Self {
+        ConvectionParams {
+            deep_enabled: false,
+            evap_eff: 0.0,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ConvectionParams {
+    fn default() -> Self {
+        ConvectionParams {
+            deep_enabled: true,
+            cape_threshold: 70.0,
+            tau_deep: 7200.0,
+            max_iters: 20,
+            evap_eff: 0.25,
+        }
+    }
+}
+
+/// What one convection call did to the column.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvectionResult {
+    /// Deep convective precipitation \[kg/m²\] over the step.
+    pub precip_deep: f64,
+    /// Stratiform precipitation reaching the surface \[kg/m²\].
+    pub precip_stratiform: f64,
+    /// Total adjustment sweeps performed — the "work units" whose
+    /// horizontal variation produces the load imbalance of Figure 2.
+    pub iterations: usize,
+}
+
+impl ConvectionResult {
+    pub fn total_precip(&self) -> f64 {
+        self.precip_deep + self.precip_stratiform
+    }
+}
+
+/// Remove dry static instability by mixing adjacent layers (conserving
+/// c_p T mass-weighted enthalpy and water), sweeping until the column is
+/// stable or `max_iters` is reached. Returns the number of sweeps.
+pub fn dry_adjustment(col: &mut AtmColumn, max_iters: usize) -> usize {
+    let n = col.nlev();
+    for it in 0..max_iters {
+        let mut changed = false;
+        for k in 0..n - 1 {
+            // k is above k+1. Instability: θ increases downward.
+            let th_up = col.theta(k);
+            let th_dn = col.theta(k + 1);
+            if th_dn > th_up + 1e-6 {
+                let m1 = col.layer_mass(k);
+                let m2 = col.layer_mass(k + 1);
+                // Mix to a common potential temperature, preserving
+                // mass-weighted enthalpy via the Exner weights.
+                let ex1 = (col.p[k] / 1.0e5f64).powf(R_DRY / CP_DRY);
+                let ex2 = (col.p[k + 1] / 1.0e5f64).powf(R_DRY / CP_DRY);
+                let th_mix = (m1 * ex1 * th_up + m2 * ex2 * th_dn) / (m1 * ex1 + m2 * ex2);
+                col.t[k] = th_mix * ex1;
+                col.t[k + 1] = th_mix * ex2;
+                let q_mix = (m1 * col.q[k] + m2 * col.q[k + 1]) / (m1 + m2);
+                col.q[k] = q_mix;
+                col.q[k + 1] = q_mix;
+                changed = true;
+            }
+        }
+        if !changed {
+            return it + 1;
+        }
+    }
+    max_iters
+}
+
+/// Convective available potential energy of a parcel lifted
+/// pseudo-adiabatically from the lowest layer \[J/kg\].
+pub fn compute_cape(col: &AtmColumn) -> f64 {
+    let n = col.nlev();
+    let t0 = col.t[n - 1];
+    let q0 = col.q[n - 1];
+    let p0 = col.p[n - 1];
+    let mut cape = 0.0;
+    for k in (0..n - 1).rev() {
+        let tp = moist_adiabat(t0, q0, p0, col.p[k]);
+        let buoy = R_DRY * (tp - col.t[k]);
+        if buoy > 0.0 {
+            cape += buoy * (col.p[k + 1] / col.p[k]).ln();
+        }
+    }
+    cape
+}
+
+/// Zhang–McFarlane-style deep convection: when CAPE exceeds the
+/// threshold, relax the temperature profile toward the parcel moist
+/// adiabat with timescale `tau_deep`, paying for the heating with column
+/// moisture (the precipitated water). Conserves moist enthalpy exactly.
+/// Returns (precip \[kg/m²\], sweeps used).
+pub fn deep_convection(col: &mut AtmColumn, dt: f64, p: &ConvectionParams) -> (f64, usize) {
+    if !p.deep_enabled {
+        return (0.0, 0);
+    }
+    let cape = compute_cape(col);
+    if cape < p.cape_threshold {
+        return (0.0, 1);
+    }
+    let n = col.nlev();
+    let t0 = col.t[n - 1];
+    let q0 = col.q[n - 1];
+    let p0 = col.p[n - 1];
+    // Heating demanded by relaxation toward the moist adiabat.
+    let mut heat = 0.0; // J/m²
+    let mut dts = vec![0.0; n];
+    for k in 0..n - 1 {
+        let t_ref = moist_adiabat(t0, q0, p0, col.p[k]);
+        if t_ref > col.t[k] {
+            let d = (t_ref - col.t[k]) * dt / p.tau_deep;
+            dts[k] = d;
+            heat += CP_DRY * d * col.layer_mass(k);
+        }
+    }
+    // The latent supply: water available in the lower half of the column.
+    let mut avail = 0.0;
+    for k in n / 2..n {
+        avail += 0.5 * col.q[k] * col.layer_mass(k);
+    }
+    let precip_needed = heat / L_VAP;
+    let precip = precip_needed.min(avail);
+    if precip <= 0.0 {
+        return (0.0, 1);
+    }
+    let scale = precip / precip_needed;
+    for k in 0..n - 1 {
+        col.t[k] += dts[k] * scale;
+    }
+    // Remove the precipitated water from the lower half, ∝ q·m.
+    let mut wsum = 0.0;
+    for k in n / 2..n {
+        wsum += col.q[k] * col.layer_mass(k);
+    }
+    for k in n / 2..n {
+        let frac = col.q[k] * col.layer_mass(k) / wsum;
+        col.q[k] -= precip * frac / col.layer_mass(k);
+    }
+    // Sweeps scale with how active the event was (mimics iterative mass
+    // flux closure cost).
+    let sweeps = 2 + (cape / p.cape_threshold).min(8.0) as usize;
+    (precip, sweeps)
+}
+
+/// Hack-style shallow moistening: mix humidity upward through the lowest
+/// three layers when the surface layer is nearly saturated.
+pub fn shallow_convection(col: &mut AtmColumn) -> usize {
+    let n = col.nlev();
+    if n < 3 {
+        return 0;
+    }
+    if col.rel_humidity(n - 1) < 0.85 {
+        return 0;
+    }
+    let ks = [n - 3, n - 2, n - 1];
+    let mtot: f64 = ks.iter().map(|&k| col.layer_mass(k)).sum();
+    let qbar: f64 = ks.iter().map(|&k| col.q[k] * col.layer_mass(k)).sum::<f64>() / mtot;
+    for &k in &ks {
+        // Partial mixing toward the triplet mean.
+        col.q[k] += 0.5 * (qbar - col.q[k]);
+    }
+    1
+}
+
+/// Stratiform condensation with precipitation evaporation. Returns the
+/// precipitation reaching the surface \[kg/m²\].
+pub fn stratiform(col: &mut AtmColumn, p: &ConvectionParams) -> f64 {
+    let n = col.nlev();
+    let mut falling = 0.0; // kg/m² of liquid falling into the layer below
+    for k in 0..n {
+        let qs = saturation_humidity(col.t[k], col.p[k]);
+        if col.q[k] > qs {
+            // Condense the excess, with the latent-heat feedback factor
+            // (condensation warms, raising q_sat).
+            let tc = col.t[k] - 273.15;
+            let dqs_dt = qs * 17.27 * 237.3 / ((tc + 237.3) * (tc + 237.3));
+            let gamma = 1.0 + L_VAP / CP_DRY * dqs_dt;
+            let dq = (col.q[k] - qs) / gamma;
+            col.q[k] -= dq;
+            col.t[k] += L_VAP / CP_DRY * dq;
+            falling += dq * col.layer_mass(k);
+        } else if falling > 0.0 {
+            // Evaporate some of the falling precip into subsaturated air.
+            let deficit = (qs - col.q[k]) * col.layer_mass(k);
+            let evap = (p.evap_eff * falling).min(deficit).max(0.0);
+            col.q[k] += evap / col.layer_mass(k);
+            col.t[k] -= L_VAP / CP_DRY * evap / col.layer_mass(k);
+            falling -= evap;
+        }
+    }
+    falling
+}
+
+/// The full convection sequence for one step.
+pub fn convect(col: &mut AtmColumn, dt: f64, p: &ConvectionParams) -> ConvectionResult {
+    let it_dry = dry_adjustment(col, p.max_iters);
+    let it_shallow = shallow_convection(col);
+    let (precip_deep, it_deep) = deep_convection(col, dt, p);
+    let precip_stratiform = stratiform(col, p);
+    ConvectionResult {
+        precip_deep,
+        precip_stratiform,
+        iterations: it_dry + it_shallow + it_deep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stable_col() -> AtmColumn {
+        AtmColumn::standard(18, 288.0)
+    }
+
+    /// A column with essentially no CAPE: cold surface, dry boundary
+    /// layer (a 6.5 K/km column with a moist warm boundary layer is
+    /// genuinely conditionally unstable, so `stable_col` is not
+    /// CAPE-free).
+    fn cape_free_col() -> AtmColumn {
+        let mut c = AtmColumn::standard(18, 265.0);
+        for q in c.q.iter_mut() {
+            *q *= 0.25;
+        }
+        c
+    }
+
+    fn unstable_col() -> AtmColumn {
+        let mut c = AtmColumn::standard(18, 302.0);
+        // Hot, very moist boundary layer under a cooler column.
+        let n = c.nlev();
+        c.t[n - 1] += 6.0;
+        c.q[n - 1] = 0.9 * saturation_humidity(c.t[n - 1], c.p[n - 1]);
+        c.q[n - 2] = 0.9 * saturation_humidity(c.t[n - 2], c.p[n - 2]);
+        c
+    }
+
+    #[test]
+    fn dry_adjustment_stabilizes_and_conserves() {
+        let mut c = stable_col();
+        let n = c.nlev();
+        c.t[n - 1] += 10.0; // superadiabatic kick
+        let h0 = c.moist_enthalpy();
+        let w0 = c.precipitable_water();
+        let iters = dry_adjustment(&mut c, 50);
+        assert!(iters >= 2, "unstable column should need work");
+        for k in 1..n {
+            assert!(c.theta(k - 1) >= c.theta(k) - 1e-5, "still unstable at {k}");
+        }
+        assert!((c.moist_enthalpy() - h0).abs() < 1e-6 * h0);
+        assert!((c.precipitable_water() - w0).abs() < 1e-12 * w0.max(1.0));
+    }
+
+    #[test]
+    fn stable_column_needs_one_sweep() {
+        let mut c = stable_col();
+        assert_eq!(dry_adjustment(&mut c, 50), 1);
+    }
+
+    #[test]
+    fn cape_discriminates_stability() {
+        let quiet = compute_cape(&cape_free_col());
+        assert!(quiet < 70.0, "cold dry column CAPE = {quiet}");
+        let u = compute_cape(&unstable_col());
+        assert!(u > 500.0, "tropical sounding CAPE = {u}");
+        assert!(u > 10.0 * quiet.max(1.0));
+    }
+
+    #[test]
+    fn deep_convection_rains_and_conserves_enthalpy() {
+        let mut c = unstable_col();
+        let h0 = c.moist_enthalpy();
+        let w0 = c.precipitable_water();
+        let (precip, sweeps) = deep_convection(&mut c, 1800.0, &ConvectionParams::default());
+        assert!(precip > 0.0, "deep convection should precipitate");
+        assert!(sweeps > 1);
+        // Moist enthalpy conserved: heating paid by latent release.
+        assert!(
+            (c.moist_enthalpy() - h0).abs() < 1e-7 * h0,
+            "enthalpy drift {}",
+            (c.moist_enthalpy() - h0) / h0
+        );
+        // Water budget: column lost exactly the precip.
+        assert!((w0 - c.precipitable_water() - precip).abs() < 1e-9 * w0);
+        // CAPE reduced.
+        assert!(compute_cape(&c) < compute_cape(&unstable_col()));
+    }
+
+    #[test]
+    fn deep_convection_skips_stable_columns() {
+        let mut c = cape_free_col();
+        let before = c.clone();
+        let (precip, _) = deep_convection(&mut c, 1800.0, &ConvectionParams::default());
+        assert_eq!(precip, 0.0);
+        assert_eq!(c.t, before.t);
+    }
+
+    #[test]
+    fn stratiform_removes_supersaturation_and_closes_water() {
+        let mut c = stable_col();
+        let n = c.nlev();
+        // Supersaturate a mid-level layer.
+        c.q[8] = 1.3 * saturation_humidity(c.t[8], c.p[8]);
+        let w0 = c.precipitable_water();
+        let h0 = c.moist_enthalpy();
+        let precip = stratiform(&mut c, &ConvectionParams::default());
+        assert!(precip > 0.0);
+        assert!(c.rel_humidity(8) <= 1.01);
+        assert!((w0 - c.precipitable_water() - precip).abs() < 1e-9 * w0);
+        assert!((c.moist_enthalpy() - h0).abs() < 1e-7 * h0);
+        let _ = n;
+    }
+
+    #[test]
+    fn precip_evaporation_moistens_dry_layers_below() {
+        let mut c = stable_col();
+        c.q[5] = 1.5 * saturation_humidity(c.t[5], c.p[5]);
+        // Make the layer below very dry.
+        c.q[6] *= 0.1;
+        let q6_before = c.q[6];
+        let _ = stratiform(&mut c, &ConvectionParams::default());
+        assert!(c.q[6] > q6_before, "falling rain should re-evaporate");
+    }
+
+    #[test]
+    fn convect_work_varies_with_instability() {
+        let mut stable = stable_col();
+        let mut unstable = unstable_col();
+        let p = ConvectionParams::default();
+        let r_stable = convect(&mut stable, 1800.0, &p);
+        let r_unstable = convect(&mut unstable, 1800.0, &p);
+        assert!(
+            r_unstable.iterations > r_stable.iterations,
+            "load imbalance source: {} vs {}",
+            r_unstable.iterations,
+            r_stable.iterations
+        );
+        assert!(r_unstable.total_precip() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod vintage_tests {
+    use super::*;
+    use crate::column::saturation_humidity;
+
+    fn tropical_col() -> AtmColumn {
+        let mut c = AtmColumn::standard(18, 302.0);
+        let n = c.nlev();
+        c.t[n - 1] += 6.0;
+        c.q[n - 1] = 0.9 * saturation_humidity(c.t[n - 1], c.p[n - 1]);
+        c.q[n - 2] = 0.9 * saturation_humidity(c.t[n - 2], c.p[n - 2]);
+        c
+    }
+
+    #[test]
+    fn ccm2_configuration_disables_deep_convection() {
+        let mut c = tropical_col();
+        let (precip, _) = deep_convection(&mut c, 1800.0, &ConvectionParams::ccm2());
+        assert_eq!(precip, 0.0);
+        let mut c2 = tropical_col();
+        let (precip3, _) = deep_convection(&mut c2, 1800.0, &ConvectionParams::default());
+        assert!(precip3 > 0.0, "CCM3 config must convect deeply");
+    }
+
+    #[test]
+    fn ccm2_configuration_disables_precip_evaporation() {
+        // Supersaturated layer above a dry one: with evap_eff = 0 all the
+        // condensate reaches the surface.
+        let p2 = ConvectionParams::ccm2();
+        let p3 = ConvectionParams::default();
+        let make = || {
+            let mut c = AtmColumn::standard(18, 290.0);
+            c.q[5] = 1.5 * saturation_humidity(c.t[5], c.p[5]);
+            c.q[6] *= 0.1;
+            c
+        };
+        let mut a = make();
+        let rain2 = stratiform(&mut a, &p2);
+        let mut b = make();
+        let rain3 = stratiform(&mut b, &p3);
+        assert!(rain2 > rain3, "CCM2 {rain2} should out-rain CCM3 {rain3}");
+    }
+
+    #[test]
+    fn ccm2_and_ccm3_agree_when_stable_and_dry() {
+        let make = || {
+            let mut c = AtmColumn::standard(18, 265.0);
+            for q in c.q.iter_mut() {
+                *q *= 0.25;
+            }
+            c
+        };
+        let mut a = make();
+        let ra = convect(&mut a, 1800.0, &ConvectionParams::ccm2());
+        let mut b = make();
+        let rb = convect(&mut b, 1800.0, &ConvectionParams::default());
+        assert_eq!(ra.total_precip(), rb.total_precip());
+        assert_eq!(a.t, b.t);
+    }
+}

@@ -1,0 +1,40 @@
+//! `foam-physics` — CCM-style column physics.
+//!
+//! In CCM2/CCM3 (and therefore in FOAM's atmosphere) all "physics" —
+//! radiation, moist convection, stratiform condensation, boundary-layer
+//! mixing, surface fluxes — acts in vertical columns with *no* horizontal
+//! data dependence. The paper leans on this: "the physics processes in
+//! CCM2, which occur entirely in vertical columns, are represented
+//! without any information exchange between processors."
+//!
+//! This crate reproduces that structure with simplified but physically
+//! grounded parameterizations (see DESIGN.md §4 for the substitution
+//! rationale):
+//!
+//! * [`radiation`] — gray two-stream longwave + solar shortwave with
+//!   diurnal/seasonal cycle. The expensive full computation is cached and
+//!   refreshed twice per simulated day, exactly the cadence that produces
+//!   the long radiation time steps visible in the paper's Figure 2.
+//! * [`convection`] — a Hack-style shallow/dry adjustment pass plus a
+//!   Zhang–McFarlane-style deep CAPE-relaxation scheme (the CCM3 physics
+//!   whose adoption the paper credits with fixing the tropical Pacific),
+//!   and stratiform condensation with precipitation evaporation.
+//! * [`surface`] — stability-dependent bulk transfer coefficients, with
+//!   the CCM3 wind-speed-dependent ocean roughness.
+//! * [`pbl`] — implicit vertical diffusion for the boundary layer.
+//! * [`ColumnPhysics`] — the per-column driver combining all of the
+//!   above; it also reports a *work counter* (adjustment iterations), the
+//!   source of the cloud-driven load imbalance the paper observes.
+
+pub mod column;
+pub mod convection;
+pub mod pbl;
+pub mod radiation;
+pub mod surface;
+
+mod driver;
+
+pub use column::AtmColumn;
+pub use driver::{ColumnPhysics, PhysicsConfig, PhysicsTendencies, PhysicsVintage, SurfaceState, SurfaceKind};
+pub use radiation::{OrbitalState, RadCache};
+pub use surface::BulkFluxes;

@@ -1,0 +1,150 @@
+//! Boundary-layer vertical diffusion (implicit).
+//!
+//! CCM2's PBL scheme (modified per Vogelzang & Holtslag in FOAM) is
+//! represented by implicit vertical diffusion of potential temperature
+//! and humidity with a surface-stability-dependent diffusivity decaying
+//! with height. The implicit (backward Euler) tridiagonal solve is
+//! unconditionally stable, as in the original.
+
+use crate::column::AtmColumn;
+use foam_grid::constants::{CP_DRY, R_DRY};
+
+/// Apply one implicit vertical-diffusion step to θ and q.
+///
+/// `k_sfc` is the near-surface diffusivity \[m²/s\]; the profile decays as
+/// exp(−z/`h_scale`).
+pub fn vertical_diffusion(col: &mut AtmColumn, dt: f64, k_sfc: f64, h_scale: f64) {
+    let n = col.nlev();
+    if n < 2 || k_sfc <= 0.0 {
+        return;
+    }
+    // Geometry: heights of layer centres.
+    let z: Vec<f64> = (0..n).map(|k| col.height(k)).collect();
+    let m: Vec<f64> = (0..n).map(|k| col.layer_mass(k)).collect();
+
+    // Interface diffusive couplings g_k between layer k and k+1:
+    // flux = rho K (X_k − X_{k+1}) / Δz  (positive downward when the
+    // upper layer is richer). Express the update implicitly.
+    let mut g = vec![0.0; n - 1];
+    for k in 0..n - 1 {
+        let z_int = 0.5 * (z[k] + z[k + 1]);
+        let kk = k_sfc * (-z_int / h_scale).exp();
+        let dz = (z[k] - z[k + 1]).max(1.0);
+        // Air density at the interface from the ideal gas law.
+        let p_int = 0.5 * (col.p[k] + col.p[k + 1]);
+        let t_int = 0.5 * (col.t[k] + col.t[k + 1]);
+        let rho = p_int / (R_DRY * t_int);
+        g[k] = rho * kk / dz; // kg m⁻² s⁻¹ per unit ΔX
+    }
+
+    // Convert T to θ, diffuse θ and q, convert back.
+    let exner: Vec<f64> = (0..n)
+        .map(|k| (col.p[k] / 1.0e5f64).powf(R_DRY / CP_DRY))
+        .collect();
+    let mut theta: Vec<f64> = (0..n).map(|k| col.t[k] / exner[k]).collect();
+    solve_tridiag_diffusion(&mut theta, &g, &m, dt);
+    let mut q = col.q.clone();
+    solve_tridiag_diffusion(&mut q, &g, &m, dt);
+    for k in 0..n {
+        col.t[k] = theta[k] * exner[k];
+        col.q[k] = q[k].max(0.0);
+    }
+}
+
+/// Backward-Euler diffusion solve: (I − dt A) X^{n+1} = X^n where A is
+/// the conservative flux-divergence operator built from couplings `g`.
+fn solve_tridiag_diffusion(x: &mut [f64], g: &[f64], m: &[f64], dt: f64) {
+    let n = x.len();
+    let mut a = vec![0.0; n]; // sub-diagonal
+    let mut b = vec![0.0; n]; // diagonal
+    let mut c = vec![0.0; n]; // super-diagonal
+    for k in 0..n {
+        let up = if k > 0 { g[k - 1] } else { 0.0 };
+        let dn = if k < n - 1 { g[k] } else { 0.0 };
+        b[k] = 1.0 + dt * (up + dn) / m[k];
+        if k > 0 {
+            a[k] = -dt * up / m[k];
+        }
+        if k < n - 1 {
+            c[k] = -dt * dn / m[k];
+        }
+    }
+    // Thomas algorithm.
+    let mut cp = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    cp[0] = c[0] / b[0];
+    dp[0] = x[0] / b[0];
+    for k in 1..n {
+        let denom = b[k] - a[k] * cp[k - 1];
+        cp[k] = c[k] / denom;
+        dp[k] = (x[k] - a[k] * dp[k - 1]) / denom;
+    }
+    x[n - 1] = dp[n - 1];
+    for k in (0..n - 1).rev() {
+        x[k] = dp[k] - cp[k] * x[k + 1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diffusion_conserves_mass_weighted_quantities() {
+        let mut col = AtmColumn::standard(18, 288.0);
+        col.q[17] *= 3.0; // moisten the surface layer
+        let w0 = col.precipitable_water();
+        vertical_diffusion(&mut col, 1800.0, 50.0, 1000.0);
+        let w1 = col.precipitable_water();
+        assert!(
+            (w1 - w0).abs() < 1e-9 * w0,
+            "water not conserved: {w0} → {w1}"
+        );
+    }
+
+    #[test]
+    fn diffusion_smooths_surface_moisture_spike() {
+        let mut col = AtmColumn::standard(18, 288.0);
+        let q_above_before = col.q[16];
+        col.q[17] *= 3.0;
+        let q_sfc_before = col.q[17];
+        vertical_diffusion(&mut col, 3600.0, 100.0, 1500.0);
+        assert!(col.q[17] < q_sfc_before, "spike should decay");
+        assert!(col.q[16] > q_above_before, "moisture should move up");
+    }
+
+    #[test]
+    fn diffusion_of_uniform_theta_is_identity() {
+        let mut col = AtmColumn::isothermal(10, 2000.0, 280.0);
+        // Make θ uniform (T follows Exner), q uniform.
+        let n = col.nlev();
+        for k in 0..n {
+            let ex = (col.p[k] / 1.0e5f64).powf(R_DRY / CP_DRY);
+            col.t[k] = 300.0 * ex;
+            col.q[k] = 0.004;
+        }
+        let before = col.clone();
+        vertical_diffusion(&mut col, 3600.0, 80.0, 1200.0);
+        for k in 0..n {
+            assert!((col.t[k] - before.t[k]).abs() < 1e-9);
+            assert!((col.q[k] - before.q[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_dt_remains_stable() {
+        let mut col = AtmColumn::standard(18, 300.0);
+        col.t[17] += 15.0;
+        vertical_diffusion(&mut col, 86_400.0, 500.0, 2000.0);
+        assert!(col.t.iter().all(|t| t.is_finite() && *t > 150.0 && *t < 350.0));
+        assert!(col.q.iter().all(|q| *q >= 0.0));
+    }
+
+    #[test]
+    fn zero_diffusivity_is_a_noop() {
+        let mut col = AtmColumn::standard(18, 288.0);
+        let before = col.clone();
+        vertical_diffusion(&mut col, 1800.0, 0.0, 1000.0);
+        assert_eq!(col.t, before.t);
+    }
+}

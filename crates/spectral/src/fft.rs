@@ -1,0 +1,362 @@
+//! Complex arithmetic and a mixed-radix FFT.
+//!
+//! The transform grid's longitude counts are smooth numbers (48 = 2⁴·3,
+//! 128 = 2⁷), so a Cooley–Tukey factorization over the smallest prime
+//! factor covers every case; a naive O(r²) combine handles any residual
+//! prime factor, keeping the implementation fully general.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number (we avoid external crates by policy; see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// e^{iθ}.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Multiplication by i (a quarter turn), cheaper than a full complex
+    /// multiply in the derivative formulas.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// A reusable FFT plan for length `n` (precomputed twiddle table).
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// twiddle[k] = e^{-2πik/n}
+    twiddle: Vec<Complex>,
+}
+
+impl FftPlan {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let twiddle = (0..n)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        FftPlan { n, twiddle }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DFT: X_k = Σ_j x_j e^{-2πijk/n} (no normalization).
+    pub fn forward(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.n);
+        self.rec(x, 1, self.n)
+    }
+
+    /// Inverse DFT: x_j = (1/n) Σ_k X_k e^{+2πijk/n}.
+    pub fn inverse(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.n);
+        // Conjugate trick: IDFT(x) = conj(DFT(conj(x))) / n.
+        let conj: Vec<Complex> = x.iter().map(|c| c.conj()).collect();
+        let y = self.rec(&conj, 1, self.n);
+        let s = 1.0 / self.n as f64;
+        y.into_iter().map(|c| c.conj().scale(s)).collect()
+    }
+
+    /// Recursive mixed-radix Cooley–Tukey. `x` is viewed with `stride`;
+    /// `n` is the logical length of this sub-transform.
+    fn rec(&self, x: &[Complex], stride: usize, n: usize) -> Vec<Complex> {
+        if n == 1 {
+            return vec![x[0]];
+        }
+        let r = smallest_prime_factor(n);
+        let m = n / r;
+        // r sub-transforms of length m over the decimated sequences.
+        let subs: Vec<Vec<Complex>> = (0..r)
+            .map(|j| self.rec(&x[j * stride..], stride * r, m))
+            .collect();
+        // Combine: X[s + t m] = Σ_j W_n^{j(s+tm)} Y_j[s].
+        let tw_step = self.n / n; // twiddle table is for the full length
+        let mut out = vec![Complex::ZERO; n];
+        for s in 0..m {
+            for t in 0..r {
+                let k = s + t * m;
+                let mut acc = Complex::ZERO;
+                for (j, sub) in subs.iter().enumerate() {
+                    let idx = (j * k) % n * tw_step;
+                    acc += self.twiddle[idx] * sub[s];
+                }
+                out[k] = acc;
+            }
+        }
+        out
+    }
+}
+
+fn smallest_prime_factor(n: usize) -> usize {
+    for p in [2usize, 3, 5, 7] {
+        if n % p == 0 {
+            return p;
+        }
+    }
+    let mut p = 11;
+    while p * p <= n {
+        if n % p == 0 {
+            return p;
+        }
+        p += 2;
+    }
+    n
+}
+
+/// Real analysis on a longitude circle: given `nlon` real samples,
+/// return the one-sided Fourier coefficients
+/// c_m = (1/nlon) Σ_i f_i e^{-imλ_i} for m = 0..=m_max, so that
+/// f_i = Re[c_0 + 2 Σ_{m≥1} c_m e^{imλ_i}] for band-limited f.
+pub fn real_analysis(plan: &FftPlan, row: &[f64], m_max: usize) -> Vec<Complex> {
+    assert_eq!(row.len(), plan.len());
+    let x: Vec<Complex> = row.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    let y = plan.forward(&x);
+    let s = 1.0 / plan.len() as f64;
+    (0..=m_max).map(|m| y[m].scale(s)).collect()
+}
+
+/// Real synthesis on a longitude circle: inverse of [`real_analysis`].
+pub fn real_synthesis(plan: &FftPlan, coeffs: &[Complex], out: &mut [f64]) {
+    let n = plan.len();
+    assert_eq!(out.len(), n);
+    let mut spec = vec![Complex::ZERO; n];
+    // Build the two-sided spectrum of a real signal: X_m = n c_m,
+    // X_{n-m} = n conj(c_m).
+    let m_max = coeffs.len() - 1;
+    assert!(2 * m_max < n, "synthesis requires nlon > 2*m_max");
+    spec[0] = coeffs[0].scale(n as f64);
+    for m in 1..=m_max {
+        spec[m] = coeffs[m].scale(n as f64);
+        spec[n - m] = coeffs[m].conj().scale(n as f64);
+    }
+    let x = plan.inverse(&spec);
+    for (o, c) in out.iter_mut().zip(x) {
+        *o = c.re;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex> {
+        // Small deterministic LCG; avoids pulling rand into unit tests.
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let a = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let b = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                Complex::new(a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_for_mixed_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8, 12, 15, 16, 20, 48, 49, 128] {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, n as u64);
+            let fast = plan.forward(&x);
+            let slow = naive_dft(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-9 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [2usize, 3, 7, 24, 48, 128] {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, 42 + n as u64);
+            let y = plan.inverse(&plan.forward(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let n = 48;
+        let plan = FftPlan::new(n);
+        let x = rand_signal(n, 7);
+        let y = plan.forward(&x);
+        let ex: f64 = x.iter().map(|c| c.norm_sq()).sum();
+        let ey: f64 = y.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-10 * ex);
+    }
+
+    #[test]
+    fn delta_transforms_to_ones() {
+        let n = 12;
+        let plan = FftPlan::new(n);
+        let mut x = vec![Complex::ZERO; n];
+        x[0] = Complex::ONE;
+        let y = plan.forward(&x);
+        for c in y {
+            assert!((c - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn real_roundtrip_bandlimited() {
+        let n = 48;
+        let m_max = 15;
+        let plan = FftPlan::new(n);
+        // A band-limited real signal.
+        let row: Vec<f64> = (0..n)
+            .map(|i| {
+                let lam = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                1.5 + 0.7 * (3.0 * lam).cos() - 2.0 * (15.0 * lam).sin() + 0.1 * (lam).sin()
+            })
+            .collect();
+        let c = real_analysis(&plan, &row, m_max);
+        let mut back = vec![0.0; n];
+        real_synthesis(&plan, &c, &mut back);
+        for (a, b) in row.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_analysis_extracts_known_coefficients() {
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let row: Vec<f64> = (0..n)
+            .map(|i| {
+                let lam = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                2.0 + 3.0 * (2.0 * lam).cos() + 4.0 * (5.0 * lam).sin()
+            })
+            .collect();
+        let c = real_analysis(&plan, &row, 7);
+        assert!((c[0].re - 2.0).abs() < 1e-12 && c[0].im.abs() < 1e-12);
+        // a cos(mλ) → c_m = a/2 ; b sin(mλ) → c_m = -i b/2.
+        assert!((c[2].re - 1.5).abs() < 1e-12 && c[2].im.abs() < 1e-12);
+        assert!(c[5].re.abs() < 1e-12 && (c[5].im + 2.0).abs() < 1e-12);
+        assert!(c[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_helpers() {
+        let z = Complex::new(1.0, 2.0);
+        assert_eq!(z.mul_i(), Complex::new(-2.0, 1.0));
+        assert_eq!(z.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::cis(std::f64::consts::PI) + Complex::ONE).abs() < 1e-15);
+        assert!((z.abs() - 5.0f64.sqrt()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,458 @@
+//! Serial spherical-harmonic transform between a Gaussian grid and a
+//! rhomboidally truncated spectral space, plus spectral-space calculus.
+
+use foam_grid::constants::EARTH_RADIUS;
+use foam_grid::{AtmGrid, Field2};
+
+use crate::fft::{real_analysis, real_synthesis, Complex, FftPlan};
+use crate::legendre::LegendreTable;
+use crate::truncation::Truncation;
+
+/// A field in spectral space under a [`Truncation`].
+///
+/// Convention: the grid field is recovered as
+/// f(λ, μ) = Re\[ Σ_m (2 − δ_{m0}) e^{imλ} Σ_n a_{mn} P̄ₙᵐ(μ) \],
+/// with P̄ orthonormal on μ ∈ \[−1, 1\].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralField {
+    pub trunc: Truncation,
+    pub data: Vec<Complex>,
+}
+
+impl SpectralField {
+    pub fn zeros(trunc: Truncation) -> Self {
+        SpectralField {
+            trunc,
+            data: vec![Complex::ZERO; trunc.len()],
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, m: usize, n: usize) -> Complex {
+        self.data[self.trunc.idx(m, n)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, m: usize, n: usize, v: Complex) {
+        let k = self.trunc.idx(m, n);
+        self.data[k] = v;
+    }
+
+    /// `self += a * other`.
+    pub fn axpy(&mut self, a: f64, other: &SpectralField) {
+        assert_eq!(self.trunc, other.trunc);
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += y.scale(a);
+        }
+    }
+
+    pub fn scale(&mut self, a: f64) {
+        for x in &mut self.data {
+            *x = x.scale(a);
+        }
+    }
+
+    /// Spectral Laplacian: each (m, n) multiplied by −n(n+1)/a².
+    pub fn laplacian(&self) -> SpectralField {
+        let mut out = self.clone();
+        let a2 = EARTH_RADIUS * EARTH_RADIUS;
+        for (m, n) in self.trunc.pairs() {
+            let k = self.trunc.idx(m, n);
+            let eig = -((n * (n + 1)) as f64) / a2;
+            out.data[k] = self.data[k].scale(eig);
+        }
+        out
+    }
+
+    /// Inverse Laplacian; the (0,0) (global mean) component, which is in
+    /// the Laplacian's null space, is set to zero.
+    pub fn inv_laplacian(&self) -> SpectralField {
+        let mut out = self.clone();
+        let a2 = EARTH_RADIUS * EARTH_RADIUS;
+        for (m, n) in self.trunc.pairs() {
+            let k = self.trunc.idx(m, n);
+            if n == 0 {
+                out.data[k] = Complex::ZERO;
+            } else {
+                let eig = -((n * (n + 1)) as f64) / a2;
+                out.data[k] = self.data[k].scale(1.0 / eig);
+            }
+        }
+        out
+    }
+
+    /// Implicit ∇⁴ hyperdiffusion over a step `dt`:
+    /// a ← a / (1 + dt ν₄ (n(n+1)/a²)²). Unconditionally stable — the
+    /// standard spectral-model damping (the ocean uses an explicit ∇⁴ on
+    /// its grid instead).
+    pub fn apply_hyperdiffusion(&mut self, nu4: f64, dt: f64) {
+        let a2 = EARTH_RADIUS * EARTH_RADIUS;
+        for (m, n) in self.trunc.pairs() {
+            let k = self.trunc.idx(m, n);
+            let lap = (n * (n + 1)) as f64 / a2;
+            let f = 1.0 / (1.0 + dt * nu4 * lap * lap);
+            self.data[k] = self.data[k].scale(f);
+        }
+    }
+
+    /// Implicit combined ∇² + ∇⁴ diffusion over a step `dt`:
+    /// a ← a / (1 + dt (ν₂ L + ν₄ L²)) with L = n(n+1)/a². Used by the
+    /// tracer advection, where a little ∇² keeps explicit advection tame.
+    pub fn apply_diffusion(&mut self, nu2: f64, nu4: f64, dt: f64) {
+        let a2 = EARTH_RADIUS * EARTH_RADIUS;
+        for (m, n) in self.trunc.pairs() {
+            let k = self.trunc.idx(m, n);
+            let lap = (n * (n + 1)) as f64 / a2;
+            let f = 1.0 / (1.0 + dt * (nu2 * lap + nu4 * lap * lap));
+            self.data[k] = self.data[k].scale(f);
+        }
+    }
+
+    /// Area-mean of f² over the sphere, computed spectrally (Parseval).
+    pub fn mean_square(&self) -> f64 {
+        let mut s = 0.0;
+        for (m, n) in self.trunc.pairs() {
+            let w = if m == 0 { 1.0 } else { 2.0 };
+            s += w * self.get(m, n).norm_sq();
+        }
+        0.5 * s
+    }
+}
+
+/// Transform engine bound to a grid and truncation: precomputed FFT plan
+/// and Legendre tables.
+pub struct SphericalTransform {
+    pub grid: AtmGrid,
+    pub trunc: Truncation,
+    plan: FftPlan,
+    /// One table per zonal wavenumber m, tabulated at all grid latitudes.
+    tables: Vec<LegendreTable>,
+}
+
+impl SphericalTransform {
+    pub fn new(grid: AtmGrid, trunc: Truncation) -> Self {
+        assert!(
+            grid.nlon >= 2 * trunc.m_max + 2,
+            "nlon {} too small for m_max {}",
+            grid.nlon,
+            trunc.m_max
+        );
+        let plan = FftPlan::new(grid.nlon);
+        let tables = (0..=trunc.m_max)
+            .map(|m| LegendreTable::new(m, trunc.n_max(m), &grid.mu))
+            .collect();
+        SphericalTransform {
+            grid,
+            trunc,
+            plan,
+            tables,
+        }
+    }
+
+    /// The paper's configuration: R15 on the 48 × 40 Gaussian grid.
+    pub fn r15() -> Self {
+        Self::new(AtmGrid::r15(), Truncation::r15())
+    }
+
+    /// Forward (analysis) transform of a full grid field.
+    pub fn analyze(&self, f: &Field2) -> SpectralField {
+        let mut spec = SpectralField::zeros(self.trunc);
+        self.accumulate_rows(f, 0, f.ny(), &mut spec.data);
+        spec
+    }
+
+    /// Accumulate the Legendre-quadrature contribution of grid rows
+    /// `[j0, j1)` into `acc` (used directly by the distributed transform;
+    /// the full analysis is the sum of all rows' contributions).
+    pub fn accumulate_rows(&self, f: &Field2, j0: usize, j1: usize, acc: &mut [Complex]) {
+        assert_eq!(f.nx(), self.grid.nlon);
+        assert_eq!(acc.len(), self.trunc.len());
+        let m_max = self.trunc.m_max;
+        for (jl, j) in (j0..j1).enumerate() {
+            let row = if f.ny() == self.grid.nlat {
+                f.row(j)
+            } else {
+                // Local slab: row index is relative.
+                f.row(jl)
+            };
+            let cm = real_analysis(&self.plan, row, m_max);
+            let w = self.grid.weights[j];
+            for m in 0..=m_max {
+                let t = &self.tables[m];
+                let base = self.trunc.idx(m, m);
+                let c = cm[m].scale(w);
+                let prow = t.p_row(j);
+                for (dn, &p) in prow.iter().enumerate() {
+                    acc[base + dn] += c.scale(p);
+                }
+            }
+        }
+    }
+
+    /// Inverse (synthesis) transform onto the full grid.
+    pub fn synthesize(&self, spec: &SpectralField) -> Field2 {
+        self.synthesize_rows(spec, 0, self.grid.nlat, SynthKind::Value)
+    }
+
+    /// Synthesis of ∂f/∂λ on the full grid.
+    pub fn synthesize_dlambda(&self, spec: &SpectralField) -> Field2 {
+        self.synthesize_rows(spec, 0, self.grid.nlat, SynthKind::DLambda)
+    }
+
+    /// Synthesis of cos φ · ∂f/∂φ (= (1 − μ²) ∂f/∂μ) on the full grid.
+    pub fn synthesize_cosgrad(&self, spec: &SpectralField) -> Field2 {
+        self.synthesize_rows(spec, 0, self.grid.nlat, SynthKind::CosGrad)
+    }
+
+    /// Synthesize rows `[j0, j1)` of the chosen quantity, returning a
+    /// `(nlon × (j1 − j0))` slab.
+    pub fn synthesize_rows(
+        &self,
+        spec: &SpectralField,
+        j0: usize,
+        j1: usize,
+        kind: SynthKind,
+    ) -> Field2 {
+        assert_eq!(spec.trunc, self.trunc);
+        let nlon = self.grid.nlon;
+        let m_max = self.trunc.m_max;
+        let mut out = Field2::zeros(nlon, j1 - j0);
+        let mut cm = vec![Complex::ZERO; m_max + 1];
+        for j in j0..j1 {
+            for (m, c) in cm.iter_mut().enumerate() {
+                let t = &self.tables[m];
+                let base = self.trunc.idx(m, m);
+                let mut acc = Complex::ZERO;
+                let row = match kind {
+                    SynthKind::Value | SynthKind::DLambda => t.p_row(j),
+                    SynthKind::CosGrad => t.h_row(j),
+                };
+                for (dn, &p) in row.iter().enumerate() {
+                    acc += spec.data[base + dn].scale(p);
+                }
+                if kind == SynthKind::DLambda {
+                    acc = acc.mul_i().scale(m as f64);
+                }
+                *c = acc;
+            }
+            real_synthesis(&self.plan, &cm, out.row_mut(j - j0));
+        }
+        out
+    }
+
+    /// Rotational winds from a streamfunction: returns (U, V) where
+    /// U = u cos φ and V = v cos φ, with u = −(1/a) ∂ψ/∂φ and
+    /// v = (1/(a cos φ)) ∂ψ/∂λ.
+    pub fn uv_from_streamfunction(&self, psi: &SpectralField) -> (Field2, Field2) {
+        let mut ucos = self.synthesize_cosgrad(psi);
+        ucos.scale(-1.0 / EARTH_RADIUS);
+        let mut vcos = self.synthesize_dlambda(psi);
+        vcos.scale(1.0 / EARTH_RADIUS);
+        (ucos, vcos)
+    }
+}
+
+/// Which quantity [`SphericalTransform::synthesize_rows`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthKind {
+    Value,
+    DLambda,
+    CosGrad,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SphericalTransform {
+        SphericalTransform::new(AtmGrid::new(24, 16), Truncation::rhomboidal(5))
+    }
+
+    fn rand_spec(t: &SphericalTransform, seed: u64) -> SpectralField {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut spec = SpectralField::zeros(t.trunc);
+        for (m, n) in t.trunc.pairs() {
+            let re = next();
+            let im = if m == 0 { 0.0 } else { next() };
+            spec.set(m, n, Complex::new(re, im));
+        }
+        spec
+    }
+
+    #[test]
+    fn synthesize_then_analyze_is_identity() {
+        let t = small();
+        let spec = rand_spec(&t, 3);
+        let grid = t.synthesize(&spec);
+        let back = t.analyze(&grid);
+        for (m, n) in t.trunc.pairs() {
+            let d = back.get(m, n) - spec.get(m, n);
+            assert!(d.abs() < 1e-11, "m={m} n={n}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn constant_field_is_pure_00_mode() {
+        let t = small();
+        let f = Field2::filled(t.grid.nlon, t.grid.nlat, 4.2);
+        let spec = t.analyze(&f);
+        for (m, n) in t.trunc.pairs() {
+            if (m, n) == (0, 0) {
+                assert!((spec.get(0, 0).re - 4.2 * 2.0f64.sqrt()).abs() < 1e-12);
+            } else {
+                assert!(spec.get(m, n).abs() < 1e-12, "leakage at ({m},{n})");
+            }
+        }
+        let back = t.synthesize(&spec);
+        for &v in back.as_slice() {
+            assert!((v - 4.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_has_harmonic_eigenvalues() {
+        let t = small();
+        let (m, n) = (2usize, 4usize);
+        let mut spec = SpectralField::zeros(t.trunc);
+        spec.set(m, n, Complex::new(1.0, -0.5));
+        let f = t.synthesize(&spec);
+        let lap = t.synthesize(&spec.laplacian());
+        let eig = -((n * (n + 1)) as f64) / (EARTH_RADIUS * EARTH_RADIUS);
+        for (a, b) in f.as_slice().iter().zip(lap.as_slice()) {
+            assert!((b - eig * a).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn inv_laplacian_inverts_away_from_nullspace() {
+        let t = small();
+        let mut spec = rand_spec(&t, 9);
+        spec.set(0, 0, Complex::ZERO);
+        let roundtrip = spec.laplacian().inv_laplacian();
+        for (m, n) in t.trunc.pairs() {
+            let d = roundtrip.get(m, n) - spec.get(m, n);
+            assert!(d.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dlambda_of_sinusoid() {
+        let t = small();
+        // f = cos φ sin λ is the (m=1, n=1) harmonic combination; build
+        // it on the grid and differentiate spectrally.
+        let f = Field2::from_fn(t.grid.nlon, t.grid.nlat, |i, j| {
+            t.grid.lats[j].cos() * t.grid.lons[i].sin()
+        });
+        let spec = t.analyze(&f);
+        let df = t.synthesize_dlambda(&spec);
+        for j in 0..t.grid.nlat {
+            for i in 0..t.grid.nlon {
+                let expect = t.grid.lats[j].cos() * t.grid.lons[i].cos();
+                assert!((df.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cosgrad_of_mu() {
+        let t = small();
+        // f = μ = sin φ; cos φ ∂f/∂φ = cos²φ = 1 − μ².
+        let f = Field2::from_fn(t.grid.nlon, t.grid.nlat, |_i, j| t.grid.mu[j]);
+        let spec = t.analyze(&f);
+        let g = t.synthesize_cosgrad(&spec);
+        for j in 0..t.grid.nlat {
+            let expect = 1.0 - t.grid.mu[j] * t.grid.mu[j];
+            for i in 0..t.grid.nlon {
+                assert!((g.get(i, j) - expect).abs() < 1e-10, "j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn uv_from_solid_body_rotation() {
+        let t = small();
+        // ψ = −Ω a² μ gives solid-body rotation u = Ω a cos φ, v = 0.
+        let omega = 3.0e-6;
+        let f = Field2::from_fn(t.grid.nlon, t.grid.nlat, |_i, j| {
+            -omega * EARTH_RADIUS * EARTH_RADIUS * t.grid.mu[j]
+        });
+        let psi = t.analyze(&f);
+        let (ucos, vcos) = t.uv_from_streamfunction(&psi);
+        for j in 0..t.grid.nlat {
+            let cos = t.grid.lats[j].cos();
+            let expect_u = omega * EARTH_RADIUS * cos; // u = Ωa cosφ
+            for i in 0..t.grid.nlon {
+                assert!(
+                    (ucos.get(i, j) - expect_u * cos).abs() < 1e-7 * EARTH_RADIUS.abs() * omega,
+                    "u mismatch at j={j}"
+                );
+                assert!(vcos.get(i, j).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_mean_square_matches_grid_quadrature() {
+        let t = small();
+        let spec = rand_spec(&t, 21);
+        let f = t.synthesize(&spec);
+        // Grid quadrature of f² with Gaussian weights.
+        let mut s = 0.0;
+        for j in 0..t.grid.nlat {
+            let w = t.grid.weights[j];
+            for i in 0..t.grid.nlon {
+                s += w * f.get(i, j) * f.get(i, j);
+            }
+        }
+        let grid_ms = s / (2.0 * t.grid.nlon as f64);
+        assert!(
+            (grid_ms - spec.mean_square()).abs() < 1e-12 * grid_ms.max(1.0),
+            "grid {grid_ms} vs spectral {}",
+            spec.mean_square()
+        );
+    }
+
+    #[test]
+    fn hyperdiffusion_damps_high_n_hardest() {
+        let t = small();
+        let mut spec = SpectralField::zeros(t.trunc);
+        spec.set(0, 1, Complex::ONE);
+        spec.set(5, 10, Complex::ONE);
+        spec.apply_hyperdiffusion(1.0e16, 1800.0);
+        let low = spec.get(0, 1).abs();
+        let high = spec.get(5, 10).abs();
+        assert!(low > high, "low {low} should outlive high {high}");
+        assert!(low <= 1.0 && high < 1.0);
+    }
+
+    #[test]
+    fn slab_synthesis_matches_full() {
+        let t = small();
+        let spec = rand_spec(&t, 77);
+        let full = t.synthesize(&spec);
+        let slab = t.synthesize_rows(&spec, 4, 9, SynthKind::Value);
+        for j in 4..9 {
+            for i in 0..t.grid.nlon {
+                assert_eq!(slab.get(i, j - 4), full.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_row_accumulation_sums_to_full_analysis() {
+        let t = small();
+        let spec = rand_spec(&t, 5);
+        let grid = t.synthesize(&spec);
+        let mut acc = vec![Complex::ZERO; t.trunc.len()];
+        t.accumulate_rows(&grid, 0, 7, &mut acc);
+        t.accumulate_rows(&grid, 7, t.grid.nlat, &mut acc);
+        let full = t.analyze(&grid);
+        for (a, b) in acc.iter().zip(&full.data) {
+            assert!((*a - *b).abs() < 1e-13);
+        }
+    }
+}

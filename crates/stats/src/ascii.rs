@@ -1,0 +1,154 @@
+//! ASCII map and series rendering — the terminal stand-in for the
+//! paper's colour plates (Figures 3 and 4).
+
+use foam_grid::Field2;
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+const DIVERGING: &[u8] = b"#*+-. ,~oO"; // negative .. positive
+
+/// Render a field as an ASCII map, north at the top. Cells where `mask`
+/// is false print as `'L'` (land). Returns the map plus a value legend.
+pub fn render_map(f: &Field2, mask: Option<&[bool]>, title: &str) -> String {
+    let (nx, ny) = (f.nx(), f.ny());
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for j in 0..ny {
+        for i in 0..nx {
+            if masked(mask, nx, i, j) {
+                continue;
+            }
+            let v = f.get(i, j);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || hi <= lo {
+        hi = lo + 1.0;
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}  [{lo:.2} .. {hi:.2}]\n"));
+    for j in (0..ny).rev() {
+        for i in 0..nx {
+            if masked(mask, nx, i, j) {
+                out.push('L');
+            } else {
+                let v = (f.get(i, j) - lo) / (hi - lo);
+                let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "scale: '{}' = {:.2} … '{}' = {:.2}\n",
+        RAMP[0] as char, lo, RAMP[RAMP.len() - 1] as char, hi
+    ));
+    out
+}
+
+/// Render a signed field with a diverging ramp centered on zero
+/// (difference maps like Figure 3c).
+pub fn render_diff_map(f: &Field2, mask: Option<&[bool]>, title: &str) -> String {
+    let (nx, ny) = (f.nx(), f.ny());
+    let mut amp = 0.0f64;
+    for j in 0..ny {
+        for i in 0..nx {
+            if !masked(mask, nx, i, j) {
+                amp = amp.max(f.get(i, j).abs());
+            }
+        }
+    }
+    if amp == 0.0 {
+        amp = 1.0;
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}  [±{amp:.2}]\n"));
+    for j in (0..ny).rev() {
+        for i in 0..nx {
+            if masked(mask, nx, i, j) {
+                out.push('L');
+            } else {
+                let v = (f.get(i, j) / amp).clamp(-1.0, 1.0);
+                let idx = (((v + 1.0) / 2.0 * (DIVERGING.len() - 1) as f64).round() as usize)
+                    .min(DIVERGING.len() - 1);
+                out.push(DIVERGING[idx] as char);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A one-line sparkline for a time series (Figure 4b's temporal pattern).
+pub fn sparkline(x: &[f64], width: usize) -> String {
+    const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if x.is_empty() {
+        return String::new();
+    }
+    let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-300);
+    let n = x.len();
+    (0..width.min(n))
+        .map(|c| {
+            // Average the bucket of samples mapping to this column.
+            let a = c * n / width.min(n);
+            let b = ((c + 1) * n / width.min(n)).max(a + 1);
+            let v: f64 = x[a..b].iter().sum::<f64>() / (b - a) as f64;
+            let idx = (((v - lo) / span) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+#[inline]
+fn masked(mask: Option<&[bool]>, nx: usize, i: usize, j: usize) -> bool {
+    mask.map(|m| !m[j * nx + i]).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_has_expected_shape_and_legend() {
+        let f = Field2::from_fn(10, 4, |i, j| (i + j) as f64);
+        let s = render_map(&f, None, "test");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 1 + 4 + 1);
+        assert!(lines[0].starts_with("test"));
+        assert_eq!(lines[1].len(), 10);
+        // North (largest j → biggest values here) on top: last char of
+        // top row is the ramp max.
+        assert!(lines[1].ends_with('@'));
+        assert!(lines[4].starts_with(' '));
+    }
+
+    #[test]
+    fn land_mask_renders_as_l() {
+        let f = Field2::filled(4, 2, 1.0);
+        let mut mask = vec![true; 8];
+        mask[0] = false; // (0, 0) = bottom-left
+        let s = render_map(&f, Some(&mask), "m");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(&lines[2][0..1], "L");
+    }
+
+    #[test]
+    fn diff_map_is_centered() {
+        let f = Field2::from_fn(6, 2, |i, _| i as f64 - 2.5);
+        let s = render_diff_map(&f, None, "d");
+        assert!(s.contains('#') && s.contains('O'));
+    }
+
+    #[test]
+    fn sparkline_tracks_shape() {
+        let x: Vec<f64> = (0..64)
+            .map(|t| (t as f64 * std::f64::consts::PI / 32.0).sin())
+            .collect();
+        let s = sparkline(&x, 32);
+        assert_eq!(s.chars().count(), 32);
+        let chars: Vec<char> = s.chars().collect();
+        // Peak in the first half, trough in the second.
+        assert!(chars[8] > chars[24]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Empirical orthogonal functions (via the snapshot method) and VARIMAX
+//! rotation — the machinery behind the paper's Figure 4.
+
+use crate::linalg::symmetric_eigen;
+
+/// An EOF decomposition of an anomaly dataset.
+#[derive(Debug, Clone)]
+pub struct Eof {
+    /// `patterns[k]` is mode k in physical space (length `n_space`),
+    /// scaled so that `x(t, s) ≈ Σ_k pcs[k][t] · patterns[k][s]`.
+    pub patterns: Vec<Vec<f64>>,
+    /// Principal-component series, unit variance.
+    pub pcs: Vec<Vec<f64>>,
+    /// Fraction of total (area-weighted) variance per mode.
+    pub variance_fraction: Vec<f64>,
+    /// Total area-weighted variance of the input.
+    pub total_variance: f64,
+}
+
+/// EOF analysis of `data` (time-major: `data[t][s]`, anomalies) with
+/// per-point area weights, keeping `k_keep` modes. Uses the snapshot
+/// (temporal covariance) method, which only needs an `n_t × n_t`
+/// eigenproblem — the standard trick when space outnumbers time.
+pub fn eof_analysis(data: &[Vec<f64>], weights: &[f64], k_keep: usize) -> Eof {
+    let n_t = data.len();
+    assert!(n_t >= 2, "need at least two time samples");
+    let n_s = data[0].len();
+    assert_eq!(weights.len(), n_s);
+    let sqrt_w: Vec<f64> = weights.iter().map(|w| w.max(0.0).sqrt()).collect();
+
+    // Weighted snapshots X̃[t][s] = x · √w.
+    let xt: Vec<Vec<f64>> = data
+        .iter()
+        .map(|row| {
+            assert_eq!(row.len(), n_s);
+            row.iter().zip(&sqrt_w).map(|(v, w)| v * w).collect()
+        })
+        .collect();
+
+    // Gram matrix G = X̃ X̃ᵀ (n_t × n_t).
+    let mut g = vec![0.0; n_t * n_t];
+    for t1 in 0..n_t {
+        for t2 in t1..n_t {
+            let dot: f64 = xt[t1].iter().zip(&xt[t2]).map(|(a, b)| a * b).sum();
+            g[t1 * n_t + t2] = dot;
+            g[t2 * n_t + t1] = dot;
+        }
+    }
+    let (lambda, u) = symmetric_eigen(&g, n_t);
+    let total: f64 = lambda.iter().filter(|l| **l > 0.0).sum();
+    let k_keep = k_keep.min(n_t);
+
+    let mut patterns = Vec::with_capacity(k_keep);
+    let mut pcs = Vec::with_capacity(k_keep);
+    let mut varfrac = Vec::with_capacity(k_keep);
+    for k in 0..k_keep {
+        let lam = lambda[k].max(0.0);
+        if lam <= 1e-12 * total.max(1e-300) {
+            break;
+        }
+        // Spatial mode ẽ = X̃ᵀ u / √λ (unit norm in weighted space).
+        let mut e = vec![0.0; n_s];
+        for t in 0..n_t {
+            let c = u[k][t];
+            for (s, ev) in e.iter_mut().enumerate() {
+                *ev += c * xt[t][s];
+            }
+        }
+        let inv = 1.0 / lam.sqrt();
+        for ev in e.iter_mut() {
+            *ev *= inv;
+        }
+        // Physical pattern = ẽ √(λ/n_t) / √w ; PC = u √n_t (unit var).
+        let amp = (lam / n_t as f64).sqrt();
+        let pattern: Vec<f64> = e
+            .iter()
+            .zip(&sqrt_w)
+            .map(|(ev, w)| if *w > 0.0 { ev * amp / w } else { 0.0 })
+            .collect();
+        let pc: Vec<f64> = u[k].iter().map(|v| v * (n_t as f64).sqrt()).collect();
+        patterns.push(pattern);
+        pcs.push(pc);
+        varfrac.push(lam / total);
+    }
+
+    Eof {
+        patterns,
+        pcs,
+        variance_fraction: varfrac,
+        total_variance: total / n_t as f64,
+    }
+}
+
+/// VARIMAX rotation of the leading `k` modes of `eof` (Kaiser
+/// normalized), re-projecting the data to get rotated PCs. Rotated modes
+/// are sorted by descending explained variance — the operation the paper
+/// applies before plotting Figure 4.
+pub fn varimax(data: &[Vec<f64>], weights: &[f64], eof: &Eof, k: usize) -> Eof {
+    let k = k.min(eof.patterns.len());
+    let n_s = weights.len();
+    let n_t = data.len();
+    let sqrt_w: Vec<f64> = weights.iter().map(|w| w.max(0.0).sqrt()).collect();
+
+    // Loadings in weighted space: L[s][k].
+    let mut l = vec![0.0; n_s * k];
+    for kk in 0..k {
+        for s in 0..n_s {
+            l[s * k + kk] = eof.patterns[kk][s] * sqrt_w[s];
+        }
+    }
+    // Kaiser normalization.
+    let mut h = vec![0.0; n_s];
+    for s in 0..n_s {
+        let norm: f64 = (0..k).map(|kk| l[s * k + kk] * l[s * k + kk]).sum();
+        h[s] = norm.sqrt();
+        if h[s] > 1e-12 {
+            for kk in 0..k {
+                l[s * k + kk] /= h[s];
+            }
+        }
+    }
+    // Pairwise rotations.
+    let nf = n_s as f64;
+    for _sweep in 0..50 {
+        let mut total_rotation = 0.0;
+        for p in 0..k {
+            for q in p + 1..k {
+                let mut a = 0.0;
+                let mut b = 0.0;
+                let mut c = 0.0;
+                let mut d = 0.0;
+                for s in 0..n_s {
+                    let x = l[s * k + p];
+                    let y = l[s * k + q];
+                    let u = x * x - y * y;
+                    let v = 2.0 * x * y;
+                    a += u;
+                    b += v;
+                    c += u * u - v * v;
+                    d += 2.0 * u * v;
+                }
+                let num = d - 2.0 * a * b / nf;
+                let den = c - (a * a - b * b) / nf;
+                let theta = 0.25 * num.atan2(den);
+                if theta.abs() < 1e-9 {
+                    continue;
+                }
+                total_rotation += theta.abs();
+                let (ct, st) = (theta.cos(), theta.sin());
+                for s in 0..n_s {
+                    let x = l[s * k + p];
+                    let y = l[s * k + q];
+                    l[s * k + p] = ct * x + st * y;
+                    l[s * k + q] = -st * x + ct * y;
+                }
+            }
+        }
+        if total_rotation < 1e-8 {
+            break;
+        }
+    }
+    // Denormalize.
+    for s in 0..n_s {
+        if h[s] > 1e-12 {
+            for kk in 0..k {
+                l[s * k + kk] *= h[s];
+            }
+        }
+    }
+
+    // Rotated explained variance per factor = Σ_s L².
+    let mut order: Vec<usize> = (0..k).collect();
+    let colvar: Vec<f64> = (0..k)
+        .map(|kk| (0..n_s).map(|s| l[s * k + kk] * l[s * k + kk]).sum())
+        .collect();
+    order.sort_by(|&a, &b| colvar[b].partial_cmp(&colvar[a]).unwrap());
+
+    let mut patterns = Vec::with_capacity(k);
+    let mut varfrac = Vec::with_capacity(k);
+    let mut pcs = Vec::with_capacity(k);
+    for &kk in &order {
+        let pattern: Vec<f64> = (0..n_s)
+            .map(|s| {
+                if sqrt_w[s] > 0.0 {
+                    l[s * k + kk] / sqrt_w[s]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        // PC by weighted projection onto the (unit) rotated direction.
+        let norm: f64 = colvar[kk];
+        let pc: Vec<f64> = (0..n_t)
+            .map(|t| {
+                let mut acc = 0.0;
+                for s in 0..n_s {
+                    acc += data[t][s] * weights[s].max(0.0) * pattern[s];
+                }
+                acc / norm.max(1e-300)
+            })
+            .collect();
+        patterns.push(pattern);
+        varfrac.push(colvar[kk] / eof.total_variance.max(1e-300));
+        pcs.push(pc);
+    }
+
+    Eof {
+        patterns,
+        pcs,
+        variance_fraction: varfrac,
+        total_variance: eof.total_variance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two orthogonal spatial patterns with well separated variances.
+    fn synthetic(n_t: usize, n_s: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let p1: Vec<f64> = (0..n_s)
+            .map(|s| (2.0 * std::f64::consts::PI * s as f64 / n_s as f64).sin())
+            .collect();
+        let p2: Vec<f64> = (0..n_s)
+            .map(|s| (4.0 * std::f64::consts::PI * s as f64 / n_s as f64).cos())
+            .collect();
+        let data: Vec<Vec<f64>> = (0..n_t)
+            .map(|t| {
+                let a = 3.0 * (t as f64 * 0.37).sin();
+                let b = 1.0 * (t as f64 * 0.11).cos();
+                (0..n_s).map(|s| a * p1[s] + b * p2[s]).collect()
+            })
+            .collect();
+        let w = vec![1.0; n_s];
+        (data, w, p1, p2)
+    }
+
+    fn abs_corr(a: &[f64], b: &[f64]) -> f64 {
+        crate::series::correlation(a, b).abs()
+    }
+
+    #[test]
+    fn recovers_dominant_pattern() {
+        let (data, w, p1, _p2) = synthetic(80, 64);
+        let eof = eof_analysis(&data, &w, 3);
+        assert!(eof.variance_fraction[0] > 0.7);
+        assert!(abs_corr(&eof.patterns[0], &p1) > 0.99);
+        // Variance fractions are a partition.
+        let s: f64 = eof.variance_fraction.iter().sum();
+        assert!(s <= 1.0 + 1e-9);
+        assert!(eof.variance_fraction[0] >= eof.variance_fraction[1]);
+    }
+
+    #[test]
+    fn pcs_have_unit_variance_and_are_orthogonal() {
+        let (data, w, _, _) = synthetic(100, 40);
+        let eof = eof_analysis(&data, &w, 2);
+        for pc in &eof.pcs {
+            let var: f64 = pc.iter().map(|v| v * v).sum::<f64>() / pc.len() as f64;
+            assert!((var - 1.0).abs() < 1e-9, "pc variance {var}");
+        }
+        let dot: f64 = eof.pcs[0]
+            .iter()
+            .zip(&eof.pcs[1])
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            / eof.pcs[0].len() as f64;
+        assert!(dot.abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstruction_from_two_modes_is_exact() {
+        let (data, w, _, _) = synthetic(60, 32);
+        let eof = eof_analysis(&data, &w, 2);
+        for t in (0..60).step_by(13) {
+            for s in (0..32).step_by(5) {
+                let rec: f64 = (0..2)
+                    .map(|k| eof.pcs[k][t] * eof.patterns[k][s])
+                    .sum();
+                assert!(
+                    (rec - data[t][s]).abs() < 1e-8,
+                    "t={t} s={s}: {rec} vs {}",
+                    data[t][s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_points_are_excluded() {
+        let (mut data, mut w, _, _) = synthetic(40, 20);
+        // Poison a masked point; with w = 0 it must not affect anything.
+        w[7] = 0.0;
+        for row in data.iter_mut() {
+            row[7] = 1.0e6;
+        }
+        let eof = eof_analysis(&data, &w, 1);
+        assert_eq!(eof.patterns[0][7], 0.0);
+        assert!(eof.variance_fraction[0] > 0.5);
+    }
+
+    #[test]
+    fn varimax_recovers_localized_structures() {
+        // Two disjoint-support "basin" patterns with *similar* variances:
+        // plain EOF mixes them; VARIMAX should separate.
+        let n_s = 60;
+        let n_t = 200;
+        let sup1 = 5..20;
+        let sup2 = 35..50;
+        let p1: Vec<f64> = (0..n_s)
+            .map(|s| if sup1.contains(&s) { 1.0 } else { 0.0 })
+            .collect();
+        let p2: Vec<f64> = (0..n_s)
+            .map(|s| if sup2.contains(&s) { 1.0 } else { 0.0 })
+            .collect();
+        // Nearly equal amplitudes with slightly correlated drivers — the
+        // degenerate case that mixes EOFs.
+        let data: Vec<Vec<f64>> = (0..n_t)
+            .map(|t| {
+                let a = (t as f64 * 0.13).sin() + 0.12 * (t as f64 * 0.05).cos();
+                let b = 1.05 * (t as f64 * 0.131 + 1.0).sin();
+                (0..n_s).map(|s| a * p1[s] + b * p2[s]).collect()
+            })
+            .collect();
+        let w = vec![1.0; n_s];
+        let eof = eof_analysis(&data, &w, 2);
+        let rot = varimax(&data, &w, &eof, 2);
+        // Each rotated factor concentrates its energy on one support.
+        for pattern in &rot.patterns[..2] {
+            let e1: f64 = sup1.clone().map(|s| pattern[s] * pattern[s]).sum();
+            let e2: f64 = sup2.clone().map(|s| pattern[s] * pattern[s]).sum();
+            let (hi, lo) = if e1 > e2 { (e1, e2) } else { (e2, e1) };
+            assert!(
+                hi > 9.0 * lo,
+                "rotated factor not simple: {e1} vs {e2}"
+            );
+        }
+        // Rotation preserves the total explained variance of the pair.
+        let before: f64 = eof.variance_fraction[..2].iter().sum();
+        let after: f64 = rot.variance_fraction[..2].iter().sum();
+        assert!((before - after).abs() < 0.02, "{before} vs {after}");
+    }
+
+    #[test]
+    fn varimax_pcs_track_their_drivers() {
+        let n_s = 40;
+        let n_t = 150;
+        let p1: Vec<f64> = (0..n_s).map(|s| if s < 15 { 1.0 } else { 0.0 }).collect();
+        let p2: Vec<f64> = (0..n_s).map(|s| if s >= 25 { 1.0 } else { 0.0 }).collect();
+        let drv1: Vec<f64> = (0..n_t).map(|t| (t as f64 * 0.21).sin()).collect();
+        let drv2: Vec<f64> = (0..n_t).map(|t| (t as f64 * 0.19 + 0.5).cos()).collect();
+        let data: Vec<Vec<f64>> = (0..n_t)
+            .map(|t| (0..n_s).map(|s| drv1[t] * p1[s] + drv2[t] * p2[s]).collect())
+            .collect();
+        let w = vec![1.0; n_s];
+        let eof = eof_analysis(&data, &w, 2);
+        let rot = varimax(&data, &w, &eof, 2);
+        // One rotated PC matches each driver (in some order, up to sign).
+        let c11 = abs_corr(&rot.pcs[0], &drv1);
+        let c12 = abs_corr(&rot.pcs[0], &drv2);
+        let c21 = abs_corr(&rot.pcs[1], &drv1);
+        let c22 = abs_corr(&rot.pcs[1], &drv2);
+        let matched = (c11 > 0.95 && c22 > 0.95) || (c12 > 0.95 && c21 > 0.95);
+        assert!(matched, "correlations {c11} {c12} {c21} {c22}");
+    }
+}

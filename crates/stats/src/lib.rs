@@ -1,0 +1,22 @@
+//! `foam-stats` — the statistical analysis behind the paper's Figures 3
+//! and 4.
+//!
+//! Figure 4 is "a pattern (obtained by VARIMAX rotation of empirical
+//! orthogonal function decomposition) that accounts for fully 15 percent
+//! of 60 month low-pass filtered variance in sea surface temperature".
+//! Regenerating it needs: monthly climatology/anomalies, a Lanczos
+//! low-pass filter, an EOF decomposition (via the snapshot method with a
+//! Jacobi eigensolver — no external linear algebra), VARIMAX rotation,
+//! and area weighting. Figure 3 needs field statistics (bias, RMSE,
+//! pattern correlation) and map rendering; the ASCII map renderer here
+//! is the terminal stand-in for the paper's colour plates.
+
+pub mod ascii;
+pub mod eof;
+pub mod filter;
+pub mod linalg;
+pub mod series;
+
+pub use eof::{eof_analysis, varimax, Eof};
+pub use filter::lanczos_lowpass;
+pub use series::{anomalies_monthly, correlation, detrend, pattern_stats, FieldStats};

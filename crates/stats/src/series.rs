@@ -1,0 +1,195 @@
+//! Time-series and field statistics: detrending, monthly anomalies,
+//! correlations, and the bias/RMSE/pattern-correlation numbers quoted
+//! alongside Figure 3.
+
+/// Remove a least-squares linear trend in place.
+pub fn detrend(x: &mut [f64]) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    let nf = n as f64;
+    let tbar = (nf - 1.0) / 2.0;
+    let xbar = x.iter().sum::<f64>() / nf;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (t, &v) in x.iter().enumerate() {
+        let dt = t as f64 - tbar;
+        num += dt * (v - xbar);
+        den += dt * dt;
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+    for (t, v) in x.iter_mut().enumerate() {
+        *v -= xbar + slope * (t as f64 - tbar);
+    }
+}
+
+/// Remove the mean seasonal cycle from a monthly series (period 12):
+/// returns anomalies.
+pub fn anomalies_monthly(x: &[f64]) -> Vec<f64> {
+    let mut clim = [0.0; 12];
+    let mut count = [0usize; 12];
+    for (t, &v) in x.iter().enumerate() {
+        clim[t % 12] += v;
+        count[t % 12] += 1;
+    }
+    for m in 0..12 {
+        if count[m] > 0 {
+            clim[m] /= count[m] as f64;
+        }
+    }
+    x.iter()
+        .enumerate()
+        .map(|(t, &v)| v - clim[t % 12])
+        .collect()
+}
+
+/// Pearson correlation of two equal-length series.
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va * vb).sqrt()
+    }
+}
+
+/// Field-vs-reference statistics (the numbers quoted with Figure 3).
+#[derive(Debug, Clone, Copy)]
+pub struct FieldStats {
+    /// Area-weighted mean of model − reference.
+    pub bias: f64,
+    /// Area-weighted RMS of model − reference.
+    pub rmse: f64,
+    /// Area-weighted centered pattern correlation.
+    pub pattern_correlation: f64,
+    /// Largest absolute difference.
+    pub max_abs_diff: f64,
+}
+
+/// Compute [`FieldStats`] over points where `weight > 0` (weights are
+/// cell areas; land points get weight 0).
+pub fn pattern_stats(model: &[f64], reference: &[f64], weight: &[f64]) -> FieldStats {
+    assert_eq!(model.len(), reference.len());
+    assert_eq!(model.len(), weight.len());
+    let wsum: f64 = weight.iter().sum();
+    assert!(wsum > 0.0, "no weighted points");
+    let mean = |f: &[f64]| -> f64 {
+        f.iter().zip(weight).map(|(v, w)| v * w).sum::<f64>() / wsum
+    };
+    let mm = mean(model);
+    let mr = mean(reference);
+    let mut bias = 0.0;
+    let mut mse = 0.0;
+    let mut cov = 0.0;
+    let mut vm = 0.0;
+    let mut vr = 0.0;
+    let mut max_abs: f64 = 0.0;
+    for ((&m, &r), &w) in model.iter().zip(reference).zip(weight) {
+        let d = m - r;
+        bias += w * d;
+        mse += w * d * d;
+        cov += w * (m - mm) * (r - mr);
+        vm += w * (m - mm) * (m - mm);
+        vr += w * (r - mr) * (r - mr);
+        if w > 0.0 {
+            max_abs = max_abs.max(d.abs());
+        }
+    }
+    FieldStats {
+        bias: bias / wsum,
+        rmse: (mse / wsum).sqrt(),
+        pattern_correlation: if vm > 0.0 && vr > 0.0 {
+            cov / (vm * vr).sqrt()
+        } else {
+            0.0
+        },
+        max_abs_diff: max_abs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detrend_removes_line() {
+        let mut x: Vec<f64> = (0..50).map(|t| 3.0 + 0.5 * t as f64).collect();
+        detrend(&mut x);
+        assert!(x.iter().all(|v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn detrend_preserves_oscillation() {
+        let mut x: Vec<f64> = (0..240)
+            .map(|t| 1.0 + 0.01 * t as f64 + (t as f64 * 0.7).sin())
+            .collect();
+        let pure: Vec<f64> = (0..240).map(|t| (t as f64 * 0.7).sin()).collect();
+        detrend(&mut x);
+        let r = correlation(&x, &pure);
+        assert!(r > 0.99, "r = {r}");
+    }
+
+    #[test]
+    fn monthly_anomalies_kill_seasonal_cycle() {
+        let x: Vec<f64> = (0..120)
+            .map(|t| 10.0 + 5.0 * (2.0 * std::f64::consts::PI * (t % 12) as f64 / 12.0).sin())
+            .collect();
+        let a = anomalies_monthly(&x);
+        assert!(a.iter().all(|v| v.abs() < 1e-10), "cycle survived");
+    }
+
+    #[test]
+    fn monthly_anomalies_keep_interannual_signal() {
+        // Seasonal cycle + slow multi-year oscillation.
+        let slow: Vec<f64> = (0..360)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 100.0).sin())
+            .collect();
+        let x: Vec<f64> = (0..360)
+            .map(|t| {
+                20.0 + 8.0 * (2.0 * std::f64::consts::PI * (t % 12) as f64 / 12.0).cos() + slow[t]
+            })
+            .collect();
+        let a = anomalies_monthly(&x);
+        assert!(correlation(&a, &slow) > 0.95);
+    }
+
+    #[test]
+    fn correlation_limits() {
+        let a: Vec<f64> = (0..30).map(|t| t as f64).collect();
+        let b: Vec<f64> = (0..30).map(|t| 2.0 * t as f64 + 1.0).collect();
+        let c: Vec<f64> = (0..30).map(|t| -(t as f64)).collect();
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_stats_identity_and_offset() {
+        let m = vec![1.0, 2.0, 3.0, 4.0];
+        let w = vec![1.0, 1.0, 2.0, 0.0]; // last point masked
+        let s = pattern_stats(&m, &m, &w);
+        assert_eq!(s.bias, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert!((s.pattern_correlation - 1.0).abs() < 1e-12);
+        let shifted: Vec<f64> = m.iter().map(|v| v + 2.0).collect();
+        let s2 = pattern_stats(&shifted, &m, &w);
+        assert!((s2.bias - 2.0).abs() < 1e-12);
+        assert!((s2.rmse - 2.0).abs() < 1e-12);
+        assert!((s2.pattern_correlation - 1.0).abs() < 1e-12);
+        assert!((s2.max_abs_diff - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run the coupled model for a few simulated days and print
+//! what FOAM is about — the model speedup — plus a glance at the SST.
+//!
+//! ```sh
+//! cargo run --release -p foam-examples --bin quickstart [days]
+//! ```
+
+use foam::{run_coupled, FoamConfig};
+use foam_stats::ascii::render_map;
+
+fn main() {
+    let days: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+
+    // The reduced demo configuration (R5 atmosphere, 32×24 ocean, 2
+    // atmosphere ranks + 1 ocean rank). Swap in `FoamConfig::paper(16, 7)`
+    // for the paper's production 17-node setup.
+    let cfg = FoamConfig::tiny(7);
+
+    println!(
+        "FOAM-RS quickstart: {} atmosphere rank(s) + 1 ocean rank, {days} simulated day(s)…",
+        cfg.n_atm_ranks
+    );
+    let out = run_coupled(&cfg, days);
+
+    println!();
+    println!(
+        "simulated {:.1} days in {:.2} s wall → model speedup {:.0}× real time",
+        out.sim_seconds / 86_400.0,
+        out.wall_seconds,
+        out.model_speedup
+    );
+    println!(
+        "mean SST: start {:.2} °C → end {:.2} °C; sea-ice fraction {:.1} %",
+        out.mean_sst_series.first().unwrap(),
+        out.mean_sst_series.last().unwrap(),
+        100.0 * out.ice_fraction
+    );
+    println!();
+    let world = foam::World::earthlike();
+    let mask = foam::OceanModel::effective_sea_mask(&cfg.ocean, &world);
+    println!(
+        "{}",
+        render_map(&out.final_sst, Some(&mask), "Sea surface temperature (°C), L = land")
+    );
+}

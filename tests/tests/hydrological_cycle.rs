@@ -1,0 +1,128 @@
+//! The closed hydrological cycle across crates: rain on land (physics)
+//! → bucket → rivers (land) → mouths → ocean freshwater (coupler) — the
+//! loop the paper closes "to avoid long-term ocean salinity drift".
+
+use foam_coupler::{AtmSurfaceFields, Coupler};
+use foam_grid::{AtmGrid, Field2, OceanGrid, World};
+use foam_ocean::{OceanConfig, OceanModel};
+use foam_physics::PhysicsConfig;
+
+fn setup() -> (Coupler, Field2) {
+    let world = World::earthlike();
+    let atm_grid = AtmGrid::new(24, 16);
+    let ocfg = OceanConfig::tiny();
+    let ocn_grid = OceanGrid::mercator(ocfg.nx, ocfg.ny, ocfg.lat_max_deg);
+    let sea_mask = OceanModel::effective_sea_mask(&ocfg, &world);
+    let sst = Field2::from_fn(ocn_grid.nx, ocn_grid.ny, |i, j| {
+        world
+            .sst_climatology(ocn_grid.lons[i], ocn_grid.lats[j])
+            .max(0.0)
+    });
+    (
+        Coupler::new(atm_grid, ocn_grid, sea_mask, &world, PhysicsConfig::default()),
+        sst,
+    )
+}
+
+fn rainy_atmosphere(g: &AtmGrid) -> AtmSurfaceFields {
+    AtmSurfaceFields {
+        t_low: Field2::from_fn(g.nlon, g.nlat, |_i, j| 255.0 + 40.0 * g.lats[j].cos()),
+        q_low: Field2::filled(g.nlon, g.nlat, 0.009),
+        u_low: Field2::filled(g.nlon, g.nlat, 4.0),
+        v_low: Field2::filled(g.nlon, g.nlat, 0.0),
+        precip: Field2::filled(g.nlon, g.nlat, 2.0e-4), // ~17 mm/day
+        sw_sfc: Field2::filled(g.nlon, g.nlat, 170.0),
+        lw_down: Field2::filled(g.nlon, g.nlat, 330.0),
+    }
+}
+
+#[test]
+fn runoff_reaches_the_ocean_and_total_freshwater_is_bounded_by_rain() {
+    let (c, sst) = setup();
+    let mut st = c.init_state(&sst, |lat| 260.0 + 35.0 * lat.cos());
+    // Pre-fill buckets so runoff starts immediately.
+    for b in st.bucket.iter_mut() {
+        b.soil_water = foam_land::hydrology::BUCKET_CAPACITY;
+    }
+    let atm = rainy_atmosphere(&c.atm_grid);
+    let dt = 1800.0;
+    // Spin long enough for rivers to deliver (weeks of simulated time).
+    let mut delivered_to_ocean = 0.0; // kg
+    for _day in 0..30 {
+        for _ in 0..12 {
+            c.step(&mut st, &atm, &sst, dt);
+        }
+        let f = c.take_ocean_forcing(&mut st);
+        for ko in 0..c.ocn_grid.len() {
+            if c.sea_mask[ko] {
+                let area = c.ocn_grid.cell_area(ko % c.ocn_grid.nx, ko / c.ocn_grid.nx);
+                // freshwater includes P − E over sea; isolate a lower
+                // bound on total by just integrating (it must stay below
+                // total water input).
+                delivered_to_ocean += f.freshwater.as_slice()[ko] * area * 12.0 * dt;
+            }
+        }
+    }
+    assert!(
+        delivered_to_ocean > 0.0,
+        "no freshwater reached the ocean: {delivered_to_ocean}"
+    );
+    // Rivers must be active (water in transit).
+    assert!(c.river.total_storage(&st.river) > 0.0);
+    // Sanity bound: ocean freshwater gain cannot exceed all water
+    // entering the system (rain over the whole planet).
+    let total_rain: f64 = (0..c.atm_grid.len())
+        .map(|ka| atm.precip.as_slice()[ka] * c.overlap.atm_cell_area(ka))
+        .sum::<f64>()
+        * 30.0
+        * 12.0
+        * dt;
+    assert!(delivered_to_ocean < total_rain * 1.001);
+}
+
+#[test]
+fn snow_accumulates_on_cold_land_and_reports_cover() {
+    let (c, sst) = setup();
+    let mut st = c.init_state(&sst, |_lat| 250.0); // frozen ground everywhere
+    let mut atm = rainy_atmosphere(&c.atm_grid);
+    atm.t_low.fill(258.0); // below freezing air
+    atm.sw_sfc.fill(20.0); // polar-night-ish radiation
+    atm.lw_down.fill(180.0);
+    for _ in 0..48 {
+        c.step(&mut st, &atm, &sst, 1800.0);
+    }
+    let snowy = (0..c.atm_grid.len())
+        .filter(|&k| c.land[k] && st.bucket[k].snow > 1e-4)
+        .count();
+    let land_cells = c.land.iter().filter(|&&l| l).count();
+    assert!(
+        snowy * 2 > land_cells,
+        "snow on {snowy} of {land_cells} land cells"
+    );
+    // Snow-covered wetness is 1 (paper: D_w = 1 for snow).
+    for k in 0..c.atm_grid.len() {
+        if c.land[k] && st.bucket[k].snow > 1e-4 {
+            assert_eq!(st.bucket[k].wetness(), 1.0);
+        }
+    }
+}
+
+#[test]
+fn soil_temperatures_respond_to_radiation() {
+    let (c, sst) = setup();
+    let mut st = c.init_state(&sst, |_| 280.0);
+    let mut atm = rainy_atmosphere(&c.atm_grid);
+    atm.precip.fill(0.0);
+    atm.sw_sfc.fill(350.0); // strong sun
+    atm.lw_down.fill(350.0);
+    let k_land = (0..c.atm_grid.len())
+        .find(|&k| c.land[k] && c.sea_frac[k] < 1e-6)
+        .unwrap();
+    let t0 = st.soil[k_land].skin();
+    for _ in 0..24 {
+        c.step(&mut st, &atm, &sst, 1800.0);
+    }
+    let t1 = st.soil[k_land].skin();
+    assert!(t1 > t0 + 1.0, "soil should warm under strong sun: {t0} → {t1}");
+    assert!(t1 < 340.0, "soil runaway: {t1}");
+}

@@ -1,0 +1,77 @@
+//! The paper states several constants verbatim; these tests pin them so
+//! refactors cannot silently drift from the published configuration.
+
+use foam::FoamConfig;
+use foam_grid::constants::SEAWATER_FREEZE_C;
+use foam_land::hydrology::{BUCKET_CAPACITY, SNOW_CAP};
+use foam_land::river::FLOW_VELOCITY;
+use foam_land::{ICE_FORMATION_WATER, ICE_STRESS_FACTOR};
+
+#[test]
+fn bucket_is_15_cm_and_snow_caps_at_1_m() {
+    // "Precipitation is added to a 15 cm soil moisture box…"
+    assert_eq!(BUCKET_CAPACITY, 0.15);
+    // "Snow depths greater than 1 m liquid water equivalent are also
+    //  sent to the river model…"
+    assert_eq!(SNOW_CAP, 1.0);
+}
+
+#[test]
+fn river_velocity_is_0_35_m_per_s() {
+    // "…u is an effective flow velocity which is taken as a constant
+    //  0.35 meters per second."
+    assert_eq!(FLOW_VELOCITY, 0.35);
+}
+
+#[test]
+fn sea_ice_constants_match_the_paper() {
+    // "…a clamp on temperature is imposed by the ocean model at -1.92
+    //  degrees Celsius."
+    assert_eq!(SEAWATER_FREEZE_C, -1.92);
+    // "…the formation of sea ice is treated as a flux of 2 m of water
+    //  out of the ocean."
+    assert_eq!(ICE_FORMATION_WATER, 2.0);
+    // "The stress between the ice and the atmosphere is arbitrarily
+    //  divided by 15 before passing to the ocean model."
+    assert_eq!(ICE_STRESS_FACTOR, 1.0 / 15.0);
+}
+
+#[test]
+fn production_configuration_matches_the_paper() {
+    let cfg = FoamConfig::paper(16, 0);
+    // R15: "40 latitudes … and 48 longitudes", "18 vertical levels",
+    // "30 minute time step".
+    assert_eq!((cfg.atm.nlon, cfg.atm.nlat), (48, 40));
+    assert_eq!(cfg.atm.m_max, 15);
+    assert_eq!(cfg.atm.nlev_phys, 18);
+    assert_eq!(cfg.atm.dt, 1800.0);
+    // "A simple, unstaggered Mercator 128 x 128 point grid", "a sixteen
+    // layer version was used".
+    assert_eq!((cfg.ocean.nx, cfg.ocean.ny), (128, 128));
+    assert_eq!(cfg.ocean.nz, 16);
+    // "The ocean time step is six hours, so the ocean is called four
+    // times per simulated day."
+    assert_eq!(cfg.dt_couple, 21_600.0);
+    // "we typically run on 17 or 34 nodes, with 1 or 2 of those
+    // processors … dedicated to the ocean".
+    assert_eq!(cfg.n_ranks(), 17);
+    // Radiation recomputed twice per simulated day.
+    assert_eq!(cfg.atm.physics.rad_refresh, 43_200.0);
+}
+
+#[test]
+fn r15_grid_spacing_matches_the_paper_text() {
+    // "an average grid size of 4.5 degrees of latitude and 7.5 degrees
+    //  of longitude"
+    let g = foam_grid::AtmGrid::r15();
+    let dlon = g.dlon().to_degrees();
+    assert!((dlon - 7.5).abs() < 1e-9);
+    let dlat_mid = (g.lats[20] - g.lats[19]).to_degrees();
+    assert!((dlat_mid - 4.5).abs() < 0.5);
+    // Ocean: "approximately 1.4 degrees latitude by 2.8 degrees
+    // longitude".
+    let o = foam_grid::OceanGrid::foam_default();
+    assert!((o.dlon().to_degrees() - 2.8125).abs() < 1e-9);
+    let dlat_eq = (o.lats[64] - o.lats[63]).to_degrees();
+    assert!((1.2..1.8).contains(&dlat_eq));
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the spectral transform machinery: the
+//! analysis/synthesis pair must be exact (to rounding) for *any*
+//! band-limited field, not just hand-picked ones.
+
+use foam_spectral::{Complex, SpectralField, SphericalTransform, Truncation};
+use proptest::prelude::*;
+
+fn transform() -> SphericalTransform {
+    SphericalTransform::new(foam_grid::AtmGrid::new(24, 16), Truncation::rhomboidal(5))
+}
+
+/// Strategy: random spectral coefficients in [-1, 1] (imaginary part of
+/// m = 0 forced to zero, as required for a real field).
+fn spec_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 36)
+}
+
+fn build_field(t: &SphericalTransform, coeffs: &[(f64, f64)]) -> SpectralField {
+    let mut spec = SpectralField::zeros(t.trunc);
+    for (idx, (m, n)) in t.trunc.pairs().enumerate() {
+        let (re, im) = coeffs[idx];
+        let im = if m == 0 { 0.0 } else { im };
+        spec.set(m, n, Complex::new(re, im));
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip_is_identity_for_bandlimited_fields(coeffs in spec_strategy()) {
+        let t = transform();
+        let spec = build_field(&t, &coeffs);
+        let grid = t.synthesize(&spec);
+        let back = t.analyze(&grid);
+        for (m, n) in t.trunc.pairs() {
+            let d = back.get(m, n) - spec.get(m, n);
+            prop_assert!(d.abs() < 1e-10, "({m},{n}): {d:?}");
+        }
+    }
+
+    #[test]
+    fn laplacian_and_inverse_cancel(coeffs in spec_strategy()) {
+        let t = transform();
+        let mut spec = build_field(&t, &coeffs);
+        spec.set(0, 0, Complex::ZERO); // null space removed
+        let round = spec.laplacian().inv_laplacian();
+        for (m, n) in t.trunc.pairs() {
+            let d = round.get(m, n) - spec.get(m, n);
+            prop_assert!(d.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(coeffs in spec_strategy()) {
+        let t = transform();
+        let spec = build_field(&t, &coeffs);
+        let grid = t.synthesize(&spec);
+        // Gaussian-quadrature mean square on the grid.
+        let mut s = 0.0;
+        for j in 0..t.grid.nlat {
+            for i in 0..t.grid.nlon {
+                s += t.grid.weights[j] * grid.get(i, j) * grid.get(i, j);
+            }
+        }
+        let grid_ms = s / (2.0 * t.grid.nlon as f64);
+        prop_assert!((grid_ms - spec.mean_square()).abs() < 1e-9 * (1.0 + grid_ms));
+    }
+
+    #[test]
+    fn hyperdiffusion_is_a_contraction(coeffs in spec_strategy(), nu in 1e12f64..1e17, dt in 100.0f64..10_000.0) {
+        let t = transform();
+        let mut spec = build_field(&t, &coeffs);
+        let before = spec.mean_square();
+        spec.apply_hyperdiffusion(nu, dt);
+        let after = spec.mean_square();
+        prop_assert!(after <= before * (1.0 + 1e-12));
+        // The (0,0) mode is untouched.
+        prop_assert!((spec.get(0, 0).re - build_field(&t, &coeffs).get(0, 0).re).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn fft_roundtrip_proptest_style_sweep() {
+    // Deterministic sweep over lengths with pseudo-random signals; the
+    // FFT must invert exactly for every smooth and prime length.
+    use foam_spectral::fft::FftPlan;
+    let mut seed = 99u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    for n in [2usize, 3, 5, 7, 11, 13, 24, 30, 48, 60, 97, 128] {
+        let plan = FftPlan::new(n);
+        let x: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        let y = plan.inverse(&plan.forward(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-9, "n = {n}");
+        }
+    }
+}
