@@ -176,7 +176,9 @@ impl QgCore {
             // β term: −(2Ω/a²) ∂ψ/∂λ, spectral multiply by i m.
             for (m, n) in self.trunc.pairs() {
                 let idx = self.trunc.idx(m, n);
-                let beta = psi[k].data[idx].mul_i().scale(-(2.0 * OMEGA / a2) * m as f64);
+                let beta = psi[k].data[idx]
+                    .mul_i()
+                    .scale(-(2.0 * OMEGA / a2) * m as f64);
                 tend[k].data[idx] += beta;
             }
         }
@@ -270,9 +272,8 @@ pub fn jacobian(
         let mu = grid.mu[par.j0 + jl];
         let fac = 1.0 / (a2 * (1.0 - mu * mu));
         for i in 0..grid.nlon {
-            let v = (a_lam.get(i, jl) * b_cmu.get(i, jl)
-                - a_cmu.get(i, jl) * b_lam.get(i, jl))
-                * fac;
+            let v =
+                (a_lam.get(i, jl) * b_cmu.get(i, jl) - a_cmu.get(i, jl) * b_lam.get(i, jl)) * fac;
             j.set(i, jl, v);
         }
     }
@@ -358,9 +359,7 @@ mod tests {
     #[test]
     fn inversion_roundtrip() {
         let c = core();
-        let mut q: Vec<SpectralField> = (0..3)
-            .map(|_| SpectralField::zeros(c.trunc))
-            .collect();
+        let mut q: Vec<SpectralField> = (0..3).map(|_| SpectralField::zeros(c.trunc)).collect();
         q[0].set(2, 3, Complex::new(1.0, 0.5));
         q[1].set(1, 4, Complex::new(-0.7, 0.0));
         q[2].set(0, 2, Complex::new(0.3, 0.0));
@@ -381,9 +380,7 @@ mod tests {
     fn barotropic_mode_decouples_from_stretching() {
         // Equal ψ at all levels ⇒ q_i = ∇²ψ (no stretching terms).
         let c = core();
-        let mut psi: Vec<SpectralField> = (0..3)
-            .map(|_| SpectralField::zeros(c.trunc))
-            .collect();
+        let mut psi: Vec<SpectralField> = (0..3).map(|_| SpectralField::zeros(c.trunc)).collect();
         for p in psi.iter_mut() {
             p.set(3, 5, Complex::new(1.0, 2.0));
         }
@@ -402,16 +399,17 @@ mod tests {
         // phase westward at ω = −2Ωm/(n(n+1)).
         let out = Universe::run(1, |comm| {
             let par = par(comm);
-            let mut cfg = QgConfig::default();
-            cfg.tau_ekman = 1e30; // disable drag
-            cfg.tau_thermal = 1e30;
-            cfg.nu_hyper = 0.0;
+            let cfg = QgConfig {
+                tau_ekman: 1e30, // disable drag
+                tau_thermal: 1e30,
+                nu_hyper: 0.0,
+                ..Default::default()
+            };
             let c = QgCore::new(cfg, par.base.trunc);
             let (m, n) = (2usize, 4usize);
             let amp = 1.0e-4; // essentially linear
-            let mut psi: Vec<SpectralField> = (0..3)
-                .map(|_| SpectralField::zeros(c.trunc))
-                .collect();
+            let mut psi: Vec<SpectralField> =
+                (0..3).map(|_| SpectralField::zeros(c.trunc)).collect();
             for p in psi.iter_mut() {
                 p.set(m, n, Complex::new(amp, 0.0));
             }
@@ -419,9 +417,8 @@ mod tests {
                 q_prev: c.pv_from_psi(&psi),
                 q_now: c.pv_from_psi(&psi),
             };
-            let dpsi_eq: Vec<SpectralField> = (0..2)
-                .map(|_| SpectralField::zeros(c.trunc))
-                .collect();
+            let dpsi_eq: Vec<SpectralField> =
+                (0..2).map(|_| SpectralField::zeros(c.trunc)).collect();
             let dt = 1800.0;
             let steps = 48;
             for s in 0..steps {
@@ -445,7 +442,9 @@ mod tests {
             (measured, expected)
         });
         let (measured, expected) = out.results[0];
-        let diff = (measured - expected).abs().min(2.0 * std::f64::consts::PI - (measured - expected).abs());
+        let diff = (measured - expected)
+            .abs()
+            .min(2.0 * std::f64::consts::PI - (measured - expected).abs());
         assert!(
             diff < 0.05,
             "phase {measured} vs Rossby–Haurwitz {expected} (diff {diff})"
@@ -486,13 +485,14 @@ mod tests {
     fn ekman_drag_spins_down_bottom_level() {
         Universe::run(1, |comm| {
             let par = par(comm);
-            let mut cfg = QgConfig::default();
-            cfg.nu_hyper = 0.0;
-            cfg.tau_thermal = 1e30;
+            let cfg = QgConfig {
+                nu_hyper: 0.0,
+                tau_thermal: 1e30,
+                ..Default::default()
+            };
             let c = QgCore::new(cfg, par.base.trunc);
-            let mut psi: Vec<SpectralField> = (0..3)
-                .map(|_| SpectralField::zeros(c.trunc))
-                .collect();
+            let mut psi: Vec<SpectralField> =
+                (0..3).map(|_| SpectralField::zeros(c.trunc)).collect();
             for p in psi.iter_mut() {
                 p.set(0, 2, Complex::new(1.0e6, 0.0)); // zonal flow, no β/J
             }
@@ -521,10 +521,12 @@ mod tests {
     fn thermal_relaxation_pulls_shear_toward_equilibrium() {
         Universe::run(1, |comm| {
             let par = par(comm);
-            let mut cfg = QgConfig::default();
-            cfg.nu_hyper = 0.0;
-            cfg.tau_ekman = 1e30;
-            cfg.tau_thermal = 5.0 * 86_400.0;
+            let cfg = QgConfig {
+                nu_hyper: 0.0,
+                tau_ekman: 1e30,
+                tau_thermal: 5.0 * 86_400.0,
+                ..Default::default()
+            };
             let c = QgCore::new(cfg, par.base.trunc);
             // Start at rest; equilibrium demands a shear.
             let mut state = QgState::zeros(par.base.trunc, 3);

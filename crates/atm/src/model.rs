@@ -4,11 +4,9 @@
 use foam_grid::constants::R_DRY;
 use foam_grid::{AtmGrid, Field2};
 use foam_mpi::Comm;
-use foam_physics::{
-    AtmColumn, ColumnPhysics, PhysicsConfig, SurfaceKind, SurfaceState,
-};
 use foam_physics::radiation::OrbitalState;
 use foam_physics::surface::BulkFluxes;
+use foam_physics::{AtmColumn, ColumnPhysics, PhysicsConfig, SurfaceKind, SurfaceState};
 use foam_spectral::{Complex, ParTransform, SpectralField, SphericalTransform, Truncation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -357,8 +355,9 @@ impl AtmModel {
         // --- Dynamics: winds for this step. ---------------------------
         let psi = self.core.psi_from_pv(&state.qg.q_now);
         let nld = self.cfg.dynamics.nlev;
-        let winds: Vec<(Field2, Field2)> =
-            (0..nld).map(|d| winds_on_rows(&self.par, &psi[d])).collect();
+        let winds: Vec<(Field2, Field2)> = (0..nld)
+            .map(|d| winds_on_rows(&self.par, &psi[d]))
+            .collect();
         let (u_low, v_low) = winds[nld - 1].clone();
 
         // --- Column physics (embarrassingly parallel, load-imbalanced).
@@ -504,7 +503,9 @@ impl AtmModel {
                 }
                 let sst_c = world.sst_climatology(grid.lons[i], lat);
                 let sfc = SurfaceState::open_ocean(sst_c + 273.15);
-                let f = self.phys.surface_fluxes(&col, &sfc, (u.get(i, jl), v.get(i, jl)));
+                let f = self
+                    .phys
+                    .surface_fluxes(&col, &sfc, (u.get(i, jl), v.get(i, jl)));
                 fluxes.push(f);
                 t_sfc.push(sfc.t_sfc);
                 albedo.push(sfc.albedo);
@@ -531,8 +532,7 @@ impl AtmModel {
                     continue; // zonal-mean flow excluded: *eddy* energy
                 }
                 let idx = p.trunc.idx(m, n);
-                e += -(p.data[idx].re * grad.data[idx].re
-                    + p.data[idx].im * grad.data[idx].im)
+                e += -(p.data[idx].re * grad.data[idx].re + p.data[idx].im * grad.data[idx].im)
                     * 2.0;
             }
         }

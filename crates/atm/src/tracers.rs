@@ -103,7 +103,10 @@ mod tests {
         psi.set(
             0,
             1,
-            Complex::new(-omega * EARTH_RADIUS * EARTH_RADIUS * (2.0f64 / 3.0).sqrt(), 0.0),
+            Complex::new(
+                -omega * EARTH_RADIUS * EARTH_RADIUS * (2.0f64 / 3.0).sqrt(),
+                0.0,
+            ),
         );
         psi
     }

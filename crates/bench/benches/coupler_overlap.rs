@@ -1,7 +1,8 @@
 //! Ablation A2 — the overlap grid (paper Fig. 1) against naive
 //! nearest-neighbour regridding: construction cost, per-exchange cost,
 //! and — the reason FOAM bothers — the flux conservation error, printed
-//! once at startup.
+//! once at startup, together with the per-tag communication profile of
+//! a short coupled run (what actually crosses the coupler boundary).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use foam_grid::{AtmGrid, Field2, NearestNeighbour, OceanGrid, OverlapGrid, World};
@@ -38,15 +39,30 @@ fn report_conservation() {
     );
 }
 
+fn report_exchange_traffic() {
+    // One simulated day at demo resolution: enough exchanges for the
+    // forcing/SST counters to show the protocol's shape.
+    let cfg = foam::FoamConfig::tiny(7);
+    let out = foam::run_coupled(&cfg, 1.0);
+    println!("--- A2 coupled-exchange traffic (1 simulated day, tiny config) ---");
+    println!("{}", foam::diagnostics::comm_stats_report(&out.traces));
+    print!("{}", out.comm_lint);
+}
+
 fn bench_overlap(c: &mut Criterion) {
     report_conservation();
+    report_exchange_traffic();
     let (atm, ocn, mask) = setup();
     c.bench_function("overlap/build_r15_x_128", |b| {
         b.iter(|| black_box(OverlapGrid::build(&atm, &ocn, &mask)))
     });
     let ov = OverlapGrid::build(&atm, &ocn, &mask);
-    let f_ocn = Field2::from_fn(ocn.nx, ocn.ny, |i, j| (i as f64 * 0.3).sin() + j as f64 * 0.01);
-    let f_atm = Field2::from_fn(atm.nlon, atm.nlat, |i, j| (j as f64 * 0.2).cos() + i as f64 * 0.02);
+    let f_ocn = Field2::from_fn(ocn.nx, ocn.ny, |i, j| {
+        (i as f64 * 0.3).sin() + j as f64 * 0.01
+    });
+    let f_atm = Field2::from_fn(atm.nlon, atm.nlat, |i, j| {
+        (j as f64 * 0.2).cos() + i as f64 * 0.02
+    });
     c.bench_function("overlap/ocean_to_atm", |b| {
         b.iter(|| black_box(ov.ocean_to_atm(black_box(&f_ocn))))
     });
@@ -54,9 +70,7 @@ fn bench_overlap(c: &mut Criterion) {
         b.iter(|| black_box(ov.atm_to_ocean(black_box(&f_atm))))
     });
     c.bench_function("overlap/flux_on_overlap", |b| {
-        b.iter(|| {
-            black_box(ov.compute_on_overlap(|ka, ko| (ka % 7) as f64 - (ko % 5) as f64))
-        })
+        b.iter(|| black_box(ov.compute_on_overlap(|ka, ko| (ka % 7) as f64 - (ko % 5) as f64)))
     });
     let nn = NearestNeighbour::build(&atm, &ocn, &mask);
     c.bench_function("nearest_neighbour/ocean_to_atm", |b| {

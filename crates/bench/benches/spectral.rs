@@ -42,7 +42,11 @@ fn bench_transform(c: &mut Criterion) {
     let t = SphericalTransform::r15();
     let mut spec = SpectralField::zeros(Truncation::r15());
     for (i, (m, n)) in Truncation::r15().pairs().enumerate() {
-        spec.set(m, n, Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.05).cos()));
+        spec.set(
+            m,
+            n,
+            Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.05).cos()),
+        );
     }
     let grid_field = t.synthesize(&spec);
 

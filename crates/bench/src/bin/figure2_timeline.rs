@@ -13,6 +13,7 @@
 //! cargo run --release -p foam-bench --bin figure2_timeline [n_atm_ranks] [days]
 //! ```
 
+use foam::diagnostics::comm_stats_report;
 use foam::{run_coupled, FoamConfig, TraceSummary};
 use foam_bench::arg_or;
 
@@ -100,4 +101,9 @@ fn main() {
         "  model speedup this run: {:.0}× real time",
         out.model_speedup
     );
+
+    // What the ranks were actually waiting on: the per-tag counters the
+    // runtime collects alongside the timeline.
+    println!("\n{}", comm_stats_report(&out.traces));
+    print!("{}", out.comm_lint);
 }

@@ -55,7 +55,11 @@ fn main() {
     );
     println!(
         "{}",
-        render_map(&obs, Some(&mask), "(b) observations (synthetic climatology, °C)")
+        render_map(
+            &obs,
+            Some(&mask),
+            "(b) observations (synthetic climatology, °C)"
+        )
     );
     println!(
         "{}",
@@ -71,7 +75,12 @@ fn main() {
     println!("  max |difference|    {:>7.2} °C", stats.max_abs_diff);
 
     // Regional breakdown, mirroring the paper's narrative.
-    let mut bands = vec![("tropics (|φ| < 20°)", -20.0, 20.0), ("northern midlat", 20.0, 55.0), ("southern midlat", -55.0, -20.0), ("Antarctic band", -90.0, -55.0)];
+    let mut bands = vec![
+        ("tropics (|φ| < 20°)", -20.0, 20.0),
+        ("northern midlat", 20.0, 55.0),
+        ("southern midlat", -55.0, -20.0),
+        ("Antarctic band", -90.0, -55.0),
+    ];
     println!("\nregional RMSE (the paper: errors worst in the Antarctic):");
     for (name, lo, hi) in bands.drain(..) {
         let wb: Vec<f64> = (0..grid.len())

@@ -18,9 +18,7 @@ use foam::{run_coupled, FoamConfig, OceanModel, World};
 use foam_bench::arg_or;
 use foam_grid::{Basin, Field2, OceanGrid};
 use foam_stats::ascii::{render_diff_map, sparkline};
-use foam_stats::{
-    anomalies_monthly, correlation, detrend, eof_analysis, lanczos_lowpass, varimax,
-};
+use foam_stats::{anomalies_monthly, correlation, detrend, eof_analysis, lanczos_lowpass, varimax};
 
 fn main() {
     let years: f64 = arg_or(1, 8.0);
@@ -81,8 +79,14 @@ fn main() {
     let k = 4;
     let eof = eof_analysis(&data, &weights, k + 2);
     let rot = varimax(&data, &weights, &eof, k.min(eof.patterns.len()));
-    println!("\nEOF spectrum (unrotated): {:?}", &percent(&eof.variance_fraction));
-    println!("VARIMAX-rotated leading modes: {:?}", &percent(&rot.variance_fraction));
+    println!(
+        "\nEOF spectrum (unrotated): {:?}",
+        &percent(&eof.variance_fraction)
+    );
+    println!(
+        "VARIMAX-rotated leading modes: {:?}",
+        &percent(&rot.variance_fraction)
+    );
     println!(
         "\nleading rotated mode: {:.1} % of low-passed variance (paper: 15 %)",
         100.0 * rot.variance_fraction[0]
@@ -92,7 +96,11 @@ fn main() {
     let pat = Field2::from_vec(grid.nx, grid.ny, rot.patterns[0].clone());
     println!(
         "\n{}",
-        render_diff_map(&pat, Some(&mask), "(a) spatial pattern (SST anomaly loading)")
+        render_diff_map(
+            &pat,
+            Some(&mask),
+            "(a) spatial pattern (SST anomaly loading)"
+        )
     );
     // (b) temporal pattern
     println!("(b) temporal pattern (PC 1):");
@@ -107,8 +115,7 @@ fn main() {
             if weights[s] > 0.0 {
                 let (i, j) = (s % grid.nx, s / grid.nx);
                 let latd = grid.lats[j].to_degrees();
-                if world.basin(grid.lons[i], grid.lats[j]) == basin
-                    && (25.0..60.0).contains(&latd)
+                if world.basin(grid.lons[i], grid.lats[j]) == basin && (25.0..60.0).contains(&latd)
                 {
                     num += weights[s] * rot.patterns[0][s];
                     den += weights[s];
@@ -147,7 +154,11 @@ fn main() {
     println!("  mode-1 mean loading: N. Atlantic {la:+.3}, N. Pacific {lp_:+.3}");
     println!(
         "  same-sign loadings: {}",
-        if la * lp_ > 0.0 { "YES (two-basin mode, as in the paper)" } else { "no" }
+        if la * lp_ > 0.0 {
+            "YES (two-basin mode, as in the paper)"
+        } else {
+            "no"
+        }
     );
     println!("  low-passed N.Atl × N.Pac correlation: r = {r:+.2}");
     println!("\n  N.Atl: {}", sparkline(&natl, 90));

@@ -52,7 +52,11 @@ fn main() {
         let mut cfg = base.clone();
         cfg.atm.physics = phys;
         let out = run_coupled(&cfg, days);
-        let stats = pattern_stats(out.final_sst.as_slice(), obs.as_slice(), &w_tropical_pacific);
+        let stats = pattern_stats(
+            out.final_sst.as_slice(),
+            obs.as_slice(),
+            &w_tropical_pacific,
+        );
         println!(
             "{label}: tropical-Pacific SST bias {:+.2} °C, RMSE {:.2} °C, \
              mean SST {:.2} °C ({:.0}× real time)",

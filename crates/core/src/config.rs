@@ -1,7 +1,45 @@
 //! Configuration of a coupled FOAM run.
 
 use foam_atm::AtmConfig;
+use foam_mpi::FaultPlan;
 use foam_ocean::{OceanConfig, SplitScheme};
+
+/// Failure-handling knobs of the message-passing runtime, separate from
+/// the science configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Default deadline \[s\] applied to every blocking receive on every
+    /// rank. `None` (the default) waits forever, like classic MPI; set
+    /// it to turn communication deadlocks into diagnosable aborts.
+    pub recv_deadline_secs: Option<f64>,
+    /// How long the atmosphere root waits for an expected SST before
+    /// sending a retry request to the ocean \[s\]. The protocol is
+    /// idempotent, so a premature retry is absorbed — but keep this
+    /// comfortably above one ocean coupling-interval integration to
+    /// avoid spurious retry traffic.
+    pub sst_retry_timeout_secs: f64,
+    /// Retry requests per SST exchange before giving up with a
+    /// [`crate::CoupledError`]. `0` disables the retry protocol (a lost
+    /// message then hangs until `recv_deadline_secs`, if set).
+    pub sst_retry_max: u32,
+    /// Base backoff between retry requests \[s\]; doubles per attempt.
+    pub sst_retry_backoff_secs: f64,
+    /// Deterministic fault-injection plan for point-to-point messages
+    /// (testing only).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            recv_deadline_secs: None,
+            sst_retry_timeout_secs: 2.0,
+            sst_retry_max: 3,
+            sst_retry_backoff_secs: 0.05,
+            fault_plan: None,
+        }
+    }
+}
 
 /// How the atmosphere and ocean exchange information.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +72,8 @@ pub struct FoamConfig {
     /// Collect monthly-mean SST fields (needed by Figures 3–4; costs
     /// memory on long runs).
     pub collect_monthly_sst: bool,
+    /// Failure-handling knobs (deadlines, retries, fault injection).
+    pub runtime: RuntimeConfig,
 }
 
 impl FoamConfig {
@@ -53,6 +93,7 @@ impl FoamConfig {
             ocean_scheme: SplitScheme::FoamSplit,
             tracing: false,
             collect_monthly_sst: false,
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -68,6 +109,7 @@ impl FoamConfig {
             ocean_scheme: SplitScheme::FoamSplit,
             tracing: false,
             collect_monthly_sst: false,
+            runtime: RuntimeConfig::default(),
         }
     }
 

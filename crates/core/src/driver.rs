@@ -5,7 +5,8 @@
 //! * ranks `0 .. n_atm` — atmosphere + coupler,
 //! * rank `n_atm` — ocean.
 //!
-//! Exchange protocol (tags on the world communicator):
+//! Exchange protocol (tags on the world communicator, defined in
+//! [`foam_coupler::tags`]):
 //! * the ocean sends the initial SST, then loops
 //!   `recv forcing → integrate one coupling interval → send SST`;
 //! * in **lagged** mode the atmosphere posts its forcing and only
@@ -16,18 +17,64 @@
 //!   keeping up with 16 atmosphere processors");
 //! * in **sequential** mode (the CSM-like baseline) the atmosphere
 //!   blocks on the SST immediately.
+//!
+//! # Failure semantics
+//!
+//! Every exchange message carries a sequence number (forcings count
+//! coupling intervals, SSTs count completed ocean integrations), which
+//! makes the protocol idempotent: duplicates and stale retransmissions
+//! are recognized and ignored. When the atmosphere root's SST receive
+//! misses its deadline ([`crate::RuntimeConfig::sst_retry_timeout_secs`])
+//! it sends a `TAG_SST_RETRY` NACK and backs off exponentially; the
+//! ocean answers by retransmitting its latest SST. A stale answer tells
+//! the root the *forcing* was lost, and it retransmits that instead. An
+//! exhausted retry budget aborts the run with a typed
+//! [`CoupledError`] — broadcast to the other atmosphere ranks and
+//! signalled to the ocean via the `TAG_DONE` handshake — rather than
+//! panicking or hanging. The same handshake ends clean runs: the root's
+//! final drain of retransmitted duplicates is what lets the runtime's
+//! teardown comm-lint come back clean even for faulty runs that
+//! recovered.
+
+use std::time::Duration;
 
 use foam_atm::{AtmForcing, AtmModel};
+use foam_coupler::tags::{TAG_DONE, TAG_FORCING, TAG_SST, TAG_SST_RETRY};
 use foam_coupler::{AtmSurfaceFields, Coupler};
 use foam_grid::constants::SECONDS_PER_DAY;
 use foam_grid::{Field2, World};
-use foam_mpi::{Comm, RankTrace, Universe};
+use foam_mpi::{Comm, CommLint, RankTrace, RunConfig, Universe};
 use foam_ocean::{OceanForcing, OceanModel, SplitScheme};
 
-use crate::config::{CouplingMode, FoamConfig};
+use crate::config::{CouplingMode, FoamConfig, RuntimeConfig};
 
-const TAG_FORCING: u32 = 10;
-const TAG_SST: u32 = 11;
+/// Typed failure of a coupled run — the graceful alternative to a
+/// panicking (or silently hanging) exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoupledError {
+    /// The atmosphere root exhausted its retry budget waiting for the
+    /// SST with sequence number `expected_seq`.
+    SstExchange { expected_seq: usize, retries: u32 },
+    /// This rank was told by the root that the run is aborting.
+    Aborted,
+}
+
+impl std::fmt::Display for CoupledError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoupledError::SstExchange {
+                expected_seq,
+                retries,
+            } => write!(
+                f,
+                "SST exchange failed: sequence {expected_seq} never arrived after {retries} retries"
+            ),
+            CoupledError::Aborted => write!(f, "run aborted by the atmosphere root"),
+        }
+    }
+}
+
+impl std::error::Error for CoupledError {}
 
 /// Results of a coupled run.
 #[derive(Debug)]
@@ -46,8 +93,12 @@ pub struct CoupledOutput {
     pub final_sst: Field2,
     /// Sea-ice fraction of the ocean area at the end.
     pub ice_fraction: f64,
-    /// Per-rank activity traces (when tracing was enabled).
+    /// Per-rank activity traces; each carries per-tag comm statistics
+    /// (always collected, segments only when tracing was enabled).
     pub traces: Vec<RankTrace>,
+    /// Teardown report of the message-passing runtime: leaked messages,
+    /// tag imbalances, expired deadlines.
+    pub comm_lint: CommLint,
     /// Total physics work units per atmosphere rank (load balance).
     pub work_per_rank: Vec<usize>,
 }
@@ -72,19 +123,45 @@ pub fn baseline_config(cfg: &FoamConfig) -> FoamConfig {
     c
 }
 
-/// Run the coupled model for `days` simulated days.
+/// Run the coupled model for `days` simulated days, panicking on a
+/// communication failure (see [`try_run_coupled`] for the fallible
+/// form).
 pub fn run_coupled(cfg: &FoamConfig, days: f64) -> CoupledOutput {
+    match try_run_coupled(cfg, days) {
+        Ok(out) => out,
+        Err(e) => panic!("coupled run failed: {e}"),
+    }
+}
+
+/// Run the coupled model for `days` simulated days. Communication
+/// failures that survive the retry protocol surface as a typed
+/// [`CoupledError`]; every rank (including the ocean) shuts down
+/// cleanly first, so the returned error is accompanied by an orderly
+/// teardown rather than a poisoned job.
+pub fn try_run_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, CoupledError> {
     let n_couple = ((days * SECONDS_PER_DAY) / cfg.dt_couple).round().max(1.0) as usize;
     let n_atm = cfg.n_atm_ranks;
-    let out = Universe::run_traced(cfg.n_ranks(), cfg.tracing, |world| {
+    let run_cfg = RunConfig {
+        tracing: cfg.tracing,
+        deadline: cfg.runtime.recv_deadline_secs.map(Duration::from_secs_f64),
+        faults: cfg.runtime.fault_plan.clone(),
+    };
+    let out = Universe::run_cfg(cfg.n_ranks(), run_cfg, |world| {
         if world.rank() < n_atm {
             atm_rank(cfg, world, n_couple)
         } else {
-            ocean_rank(cfg, world, n_couple)
+            ocean_rank(cfg, world)
         }
     });
-    let r0 = out.results[0].clone();
-    let work_per_rank = out.results[..n_atm].iter().map(|r| r.work).collect();
+    // The root's error is the authoritative one; others only report
+    // the abort it broadcast.
+    let mut results = out.results;
+    let r0 = results.remove(0)?;
+    let mut work_per_rank = vec![r0.work];
+    for r in results.drain(..n_atm - 1) {
+        work_per_rank.push(r?.work);
+    }
+    results.remove(0)?; // the ocean rank
     let sim_seconds = n_couple as f64 * cfg.dt_couple;
     let wall = r0.wall_seconds.max(1e-9);
     let final_sst = r0.final_sst.expect("rank 0 must produce a final SST");
@@ -104,7 +181,7 @@ pub fn run_coupled(cfg: &FoamConfig, days: f64) -> CoupledOutput {
         .collect();
     let grid = foam_grid::OceanGrid::mercator(cfg.ocean.nx, cfg.ocean.ny, cfg.ocean.lat_max_deg);
     let ice_fraction = grid.masked_mean(&icy, &mask);
-    CoupledOutput {
+    Ok(CoupledOutput {
         sim_seconds,
         wall_seconds: wall,
         model_speedup: sim_seconds / wall,
@@ -113,11 +190,73 @@ pub fn run_coupled(cfg: &FoamConfig, days: f64) -> CoupledOutput {
         final_sst,
         ice_fraction,
         traces: out.traces,
+        comm_lint: out.lint,
         work_per_rank,
+    })
+}
+
+/// Receive the SST with sequence number `expected`, driving the retry
+/// protocol: deadline → NACK → exponential backoff; stale answers
+/// trigger a forcing retransmission from `recent` (the forcings the
+/// root still holds). With `sst_retry_max == 0` this is a plain
+/// blocking receive, classic-MPI style.
+fn recv_sst(
+    world: &Comm,
+    rt: &RuntimeConfig,
+    ocean: usize,
+    expected: usize,
+    recent: &[(usize, OceanForcing)],
+) -> Result<Field2, CoupledError> {
+    if rt.sst_retry_max == 0 {
+        loop {
+            let (seq, sst): (usize, Field2) = world.recv(ocean, TAG_SST);
+            if seq >= expected {
+                return Ok(sst);
+            }
+        }
+    }
+    let timeout = Duration::from_secs_f64(rt.sst_retry_timeout_secs);
+    let mut retries = 0u32;
+    loop {
+        match world.recv_deadline::<(usize, Field2)>(ocean, TAG_SST, timeout) {
+            Ok((seq, sst)) if seq >= expected => return Ok(sst),
+            Ok((stale_seq, _)) => {
+                // A retransmission from before the integration we need:
+                // the ocean is still waiting for the forcing of interval
+                // `stale_seq`. Resend it if we still hold it (the ocean
+                // recognizes duplicates by index).
+                for f in recent.iter().filter(|(idx, _)| *idx == stale_seq) {
+                    world.send(ocean, TAG_FORCING, f.clone());
+                }
+            }
+            Err(_) => {
+                if retries >= rt.sst_retry_max {
+                    return Err(CoupledError::SstExchange {
+                        expected_seq: expected,
+                        retries,
+                    });
+                }
+                retries += 1;
+                world.send(ocean, TAG_SST_RETRY, expected);
+                std::thread::sleep(Duration::from_secs_f64(
+                    rt.sst_retry_backoff_secs * (1u64 << (retries - 1).min(10)) as f64,
+                ));
+            }
+        }
     }
 }
 
-fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
+/// Tell the ocean the exchange is over and clear retransmitted
+/// duplicates from the mailbox. The ocean's ack is ordered after any
+/// SST it sent earlier, so after it arrives the drain leaves nothing
+/// behind for teardown lint to flag.
+fn shutdown_ocean(world: &Comm, ocean: usize) {
+    world.send(ocean, TAG_DONE, ());
+    let () = world.recv(ocean, TAG_DONE);
+    let _ = world.drain::<(usize, Field2)>(ocean, TAG_SST);
+}
+
+fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResult, CoupledError> {
     let n_atm = cfg.n_atm_ranks;
     let ocean_rank_id = n_atm;
     let atm_comm = world
@@ -139,12 +278,24 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
         cfg.atm.physics,
     );
 
-    // Initial SST from the ocean.
+    // Initial SST from the ocean (sequence 0). The root broadcasts
+    // `None` to signal an abort to the other atmosphere ranks.
     let mut sst = if is_root {
-        let s: Field2 = world.recv(ocean_rank_id, TAG_SST);
-        atm_comm.bcast(0, Some(s))
+        match recv_sst(world, &cfg.runtime, ocean_rank_id, 0, &[]) {
+            Ok(s) => atm_comm
+                .bcast(0, Some(Some(s)))
+                .expect("root broadcast its own SST"),
+            Err(e) => {
+                atm_comm.bcast::<Option<Field2>>(0, Some(None));
+                shutdown_ocean(world, ocean_rank_id);
+                return Err(e);
+            }
+        }
     } else {
-        atm_comm.bcast(0, None)
+        match atm_comm.bcast::<Option<Field2>>(0, None) {
+            Some(s) => s,
+            None => return Err(CoupledError::Aborted),
+        }
     };
 
     let mut atm_state = model.init_state();
@@ -155,6 +306,9 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
     let intervals_per_month = ((30.0 * SECONDS_PER_DAY) / cfg.dt_couple).round() as usize;
     let mut res = RankResult::default();
     let mut month_acc: Option<(Field2, usize)> = None;
+    // The forcings the root keeps for retransmission (lagged mode can
+    // be asked for the previous interval's, so hold the last two).
+    let mut recent: Vec<(usize, OceanForcing)> = Vec::new();
     let t_start = world.now();
 
     for c in 0..n_couple {
@@ -174,15 +328,8 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
                     sw_sfc: export.sw_sfc.clone(),
                     lw_down: export.lw_down.clone(),
                 };
-                let (sfc, runoff) = coupler.step_rows(
-                    &mut coupler_state,
-                    &fields,
-                    &sst,
-                    cfg.atm.dt,
-                    ka0,
-                    ka1,
-                    ka0,
-                );
+                let (sfc, runoff) =
+                    coupler.step_rows(&mut coupler_state, &fields, &sst, cfg.atm.dt, ka0, ka1, ka0);
                 // Rivers need the global runoff; they are cheap, so they
                 // run replicated from the allgathered field.
                 let local_runoff = runoff[ka0..ka1].to_vec();
@@ -229,31 +376,51 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
             f.freshwater.axpy(1.0, &shared.freshwater);
             f
         });
-        let received = world.region("coupler", || {
-            let mut got: Option<Field2> = None;
+        let received: Option<Field2> = world.region("coupler", || {
             if is_root {
-                world.send(ocean_rank_id, TAG_FORCING, forcing);
+                let tagged = (c, forcing);
+                world.send(ocean_rank_id, TAG_FORCING, tagged.clone());
+                recent.push(tagged);
+                if recent.len() > 2 {
+                    recent.remove(0);
+                }
+                // When is the ocean's answer due? Sequentially: right
+                // now, producing sequence c+1. Lagged: the SST from the
+                // *previous* forcing (sequence c), overlapping the
+                // ocean's work with the interval we just integrated.
                 let due = match cfg.coupling {
-                    CouplingMode::Sequential => true,
-                    CouplingMode::Lagged => c >= 1,
+                    CouplingMode::Sequential => Some(c + 1),
+                    CouplingMode::Lagged => (c >= 1).then_some(c),
                 };
-                if due {
-                    got = Some(world.recv(ocean_rank_id, TAG_SST));
+                let got = match due {
+                    Some(expected) => {
+                        match recv_sst(world, &cfg.runtime, ocean_rank_id, expected, &recent) {
+                            Ok(s) => Some(s),
+                            Err(e) => {
+                                atm_comm.bcast(0, Some(2u8));
+                                shutdown_ocean(world, ocean_rank_id);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    None => None,
+                };
+                // Status to the other atmosphere ranks: 0 = no update,
+                // 1 = update follows, 2 = abort.
+                let status = u8::from(got.is_some());
+                atm_comm.bcast(0, Some(status));
+                match got {
+                    Some(s) => Ok(Some(atm_comm.bcast(0, Some(s)))),
+                    None => Ok(None),
+                }
+            } else {
+                match atm_comm.bcast::<u8>(0, None) {
+                    2 => Err(CoupledError::Aborted),
+                    1 => Ok(Some(atm_comm.bcast(0, None))),
+                    _ => Ok(None),
                 }
             }
-            // Everyone learns whether an update arrived.
-            let flag = atm_comm.bcast(0, if atm_comm.rank() == 0 { Some(got.is_some()) } else { None });
-            if flag {
-                let s = if atm_comm.rank() == 0 {
-                    atm_comm.bcast(0, got)
-                } else {
-                    atm_comm.bcast(0, None)
-                };
-                Some(s)
-            } else {
-                None
-            }
-        });
+        })?;
         if let Some(new_sst) = received {
             sst = new_sst;
             coupler.update_ice(&mut coupler_state, &sst);
@@ -264,9 +431,8 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
             let mean = ocn_grid.masked_mean(sst.as_slice(), &sea_mask);
             res.mean_sst_series.push(mean);
             if cfg.collect_monthly_sst {
-                let (acc, n) = month_acc.get_or_insert_with(|| {
-                    (Field2::zeros(ocn_grid.nx, ocn_grid.ny), 0usize)
-                });
+                let (acc, n) = month_acc
+                    .get_or_insert_with(|| (Field2::zeros(ocn_grid.nx, ocn_grid.ny), 0usize));
                 acc.axpy(1.0, &sst);
                 *n += 1;
                 if *n == intervals_per_month {
@@ -279,19 +445,29 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
         }
     }
 
-    // Drain the final SST in lagged mode (the ocean always sends one per
-    // interval).
-    if is_root && cfg.coupling == CouplingMode::Lagged {
-        sst = world.recv(ocean_rank_id, TAG_SST);
+    // Drain the final SST in lagged mode (the ocean produces one per
+    // forcing), then run the shutdown handshake so retransmitted
+    // duplicates don't dirty the teardown lint.
+    if is_root {
+        if cfg.coupling == CouplingMode::Lagged {
+            match recv_sst(world, &cfg.runtime, ocean_rank_id, n_couple, &recent) {
+                Ok(s) => sst = s,
+                Err(e) => {
+                    shutdown_ocean(world, ocean_rank_id);
+                    return Err(e);
+                }
+            }
+        }
+        shutdown_ocean(world, ocean_rank_id);
     }
     res.wall_seconds = world.now() - t_start;
     if is_root {
         res.final_sst = Some(sst);
     }
-    res
+    Ok(res)
 }
 
-fn ocean_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
+fn ocean_rank(cfg: &FoamConfig, world: &Comm) -> Result<RankResult, CoupledError> {
     // Participate in the split even though the ocean keeps no sub-comm.
     let _ = world.split(-1, 0);
     let planet = World::earthlike();
@@ -299,16 +475,49 @@ fn ocean_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> RankResult {
     let mut state = model.init_state(&planet);
     let atm_root = 0usize;
 
-    world.send(atm_root, TAG_SST, model.sst(&state));
-    for _ in 0..n_couple {
-        let forcing: OceanForcing = world.recv(atm_root, TAG_FORCING);
-        world.region("ocean", || match cfg.ocean_scheme {
-            SplitScheme::FoamSplit => model.step_coupled(&mut state, &forcing, cfg.dt_couple),
-            SplitScheme::Unsplit => model.step_unsplit(&mut state, &forcing, cfg.dt_couple),
-        });
-        world.send(atm_root, TAG_SST, model.sst(&state));
+    // `completed` counts integrated coupling intervals; the SST carrying
+    // sequence number k is the state after k integrations.
+    let mut completed = 0usize;
+    let mut latest: (usize, Field2) = (0, model.sst(&state));
+    world.send(atm_root, TAG_SST, latest.clone());
+
+    // Serve the exchange protocol until the root says we are done: step
+    // on each new forcing, retransmit on each NACK, ignore duplicates.
+    loop {
+        let msg = world.recv_match(atm_root, &[TAG_FORCING, TAG_SST_RETRY, TAG_DONE]);
+        match msg.tag() {
+            TAG_FORCING => {
+                let (idx, forcing) = msg.downcast::<(usize, OceanForcing)>();
+                // Only the forcing for the next interval advances the
+                // model; duplicates (idx < completed) and early
+                // retransmissions (idx > completed) are ignored.
+                if idx == completed {
+                    world.region("ocean", || match cfg.ocean_scheme {
+                        SplitScheme::FoamSplit => {
+                            model.step_coupled(&mut state, &forcing, cfg.dt_couple)
+                        }
+                        SplitScheme::Unsplit => {
+                            model.step_unsplit(&mut state, &forcing, cfg.dt_couple)
+                        }
+                    });
+                    completed += 1;
+                    latest = (completed, model.sst(&state));
+                    world.send(atm_root, TAG_SST, latest.clone());
+                }
+            }
+            TAG_SST_RETRY => {
+                let _expected: usize = msg.downcast();
+                world.send(atm_root, TAG_SST, latest.clone());
+            }
+            TAG_DONE => {
+                msg.downcast::<()>();
+                world.send(atm_root, TAG_DONE, ());
+                break;
+            }
+            other => unreachable!("unexpected tag {other} on the ocean rank"),
+        }
     }
-    RankResult::default()
+    Ok(RankResult::default())
 }
 
 #[cfg(test)]
@@ -325,6 +534,7 @@ mod tests {
         assert!((-2.0..30.0).contains(&last), "mean SST {last}");
         assert!(out.model_speedup > 1.0, "slower than real time?!");
         assert!((0.0..=1.0).contains(&out.ice_fraction));
+        assert!(out.comm_lint.is_clean(), "{}", out.comm_lint);
     }
 
     #[test]
@@ -348,8 +558,16 @@ mod tests {
         let out = run_coupled(&cfg, 0.5);
         // Atmosphere ranks show atmosphere + coupler work.
         for t in &out.traces[..cfg.n_atm_ranks] {
-            assert!(t.work_time("atmosphere") > 0.0, "rank {} no atm work", t.rank);
-            assert!(t.work_time("coupler") > 0.0, "rank {} no coupler work", t.rank);
+            assert!(
+                t.work_time("atmosphere") > 0.0,
+                "rank {} no atm work",
+                t.rank
+            );
+            assert!(
+                t.work_time("coupler") > 0.0,
+                "rank {} no coupler work",
+                t.rank
+            );
         }
         // The ocean rank shows ocean work and (waiting for forcing) idle
         // time.
@@ -374,5 +592,54 @@ mod tests {
         assert_eq!(base.coupling, CouplingMode::Sequential);
         assert_eq!(base.ocean_scheme, SplitScheme::Unsplit);
         assert_eq!(base.atm.nlon, cfg.atm.nlon);
+    }
+
+    #[test]
+    fn exchange_tags_show_up_in_comm_stats() {
+        let mut cfg = FoamConfig::tiny(6);
+        // Generous per-attempt timeout so a slow CI machine cannot
+        // trigger spurious retransmissions and skew the exact counts.
+        cfg.runtime.sst_retry_timeout_secs = 30.0;
+        let out = run_coupled(&cfg, 1.0);
+        let mut merged = foam_mpi::CommStats::default();
+        for t in &out.traces {
+            merged.merge(&t.stats);
+        }
+        let forcing = merged.tag(TAG_FORCING);
+        let sst = merged.tag(TAG_SST);
+        // 4 coupling intervals → 4 forcings, 4 SSTs + the initial one.
+        assert_eq!(forcing.msgs_sent, 4);
+        assert_eq!(forcing.msgs_recvd, 4);
+        assert_eq!(sst.msgs_sent, 5);
+        assert_eq!(sst.msgs_recvd, 5);
+        assert!(forcing.bytes_sent > 0);
+        assert!(sst.bytes_sent > 0);
+    }
+
+    #[test]
+    fn exhausted_retries_return_a_typed_error() {
+        // Drop *every* SST so no retry can succeed; the run must come
+        // back with a typed error, not a panic or a hang.
+        let mut cfg = FoamConfig::tiny(7);
+        cfg.runtime.sst_retry_timeout_secs = 0.05;
+        cfg.runtime.sst_retry_backoff_secs = 0.01;
+        cfg.runtime.sst_retry_max = 2;
+        cfg.runtime.fault_plan =
+            Some(foam_mpi::FaultPlan::new(11).with_rule(foam_mpi::FaultRule {
+                src: None,
+                dst: None,
+                tag: Some(TAG_SST),
+                action: foam_mpi::FaultAction::Drop,
+                max_hits: None,
+                probability: 1.0,
+            }));
+        let err = try_run_coupled(&cfg, 0.25).unwrap_err();
+        assert_eq!(
+            err,
+            CoupledError::SstExchange {
+                expected_seq: 0,
+                retries: 2
+            }
+        );
     }
 }

@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn empty_history_reads_zero_frames() {
         let path = tmp("empty");
-        HistoryWriter::create(&path, 4, 4).unwrap().finish().unwrap();
+        HistoryWriter::create(&path, 4, 4)
+            .unwrap()
+            .finish()
+            .unwrap();
         let mut r = HistoryReader::open(&path).unwrap();
         assert!(r.read_all().unwrap().is_empty());
         std::fs::remove_file(path).ok();

@@ -40,12 +40,12 @@ pub mod diagnostics;
 mod driver;
 pub mod history;
 
-pub use config::{CouplingMode, FoamConfig};
-pub use driver::{baseline_config, run_coupled, CoupledOutput};
+pub use config::{CouplingMode, FoamConfig, RuntimeConfig};
+pub use driver::{baseline_config, run_coupled, try_run_coupled, CoupledError, CoupledOutput};
 pub use history::{HistoryReader, HistoryWriter};
 
 pub use foam_atm::{AtmConfig, AtmModel};
 pub use foam_coupler::Coupler;
 pub use foam_grid::{Field2, World};
-pub use foam_mpi::{RankTrace, TraceSummary, Universe};
+pub use foam_mpi::{CommLint, CommStats, FaultPlan, RankTrace, TraceSummary, Universe};
 pub use foam_ocean::{OceanConfig, OceanModel, SplitScheme};

@@ -38,6 +38,8 @@ use foam_ocean::OceanForcing;
 use foam_physics::surface::BulkFluxes;
 use foam_physics::{AtmColumn, ColumnPhysics, PhysicsConfig, SurfaceKind, SurfaceState};
 
+pub mod tags;
+
 /// Fields the atmosphere exposes to the coupler each step (full grid).
 #[derive(Debug, Clone)]
 pub struct AtmSurfaceFields {
@@ -166,9 +168,7 @@ impl Coupler {
             n
         ];
         let ice = (0..self.ocn_grid.len())
-            .map(|ko| {
-                self.sea_mask[ko] && sst.as_slice()[ko] <= SEAWATER_FREEZE_C + 0.01
-            })
+            .map(|ko| self.sea_mask[ko] && sst.as_slice()[ko] <= SEAWATER_FREEZE_C + 0.01)
             .collect();
         let ice_col = (0..n).map(|_| ice_column(265.0)).collect();
         CouplerState {
@@ -245,67 +245,66 @@ impl Coupler {
             let col = self.pseudo_column(atm, ka, ka_offset);
             let wind = (at(&atm.u_low, ka), at(&atm.v_low, ka));
             self.overlap.for_each_pair_of_atm(ka, |ko, area| {
-            let icy = st.ice[ko];
-            let sst_c = sst.as_slice()[ko];
-            let (sfc, albedo) = if icy {
-                (
-                    SurfaceState {
-                        kind: SurfaceKind::SeaIce,
-                        t_sfc: st.ice_col[ka].skin(),
-                        albedo: st.ice_col[ka].props.albedo,
-                        wetness: 1.0,
-                    },
-                    st.ice_col[ka].props.albedo,
-                )
-            } else {
-                (SurfaceState::open_ocean(sst_c + 273.15), 0.07)
-            };
-            let f = self.phys.surface_fluxes(&col, &sfc, wind);
+                let icy = st.ice[ko];
+                let sst_c = sst.as_slice()[ko];
+                let (sfc, albedo) = if icy {
+                    (
+                        SurfaceState {
+                            kind: SurfaceKind::SeaIce,
+                            t_sfc: st.ice_col[ka].skin(),
+                            albedo: st.ice_col[ka].props.albedo,
+                            wetness: 1.0,
+                        },
+                        st.ice_col[ka].props.albedo,
+                    )
+                } else {
+                    (SurfaceState::open_ocean(sst_c + 273.15), 0.07)
+                };
+                let f = self.phys.surface_fluxes(&col, &sfc, wind);
 
-            // Atmosphere side: area-weighted sea-average flux.
-            let w = area;
-            let sa = &mut sea_flux_atm[ka];
-            sa.sensible += w * f.sensible;
-            sa.latent += w * f.latent;
-            sa.evaporation += w * f.evaporation;
-            sa.tau_x += w * f.tau_x;
-            sa.tau_y += w * f.tau_y;
-            sa.stress += w * f.stress;
-            sa.c_exchange += w * f.c_exchange;
-            sea_area_atm[ka] += w;
-            sea_tsfc_atm[ka] += w * sfc.t_sfc;
-            sea_albedo_atm[ka] += w * albedo;
+                // Atmosphere side: area-weighted sea-average flux.
+                let w = area;
+                let sa = &mut sea_flux_atm[ka];
+                sa.sensible += w * f.sensible;
+                sa.latent += w * f.latent;
+                sa.evaporation += w * f.evaporation;
+                sa.tau_x += w * f.tau_x;
+                sa.tau_y += w * f.tau_y;
+                sa.stress += w * f.stress;
+                sa.c_exchange += w * f.c_exchange;
+                sea_area_atm[ka] += w;
+                sea_tsfc_atm[ka] += w * sfc.t_sfc;
+                sea_albedo_atm[ka] += w * albedo;
 
-            // Ocean side: net heat and momentum into the water.
-            let t_water_k = sst_c + 273.15;
-            let (heat, taux, tauy, evap) = if icy {
-                // Conduction with the lowest ice layer; stress divided by
-                // 15 (paper, verbatim); no direct evaporation from water.
-                let g_ice =
-                    st.ice_col[ka].props.conductivity / foam_land::soil::SOIL_DZ[3];
-                let q_cond = g_ice * (st.ice_col[ka].t[3] - t_water_k);
-                (
-                    q_cond,
-                    f.tau_x * ICE_STRESS_FACTOR,
-                    f.tau_y * ICE_STRESS_FACTOR,
-                    0.0,
-                )
-            } else {
-                let q = at(&atm.sw_sfc, ka) + at(&atm.lw_down, ka)
-                    - STEFAN_BOLTZMANN * t_water_k.powi(4)
-                    - f.sensible
-                    - f.latent;
-                (q, f.tau_x, f.tau_y, f.evaporation)
-            };
-            // Accumulate directly into the local forcing, normalized by
-            // the ocean cell's *total* overlap area so that partial sums
-            // from different ranks add up to the correct average.
-            let wn = dt * w / self.ocn_overlap_area[ko].max(1e-9);
-            st.acc.tau_x.as_mut_slice()[ko] += wn * taux;
-            st.acc.tau_y.as_mut_slice()[ko] += wn * tauy;
-            st.acc.heat.as_mut_slice()[ko] += wn * heat;
-            // P − E on the sea part; rivers are added by route_rivers.
-            st.acc.freshwater.as_mut_slice()[ko] += wn * (at(&atm.precip, ka) - evap);
+                // Ocean side: net heat and momentum into the water.
+                let t_water_k = sst_c + 273.15;
+                let (heat, taux, tauy, evap) = if icy {
+                    // Conduction with the lowest ice layer; stress divided by
+                    // 15 (paper, verbatim); no direct evaporation from water.
+                    let g_ice = st.ice_col[ka].props.conductivity / foam_land::soil::SOIL_DZ[3];
+                    let q_cond = g_ice * (st.ice_col[ka].t[3] - t_water_k);
+                    (
+                        q_cond,
+                        f.tau_x * ICE_STRESS_FACTOR,
+                        f.tau_y * ICE_STRESS_FACTOR,
+                        0.0,
+                    )
+                } else {
+                    let q = at(&atm.sw_sfc, ka) + at(&atm.lw_down, ka)
+                        - STEFAN_BOLTZMANN * t_water_k.powi(4)
+                        - f.sensible
+                        - f.latent;
+                    (q, f.tau_x, f.tau_y, f.evaporation)
+                };
+                // Accumulate directly into the local forcing, normalized by
+                // the ocean cell's *total* overlap area so that partial sums
+                // from different ranks add up to the correct average.
+                let wn = dt * w / self.ocn_overlap_area[ko].max(1e-9);
+                st.acc.tau_x.as_mut_slice()[ko] += wn * taux;
+                st.acc.tau_y.as_mut_slice()[ko] += wn * tauy;
+                st.acc.heat.as_mut_slice()[ko] += wn * heat;
+                // P − E on the sea part; rivers are added by route_rivers.
+                st.acc.freshwater.as_mut_slice()[ko] += wn * (at(&atm.precip, ka) - evap);
             });
         }
 
@@ -331,11 +330,7 @@ impl Coupler {
                 let wind = (at(&atm.u_low, ka), at(&atm.v_low, ka));
                 let props = SOIL_CLASSES[self.soil_type[ka]];
                 let snow_covered = st.bucket[ka].snow > 1.0e-4;
-                let albedo = if snow_covered {
-                    0.65
-                } else {
-                    props.albedo
-                };
+                let albedo = if snow_covered { 0.65 } else { props.albedo };
                 let sfc = SurfaceState {
                     kind: if snow_covered {
                         SurfaceKind::Snow
@@ -392,8 +387,8 @@ impl Coupler {
                         - f.latent / sea_a.max(1.0);
                     st.ice_col[ka].step(net, dt);
                     // The base stays pinned near freezing by the ocean.
-                    st.ice_col[ka].t[3] = st.ice_col[ka].t[3]
-                        .clamp(SEAWATER_FREEZE_C + 273.15 - 2.0, 273.15);
+                    st.ice_col[ka].t[3] =
+                        st.ice_col[ka].t[3].clamp(SEAWATER_FREEZE_C + 273.15 - 2.0, 273.15);
                 }
             }
 
@@ -461,8 +456,7 @@ impl Coupler {
         let mouths_ocn = self.overlap.atm_to_ocean(&mouths_atm);
         for ko in 0..self.ocn_grid.len() {
             if self.sea_mask[ko] {
-                st.acc_shared.freshwater.as_mut_slice()[ko] +=
-                    dt * mouths_ocn.as_slice()[ko];
+                st.acc_shared.freshwater.as_mut_slice()[ko] += dt * mouths_ocn.as_slice()[ko];
             }
         }
     }
@@ -482,10 +476,7 @@ impl Coupler {
     /// over the coupling interval and reset. Sum `local` across the
     /// atmosphere ranks (it holds only this rank's rows' contributions)
     /// and add `shared` (identical on every rank) once.
-    pub fn take_ocean_forcing_parts(
-        &self,
-        st: &mut CouplerState,
-    ) -> (OceanForcing, OceanForcing) {
+    pub fn take_ocean_forcing_parts(&self, st: &mut CouplerState) -> (OceanForcing, OceanForcing) {
         let secs = st.acc_seconds.max(1.0);
         st.acc_seconds = 0.0;
         let inv = 1.0 / secs;
@@ -494,8 +485,7 @@ impl Coupler {
         local.tau_y.scale(inv);
         local.heat.scale(inv);
         local.freshwater.scale(inv);
-        let mut shared =
-            std::mem::replace(&mut st.acc_shared, OceanForcing::zeros(&self.ocn_grid));
+        let mut shared = std::mem::replace(&mut st.acc_shared, OceanForcing::zeros(&self.ocn_grid));
         shared.tau_x.scale(inv);
         shared.tau_y.scale(inv);
         shared.heat.scale(inv);
@@ -532,11 +522,7 @@ impl Coupler {
 
     /// Ice fraction of the ocean's sea area (diagnostic).
     pub fn ice_fraction(&self, st: &CouplerState) -> f64 {
-        let f: Vec<f64> = st
-            .ice
-            .iter()
-            .map(|&b| if b { 1.0 } else { 0.0 })
-            .collect();
+        let f: Vec<f64> = st.ice.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
         self.ocn_grid.masked_mean(&f, &self.sea_mask)
     }
 }
@@ -558,7 +544,13 @@ mod tests {
                 0.0
             }
         });
-        let coupler = Coupler::new(atm_grid, ocn_grid, sea_mask, &world, PhysicsConfig::default());
+        let coupler = Coupler::new(
+            atm_grid,
+            ocn_grid,
+            sea_mask,
+            &world,
+            PhysicsConfig::default(),
+        );
         (coupler, sst)
     }
 
@@ -581,7 +573,11 @@ mod tests {
         let atm = atm_fields(&c.atm_grid);
         let out = c.step(&mut st, &atm, &sst, 1800.0);
         for ka in 0..c.atm_grid.len() {
-            assert!(out.t_sfc[ka].is_finite() && out.t_sfc[ka] > 150.0, "t_sfc[{ka}] = {}", out.t_sfc[ka]);
+            assert!(
+                out.t_sfc[ka].is_finite() && out.t_sfc[ka] > 150.0,
+                "t_sfc[{ka}] = {}",
+                out.t_sfc[ka]
+            );
             assert!((0.0..=1.0).contains(&out.albedo[ka]));
             assert!(out.fluxes[ka].sensible.is_finite());
         }
@@ -685,12 +681,18 @@ mod tests {
         sst.as_mut_slice()[ko] = SEAWATER_FREEZE_C;
         c.update_ice(&mut st, &sst);
         assert!(st.ice[ko]);
-        assert!(st.fw_oneshot.as_slice()[ko] < 0.0, "formation must remove water");
+        assert!(
+            st.fw_oneshot.as_slice()[ko] < 0.0,
+            "formation must remove water"
+        );
         // Melt it again.
         sst.as_mut_slice()[ko] = 2.0;
         c.update_ice(&mut st, &sst);
         assert!(!st.ice[ko]);
-        assert!(st.fw_oneshot.as_slice()[ko].abs() < 1e-9, "melt must return the water");
+        assert!(
+            st.fw_oneshot.as_slice()[ko].abs() < 1e-9,
+            "melt must return the water"
+        );
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! The message tags of the atmosphere↔ocean exchange protocol.
+//!
+//! All traffic crosses the *world* communicator between the atmosphere
+//! root (world rank 0) and the ocean rank. Tags live here, next to the
+//! coupler they belong to, so trace/stats tooling and the driver agree
+//! on their meaning.
+
+/// Accumulated ocean forcing, atmosphere root → ocean. Payload:
+/// `(usize, OceanForcing)` — the coupling-interval index, so a resent
+/// duplicate is recognized and ignored.
+pub const TAG_FORCING: u32 = 10;
+
+/// Sea-surface temperature, ocean → atmosphere root. Payload:
+/// `(usize, Field2)` — the sequence number counts completed ocean
+/// integrations (0 = initial condition), letting the receiver ignore
+/// stale retransmissions.
+pub const TAG_SST: u32 = 11;
+
+/// Retry request (NACK), atmosphere root → ocean, sent when an expected
+/// SST misses its deadline. Payload: `usize` — the sequence number the
+/// root is waiting for. The ocean answers by resending its latest SST.
+pub const TAG_SST_RETRY: u32 = 12;
+
+/// Shutdown handshake. The root sends `()` when it has everything it
+/// needs (or is aborting); the ocean acknowledges with `()` on the same
+/// tag and exits. The ack, ordered after any SST retransmissions, lets
+/// the root drain duplicates so teardown comm-lint comes back clean.
+pub const TAG_DONE: u32 = 13;
+
+/// Human-readable name for a coupler protocol tag.
+pub fn tag_name(tag: u32) -> Option<&'static str> {
+    match tag {
+        TAG_FORCING => Some("forcing"),
+        TAG_SST => Some("sst"),
+        TAG_SST_RETRY => Some("sst-retry"),
+        TAG_DONE => Some("done"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct_and_named() {
+        let tags = [TAG_FORCING, TAG_SST, TAG_SST_RETRY, TAG_DONE];
+        for (i, a) in tags.iter().enumerate() {
+            assert!(tag_name(*a).is_some());
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(tag_name(99), None);
+    }
+}

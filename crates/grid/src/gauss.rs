@@ -108,7 +108,11 @@ mod tests {
                 .zip(&q.weights)
                 .map(|(&x, &w)| w * x.powi(k as i32))
                 .sum();
-            let exact = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+            let exact = if k % 2 == 1 {
+                0.0
+            } else {
+                2.0 / (k as f64 + 1.0)
+            };
             assert!((approx - exact).abs() < 1e-12, "k={k}");
         }
     }

@@ -149,7 +149,10 @@ impl OceanGrid {
             .collect();
         let dlon = 2.0 * std::f64::consts::PI / nx as f64;
         let lons: Vec<f64> = (0..nx).map(|i| (i as f64 + 0.5) * dlon).collect();
-        let dx: Vec<f64> = lats.iter().map(|&p| EARTH_RADIUS * dlon * p.cos()).collect();
+        let dx: Vec<f64> = lats
+            .iter()
+            .map(|&p| EARTH_RADIUS * dlon * p.cos())
+            .collect();
         let dy: Vec<f64> = (0..ny)
             .map(|j| EARTH_RADIUS * (lat_edges[j + 1] - lat_edges[j]))
             .collect();
@@ -337,9 +340,7 @@ mod tests {
     #[test]
     fn atm_grid_total_area_is_sphere() {
         let g = AtmGrid::r15();
-        let total: f64 = (0..g.nlat)
-            .map(|j| g.cell_area(0, j) * g.nlon as f64)
-            .sum();
+        let total: f64 = (0..g.nlat).map(|j| g.cell_area(0, j) * g.nlon as f64).sum();
         let sphere = 4.0 * std::f64::consts::PI * EARTH_RADIUS * EARTH_RADIUS;
         assert!((total / sphere - 1.0).abs() < 1e-12);
     }
@@ -420,14 +421,8 @@ mod tests {
     #[test]
     fn ocean_total_area_matches_band() {
         let g = OceanGrid::mercator(64, 48, 70.0);
-        let total: f64 = (0..g.ny)
-            .map(|j| g.cell_area(0, j) * g.nx as f64)
-            .sum();
-        let band = 4.0
-            * std::f64::consts::PI
-            * EARTH_RADIUS
-            * EARTH_RADIUS
-            * deg2rad(70.0).sin();
+        let total: f64 = (0..g.ny).map(|j| g.cell_area(0, j) * g.nx as f64).sum();
+        let band = 4.0 * std::f64::consts::PI * EARTH_RADIUS * EARTH_RADIUS * deg2rad(70.0).sin();
         assert!((total / band - 1.0).abs() < 1e-10);
     }
 

@@ -417,9 +417,8 @@ mod tests {
         let (atm, ocn, mask) = small_setup();
         let ov = OverlapGrid::build(&atm, &ocn, &mask);
         // An arbitrary smooth "flux" of both indices.
-        let (fa, fo) = ov.compute_on_overlap(|ka, ko| {
-            (ka as f64 * 0.01).sin() + (ko as f64 * 0.003).cos()
-        });
+        let (fa, fo) =
+            ov.compute_on_overlap(|ka, ko| (ka as f64 * 0.01).sin() + (ko as f64 * 0.003).cos());
         let ia = ov.integral_atm_sea(&fa);
         let io = ov.integral_ocean(&fo);
         assert!(

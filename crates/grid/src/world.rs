@@ -162,11 +162,11 @@ impl World {
             Basin::Arctic
         } else if (292.0..=352.0).contains(&lo) {
             Basin::Atlantic
-        } else if lo >= 135.0 && lo < 260.0 {
+        } else if (135.0..260.0).contains(&lo) {
             Basin::Pacific
         } else if (40.0..135.0).contains(&lo) && la < 28.0 {
             Basin::Indian
-        } else if lo >= 260.0 && lo < 292.0 {
+        } else if (260.0..292.0).contains(&lo) {
             // East Pacific strip between the date line block and America.
             Basin::Pacific
         } else {

@@ -200,10 +200,8 @@ mod tests {
             let stored_before = b.soil_water + b.snow;
             let out = b.step(p, e, snowing, 280.0, dt);
             let stored_after = b.soil_water + b.snow;
-            let actually_evap = (stored_before + p * dt / RHO_WATER
-                - out.runoff
-                - stored_after)
-                .max(0.0);
+            let actually_evap =
+                (stored_before + p * dt / RHO_WATER - out.runoff - stored_after).max(0.0);
             in_total += p * dt / RHO_WATER;
             out_total += out.runoff + actually_evap;
         }

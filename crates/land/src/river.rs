@@ -339,6 +339,9 @@ mod tests {
                 }
             }
         }
-        assert!(n_mouths > 5, "expected multiple river mouths, got {n_mouths}");
+        assert!(
+            n_mouths > 5,
+            "expected multiple river mouths, got {n_mouths}"
+        );
     }
 }

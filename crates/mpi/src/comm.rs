@@ -1,15 +1,19 @@
 //! The communicator: tagged typed point-to-point messaging, collectives,
-//! and communicator splitting, in the style of MPI.
+//! and communicator splitting, in the style of MPI — instrumented with
+//! per-tag statistics, configurable receive deadlines, and deterministic
+//! fault injection.
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
+use crate::fault::{ActiveFaults, FaultAction};
+use crate::stats::{tag_label, CommStats, INTERNAL_TAG};
 use crate::trace::{RankTrace, Tracer};
 
 /// Reduction operators supported by [`Comm::reduce`] and friends.
@@ -37,11 +41,11 @@ pub(crate) struct Envelope {
     ctx: u32,
     src: usize,
     tag: u32,
+    /// Shallow payload size (`size_of_val`), for the byte counters.
+    bytes: usize,
     payload: Box<dyn Any + Send>,
 }
 
-/// Internal tags live above this bound; user tags must stay below it.
-const INTERNAL_TAG: u32 = 0x8000_0000;
 const TAG_BARRIER_UP: u32 = INTERNAL_TAG;
 const TAG_BARRIER_DOWN: u32 = INTERNAL_TAG + 1;
 const TAG_BCAST: u32 = INTERNAL_TAG + 2;
@@ -51,14 +55,110 @@ const TAG_SCATTER: u32 = INTERNAL_TAG + 5;
 const TAG_ALLTOALL: u32 = INTERNAL_TAG + 6;
 const TAG_SPLIT: u32 = INTERNAL_TAG + 7;
 
+/// Error returned when a receive deadline expires. Carries enough of the
+/// mailbox state to diagnose the mismatch that caused the stall.
+#[derive(Debug, Clone)]
+pub struct RecvTimeout {
+    /// World rank that timed out.
+    pub rank: usize,
+    /// Communicator rank it was expecting a message from.
+    pub src: usize,
+    /// Tag(s) it was matching.
+    pub tags: Vec<u32>,
+    /// How long it waited.
+    pub waited: Duration,
+    /// `(source world rank, tag)` of every message sitting unmatched in
+    /// the mailbox — the "leaked" traffic a mismatched tag leaves behind.
+    pub pending: Vec<(usize, u32)>,
+}
+
+impl std::fmt::Display for RecvTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tags: Vec<String> = self.tags.iter().map(|t| tag_label(*t)).collect();
+        write!(
+            f,
+            "recv deadline expired on rank {} after {:.3} s waiting for [{}] from rank {}",
+            self.rank,
+            self.waited.as_secs_f64(),
+            tags.join(", "),
+            self.src
+        )?;
+        if self.pending.is_empty() {
+            write!(f, "; mailbox is empty")
+        } else {
+            let got: Vec<String> = self
+                .pending
+                .iter()
+                .map(|(s, t)| format!("(src {}, {})", s, tag_label(*t)))
+                .collect();
+            write!(f, "; unmatched in mailbox: {}", got.join(", "))
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeout {}
+
+/// A received message whose payload has not been downcast yet, returned
+/// by [`Comm::recv_match`] when receiving on several tags at once.
+pub struct Message {
+    env: Envelope,
+}
+
+impl Message {
+    pub fn tag(&self) -> u32 {
+        self.env.tag
+    }
+
+    /// World rank of the sender.
+    pub fn src_world(&self) -> usize {
+        self.env.src
+    }
+
+    /// Extract the payload.
+    ///
+    /// # Panics
+    /// Panics if the payload is not a `T`.
+    pub fn downcast<T: Send + 'static>(self) -> T {
+        downcast(self.env)
+    }
+}
+
+/// What one rank's endpoint knows at teardown — folded into the
+/// job-wide [`crate::CommLint`] by the universe.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RankLint {
+    /// `((src world rank, tag), count)` of unmatched messages left in
+    /// the mailbox.
+    pub leaked: Vec<((usize, u32), usize)>,
+    /// Reorder-held messages never released by a subsequent send.
+    pub unreleased_reorders: usize,
+    /// A receive deadline expired on this rank.
+    pub timed_out: bool,
+}
+
 /// Per-thread endpoint shared by every communicator that lives on this
 /// rank: the inbound channel, the stash of out-of-order messages, the
-/// tracer, and the context-id allocator.
+/// tracer, comm statistics, fault-injection state, and the context-id
+/// allocator.
 pub(crate) struct Endpoint {
     rx: Receiver<Envelope>,
     pending: VecDeque<Envelope>,
     pub(crate) tracer: Tracer,
     next_ctx: u32,
+    stats: CommStats,
+    /// Default deadline applied to every blocking receive (None = wait
+    /// forever, like classic MPI).
+    deadline: Option<Duration>,
+    faults: Option<Arc<ActiveFaults>>,
+    /// Messages held back by a reorder fault, keyed by destination
+    /// world rank; released after the next send to that destination.
+    held: Vec<(usize, Envelope)>,
+    /// Per-(destination, tag) send sequence numbers for fault matching.
+    send_seq: HashMap<(usize, u32), u64>,
+    /// Set when a receive deadline expires; cleared again by the next
+    /// successful receive, so at teardown it means "ended blocked"
+    /// rather than "ever timed out" (a recovered retry is not an error).
+    timed_out: bool,
 }
 
 /// A communicator over a group of ranks.
@@ -83,6 +183,8 @@ impl Comm {
         senders: Arc<Vec<Sender<Envelope>>>,
         epoch: Instant,
         tracing: bool,
+        deadline: Option<Duration>,
+        faults: Option<Arc<ActiveFaults>>,
     ) -> Self {
         let n = senders.len();
         let mut tracer = Tracer::new(world_rank, epoch);
@@ -93,6 +195,12 @@ impl Comm {
                 pending: VecDeque::new(),
                 tracer,
                 next_ctx: 1,
+                stats: CommStats::default(),
+                deadline,
+                faults,
+                held: Vec::new(),
+                send_seq: HashMap::new(),
+                timed_out: false,
             })),
             senders,
             ctx: 0,
@@ -135,6 +243,25 @@ impl Comm {
         self.endpoint.borrow_mut().tracer.set_enabled(on);
     }
 
+    /// Set the deadline applied to every blocking receive on this rank
+    /// (including collectives). `None` waits forever. A plain
+    /// [`Comm::recv`] whose deadline expires panics with a mailbox
+    /// diagnostic instead of hanging; use [`Comm::recv_deadline`] for a
+    /// recoverable error.
+    pub fn set_default_deadline(&self, deadline: Option<Duration>) {
+        self.endpoint.borrow_mut().deadline = deadline;
+    }
+
+    /// The deadline currently applied to blocking receives.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.endpoint.borrow().deadline
+    }
+
+    /// Snapshot of this rank's per-tag communication counters.
+    pub fn stats(&self) -> CommStats {
+        self.endpoint.borrow().stats.clone()
+    }
+
     /// Run `f` inside a named work region (for Figure 2-style traces).
     /// Time spent blocked in `recv`/collectives inside the region is
     /// recorded as wait, not work.
@@ -145,9 +272,35 @@ impl Comm {
         out
     }
 
-    /// Extract the trace recorded so far, resetting the recorder.
+    /// Extract the trace recorded so far, resetting the recorder. The
+    /// trace carries a snapshot of the comm statistics.
     pub fn take_trace(&self) -> RankTrace {
-        self.endpoint.borrow_mut().tracer.take()
+        let mut ep = self.endpoint.borrow_mut();
+        let mut trace = ep.tracer.take();
+        trace.stats = ep.stats.clone();
+        trace
+    }
+
+    /// Teardown hook: pull everything still in the mailbox into a lint
+    /// report and hand back the final trace. Called by the universe
+    /// after the rank closure finishes.
+    pub(crate) fn finalize(&self) -> (RankTrace, RankLint) {
+        let mut ep = self.endpoint.borrow_mut();
+        while let Ok(env) = ep.rx.try_recv() {
+            ep.pending.push_back(env);
+        }
+        let mut leaked: BTreeMap<(usize, u32), usize> = BTreeMap::new();
+        for e in &ep.pending {
+            *leaked.entry((e.src, e.tag)).or_default() += 1;
+        }
+        let lint = RankLint {
+            leaked: leaked.into_iter().collect(),
+            unreleased_reorders: ep.held.len(),
+            timed_out: ep.timed_out,
+        };
+        let mut trace = ep.tracer.take();
+        trace.stats = std::mem::take(&mut ep.stats);
+        (trace, lint)
     }
 
     // ------------------------------------------------------------------
@@ -167,15 +320,60 @@ impl Comm {
 
     fn send_internal<T: Send + 'static>(&self, dst: usize, tag: u32, value: T) {
         let dst_world = self.group[dst];
+        let bytes = std::mem::size_of_val(&value);
         let env = Envelope {
             ctx: self.ctx,
             src: self.world_rank(),
             tag,
+            bytes,
             payload: Box::new(value),
         };
-        self.senders[dst_world]
-            .send(env)
-            .expect("peer rank endpoint dropped while sending");
+        let mut ep = self.endpoint.borrow_mut();
+        ep.stats.on_send(tag, bytes);
+        let action = if let Some(faults) = ep.faults.clone() {
+            let seq = ep.send_seq.entry((dst_world, tag)).or_insert(0);
+            let s = *seq;
+            *seq += 1;
+            faults.decide(env.src, dst_world, tag, s)
+        } else {
+            None
+        };
+        match action {
+            Some(FaultAction::Drop) => {
+                ep.stats.on_injected_drop(tag);
+            }
+            Some(FaultAction::Delay(seconds)) => {
+                // Deliver late without blocking the sender; a delivery
+                // after the job ends is dropped (and flagged by lint
+                // as a send/recv imbalance).
+                let tx = self.senders[dst_world].clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_secs_f64(seconds));
+                    let _ = tx.send(env);
+                });
+            }
+            Some(FaultAction::Reorder) => {
+                ep.held.push((dst_world, env));
+            }
+            None => {
+                self.senders[dst_world]
+                    .send(env)
+                    .expect("peer rank endpoint dropped while sending");
+                // Release held messages *after* the one that just
+                // overtook them.
+                let mut i = 0;
+                while i < ep.held.len() {
+                    if ep.held[i].0 == dst_world {
+                        let (_, held_env) = ep.held.remove(i);
+                        self.senders[dst_world]
+                            .send(held_env)
+                            .expect("peer rank endpoint dropped while sending");
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Receive a `T` from rank `src` of this communicator with `tag`,
@@ -183,50 +381,140 @@ impl Comm {
     /// tag) triple are delivered in send order.
     ///
     /// # Panics
-    /// Panics if the matched message's payload is not a `T`.
+    /// Panics if the matched message's payload is not a `T`, or if the
+    /// rank's default deadline (see [`Comm::set_default_deadline`])
+    /// expires first.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u32) -> T {
         assert!(tag < INTERNAL_TAG, "user tags must be < 2^31");
         self.recv_internal(src, tag)
     }
 
+    /// Like [`Comm::recv`] but with an explicit deadline; expiry returns
+    /// a [`RecvTimeout`] carrying the unmatched mailbox contents instead
+    /// of panicking, so callers can retry or degrade gracefully.
+    pub fn recv_deadline<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u32,
+        deadline: Duration,
+    ) -> Result<T, RecvTimeout> {
+        assert!(tag < INTERNAL_TAG, "user tags must be < 2^31");
+        self.recv_matching(src, &[tag], Some(deadline))
+            .map(downcast)
+    }
+
+    /// Block until a message from `src` carrying *any* of `tags`
+    /// arrives, honoring the rank's default deadline. Use this to serve
+    /// several protocol tags from one wait loop without busy-polling.
+    ///
+    /// # Panics
+    /// Panics if the default deadline expires.
+    pub fn recv_match(&self, src: usize, tags: &[u32]) -> Message {
+        match self.recv_match_deadline(src, tags, self.default_deadline()) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Comm::recv_match`] with an explicit deadline (`None`
+    /// waits forever).
+    pub fn recv_match_deadline(
+        &self,
+        src: usize,
+        tags: &[u32],
+        deadline: Option<Duration>,
+    ) -> Result<Message, RecvTimeout> {
+        assert!(!tags.is_empty(), "recv_match needs at least one tag");
+        for t in tags {
+            assert!(*t < INTERNAL_TAG, "user tags must be < 2^31");
+        }
+        self.recv_matching(src, tags, deadline)
+            .map(|env| Message { env })
+    }
+
     fn recv_internal<T: Send + 'static>(&self, src: usize, tag: u32) -> T {
+        let deadline = self.default_deadline();
+        match self.recv_matching(src, &[tag], deadline) {
+            Ok(env) => downcast(env),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The receive engine: match the stash, then drain the channel, then
+    /// block (with wait-time accounting and optional deadline).
+    fn recv_matching(
+        &self,
+        src: usize,
+        tags: &[u32],
+        deadline: Option<Duration>,
+    ) -> Result<Envelope, RecvTimeout> {
         let src_world = self.group[src];
+        let matches =
+            |e: &Envelope| e.ctx == self.ctx && e.src == src_world && tags.contains(&e.tag);
         let mut ep = self.endpoint.borrow_mut();
 
         // Check the stash first.
-        if let Some(pos) = ep
-            .pending
-            .iter()
-            .position(|e| e.ctx == self.ctx && e.src == src_world && e.tag == tag)
-        {
+        if let Some(pos) = ep.pending.iter().position(matches) {
             let env = ep.pending.remove(pos).unwrap();
-            return downcast(env);
+            ep.stats.on_recv(env.tag, env.bytes);
+            ep.timed_out = false;
+            return Ok(env);
         }
 
         // Drain the channel without blocking.
-        loop {
-            match ep.rx.try_recv() {
-                Ok(env) => {
-                    if env.ctx == self.ctx && env.src == src_world && env.tag == tag {
-                        return downcast(env);
-                    }
-                    ep.pending.push_back(env);
-                }
-                Err(_) => break,
+        while let Ok(env) = ep.rx.try_recv() {
+            if matches(&env) {
+                ep.stats.on_recv(env.tag, env.bytes);
+                ep.timed_out = false;
+                return Ok(env);
             }
+            ep.pending.push_back(env);
         }
 
         // Block; account the blocked interval as wait time.
         let t0 = ep.tracer.now();
+        let started = Instant::now();
         loop {
-            let env = ep
-                .rx
-                .recv()
-                .expect("all senders dropped while this rank is still receiving");
-            if env.ctx == self.ctx && env.src == src_world && env.tag == tag {
+            let env = match deadline {
+                None => ep
+                    .rx
+                    .recv()
+                    .expect("all senders dropped while this rank is still receiving"),
+                Some(d) => {
+                    let result = match d.checked_sub(started.elapsed()) {
+                        Some(remaining) => ep.rx.recv_timeout(remaining),
+                        None => Err(RecvTimeoutError::Timeout),
+                    };
+                    match result {
+                        Ok(env) => env,
+                        Err(RecvTimeoutError::Timeout) => {
+                            let t1 = ep.tracer.now();
+                            ep.tracer.record_wait(t0, t1);
+                            ep.stats.on_wait(tags[0], t1 - t0);
+                            ep.timed_out = true;
+                            let pending: Vec<(usize, u32)> =
+                                ep.pending.iter().map(|e| (e.src, e.tag)).collect();
+                            return Err(RecvTimeout {
+                                rank: self.world_rank(),
+                                src,
+                                tags: tags.to_vec(),
+                                waited: started.elapsed(),
+                                pending,
+                            });
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            panic!("all senders dropped while this rank is still receiving")
+                        }
+                    }
+                }
+            };
+            if matches(&env) {
                 let t1 = ep.tracer.now();
                 ep.tracer.record_wait(t0, t1);
-                return downcast(env);
+                ep.stats.on_wait(env.tag, t1 - t0);
+                ep.stats.on_recv(env.tag, env.bytes);
+                ep.timed_out = false;
+                return Ok(env);
             }
             ep.pending.push_back(env);
         }
@@ -242,6 +530,31 @@ impl Comm {
         ep.pending
             .iter()
             .any(|e| e.ctx == self.ctx && e.src == src_world && e.tag == tag)
+    }
+
+    /// Consume every currently-delivered message from `src` with `tag`,
+    /// in delivery order, without blocking. Used to clear duplicates a
+    /// retry protocol may have produced before teardown lint runs.
+    pub fn drain<T: Send + 'static>(&self, src: usize, tag: u32) -> Vec<T> {
+        assert!(tag < INTERNAL_TAG, "user tags must be < 2^31");
+        let src_world = self.group[src];
+        let mut ep = self.endpoint.borrow_mut();
+        while let Ok(env) = ep.rx.try_recv() {
+            ep.pending.push_back(env);
+        }
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < ep.pending.len() {
+            let e = &ep.pending[i];
+            if e.ctx == self.ctx && e.src == src_world && e.tag == tag {
+                let env = ep.pending.remove(i).unwrap();
+                ep.stats.on_recv(env.tag, env.bytes);
+                out.push(downcast(env));
+            } else {
+                i += 1;
+            }
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -403,12 +716,7 @@ impl Comm {
     pub fn alltoallv(&self, sends: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
         assert_eq!(sends.len(), self.size(), "alltoallv length != comm size");
         for (j, buf) in sends.into_iter().enumerate() {
-            if j == self.rank {
-                // Deliver to self without touching the channel below.
-                self.send_internal(j, TAG_ALLTOALL, buf);
-            } else {
-                self.send_internal(j, TAG_ALLTOALL, buf);
-            }
+            self.send_internal(j, TAG_ALLTOALL, buf);
         }
         (0..self.size())
             .map(|j| self.recv_internal::<Vec<f64>>(j, TAG_ALLTOALL))
@@ -485,7 +793,7 @@ fn downcast<T: Send + 'static>(env: Envelope) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Universe;
+    use crate::{FaultPlan, RunConfig, Universe};
 
     #[test]
     fn send_recv_roundtrip() {
@@ -737,5 +1045,186 @@ mod tests {
             "expected blocked recv to record wait, got {:?}",
             t1
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Deadlines, stats, lint, faults
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn recv_deadline_times_out_and_names_the_leaked_message() {
+        // Rank 0 sends tag 7 but rank 1 listens on tag 8: in classic MPI
+        // this hangs forever. Here the deadline trips, the error names
+        // the unmatched (source, tag) pair, and teardown lint reports
+        // the leak.
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 42i32);
+                None
+            } else {
+                // Give the send time to land so the diagnostic sees it.
+                std::thread::sleep(Duration::from_millis(20));
+                Some(
+                    comm.recv_deadline::<i32>(0, 8, Duration::from_millis(50))
+                        .unwrap_err(),
+                )
+            }
+        });
+        let err = out.results[1].clone().unwrap();
+        assert_eq!(err.rank, 1);
+        assert_eq!(err.tags, vec![8]);
+        assert!(err.pending.contains(&(0, 7)), "pending: {:?}", err.pending);
+        let msg = err.to_string();
+        assert!(msg.contains("deadline expired"), "{msg}");
+        assert!(msg.contains("tag 7"), "{msg}");
+        // Teardown lint singles out the same leaked pair.
+        assert!(!out.lint.is_clean());
+        assert_eq!(out.lint.leaked_pairs(), vec![(0, 7)]);
+        assert_eq!(out.lint.timed_out_ranks, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline expired")]
+    fn default_deadline_panics_instead_of_hanging() {
+        Universe::run_cfg(
+            2,
+            RunConfig {
+                deadline: Some(Duration::from_millis(40)),
+                ..Default::default()
+            },
+            |comm| {
+                if comm.rank() == 1 {
+                    // No one ever sends tag 3.
+                    let _: i32 = comm.recv(0, 3);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn clean_run_has_clean_lint_and_balanced_tags() {
+        let out = Universe::run(3, |comm| {
+            let right = (comm.rank() + 1) % 3;
+            let left = (comm.rank() + 2) % 3;
+            comm.send(right, 5, comm.rank());
+            let _: usize = comm.recv(left, 5);
+            comm.barrier();
+        });
+        assert!(out.lint.is_clean(), "{}", out.lint);
+        assert!(out.lint.unbalanced_tags.is_empty());
+    }
+
+    #[test]
+    fn stats_count_messages_bytes_and_waits() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(10));
+                comm.send(1, 9, vec![0.0f64; 8]);
+            } else {
+                let _: Vec<f64> = comm.recv(0, 9);
+            }
+        });
+        let s0 = out.traces[0].stats.tag(9);
+        assert_eq!(s0.msgs_sent, 1);
+        assert!(s0.bytes_sent >= std::mem::size_of::<Vec<f64>>() as u64);
+        let s1 = out.traces[1].stats.tag(9);
+        assert_eq!(s1.msgs_recvd, 1);
+        assert!(s1.wait_seconds > 5e-3, "wait {}", s1.wait_seconds);
+        assert!(s1.wait_hist.count() >= 1);
+    }
+
+    #[test]
+    fn recv_match_serves_multiple_tags_in_arrival_order() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 11, 1.5f64);
+                comm.send(1, 12, 7usize);
+            } else {
+                let first = comm.recv_match(0, &[11, 12]);
+                assert_eq!(first.tag(), 11);
+                assert_eq!(first.downcast::<f64>(), 1.5);
+                let second = comm.recv_match(0, &[11, 12]);
+                assert_eq!(second.tag(), 12);
+                assert_eq!(second.downcast::<usize>(), 7);
+            }
+        });
+    }
+
+    #[test]
+    fn injected_drop_suppresses_delivery_but_keeps_lint_clean() {
+        let cfg = RunConfig {
+            faults: Some(FaultPlan::new(3).drop_first(0, 1, 6, 1)),
+            ..Default::default()
+        };
+        let out = Universe::run_cfg(2, cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 6, 1u8); // dropped
+                comm.send(1, 6, 2u8); // delivered
+            } else {
+                let got: u8 = comm.recv(0, 6);
+                assert_eq!(got, 2, "first send must have been dropped");
+            }
+        });
+        assert_eq!(out.lint.injected_drops, 1);
+        assert!(out.lint.is_clean(), "{}", out.lint);
+        assert_eq!(out.traces[0].stats.tag(6).injected_drops, 1);
+    }
+
+    #[test]
+    fn injected_reorder_swaps_adjacent_messages() {
+        let cfg = RunConfig {
+            faults: Some(FaultPlan::new(4).reorder_first(0, 1, 2, 1)),
+            ..Default::default()
+        };
+        Universe::run_cfg(2, cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, 10i32); // held back
+                comm.send(1, 2, 20i32); // overtakes
+            } else {
+                let a: i32 = comm.recv(0, 2);
+                let b: i32 = comm.recv(0, 2);
+                assert_eq!((a, b), (20, 10), "reorder fault must swap delivery");
+            }
+        });
+    }
+
+    #[test]
+    fn injected_delay_defers_delivery() {
+        let cfg = RunConfig {
+            faults: Some(FaultPlan::new(5).delay(0, 1, 8, 0.03)),
+            ..Default::default()
+        };
+        let out = Universe::run_cfg(2, cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 8, ());
+                0.0
+            } else {
+                let t0 = comm.now();
+                let () = comm.recv(0, 8);
+                comm.now() - t0
+            }
+        });
+        assert!(
+            out.results[1] > 0.02,
+            "delayed message arrived too fast: {} s",
+            out.results[1]
+        );
+        assert!(out.lint.is_clean(), "{}", out.lint);
+    }
+
+    #[test]
+    fn unmatched_send_shows_as_tag_imbalance() {
+        // Rank 0 posts a message nobody receives; both the per-mailbox
+        // leak and the global per-tag imbalance must flag it.
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 31, 9i64);
+            }
+            comm.barrier();
+        });
+        assert!(!out.lint.is_clean());
+        assert_eq!(out.lint.leaked_pairs(), vec![(0, 31)]);
+        let imb: Vec<u32> = out.lint.unbalanced_tags.iter().map(|t| t.tag).collect();
+        assert_eq!(imb, vec![31]);
     }
 }

@@ -1,0 +1,246 @@
+//! Deterministic fault injection for the message-passing runtime.
+//!
+//! A [`FaultPlan`] describes, *before the run starts*, which
+//! point-to-point messages to drop, delay, or reorder. Decisions are a
+//! pure function of the plan seed and the message's (source, dest, tag,
+//! sequence) coordinates, so a given plan perturbs a given program
+//! identically on every run — failures found under injection reproduce.
+//!
+//! Faults apply to user-tag point-to-point traffic only; the runtime's
+//! internal collective protocols are never perturbed (dropping a
+//! barrier message would test the fault injector, not the application).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::stats::INTERNAL_TAG;
+
+/// What to do to a matched message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Silently discard the message (counted as an injected drop).
+    Drop,
+    /// Deliver the message after this many seconds, without blocking
+    /// the sender.
+    Delay(f64),
+    /// Hold the message back until the *next* send to the same
+    /// destination, which then overtakes it — a minimal out-of-order
+    /// delivery.
+    Reorder,
+}
+
+/// One match-and-act rule. `None` fields match anything.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Sending world rank.
+    pub src: Option<usize>,
+    /// Receiving world rank.
+    pub dst: Option<usize>,
+    pub tag: Option<u32>,
+    pub action: FaultAction,
+    /// Apply to at most this many matching messages (`None` =
+    /// unlimited).
+    pub max_hits: Option<u64>,
+    /// Probability in [0, 1] that a matching message is hit; decided
+    /// deterministically from the plan seed and message coordinates.
+    pub probability: f64,
+}
+
+impl FaultRule {
+    fn matches(&self, src: usize, dst: usize, tag: u32) -> bool {
+        self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+            && self.tag.is_none_or(|t| t == tag)
+    }
+}
+
+/// A seeded, cloneable schedule of message faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Drop the first `n` messages matching (src, dst, tag).
+    pub fn drop_first(self, src: usize, dst: usize, tag: u32, n: u64) -> Self {
+        self.with_rule(FaultRule {
+            src: Some(src),
+            dst: Some(dst),
+            tag: Some(tag),
+            action: FaultAction::Drop,
+            max_hits: Some(n),
+            probability: 1.0,
+        })
+    }
+
+    /// Delay every message matching (src, dst, tag) by `seconds`.
+    pub fn delay(self, src: usize, dst: usize, tag: u32, seconds: f64) -> Self {
+        self.with_rule(FaultRule {
+            src: Some(src),
+            dst: Some(dst),
+            tag: Some(tag),
+            action: FaultAction::Delay(seconds),
+            max_hits: None,
+            probability: 1.0,
+        })
+    }
+
+    /// Hold back the first `n` messages matching (src, dst, tag) so the
+    /// following message to the same destination overtakes them.
+    pub fn reorder_first(self, src: usize, dst: usize, tag: u32, n: u64) -> Self {
+        self.with_rule(FaultRule {
+            src: Some(src),
+            dst: Some(dst),
+            tag: Some(tag),
+            action: FaultAction::Reorder,
+            max_hits: Some(n),
+            probability: 1.0,
+        })
+    }
+
+    /// Drop each message matching (src→dst, tag) independently with
+    /// probability `p` (deterministic per plan seed and message index).
+    pub fn drop_with_probability(self, tag: u32, p: f64) -> Self {
+        self.with_rule(FaultRule {
+            src: None,
+            dst: None,
+            tag: Some(tag),
+            action: FaultAction::Drop,
+            max_hits: None,
+            probability: p,
+        })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    pub(crate) fn activate(self) -> Arc<ActiveFaults> {
+        let hits = (0..self.rules.len()).map(|_| AtomicU64::new(0)).collect();
+        Arc::new(ActiveFaults { plan: self, hits })
+    }
+}
+
+/// A plan armed for one run, with shared per-rule hit counters.
+#[derive(Debug)]
+pub(crate) struct ActiveFaults {
+    plan: FaultPlan,
+    hits: Vec<AtomicU64>,
+}
+
+impl ActiveFaults {
+    /// Decide the fate of the `seq`-th message on (src → dst, tag).
+    /// First matching rule wins. Internal tags are never faulted.
+    pub(crate) fn decide(&self, src: usize, dst: usize, tag: u32, seq: u64) -> Option<FaultAction> {
+        if tag >= INTERNAL_TAG {
+            return None;
+        }
+        for (rule, hits) in self.plan.rules.iter().zip(&self.hits) {
+            if !rule.matches(src, dst, tag) {
+                continue;
+            }
+            if rule.probability < 1.0 {
+                let roll = hash_coords(self.plan.seed, src, dst, tag, seq);
+                if (roll >> 11) as f64 / (1u64 << 53) as f64 >= rule.probability {
+                    continue;
+                }
+            }
+            if let Some(max) = rule.max_hits {
+                // Claim a hit slot atomically; later messages fall
+                // through once the budget is spent.
+                let prev = hits.fetch_add(1, Ordering::Relaxed);
+                if prev >= max {
+                    continue;
+                }
+            } else {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(rule.action);
+        }
+        None
+    }
+}
+
+/// SplitMix64 over the message coordinates: stable across runs.
+fn hash_coords(seed: u64, src: usize, dst: usize, tag: u32, seq: u64) -> u64 {
+    let mut z = seed
+        ^ (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (dst as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (tag as u64).wrapping_mul(0x1656_67B1_9E37_79F9)
+        ^ seq.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_first_hits_exactly_n() {
+        let af = FaultPlan::new(1).drop_first(0, 1, 7, 2).activate();
+        assert_eq!(af.decide(0, 1, 7, 0), Some(FaultAction::Drop));
+        assert_eq!(af.decide(0, 1, 7, 1), Some(FaultAction::Drop));
+        assert_eq!(af.decide(0, 1, 7, 2), None);
+        // Different coordinates never match.
+        assert_eq!(af.decide(1, 0, 7, 0), None);
+        assert_eq!(af.decide(0, 1, 8, 0), None);
+    }
+
+    #[test]
+    fn internal_tags_are_immune() {
+        let af = FaultPlan::new(1)
+            .with_rule(FaultRule {
+                src: None,
+                dst: None,
+                tag: None,
+                action: FaultAction::Drop,
+                max_hits: None,
+                probability: 1.0,
+            })
+            .activate();
+        assert_eq!(af.decide(0, 1, INTERNAL_TAG, 0), None);
+        assert_eq!(af.decide(0, 1, INTERNAL_TAG + 3, 5), None);
+        assert_eq!(af.decide(0, 1, 0, 0), Some(FaultAction::Drop));
+    }
+
+    #[test]
+    fn probabilistic_rules_are_deterministic_and_calibrated() {
+        let plan = FaultPlan::new(42).drop_with_probability(3, 0.25);
+        let a = plan.clone().activate();
+        let b = plan.activate();
+        let mut dropped = 0;
+        for seq in 0..4000 {
+            let da = a.decide(0, 1, 3, seq);
+            assert_eq!(da, b.decide(0, 1, 3, seq), "plan must be deterministic");
+            if da.is_some() {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 4000.0;
+        assert!((0.2..0.3).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let af = FaultPlan::new(9)
+            .delay(0, 1, 5, 0.001)
+            .drop_first(0, 1, 5, 10)
+            .activate();
+        assert_eq!(af.decide(0, 1, 5, 0), Some(FaultAction::Delay(0.001)));
+    }
+}

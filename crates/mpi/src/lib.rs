@@ -20,6 +20,28 @@
 //! spectral transform, gather/scatter at the coupler boundary, idle time
 //! from load imbalance — is preserved; only the transport differs.
 //!
+//! # Failure-aware runtime
+//!
+//! On top of the MPI model, the runtime is instrumented for debugging
+//! coupled-model communication bugs:
+//!
+//! * **Deadlines instead of deadlocks** — [`Comm::recv_deadline`] and the
+//!   job-wide default in [`RunConfig::deadline`] turn a mismatched tag
+//!   from an infinite hang into a [`RecvTimeout`] (or a panic carrying
+//!   the same diagnosis) that names the unmatched messages sitting in
+//!   the mailbox.
+//! * **Comm-lint at teardown** — every [`Universe`] run returns a
+//!   [`CommLint`]: leaked (sent-but-never-received) messages by
+//!   `(source, tag)`, per-tag send/receive imbalances, and ranks whose
+//!   receives timed out. When a rank panics, the lint is printed to
+//!   stderr before the panic propagates.
+//! * **Deterministic fault injection** — a seeded [`FaultPlan`] drops,
+//!   delays, or reorders selected point-to-point messages so recovery
+//!   paths can be tested reproducibly ([`RunConfig::faults`]).
+//! * **Per-rank comm statistics** — message/byte counters and wait-time
+//!   histograms per tag ([`CommStats`]), carried on each
+//!   [`RankTrace`], so trace tooling reports *what* ranks waited on.
+//!
 //! # Example
 //!
 //! ```
@@ -34,12 +56,18 @@
 //! ```
 
 mod comm;
+mod fault;
+mod stats;
 mod trace;
 mod universe;
 
-pub use comm::{Comm, ReduceOp};
+pub use comm::{Comm, Message, RecvTimeout, ReduceOp};
+pub use fault::{FaultAction, FaultPlan, FaultRule};
+pub use stats::{
+    tag_label, CommLint, CommStats, LeakedMessage, TagImbalance, TagStats, WaitHistogram,
+};
 pub use trace::{RankTrace, Segment, SegmentKind, TraceSummary};
-pub use universe::{RunOutput, Universe};
+pub use universe::{RunConfig, RunOutput, Universe};
 
 #[cfg(test)]
 mod tests {

@@ -4,6 +4,8 @@
 
 use std::time::Instant;
 
+use crate::stats::CommStats;
+
 /// What a rank was doing during a [`Segment`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SegmentKind {
@@ -35,6 +37,9 @@ impl Segment {
 pub struct RankTrace {
     pub rank: usize,
     pub segments: Vec<Segment>,
+    /// Per-tag communication counters accumulated over the run (always
+    /// collected, even when segment tracing is off).
+    pub stats: CommStats,
 }
 
 impl RankTrace {
@@ -225,6 +230,7 @@ impl Tracer {
         RankTrace {
             rank: self.rank,
             segments,
+            stats: CommStats::default(),
         }
     }
 }
@@ -248,6 +254,7 @@ mod tests {
                 seg(SegmentKind::Work("ocean".into()), 1.5, 2.0),
                 seg(SegmentKind::Work("atm".into()), 2.0, 3.0),
             ],
+            ..Default::default()
         };
         assert!((t.work_time("atm") - 2.0).abs() < 1e-12);
         assert!((t.work_time("ocean") - 0.5).abs() < 1e-12);
@@ -264,6 +271,7 @@ mod tests {
                 seg(SegmentKind::Work("atm".into()), 0.0, 5.0),
                 seg(SegmentKind::Wait, 5.0, 10.0),
             ],
+            ..Default::default()
         };
         let bar = t.ascii_bar(0.0, 10.0, 10);
         assert_eq!(bar.len(), 10);
@@ -279,6 +287,7 @@ mod tests {
                 seg(SegmentKind::Work("atm".into()), 0.0, 3.0),
                 seg(SegmentKind::Wait, 3.0, 4.0),
             ],
+            ..Default::default()
         };
         let s = TraceSummary::from_traces(&[t]);
         let f = s.fraction("atm") + s.fraction("wait");

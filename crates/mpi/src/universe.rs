@@ -1,20 +1,44 @@
 //! Launching an SPMD "job": one OS thread per rank, like `mpirun -np N`.
+//!
+//! Teardown is failure-aware: after the rank closures return (or panic),
+//! every rank's mailbox is drained into a [`CommLint`] report — unmatched
+//! messages, per-tag send/receive imbalances, expired deadlines — so a
+//! miscommunicating job *reports* what it leaked instead of hanging.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use parking_lot::Mutex;
 
-use crate::comm::Comm;
+use crate::comm::{Comm, RankLint};
+use crate::fault::FaultPlan;
+use crate::stats::{CommLint, CommStats, LeakedMessage, TagImbalance};
 use crate::trace::RankTrace;
 
+/// Knobs for a [`Universe::run_cfg`] job.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Record per-rank activity traces from the start (Figure 2).
+    pub tracing: bool,
+    /// Default deadline applied to every blocking receive on every rank
+    /// (`None` = wait forever, like classic MPI). A receive that trips
+    /// the deadline panics with a mailbox diagnostic; the job then
+    /// aborts with a comm-lint report instead of hanging.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault-injection plan for point-to-point traffic.
+    pub faults: Option<FaultPlan>,
+}
+
 /// Results of a [`Universe::run`]: per-rank closure outputs and activity
-/// traces, both indexed by rank.
+/// traces (both indexed by rank), plus the teardown comm-lint report.
 #[derive(Debug)]
 pub struct RunOutput<R> {
     pub results: Vec<R>,
     pub traces: Vec<RankTrace>,
+    /// What the communication layer left behind at teardown.
+    pub lint: CommLint,
 }
 
 /// Entry point of the message-passing runtime.
@@ -33,12 +57,32 @@ impl Universe {
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
     {
-        Self::run_traced(n, false, f)
+        Self::run_cfg(n, RunConfig::default(), f)
     }
 
     /// Like [`Universe::run`] but with activity tracing enabled from the
     /// start on every rank (used to regenerate the paper's Figure 2).
     pub fn run_traced<R, F>(n: usize, tracing: bool, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
+        Self::run_cfg(
+            n,
+            RunConfig {
+                tracing,
+                ..Default::default()
+            },
+            f,
+        )
+    }
+
+    /// The fully configurable launcher: tracing, receive deadlines, and
+    /// fault injection. Every rank runs under `catch_unwind` so that even
+    /// when a rank panics (deadline expiry, type mismatch, application
+    /// bug) the teardown lint still runs and is printed to stderr before
+    /// the panic is propagated.
+    pub fn run_cfg<R, F>(n: usize, cfg: RunConfig, f: F) -> RunOutput<R>
     where
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
@@ -53,49 +97,110 @@ impl Universe {
         }
         let senders = Arc::new(txs);
         let epoch = Instant::now();
+        let faults = cfg
+            .faults
+            .filter(|p| !p.is_empty())
+            .map(FaultPlan::activate);
 
-        let results: Vec<Mutex<Option<(R, RankTrace)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        type Slot<R> = (std::thread::Result<R>, RankTrace, RankLint);
+        let slots: Vec<Mutex<Option<Slot<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(n);
             for (rank, rx) in rxs.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
+                let faults = faults.clone();
                 let f = &f;
-                let slot = &results[rank];
+                let slot = &slots[rank];
+                let deadline = cfg.deadline;
+                let tracing = cfg.tracing;
                 let handle = std::thread::Builder::new()
                     .name(format!("foam-rank-{rank}"))
                     .stack_size(RANK_STACK)
                     .spawn_scoped(s, move || {
-                        let comm = Comm::new_world(rank, rx, senders, epoch, tracing);
-                        let out = f(&comm);
-                        let trace = comm.take_trace();
-                        *slot.lock() = Some((out, trace));
+                        let comm =
+                            Comm::new_world(rank, rx, senders, epoch, tracing, deadline, faults);
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                        let (trace, lint) = comm.finalize();
+                        *slot.lock() = Some((out, trace, lint));
                     })
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
             }
             for h in handles {
-                if let Err(p) = h.join() {
-                    std::panic::resume_unwind(p);
-                }
+                // The closure's own panic was caught; a join error here
+                // would mean the harness itself failed.
+                h.join().expect("rank thread harness panicked");
             }
         });
 
-        let mut outs = Vec::with_capacity(n);
+        let mut results = Vec::with_capacity(n);
         let mut traces = Vec::with_capacity(n);
-        for slot in results {
-            let (r, t) = slot
+        let mut rank_lints = Vec::with_capacity(n);
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in slots {
+            let (out, trace, lint) = slot
                 .into_inner()
                 .expect("rank finished without storing a result");
-            outs.push(r);
-            traces.push(t);
+            match out {
+                Ok(r) => results.push(r),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+            traces.push(trace);
+            rank_lints.push(lint);
+        }
+
+        let lint = aggregate_lint(&traces, &rank_lints);
+
+        if let Some(p) = first_panic {
+            // Give the user the teardown diagnosis before aborting, the
+            // way a batch MPI job prints its error file.
+            eprintln!("{lint}");
+            std::panic::resume_unwind(p);
         }
         RunOutput {
-            results: outs,
+            results,
             traces,
+            lint,
         }
     }
+}
+
+/// Fold per-rank mailbox leftovers and counters into the job-wide lint.
+fn aggregate_lint(traces: &[RankTrace], rank_lints: &[RankLint]) -> CommLint {
+    let mut lint = CommLint::default();
+    let mut merged = CommStats::default();
+    for (rank, (trace, rl)) in traces.iter().zip(rank_lints).enumerate() {
+        merged.merge(&trace.stats);
+        for ((src, tag), count) in &rl.leaked {
+            lint.leaked.push(LeakedMessage {
+                rank,
+                src: *src,
+                tag: *tag,
+                count: *count,
+            });
+        }
+        lint.unreleased_reorders += rl.unreleased_reorders;
+        if rl.timed_out {
+            lint.timed_out_ranks.push(rank);
+        }
+    }
+    for (tag, t) in &merged.by_tag {
+        lint.injected_drops += t.injected_drops;
+        if t.msgs_sent - t.injected_drops != t.msgs_recvd {
+            lint.unbalanced_tags.push(TagImbalance {
+                tag: *tag,
+                sent: t.msgs_sent,
+                received: t.msgs_recvd,
+                injected_drops: t.injected_drops,
+            });
+        }
+    }
+    lint
 }
 
 #[cfg(test)]
@@ -105,7 +210,9 @@ mod tests {
     #[test]
     fn traces_come_back_per_rank() {
         let out = Universe::run_traced(3, true, |comm| {
-            comm.region("alpha", || std::thread::sleep(std::time::Duration::from_millis(5)));
+            comm.region("alpha", || {
+                std::thread::sleep(std::time::Duration::from_millis(5))
+            });
             comm.rank()
         });
         assert_eq!(out.traces.len(), 3);
@@ -132,6 +239,16 @@ mod tests {
             }
         });
     }
+
+    #[test]
+    fn clean_job_reports_clean_lint() {
+        let out = Universe::run(4, |comm| {
+            comm.barrier();
+            comm.allreduce_scalar(1.0, crate::ReduceOp::Sum)
+        });
+        assert!(out.lint.is_clean(), "{}", out.lint);
+        assert_eq!(out.lint.injected_drops, 0);
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +261,7 @@ mod stress_tests {
         // A stress pattern mixing rings of sends with collectives, the
         // kind of traffic one coupled step generates.
         let p = 5;
-        Universe::run(p, move |comm| {
+        let out = Universe::run(p, move |comm| {
             let right = (comm.rank() + 1) % p;
             let left = (comm.rank() + p - 1) % p;
             let mut acc = comm.rank() as f64;
@@ -163,12 +280,15 @@ mod stress_tests {
             // Everyone survived with a finite accumulator.
             assert!(acc.is_finite());
         });
+        assert!(out.lint.is_clean(), "{}", out.lint);
     }
 
     #[test]
     fn nested_splits_stay_isolated() {
         Universe::run(6, |comm| {
-            let half = comm.split((comm.rank() / 3) as i64, comm.rank() as i64).unwrap();
+            let half = comm
+                .split((comm.rank() / 3) as i64, comm.rank() as i64)
+                .unwrap();
             let pair = half.split((half.rank() % 2) as i64, 0).unwrap();
             // Sum ranks at each level; sizes must be consistent.
             assert_eq!(half.size(), 3);

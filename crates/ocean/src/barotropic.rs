@@ -289,8 +289,11 @@ mod tests {
         let m = 2.0; // wavenumber 2 around the circle
         for j in 0..g.ny {
             for i in 0..g.nx {
-                st.eta
-                    .set(i, j, 0.01 * (m * 2.0 * std::f64::consts::PI * i as f64 / g.nx as f64).cos());
+                st.eta.set(
+                    i,
+                    j,
+                    0.01 * (m * 2.0 * std::f64::consts::PI * i as f64 / g.nx as f64).cos(),
+                );
             }
         }
         // Wave at row jm: k = m / (a cosφ) — expected period 2π/(c k).
@@ -363,7 +366,10 @@ mod tests {
             !(bad_max.is_finite() && bad_max < 1.0),
             "expected instability at 8× CFL, max = {bad_max}"
         );
-        assert!(good_max < 0.2, "subcycled run should stay bounded: {good_max}");
+        assert!(
+            good_max < 0.2,
+            "subcycled run should stay bounded: {good_max}"
+        );
     }
 
     #[test]

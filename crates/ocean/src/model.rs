@@ -139,7 +139,8 @@ impl OceanForcing {
             let lat = grid.lats[j];
             let latd = lat.to_degrees();
             // Trades below 30°, westerlies 30–60°.
-            let tau = -0.08 * (std::f64::consts::PI * latd / 30.0).cos()
+            let tau = -0.08
+                * (std::f64::consts::PI * latd / 30.0).cos()
                 * (-((latd / 55.0) * (latd / 55.0))).exp()
                 + 0.06 * (-((latd.abs() - 45.0) / 12.0).powi(2)).exp();
             for i in 0..grid.nx {
@@ -185,8 +186,7 @@ impl OceanModel {
         let grid = OceanGrid::mercator(cfg.nx, cfg.ny, cfg.lat_max_deg);
         let vert = VerticalGrid::ocean_stretched(cfg.nz, cfg.depth, cfg.stretch);
         let mask = Self::effective_sea_mask(&cfg, world);
-        let baro_sys =
-            BarotropicSystem::new(grid.clone(), mask.clone(), cfg.depth, cfg.slowdown);
+        let baro_sys = BarotropicSystem::new(grid.clone(), mask.clone(), cfg.depth, cfg.slowdown);
         let filter = PolarFilter::new(&grid, cfg.polar_lat);
         let f_row = grid.lats.iter().map(|&l| coriolis(l)).collect();
         OceanModel {
@@ -376,10 +376,8 @@ impl OceanModel {
                         - self.cfg.nu4 * d4v.get(i, j) / self.cfg.dt_int;
                     if k == 0 {
                         // Wind stress into the top layer.
-                        ax += forcing.tau_x.get(i, j)
-                            / (RHO_SEAWATER * self.vert.thickness[0]);
-                        ay += forcing.tau_y.get(i, j)
-                            / (RHO_SEAWATER * self.vert.thickness[0]);
+                        ax += forcing.tau_x.get(i, j) / (RHO_SEAWATER * self.vert.thickness[0]);
+                        ay += forcing.tau_y.get(i, j) / (RHO_SEAWATER * self.vert.thickness[0]);
                     }
                     if k == nz - 1 {
                         // Linear bottom drag on the bottom layer.
@@ -466,8 +464,15 @@ impl OceanModel {
                 for k in 0..nz - 1 {
                     let dzi = 0.5 * (dz[k] + dz[k + 1]);
                     let ri = richardson(
-                        tcol[k], scol[k], ucol[k], vcol[k], tcol[k + 1], scol[k + 1],
-                        ucol[k + 1], vcol[k + 1], dzi,
+                        tcol[k],
+                        scol[k],
+                        ucol[k],
+                        vcol[k],
+                        tcol[k + 1],
+                        scol[k + 1],
+                        ucol[k + 1],
+                        vcol[k + 1],
+                        dzi,
                     );
                     let (nu, kap) = self.cfg.pp.coefficients(ri);
                     nu_int[k] = nu;
@@ -539,8 +544,7 @@ impl OceanModel {
                     } else {
                         0.0
                     };
-                    let div = (ue - uw) / self.grid.dx[j]
-                        + (vn - vs) / (self.grid.dy[j] * cosc);
+                    let div = (ue - uw) / self.grid.dx[j] + (vn - vs) / (self.grid.dy[j] * cosc);
                     let w_below = w_int[kz + 1].get(i, j);
                     w_int[kz].set(i, j, w_below - div * self.vert.thickness[kz]);
                 }
@@ -551,13 +555,11 @@ impl OceanModel {
             // Work on T then S with identical machinery.
             let surf_src: Box<dyn Fn(usize, usize, f64) -> f64> = if tracer == 0 {
                 Box::new(|i, j, _old| {
-                    forcing.heat.get(i, j)
-                        / (RHO_SEAWATER * CP_SEAWATER * self.vert.thickness[0])
+                    forcing.heat.get(i, j) / (RHO_SEAWATER * CP_SEAWATER * self.vert.thickness[0])
                 })
             } else {
                 Box::new(|i, j, old| {
-                    -old * forcing.freshwater.get(i, j)
-                        / (RHO_SEAWATER * self.vert.thickness[0])
+                    -old * forcing.freshwater.get(i, j) / (RHO_SEAWATER * self.vert.thickness[0])
                 })
             };
             for kz in 0..nz {
@@ -601,15 +603,13 @@ impl OceanModel {
                         let mut tend = 0.0;
                         if sea(ie, j) {
                             let uf = 0.5
-                                * (self.uv_at(state, kz, i, j).0
-                                    + self.uv_at(state, kz, ie, j).0);
+                                * (self.uv_at(state, kz, i, j).0 + self.uv_at(state, kz, ie, j).0);
                             let xf = face_value(c0, x_old.get(ie, j), uf, up);
                             tend -= uf * xf / self.grid.dx[j];
                         }
                         if sea(iw, j) {
                             let uf = 0.5
-                                * (self.uv_at(state, kz, iw, j).0
-                                    + self.uv_at(state, kz, i, j).0);
+                                * (self.uv_at(state, kz, iw, j).0 + self.uv_at(state, kz, i, j).0);
                             let xf = face_value(x_old.get(iw, j), c0, uf, up);
                             tend += uf * xf / self.grid.dx[j];
                         }
@@ -655,8 +655,8 @@ impl OceanModel {
                         } else {
                             0.0
                         };
-                        let div = (ue - uw2) / self.grid.dx[j]
-                            + (vn2 - vs2) / (self.grid.dy[j] * cosc);
+                        let div =
+                            (ue - uw2) / self.grid.dx[j] + (vn2 - vs2) / (self.grid.dy[j] * cosc);
                         tend += c0 * div;
 
                         // Horizontal diffusion (Laplacian, masked).
@@ -668,12 +668,10 @@ impl OceanModel {
                             lap += (x_old.get(iw, j) - c0) / (self.grid.dx[j] * self.grid.dx[j]);
                         }
                         if sea(i, j + 1) {
-                            lap += (x_old.get(i, j + 1) - c0)
-                                / (self.grid.dy[j] * self.grid.dy[j]);
+                            lap += (x_old.get(i, j + 1) - c0) / (self.grid.dy[j] * self.grid.dy[j]);
                         }
                         if sea(i, j - 1) {
-                            lap += (x_old.get(i, j - 1) - c0)
-                                / (self.grid.dy[j] * self.grid.dy[j]);
+                            lap += (x_old.get(i, j - 1) - c0) / (self.grid.dy[j] * self.grid.dy[j]);
                         }
                         tend += self.cfg.kappa_h * lap;
 
@@ -785,7 +783,7 @@ impl OceanModel {
                 .subcycle(&mut state.baro, &mx, &my, self.cfg.dt_int, n_sub);
             work += self.cfg.nz + n_sub;
             state.step_count += 1;
-            if state.step_count % self.cfg.n_trac as u64 == 0 {
+            if state.step_count.is_multiple_of(self.cfg.n_trac as u64) {
                 let dt_trac = self.cfg.dt_int * self.cfg.n_trac as f64;
                 self.tracer_step(state, forcing, dt_trac);
                 self.vertical_mixing(state, dt_trac);
@@ -808,12 +806,7 @@ impl OceanModel {
         dt_couple: f64,
     ) -> usize {
         // Full-gravity subsystem for the CFL and the surface update.
-        let full = BarotropicSystem::new(
-            self.grid.clone(),
-            self.mask.clone(),
-            self.cfg.depth,
-            1.0,
-        );
+        let full = BarotropicSystem::new(self.grid.clone(), self.mask.clone(), self.cfg.depth, 1.0);
         let dt = full.max_dt();
         let n = (dt_couple / dt).ceil().max(1.0) as usize;
         let dt = dt_couple / n as f64;
@@ -971,8 +964,7 @@ mod tests {
         }
         let d_sst = model.mean_sst(&heated) - model.mean_sst(&control);
         // Expected: Q·t/(ρ c_p Δz₀) ≈ 0.066 K for these parameters.
-        let expect = 200.0 * 86_400.0
-            / (RHO_SEAWATER * CP_SEAWATER * model.vert.thickness[0]);
+        let expect = 200.0 * 86_400.0 / (RHO_SEAWATER * CP_SEAWATER * model.vert.thickness[0]);
         assert!(
             (d_sst / expect - 1.0).abs() < 0.3,
             "ΔSST {d_sst} vs expected {expect}"
@@ -986,9 +978,7 @@ mod tests {
             }
             for i in 0..model.grid.nx {
                 if model.mask[model.grid.idx(i, j)] {
-                    let d = (heated.t[model.cfg.nz - 1].get(i, j)
-                        - t_deep0.get(i, j))
-                    .abs();
+                    let d = (heated.t[model.cfg.nz - 1].get(i, j) - t_deep0.get(i, j)).abs();
                     dmax = dmax.max(d);
                 }
             }
@@ -1022,15 +1012,11 @@ mod tests {
         let (model, mut state, _) = setup();
         let mut forcing = OceanForcing::zeros(&model.grid);
         forcing.freshwater.fill(5.0e-5); // ~4.3 mm/day everywhere
-        let s0 = model
-            .grid
-            .masked_mean(state.s[0].as_slice(), &model.mask);
+        let s0 = model.grid.masked_mean(state.s[0].as_slice(), &model.mask);
         for _ in 0..8 {
             model.step_coupled(&mut state, &forcing, 21_600.0);
         }
-        let s1 = model
-            .grid
-            .masked_mean(state.s[0].as_slice(), &model.mask);
+        let s1 = model.grid.masked_mean(state.s[0].as_slice(), &model.mask);
         assert!(s1 < s0, "salinity should drop: {s0} → {s1}");
     }
 

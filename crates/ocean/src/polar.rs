@@ -7,7 +7,7 @@
 //! hence stability — matches the mid-latitudes.
 
 use foam_grid::{Field2, OceanGrid};
-use foam_spectral::fft::{FftPlan, real_analysis, real_synthesis};
+use foam_spectral::fft::{real_analysis, real_synthesis, FftPlan};
 
 /// A polar filter bound to a grid.
 pub struct PolarFilter {

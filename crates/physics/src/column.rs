@@ -78,8 +78,7 @@ impl AtmColumn {
     pub fn moist_enthalpy(&self) -> f64 {
         (0..self.nlev())
             .map(|k| {
-                (CP_DRY * self.t[k] + foam_grid::constants::L_VAP * self.q[k])
-                    * self.layer_mass(k)
+                (CP_DRY * self.t[k] + foam_grid::constants::L_VAP * self.q[k]) * self.layer_mass(k)
             })
             .sum()
     }
@@ -197,10 +196,10 @@ mod tests {
     #[test]
     fn moist_adiabat_is_warmer_than_dry() {
         let t0 = 300.0;
-        let p0 = 1.0e5;
+        let p0 = 1.0e5f64;
         let p = 5.0e4;
         let kappa = R_DRY / CP_DRY;
-        let t_dry = t0 * (p / p0 as f64).powf(kappa);
+        let t_dry = t0 * (p / p0).powf(kappa);
         let t_moist = moist_adiabat(t0, 0.015, p0, p);
         assert!(t_moist > t_dry);
         assert!(t_moist < t0);

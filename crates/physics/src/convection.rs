@@ -204,7 +204,11 @@ pub fn shallow_convection(col: &mut AtmColumn) -> usize {
     }
     let ks = [n - 3, n - 2, n - 1];
     let mtot: f64 = ks.iter().map(|&k| col.layer_mass(k)).sum();
-    let qbar: f64 = ks.iter().map(|&k| col.q[k] * col.layer_mass(k)).sum::<f64>() / mtot;
+    let qbar: f64 = ks
+        .iter()
+        .map(|&k| col.q[k] * col.layer_mass(k))
+        .sum::<f64>()
+        / mtot;
     for &k in &ks {
         // Partial mixing toward the triplet mean.
         col.q[k] += 0.5 * (qbar - col.q[k]);

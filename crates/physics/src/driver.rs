@@ -2,9 +2,9 @@
 //! column every time step, with the radiation cache refreshed twice per
 //! simulated day.
 
-use foam_grid::constants::STEFAN_BOLTZMANN;
 #[cfg(test)]
 use foam_grid::constants::L_VAP;
+use foam_grid::constants::STEFAN_BOLTZMANN;
 
 use crate::column::{saturation_humidity, AtmColumn};
 use crate::convection::{convect, ConvectionParams};
@@ -336,7 +336,10 @@ mod tests {
                 1800.0,
             );
             total_precip += out.precip;
-            assert!(col.t.iter().all(|t| t.is_finite() && (150.0..360.0).contains(t)));
+            assert!(col
+                .t
+                .iter()
+                .all(|t| t.is_finite() && (150.0..360.0).contains(t)));
             assert!(col.q.iter().all(|q| (0.0..0.1).contains(q)));
         }
         // A warm pool column must rain over a day (mm/day scale).
@@ -383,7 +386,11 @@ mod tests {
             false,
             1800.0,
         );
-        assert!(out2.net_sfc_heat < 0.0, "night net heat {}", out2.net_sfc_heat);
+        assert!(
+            out2.net_sfc_heat < 0.0,
+            "night net heat {}",
+            out2.net_sfc_heat
+        );
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub mod surface;
 mod driver;
 
 pub use column::AtmColumn;
-pub use driver::{ColumnPhysics, PhysicsConfig, PhysicsTendencies, PhysicsVintage, SurfaceState, SurfaceKind};
+pub use driver::{
+    ColumnPhysics, PhysicsConfig, PhysicsTendencies, PhysicsVintage, SurfaceKind, SurfaceState,
+};
 pub use radiation::{OrbitalState, RadCache};
 pub use surface::BulkFluxes;

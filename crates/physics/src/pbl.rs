@@ -136,7 +136,10 @@ mod tests {
         let mut col = AtmColumn::standard(18, 300.0);
         col.t[17] += 15.0;
         vertical_diffusion(&mut col, 86_400.0, 500.0, 2000.0);
-        assert!(col.t.iter().all(|t| t.is_finite() && *t > 150.0 && *t < 350.0));
+        assert!(col
+            .t
+            .iter()
+            .all(|t| t.is_finite() && *t > 150.0 && *t < 350.0));
         assert!(col.q.iter().all(|q| *q >= 0.0));
     }
 

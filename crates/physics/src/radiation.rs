@@ -8,9 +8,7 @@
 //! per-step solar-geometry update in between (the long "radiation steps"
 //! of the paper's Figure 2 come from exactly this cadence).
 
-use foam_grid::constants::{
-    CP_DRY, SECONDS_PER_DAY, SOLAR_CONSTANT, STEFAN_BOLTZMANN,
-};
+use foam_grid::constants::{CP_DRY, SECONDS_PER_DAY, SOLAR_CONSTANT, STEFAN_BOLTZMANN};
 
 use crate::column::AtmColumn;
 
@@ -45,9 +43,8 @@ impl OrbitalState {
     /// Cosine of the solar zenith angle at (lon, lat) \[rad\], clipped at 0.
     pub fn cos_zenith(&self, lon: f64, lat: f64) -> f64 {
         let delta = self.declination();
-        let hour_angle =
-            2.0 * std::f64::consts::PI * self.seconds_utc / SECONDS_PER_DAY + lon
-                - std::f64::consts::PI;
+        let hour_angle = 2.0 * std::f64::consts::PI * self.seconds_utc / SECONDS_PER_DAY + lon
+            - std::f64::consts::PI;
         (lat.sin() * delta.sin() + lat.cos() * delta.cos() * hour_angle.cos()).max(0.0)
     }
 
@@ -58,8 +55,7 @@ impl OrbitalState {
         let delta = self.declination();
         let cos_h0 = (-lat.tan() * delta.tan()).clamp(-1.0, 1.0);
         let h0 = cos_h0.acos();
-        (h0 * lat.sin() * delta.sin() + lat.cos() * delta.cos() * h0.sin())
-            / std::f64::consts::PI
+        (h0 * lat.sin() * delta.sin() + lat.cos() * delta.cos() * h0.sin()) / std::f64::consts::PI
     }
 }
 
@@ -170,7 +166,9 @@ pub fn full_radiation(col: &AtmColumn, t_sfc: f64, albedo_sfc: f64, p: &RadParam
             (e + p.cloud_lw * cloud * (1.0 - e)).min(1.0)
         })
         .collect();
-    let planck: Vec<f64> = (0..n).map(|k| STEFAN_BOLTZMANN * col.t[k].powi(4)).collect();
+    let planck: Vec<f64> = (0..n)
+        .map(|k| STEFAN_BOLTZMANN * col.t[k].powi(4))
+        .collect();
 
     // Downward sweep: D_0 = 0 at TOA.
     let mut down = vec![0.0; n + 1];

@@ -98,15 +98,11 @@ pub fn bulk_fluxes_ocean(inp: &BulkInput) -> BulkFluxes {
 
 fn finish(inp: &BulkInput, wind: f64, c: f64) -> BulkFluxes {
     let sensible = RHO_AIR * CP_DRY * c * wind * (inp.t_sfc - inp.t_air);
-    let evaporation =
-        (RHO_AIR * c * wind * (inp.q_sfc_sat - inp.q_air) * inp.wetness).max(-1e-4);
+    let evaporation = (RHO_AIR * c * wind * (inp.q_sfc_sat - inp.q_air) * inp.wetness).max(-1e-4);
     let latent = L_VAP * evaporation;
     let stress = RHO_AIR * c * wind * wind;
     let (tau_x, tau_y) = if wind > 0.0 {
-        (
-            RHO_AIR * c * wind * inp.u,
-            RHO_AIR * c * wind * inp.v,
-        )
+        (RHO_AIR * c * wind * inp.u, RHO_AIR * c * wind * inp.v)
     } else {
         (0.0, 0.0)
     };

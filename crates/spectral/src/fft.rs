@@ -188,13 +188,13 @@ impl FftPlan {
 
 fn smallest_prime_factor(n: usize) -> usize {
     for p in [2usize, 3, 5, 7] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return p;
         }
     }
     let mut p = 11;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return p;
         }
         p += 2;
@@ -244,7 +244,8 @@ mod tests {
             .map(|k| {
                 let mut acc = Complex::ZERO;
                 for (j, &v) in x.iter().enumerate() {
-                    acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
+                    acc +=
+                        v * Complex::cis(-2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64);
                 }
                 acc
             })

@@ -160,10 +160,7 @@ mod tests {
                         .map(|j| q.weights[j] * t.p(j, n1) * t.p(j, n2))
                         .sum();
                     let expect = if n1 == n2 { 1.0 } else { 0.0 };
-                    assert!(
-                        (s - expect).abs() < 1e-11,
-                        "m={m} n1={n1} n2={n2}: {s}"
-                    );
+                    assert!((s - expect).abs() < 1e-11, "m={m} n1={n1} n2={n2}: {s}");
                 }
             }
         }

@@ -139,7 +139,10 @@ mod tests {
                     local.row_mut(j - t.j0).copy_from_slice(full.row(j));
                 }
                 let spec = t.analyze(comm, &local);
-                spec.data.iter().flat_map(|c| [c.re, c.im]).collect::<Vec<f64>>()
+                spec.data
+                    .iter()
+                    .flat_map(|c| [c.re, c.im])
+                    .collect::<Vec<f64>>()
             });
             let st = serial();
             let full = test_field(st.grid.nlon, st.grid.nlat, &st.grid);

@@ -271,7 +271,9 @@ mod tests {
     fn rand_spec(t: &SphericalTransform, seed: u64) -> SpectralField {
         let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let mut spec = SpectralField::zeros(t.trunc);

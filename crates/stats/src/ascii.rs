@@ -40,7 +40,10 @@ pub fn render_map(f: &Field2, mask: Option<&[bool]>, title: &str) -> String {
     }
     out.push_str(&format!(
         "scale: '{}' = {:.2} … '{}' = {:.2}\n",
-        RAMP[0] as char, lo, RAMP[RAMP.len() - 1] as char, hi
+        RAMP[0] as char,
+        lo,
+        RAMP[RAMP.len() - 1] as char,
+        hi
     ));
     out
 }

@@ -274,9 +274,7 @@ mod tests {
         let eof = eof_analysis(&data, &w, 2);
         for t in (0..60).step_by(13) {
             for s in (0..32).step_by(5) {
-                let rec: f64 = (0..2)
-                    .map(|k| eof.pcs[k][t] * eof.patterns[k][s])
-                    .sum();
+                let rec: f64 = (0..2).map(|k| eof.pcs[k][t] * eof.patterns[k][s]).sum();
                 assert!(
                     (rec - data[t][s]).abs() < 1e-8,
                     "t={t} s={s}: {rec} vs {}",
@@ -330,10 +328,7 @@ mod tests {
             let e1: f64 = sup1.clone().map(|s| pattern[s] * pattern[s]).sum();
             let e2: f64 = sup2.clone().map(|s| pattern[s] * pattern[s]).sum();
             let (hi, lo) = if e1 > e2 { (e1, e2) } else { (e2, e1) };
-            assert!(
-                hi > 9.0 * lo,
-                "rotated factor not simple: {e1} vs {e2}"
-            );
+            assert!(hi > 9.0 * lo, "rotated factor not simple: {e1} vs {e2}");
         }
         // Rotation preserves the total explained variance of the pair.
         let before: f64 = eof.variance_fraction[..2].iter().sum();
@@ -350,7 +345,11 @@ mod tests {
         let drv1: Vec<f64> = (0..n_t).map(|t| (t as f64 * 0.21).sin()).collect();
         let drv2: Vec<f64> = (0..n_t).map(|t| (t as f64 * 0.19 + 0.5).cos()).collect();
         let data: Vec<Vec<f64>> = (0..n_t)
-            .map(|t| (0..n_s).map(|s| drv1[t] * p1[s] + drv2[t] * p2[s]).collect())
+            .map(|t| {
+                (0..n_s)
+                    .map(|s| drv1[t] * p1[s] + drv2[t] * p2[s])
+                    .collect()
+            })
             .collect();
         let w = vec![1.0; n_s];
         let eof = eof_analysis(&data, &w, 2);

@@ -10,7 +10,8 @@ pub fn lanczos_weights(fc: f64, n_half: usize) -> Vec<f64> {
                 2.0 * fc
             } else {
                 let kf = k as f64;
-                let sinc = (2.0 * std::f64::consts::PI * fc * kf).sin() / (std::f64::consts::PI * kf);
+                let sinc =
+                    (2.0 * std::f64::consts::PI * fc * kf).sin() / (std::f64::consts::PI * kf);
                 let sigma = (std::f64::consts::PI * kf / m).sin() / (std::f64::consts::PI * kf / m);
                 sinc * sigma
             }

@@ -107,7 +107,9 @@ mod tests {
         let n = 8;
         let mut seed = 123u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
         let mut a = vec![0.0; n * n];

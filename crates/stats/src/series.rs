@@ -88,9 +88,7 @@ pub fn pattern_stats(model: &[f64], reference: &[f64], weight: &[f64]) -> FieldS
     assert_eq!(model.len(), weight.len());
     let wsum: f64 = weight.iter().sum();
     assert!(wsum > 0.0, "no weighted points");
-    let mean = |f: &[f64]| -> f64 {
-        f.iter().zip(weight).map(|(v, w)| v * w).sum::<f64>() / wsum
-    };
+    let mean = |f: &[f64]| -> f64 { f.iter().zip(weight).map(|(v, w)| v * w).sum::<f64>() / wsum };
     let mm = mean(model);
     let mr = mean(reference);
     let mut bias = 0.0;

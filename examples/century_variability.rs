@@ -53,7 +53,7 @@ fn main() {
     // Per-point monthly anomaly series, detrended, low-pass filtered.
     // (Low-pass period scales down for short demo runs; the paper uses
     // 60 months on multi-century output.)
-    let lp_period = (n_months as f64 / 4.0).min(60.0).max(6.0);
+    let lp_period = (n_months as f64 / 4.0).clamp(6.0, 60.0);
     let mut data = vec![vec![0.0; n_s]; n_months];
     for s in 0..n_s {
         if weights[s] == 0.0 {
@@ -85,7 +85,11 @@ fn main() {
     let pat = foam::Field2::from_vec(grid.nx, grid.ny, rot.patterns[0].clone());
     println!(
         "{}",
-        render_diff_map(&pat, Some(&mask), "Figure-4-style spatial pattern (SST loading)")
+        render_diff_map(
+            &pat,
+            Some(&mask),
+            "Figure-4-style spatial pattern (SST loading)"
+        )
     );
     println!("temporal pattern (PC 1): {}", sparkline(&rot.pcs[0], 72));
 

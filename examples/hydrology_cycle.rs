@@ -47,7 +47,8 @@ fn main() {
             if land[k] {
                 let out = buckets[k].step(precip[k], evap, false, 285.0, dt);
                 runoff[k] = out.runoff;
-                total_rain += precip[k] * dt / 1000.0 * grid.cell_area(k % grid.nlon, k / grid.nlon);
+                total_rain +=
+                    precip[k] * dt / 1000.0 * grid.cell_area(k % grid.nlon, k / grid.nlon);
             }
         }
         let mouths = rivers.step(&mut river_state, &runoff, dt);

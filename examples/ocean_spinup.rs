@@ -39,8 +39,7 @@ fn main() {
     let t0 = Instant::now();
     let n_days = days as usize;
     for d in 0..n_days {
-        let forcing =
-            OceanForcing::climatological(&model.grid, &world, &model.sst(&state));
+        let forcing = OceanForcing::climatological(&model.grid, &world, &model.sst(&state));
         for _ in 0..4 {
             model.step_coupled(&mut state, &forcing, 21_600.0);
         }

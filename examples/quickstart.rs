@@ -43,6 +43,10 @@ fn main() {
     let mask = foam::OceanModel::effective_sea_mask(&cfg.ocean, &world);
     println!(
         "{}",
-        render_map(&out.final_sst, Some(&mask), "Sea surface temperature (°C), L = land")
+        render_map(
+            &out.final_sst,
+            Some(&mask),
+            "Sea surface temperature (°C), L = land"
+        )
     );
 }

@@ -101,9 +101,8 @@ fn overlap_grid_conserves_fluxes_at_production_resolution() {
     let ocn = foam_grid::OceanGrid::foam_default();
     let mask = world.ocean_sea_mask(&ocn);
     let ov = OverlapGrid::build(&atm, &ocn, &mask);
-    let (fa, fo) = ov.compute_on_overlap(|ka, ko| {
-        ((ka % 13) as f64 - 6.0) * 10.0 + ((ko % 7) as f64) * 3.0
-    });
+    let (fa, fo) =
+        ov.compute_on_overlap(|ka, ko| ((ka % 13) as f64 - 6.0) * 10.0 + ((ko % 7) as f64) * 3.0);
     let ia = ov.integral_atm_sea(&fa);
     let io = ov.integral_ocean(&fo);
     assert!(

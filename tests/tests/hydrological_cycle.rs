@@ -19,7 +19,13 @@ fn setup() -> (Coupler, Field2) {
             .max(0.0)
     });
     (
-        Coupler::new(atm_grid, ocn_grid, sea_mask, &world, PhysicsConfig::default()),
+        Coupler::new(
+            atm_grid,
+            ocn_grid,
+            sea_mask,
+            &world,
+            PhysicsConfig::default(),
+        ),
         sst,
     )
 }
@@ -123,6 +129,9 @@ fn soil_temperatures_respond_to_radiation() {
         c.step(&mut st, &atm, &sst, 1800.0);
     }
     let t1 = st.soil[k_land].skin();
-    assert!(t1 > t0 + 1.0, "soil should warm under strong sun: {t0} → {t1}");
+    assert!(
+        t1 > t0 + 1.0,
+        "soil should warm under strong sun: {t0} → {t1}"
+    );
     assert!(t1 < 340.0, "soil runaway: {t1}");
 }

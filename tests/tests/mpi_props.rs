@@ -1,0 +1,129 @@
+//! Property-based tests of the foam-mpi collectives: the binomial-tree
+//! reductions must agree with a serial fold for *any* rank count and
+//! input, `alltoallv` must round-trip arbitrary shapes, and
+//! communicator splitting must order ranks exactly by (key, parent
+//! rank) — not just for the hand-picked cases of the unit tests.
+
+use foam_mpi::{ReduceOp, Universe};
+use proptest::prelude::*;
+
+/// Elements per rank in the reduction tests.
+const ELEMS: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn reductions_agree_with_serial_fold(
+        p in 1usize..=8,
+        base in prop::collection::vec(-1e3f64..1e3, 8 * ELEMS),
+    ) {
+        let contrib = |r: usize| base[r * ELEMS..(r + 1) * ELEMS].to_vec();
+        let out = Universe::run(p, |comm| {
+            let mine = contrib(comm.rank());
+            (
+                comm.allreduce(&mine, ReduceOp::Sum),
+                comm.allreduce(&mine, ReduceOp::Min),
+                comm.allreduce(&mine, ReduceOp::Max),
+            )
+        });
+        for k in 0..ELEMS {
+            let serial_sum: f64 = (0..p).map(|r| contrib(r)[k]).sum();
+            let serial_min = (0..p).map(|r| contrib(r)[k]).fold(f64::INFINITY, f64::min);
+            let serial_max = (0..p).map(|r| contrib(r)[k]).fold(f64::NEG_INFINITY, f64::max);
+            for (sum, min, max) in &out.results {
+                // The tree reduction associates differently from the
+                // serial fold; sums match to rounding, min/max exactly.
+                prop_assert!(
+                    (sum[k] - serial_sum).abs() <= 1e-9 * (1.0 + serial_sum.abs()),
+                    "sum[{}] = {} vs serial {}", k, sum[k], serial_sum
+                );
+                prop_assert_eq!(min[k], serial_min);
+                prop_assert_eq!(max[k], serial_max);
+            }
+        }
+        prop_assert!(out.lint.is_clean(), "{}", out.lint);
+    }
+
+    #[test]
+    fn reduce_delivers_to_the_root_only(
+        p in 1usize..=6,
+        root_sel in 0usize..6,
+        base in prop::collection::vec(-50.0f64..50.0, 6),
+    ) {
+        let root = root_sel % p;
+        let out = Universe::run(p, |comm| {
+            let x = base[comm.rank()];
+            let r = comm.reduce(&[x], ReduceOp::Sum, root);
+            let all = comm.allreduce_scalar(x, ReduceOp::Sum);
+            (r, all)
+        });
+        for (rank, (r, all)) in out.results.iter().enumerate() {
+            if rank == root {
+                let v = r.as_ref().expect("the root receives the reduction")[0];
+                prop_assert!((v - all).abs() <= 1e-9 * (1.0 + all.abs()));
+            } else {
+                prop_assert!(r.is_none(), "rank {} got a root-only result", rank);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_round_trips_arbitrary_shapes(
+        p in 1usize..=6,
+        lens in prop::collection::vec(0usize..5, 36),
+    ) {
+        let len = |src: usize, dst: usize| lens[src * 6 + dst];
+        let payload = |src: usize, dst: usize| -> Vec<f64> {
+            (0..len(src, dst))
+                .map(|k| (src * 100 + dst * 10 + k) as f64)
+                .collect()
+        };
+        let out = Universe::run(p, |comm| {
+            let me = comm.rank();
+            let sends: Vec<Vec<f64>> = (0..p).map(|dst| payload(me, dst)).collect();
+            let recvd = comm.alltoallv(sends);
+            for (src, buf) in recvd.iter().enumerate() {
+                assert_eq!(buf, &payload(src, me), "rank {me} <- rank {src}");
+            }
+            recvd.iter().map(Vec::len).sum::<usize>()
+        });
+        for (rank, total) in out.results.iter().enumerate() {
+            let expect: usize = (0..p).map(|src| len(src, rank)).sum();
+            prop_assert_eq!(*total, expect);
+        }
+        prop_assert!(out.lint.is_clean(), "{}", out.lint);
+    }
+
+    #[test]
+    fn split_orders_ranks_by_key_then_parent_rank(
+        p in 2usize..=8,
+        colors in prop::collection::vec(0i64..3, 8),
+        keys in prop::collection::vec(-4i64..4, 8),
+    ) {
+        let out = Universe::run(p, |comm| {
+            let me = comm.rank();
+            let sub = comm.split(colors[me], keys[me]).expect("non-negative color");
+            // The members of my color, in the order split() must impose:
+            // ascending (key, parent rank).
+            let mut members: Vec<(i64, usize)> = (0..p)
+                .filter(|r| colors[*r] == colors[me])
+                .map(|r| (keys[r], r))
+                .collect();
+            members.sort();
+            assert_eq!(sub.size(), members.len());
+            let my_pos = members.iter().position(|&(_, r)| r == me).unwrap();
+            assert_eq!(sub.rank(), my_pos, "rank {me} misplaced in its sub-comm");
+            for (i, &(_, r)) in members.iter().enumerate() {
+                assert_eq!(sub.translate(i), r);
+            }
+            // The new communicator must actually function.
+            let total = sub.allreduce_scalar(me as f64, ReduceOp::Sum);
+            let expect: f64 = members.iter().map(|&(_, r)| r as f64).sum();
+            assert_eq!(total, expect);
+            sub.size()
+        });
+        prop_assert!(out.lint.is_clean(), "{}", out.lint);
+        prop_assert!(out.results.iter().all(|&s| s >= 1));
+    }
+}

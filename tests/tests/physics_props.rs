@@ -5,7 +5,7 @@
 use foam_grid::constants::L_VAP;
 use foam_land::hydrology::{Bucket, RHO_WATER};
 use foam_physics::column::saturation_humidity;
-use foam_physics::convection::{convect, compute_cape, ConvectionParams};
+use foam_physics::convection::{compute_cape, convect, ConvectionParams};
 use foam_physics::AtmColumn;
 use proptest::prelude::*;
 

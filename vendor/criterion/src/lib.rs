@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of `criterion` that FOAM-RS benches
+//! use. It runs each benchmark for a fixed number of timed samples and
+//! prints a mean ± spread line, with no statistical machinery and no
+//! HTML reports. Good enough to (a) keep the benches compiling and
+//! runnable offline and (b) give a coarse per-change timing signal.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted for API compatibility, all
+/// variants behave the same here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of each sample, seconds.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly, recording `samples` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for >= ~1 ms per sample so short closures
+        // aren't dominated by timer resolution.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = (1e-3 / once).ceil().clamp(1.0, 1e6) as usize;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.results.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.results.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mean = b.results.iter().sum::<f64>() / b.results.len() as f64;
+    let lo = b.results.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = b.results.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<40} {:>12}  [{} .. {}]  ({} samples)",
+        fmt_time(mean),
+        fmt_time(lo),
+        fmt_time(hi),
+        b.results.len()
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("--- group: {name} ---");
+        BenchmarkGroup {
+            parent: self,
+            prefix: name,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.prefix, name.into()),
+            self.parent.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of criterion's group-definition macro: both the plain list
+/// form and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

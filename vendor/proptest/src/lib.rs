@@ -1,0 +1,446 @@
+//! Offline stand-in for the subset of `proptest` that FOAM-RS tests use.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the same *testing contract* with a much smaller engine: strategies
+//! generate deterministic pseudo-random inputs (seeded from the test
+//! name, so failures reproduce run-to-run), `proptest!` expands each
+//! property into an ordinary `#[test]` that executes N generated cases,
+//! and `prop_assert*` report the failing case before panicking. There is
+//! no shrinking: the printed case is the raw failing input.
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// Deterministic generator
+// ---------------------------------------------------------------------
+
+/// SplitMix64 stream used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Seed from a test name so each property gets its own stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in [lo, hi).
+    pub fn next_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values (matching proptest's combinator).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        debug_assert!(self.start < self.end);
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as i64
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        debug_assert!(self.start < self.end);
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as u32
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.next_range_usize(self.start, self.end)
+    }
+}
+
+/// Inclusive ranges, e.g. `1..=8usize`.
+impl Strategy for std::ops::RangeInclusive<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.next_range_usize(*self.start(), *self.end() + 1)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// `any::<T>()` support for the types FOAM's tests draw.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite f64 spread over a wide but usable magnitude range.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mag = (rng.next_f64() * 600.0) - 300.0; // exponent in [-300, 300)
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * rng.next_f64() * 10f64.powf(mag / 10.0)
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Constant strategy: always yields clones of one value (proptest's
+/// `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(strategy, len)` — a Vec whose length is
+    /// drawn from `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.next_range_usize(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------
+
+/// Runner configuration; only `cases` is honored by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Define property tests. Supports the forms FOAM uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(x in 0.0f64..1.0, v in prop::collection::vec(any::<bool>(), 3)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let __case_desc = format!(
+                        concat!("case ", "{}", $(" ", stringify!($arg), " = {:?}",)*),
+                        __case $(, &$arg)*
+                    );
+                    let __guard = $crate::CaseGuard::new(__case_desc);
+                    $body
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Prints the generated inputs when a property body panics, standing in
+/// for proptest's failure persistence (there is no shrinking).
+pub struct CaseGuard {
+    desc: String,
+    armed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(desc: String) -> Self {
+        CaseGuard { desc, armed: true }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!("proptest(stand-in) failing {}", self.desc);
+        }
+    }
+}
+
+/// Assert inside a property, reporting the failing case via panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+
+    /// Mirror of `proptest::prelude::prop` — the crate under a short
+    /// alias so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(2.0f64..3.0), &mut rng);
+            assert!((2.0..3.0).contains(&x));
+            let n = Strategy::generate(&(1usize..5), &mut rng);
+            assert!((1..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_honors_size_range() {
+        let mut rng = TestRng::from_seed(2);
+        let s = collection::vec(0.0f64..1.0, 3..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0.0f64..1.0, flips in prop::collection::vec(any::<bool>(), 1..4)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(!flips.is_empty() && flips.len() < 4);
+        }
+
+        #[test]
+        fn prop_map_composes(y in (0.0f64..1.0).prop_map(|v| v * 10.0)) {
+            prop_assert!((0.0..10.0).contains(&y));
+        }
+    }
+}

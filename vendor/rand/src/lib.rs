@@ -1,0 +1,136 @@
+//! Offline stand-in for the subset of `rand` 0.9 that FOAM-RS uses:
+//! `StdRng::seed_from_u64` plus `Rng::random::<T>()` for the primitive
+//! types the model draws. The generator is SplitMix64 — statistically
+//! fine for initial-condition perturbations, fully deterministic per
+//! seed, and dependency-free.
+
+/// Types that can be drawn from the standard (uniform) distribution.
+pub trait StandardSample: Sized {
+    fn sample_from(words: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in [0, 1) with 53 random bits, as `rand` produces.
+    fn sample_from(words: &mut dyn FnMut() -> u64) -> Self {
+        (words() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_from(words: &mut dyn FnMut() -> u64) -> Self {
+        (words() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_from(words: &mut dyn FnMut() -> u64) -> Self {
+        words() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_from(words: &mut dyn FnMut() -> u64) -> Self {
+        words()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_from(words: &mut dyn FnMut() -> u64) -> Self {
+        (words() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_from(words: &mut dyn FnMut() -> u64) -> Self {
+        words() as usize
+    }
+}
+
+/// The parts of `rand::Rng` the codebase calls.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a value from the standard distribution (uniform over the
+    /// type's natural range; [0, 1) for floats).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_from(&mut || self.next_u64())
+    }
+
+    /// Uniform f64 in [low, high).
+    fn random_range(&mut self, range: std::ops::Range<f64>) -> f64 {
+        range.start + (range.end - range.start) * self.random::<f64>()
+    }
+}
+
+/// The parts of `rand::SeedableRng` the codebase calls.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64). Not the real
+    /// `StdRng` algorithm, but FOAM only needs reproducible-per-seed
+    /// perturbations, not a specific stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avoid the all-zeros fixed point of a raw seed.
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>(), b.random::<f64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn floats_live_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        // The stream actually covers the interval.
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+}
