@@ -15,6 +15,7 @@
 //! models (Williamson et al. give the diffusion guidance the paper
 //! cites).
 
+use foam_ckpt::{ByteReader, CkptError, Codec};
 use foam_grid::constants::{EARTH_RADIUS, OMEGA};
 use foam_grid::Field2;
 use foam_mpi::Comm;
@@ -65,6 +66,25 @@ impl QgState {
             q_prev: (0..nlev).map(|_| SpectralField::zeros(trunc)).collect(),
             q_now: (0..nlev).map(|_| SpectralField::zeros(trunc)).collect(),
         }
+    }
+}
+
+impl Codec for QgState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.q_prev.encode(buf);
+        self.q_now.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let q_prev = Vec::<SpectralField>::decode(r)?;
+        let q_now = Vec::<SpectralField>::decode(r)?;
+        if q_prev.len() != q_now.len() {
+            return Err(CkptError::Corrupt(format!(
+                "QgState level mismatch: {} prev vs {} now",
+                q_prev.len(),
+                q_now.len()
+            )));
+        }
+        Ok(QgState { q_prev, q_now })
     }
 }
 

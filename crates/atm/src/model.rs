@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::dynamics::{QgConfig, QgCore, QgState};
 use crate::tracers::{advect_grid_tracer, winds_on_rows};
+use foam_ckpt::Codec;
 
 /// Midlatitude reference Coriolis parameter for thermal-wind coupling.
 const F0: f64 = 1.0e-4;
@@ -116,6 +117,54 @@ pub struct AtmExport {
     pub cloud: Field2,
     /// Physics work units per local column (load-imbalance diagnostic).
     pub work: Vec<usize>,
+}
+
+impl Codec for AtmState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.qg.encode(buf);
+        self.t.encode(buf);
+        self.q.encode(buf);
+        self.rad.encode(buf);
+        self.sim_t.encode(buf);
+        self.step_count.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(AtmState {
+            qg: QgState::decode(r)?,
+            t: Vec::<Field2>::decode(r)?,
+            q: Vec::<Field2>::decode(r)?,
+            rad: Vec::<foam_physics::RadCache>::decode(r)?,
+            sim_t: f64::decode(r)?,
+            step_count: u64::decode(r)?,
+        })
+    }
+}
+
+impl Codec for AtmExport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.t_low.encode(buf);
+        self.q_low.encode(buf);
+        self.u_low.encode(buf);
+        self.v_low.encode(buf);
+        self.precip.encode(buf);
+        self.sw_sfc.encode(buf);
+        self.lw_down.encode(buf);
+        self.cloud.encode(buf);
+        self.work.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(AtmExport {
+            t_low: Field2::decode(r)?,
+            q_low: Field2::decode(r)?,
+            u_low: Field2::decode(r)?,
+            v_low: Field2::decode(r)?,
+            precip: Field2::decode(r)?,
+            sw_sfc: Field2::decode(r)?,
+            lw_down: Field2::decode(r)?,
+            cloud: Field2::decode(r)?,
+            work: Vec::<usize>::decode(r)?,
+        })
+    }
 }
 
 /// The atmosphere component bound to one rank of its communicator.

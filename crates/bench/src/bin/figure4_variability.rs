@@ -11,22 +11,26 @@
 //! detrended, low-pass filtered, decomposed and rotated.
 //!
 //! ```sh
-//! cargo run --release -p foam-bench --bin figure4_variability [years]
+//! cargo run --release -p foam-bench --bin figure4_variability [years] [--seed N]
 //! ```
+//!
+//! `--seed` varies the atmosphere's initial perturbation, so ensembles
+//! of the variability analysis can be generated without editing code.
 
 use foam::{run_coupled, FoamConfig, OceanModel, World};
-use foam_bench::arg_or;
+use foam_bench::{arg_or, flag_or};
 use foam_grid::{Basin, Field2, OceanGrid};
 use foam_stats::ascii::{render_diff_map, sparkline};
 use foam_stats::{anomalies_monthly, correlation, detrend, eof_analysis, lanczos_lowpass, varimax};
 
 fn main() {
     let years: f64 = arg_or(1, 8.0);
-    let mut cfg = FoamConfig::tiny(1914);
+    let seed: u64 = flag_or("--seed", 1914);
+    let mut cfg = FoamConfig::tiny(seed);
     cfg.collect_monthly_sst = true;
 
     println!("=== Figure 4: two-basin low-frequency variability ===");
-    println!("coupled run: {years} simulated years (reduced configuration)\n");
+    println!("coupled run: {years} simulated years (reduced configuration, seed {seed})\n");
     let out = run_coupled(&cfg, years * 360.0);
     let n_months = out.monthly_sst.len();
     println!(

@@ -28,6 +28,16 @@ pub fn arg_or<T: std::str::FromStr>(n: usize, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Parse a `--name <value>` CLI flag with a default.
+pub fn flag_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 /// The synthetic observed-SST field ("Figure 3b") on the ocean grid.
 pub fn observed_sst(cfg: &OceanConfig, world: &World) -> (OceanGrid, Vec<bool>, Field2) {
     let grid = OceanGrid::mercator(cfg.nx, cfg.ny, cfg.lat_max_deg);
@@ -73,6 +83,14 @@ mod tests {
             }
         }
         assert!(saw);
+    }
+
+    #[test]
+    fn flag_or_falls_back_when_flag_is_absent() {
+        // The test harness's argv carries no such flag, so the default
+        // must come back (and must not panic on a flag-less argv tail).
+        assert_eq!(flag_or("--no-such-flag", 1914u64), 1914);
+        assert_eq!(flag_or("--no-such-flag", 2.5f64), 2.5);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Bit-exact binary encoding of checkpoint payloads.
+//!
+//! The contract is *round-trip identity at the bit level*: `f64` is
+//! stored as its IEEE-754 bit pattern (NaN payloads and signed zeros
+//! survive), integers as fixed-width little-endian, so
+//! serialize→deserialize is the identity function — the property the
+//! restart-determinism guarantee rests on, and what the proptest suite
+//! checks for every state type.
+//!
+//! Decoding is defensive: every read is bounds-checked ([`ByteReader`]),
+//! lengths are validated before allocation, and malformed input comes
+//! back as a typed [`CkptError`] instead of a panic or an OOM.
+
+use crate::CkptError;
+
+/// Bounds-checked cursor over a decode buffer.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated {
+                what: "payload bytes",
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// A `u64` that must fit this platform's `usize`.
+    pub fn len(&mut self) -> Result<usize, CkptError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CkptError::Corrupt(format!("length {v} overflows usize")))
+    }
+
+    /// A collection length that must be payable from the remaining
+    /// bytes, assuming each element costs at least `min_elem_bytes`.
+    /// Rejects absurd lengths before any allocation happens.
+    pub fn bounded_len(&mut self, min_elem_bytes: usize) -> Result<usize, CkptError> {
+        let n = self.len()?;
+        let need = n.saturating_mul(min_elem_bytes.max(1));
+        if need > self.remaining() {
+            return Err(CkptError::Corrupt(format!(
+                "declared length {n} needs {need} bytes but only {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+/// A type that can be written to and read back from a checkpoint,
+/// bit-identically.
+pub trait Codec: Sized {
+    fn encode(&self, buf: &mut Vec<u8>);
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode from a full buffer, requiring every byte to be consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CkptError::Corrupt(format!(
+                "{} trailing bytes after value",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+impl Codec for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        r.u8()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        r.u32()
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        r.u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        r.len()
+    }
+}
+
+impl Codec for i64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(r.u64()? as i64)
+    }
+}
+
+impl Codec for f64 {
+    /// Stored as the IEEE-754 bit pattern: the round trip is the
+    /// identity for every representable value, NaNs included.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(f64::from_bits(r.u64()?))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CkptError::Corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.len().encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let n = r.bounded_len(1)?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CkptError::Corrupt("string is not UTF-8".into()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.len().encode(buf);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let n = r.bounded_len(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(CkptError::Corrupt(format!("invalid Option tag {other}"))),
+        }
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<const N: usize> Codec for [f64; N] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let mut out = [0.0; N];
+        for slot in out.iter_mut() {
+            *slot = f64::decode(r)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let got = T::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+        round_trip(-42i64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("snapshot §8 ✓"));
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        for bits in [
+            0u64,
+            0x8000_0000_0000_0000, // -0.0
+            f64::NAN.to_bits(),
+            0x7FF0_0000_0000_0001, // signalling-ish NaN payload
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            1.0f64.to_bits(),
+            f64::MIN_POSITIVE.to_bits(),
+            5e-324f64.to_bits(), // subnormal
+        ] {
+            let v = f64::from_bits(bits);
+            let got = f64::from_bytes(&v.to_bytes()).unwrap();
+            assert_eq!(got.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1.0f64, -2.5, 3.25]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(7usize));
+        round_trip(Option::<u64>::None);
+        round_trip((3usize, -1.5f64));
+        round_trip((1u8, 2u32, vec![3.0f64]));
+        round_trip([1.0f64, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let bytes = 3.25f64.to_bytes();
+        let err = f64::from_bytes(&bytes[..5]).unwrap_err();
+        assert!(matches!(err, CkptError::Truncated { .. }));
+    }
+
+    #[test]
+    fn absurd_vec_length_is_rejected_before_allocation() {
+        // Claims 2^60 elements with an 8-byte body.
+        let mut bytes = (1u64 << 60).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 8]);
+        let err = Vec::<f64>::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CkptError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 1u64.to_bytes();
+        bytes.push(0);
+        let err = u64::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CkptError::Corrupt(_)));
+    }
+
+    #[test]
+    fn invalid_discriminants_are_typed_errors() {
+        assert!(matches!(
+            bool::from_bytes(&[2]).unwrap_err(),
+            CkptError::Corrupt(_)
+        ));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[9]).unwrap_err(),
+            CkptError::Corrupt(_)
+        ));
+    }
+}

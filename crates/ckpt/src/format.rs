@@ -1,0 +1,298 @@
+//! The on-disk snapshot format.
+//!
+//! A snapshot file is a header followed by named sections:
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | magic  b"FOAMCKPT"                                  8 bytes  |
+//! | format version                                  u32 LE       |
+//! | section count                                   u64 LE       |
+//! +--------------------------------------------------------------+
+//! | per section:                                                 |
+//! |   name length   u16 LE   name bytes (UTF-8)                  |
+//! |   payload length         u64 LE                              |
+//! |   payload CRC-64/XZ      u64 LE                              |
+//! |   payload bytes                                              |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! Every section carries its own CRC so corruption is localized to a
+//! named section in the error report. [`Snapshot::from_bytes`] verifies
+//! all checksums eagerly: a snapshot that opens is a snapshot whose
+//! bytes are intact. Files are written via tmp + `rename` so readers
+//! never observe a half-written snapshot under the final name.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::codec::{ByteReader, Codec};
+use crate::crc64::crc64;
+use crate::CkptError;
+
+/// First eight bytes of every snapshot file.
+pub const CKPT_MAGIC: [u8; 8] = *b"FOAMCKPT";
+
+/// Format version this build writes and reads.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Builder for a snapshot file: collect named sections, then persist
+/// atomically.
+#[derive(Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode `value` as the section `name`. Section names must be
+    /// unique; re-adding a name replaces the earlier payload.
+    pub fn put<T: Codec>(&mut self, name: &str, value: &T) {
+        let payload = value.to_bytes();
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = payload;
+        } else {
+            self.sections.push((name.to_string(), payload));
+        }
+    }
+
+    /// Serialize the full snapshot into one buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CKPT_MAGIC);
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u64).to_le_bytes());
+        for (name, payload) in &self.sections {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc64(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Write to `path` atomically: the bytes land in `<path>.part`
+    /// first, are flushed to disk, then renamed over the final name.
+    /// A crash at any point leaves either no file or a complete one.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CkptError> {
+        let tmp = path.with_extension("part");
+        let mut f = std::fs::File::create(&tmp).map_err(|e| CkptError::io("create", e))?;
+        f.write_all(&self.to_bytes())
+            .map_err(|e| CkptError::io("write", e))?;
+        f.sync_all().map_err(|e| CkptError::io("sync", e))?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(|e| CkptError::io("rename", e))
+    }
+}
+
+/// A parsed, checksum-verified snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Read and verify a snapshot file.
+    pub fn open(path: &Path) -> Result<Self, CkptError> {
+        let bytes = std::fs::read(path).map_err(|e| CkptError::io("read", e))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Parse a snapshot from memory, verifying the magic, the version,
+    /// and every section's CRC before returning.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(8).map_err(|_| CkptError::Truncated {
+            what: "header magic",
+        })?;
+        if magic != CKPT_MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = r.u32().map_err(|_| CkptError::Truncated {
+            what: "header version",
+        })?;
+        if version != CKPT_VERSION {
+            return Err(CkptError::BadVersion {
+                found: version,
+                expected: CKPT_VERSION,
+            });
+        }
+        let n_sections = r.u64().map_err(|_| CkptError::Truncated {
+            what: "section count",
+        })?;
+
+        let mut sections = Vec::new();
+        for _ in 0..n_sections {
+            let name_len = {
+                let b = r.take(2).map_err(|_| CkptError::Truncated {
+                    what: "section name length",
+                })?;
+                u16::from_le_bytes(b.try_into().unwrap()) as usize
+            };
+            let name_bytes = r.take(name_len).map_err(|_| CkptError::Truncated {
+                what: "section name",
+            })?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| CkptError::Corrupt("section name is not UTF-8".into()))?
+                .to_string();
+            let payload_len = r.u64().map_err(|_| CkptError::Truncated {
+                what: "section length",
+            })?;
+            let payload_len = usize::try_from(payload_len)
+                .map_err(|_| CkptError::Corrupt("section length overflows usize".into()))?;
+            let stored_crc = r.u64().map_err(|_| CkptError::Truncated {
+                what: "section checksum",
+            })?;
+            let payload = r.take(payload_len).map_err(|_| CkptError::Truncated {
+                what: "section payload",
+            })?;
+            if crc64(payload) != stored_crc {
+                return Err(CkptError::CrcMismatch { section: name });
+            }
+            sections.push((name, payload.to_vec()));
+        }
+        if !r.is_empty() {
+            return Err(CkptError::Corrupt(format!(
+                "{} trailing bytes after final section",
+                r.remaining()
+            )));
+        }
+        Ok(Snapshot { sections })
+    }
+
+    /// Names of all sections, in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// True if the section exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _)| n == name)
+    }
+
+    /// Decode the section `name` as a `T`.
+    pub fn get<T: Codec>(&self, name: &str) -> Result<T, CkptError> {
+        let (_, payload) = self
+            .sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .ok_or_else(|| CkptError::MissingSection(name.to_string()))?;
+        T::from_bytes(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotWriter {
+        let mut w = SnapshotWriter::new();
+        w.put("meta/interval", &42u64);
+        w.put("ocean/t", &vec![1.5f64, -2.25, 0.0]);
+        w.put("flags", &(true, 7usize));
+        w
+    }
+
+    #[test]
+    fn round_trip_via_bytes() {
+        let snap = Snapshot::from_bytes(&sample().to_bytes()).unwrap();
+        assert_eq!(snap.get::<u64>("meta/interval").unwrap(), 42);
+        assert_eq!(
+            snap.get::<Vec<f64>>("ocean/t").unwrap(),
+            vec![1.5, -2.25, 0.0]
+        );
+        assert_eq!(snap.get::<(bool, usize)>("flags").unwrap(), (true, 7));
+        assert!(snap.has("flags"));
+        assert!(!snap.has("missing"));
+    }
+
+    #[test]
+    fn put_replaces_existing_section() {
+        let mut w = sample();
+        w.put("meta/interval", &99u64);
+        let snap = Snapshot::from_bytes(&w.to_bytes()).unwrap();
+        assert_eq!(snap.get::<u64>("meta/interval").unwrap(), 99);
+        assert_eq!(snap.section_names().count(), 3);
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let snap = Snapshot::from_bytes(&sample().to_bytes()).unwrap();
+        assert_eq!(
+            snap.get::<u64>("nope").unwrap_err(),
+            CkptError::MissingSection("nope".into())
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            CkptError::BadMagic
+        );
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 0xFF;
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            CkptError::BadVersion {
+                expected: CKPT_VERSION,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CkptError::Truncated { .. }),
+                "cut at {cut}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_crc_mismatch() {
+        let full = sample().to_bytes();
+        // Flip the final byte: payload of the last section.
+        let mut bytes = full.clone();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            CkptError::CrcMismatch {
+                section: "flags".into()
+            }
+        );
+    }
+
+    #[test]
+    fn atomic_write_then_open() {
+        let dir = std::env::temp_dir().join(format!(
+            "foam-ckpt-fmt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.foam");
+        sample().write_atomic(&path).unwrap();
+        // No .part debris left behind.
+        assert!(!path.with_extension("part").exists());
+        let snap = Snapshot::open(&path).unwrap();
+        assert_eq!(snap.get::<u64>("meta/interval").unwrap(), 42);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

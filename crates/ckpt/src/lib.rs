@@ -1,0 +1,107 @@
+//! `foam-ckpt` — the checkpoint/restart layer of FOAM-RS.
+//!
+//! Century-to-millennium coupled integrations are, in practice, chains
+//! of restarted runs: batch jobs end, nodes are preempted, exchanges
+//! time out. This crate provides the durable-snapshot discipline that
+//! long-running HPC codes rely on (CCSM-lineage restart files, POP's
+//! pop-file restarts), adapted to FOAM-RS:
+//!
+//! * a **binary snapshot format** ([`format`]) — named sections behind a
+//!   magic/version header, each independently CRC64-checksummed, so a
+//!   torn or bit-rotted file is *diagnosed* ([`CkptError`]) rather than
+//!   silently resumed from;
+//! * a **bit-exact codec** ([`codec`]) — `f64` travels as its IEEE-754
+//!   bit pattern, never through text, so restart + resume reproduces an
+//!   uninterrupted run to the last bit;
+//! * **atomic writes** — snapshots are assembled in a scratch location
+//!   and `rename`d into place, so a crash mid-checkpoint can never
+//!   destroy the previous good checkpoint;
+//! * a **checkpoint store** ([`store`]) — per-rank shard files plus a
+//!   manifest under one directory per checkpoint, retention of the last
+//!   `keep` snapshots, and enumeration newest-first so a reader can fall
+//!   back across corrupt checkpoints.
+//!
+//! The crate is deliberately at the bottom of the dependency stack: it
+//! knows nothing about grids or models. Each component crate implements
+//! [`Codec`] for its own state types; the `foam` core assembles them
+//! into shards.
+
+pub mod codec;
+pub mod crc64;
+pub mod format;
+pub mod store;
+
+pub use codec::{ByteReader, Codec};
+pub use crc64::crc64;
+pub use format::{Snapshot, SnapshotWriter, CKPT_MAGIC, CKPT_VERSION};
+pub use store::{CheckpointStore, PendingCheckpoint, MANIFEST_FILE};
+
+/// Typed failure of checkpoint I/O, validation, or decoding. Every
+/// corruption mode a restart can meet has a distinct variant, so the
+/// driver can report *why* a snapshot was rejected and fall back to an
+/// older one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// Underlying filesystem failure (open/create/rename/…).
+    Io { op: &'static str, detail: String },
+    /// The file does not start with the `FOAMCKPT` magic.
+    BadMagic,
+    /// The format version is one this build cannot read.
+    BadVersion { found: u32, expected: u32 },
+    /// The file ended mid-structure (torn write, truncation).
+    Truncated { what: &'static str },
+    /// A section's payload does not match its stored CRC64.
+    CrcMismatch { section: String },
+    /// A section the reader needs is absent.
+    MissingSection(String),
+    /// Structurally valid bytes that decode to nonsense (length
+    /// mismatches, invalid enum discriminants, …).
+    Corrupt(String),
+    /// The snapshot was written by an incompatible configuration
+    /// (different grid dimensions, timesteps, …).
+    ConfigMismatch(String),
+    /// No (valid) checkpoint exists to resume from.
+    NoCheckpoint,
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io { op, detail } => {
+                write!(f, "checkpoint I/O failed during {op}: {detail}")
+            }
+            CkptError::BadMagic => write!(f, "not a FOAM checkpoint (bad magic)"),
+            CkptError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint format version {found} (this build reads {expected})"
+                )
+            }
+            CkptError::Truncated { what } => write!(f, "checkpoint truncated while reading {what}"),
+            CkptError::CrcMismatch { section } => {
+                write!(
+                    f,
+                    "CRC64 mismatch in section '{section}' (corrupt checkpoint)"
+                )
+            }
+            CkptError::MissingSection(name) => write!(f, "checkpoint misses section '{name}'"),
+            CkptError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CkptError::ConfigMismatch(why) => {
+                write!(f, "checkpoint incompatible with this configuration: {why}")
+            }
+            CkptError::NoCheckpoint => write!(f, "no valid checkpoint to resume from"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl CkptError {
+    /// Wrap an `std::io::Error` with the operation that failed.
+    pub fn io(op: &'static str, e: std::io::Error) -> Self {
+        CkptError::Io {
+            op,
+            detail: e.to_string(),
+        }
+    }
+}

@@ -1,8 +1,69 @@
 //! Configuration of a coupled FOAM run.
 
+use std::path::PathBuf;
+
 use foam_atm::AtmConfig;
 use foam_mpi::FaultPlan;
 use foam_ocean::{OceanConfig, SplitScheme};
+
+/// A configuration rejected by [`FoamConfig::validate`] — the typed
+/// alternative to panicking deep inside the run when a zero timestep or
+/// subcycle count divides something.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A quantity that must be strictly positive (a timestep, an
+    /// interval length) was zero, negative, or not finite.
+    NonPositive { what: &'static str, value: f64 },
+    /// A count that must be at least one (ranks, subcycles, checkpoint
+    /// cadence) was zero.
+    ZeroCount { what: &'static str },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+            ConfigError::ZeroCount { what } => write!(f, "{what} must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checkpoint/restart knobs. Checkpointing is off unless `dir` is set;
+/// see `foam::checkpoint` for the snapshot format and the restart
+/// guarantee.
+#[derive(Debug, Clone, Default)]
+pub struct CkptConfig {
+    /// Root directory for checkpoints (`None` disables checkpointing).
+    /// Each snapshot is a subdirectory `ckpt-<interval>` holding one
+    /// shard per rank plus a manifest, committed by an atomic rename.
+    pub dir: Option<PathBuf>,
+    /// Checkpoint cadence in coupling intervals.
+    pub interval: usize,
+    /// Committed snapshots retained (older ones are deleted).
+    pub keep: usize,
+    /// Also attempt a best-effort emergency checkpoint when the run
+    /// aborts with a [`crate::CoupledError`]. Emergency snapshots are
+    /// resumable but lie off the failure-free trajectory (the root
+    /// records its last *accepted* SST, which by then is stale).
+    pub on_error: bool,
+}
+
+impl CkptConfig {
+    /// Checkpoint into `dir` every `interval` coupling intervals,
+    /// keeping the last two snapshots.
+    pub fn every(dir: impl Into<PathBuf>, interval: usize) -> Self {
+        CkptConfig {
+            dir: Some(dir.into()),
+            interval,
+            keep: 2,
+            on_error: true,
+        }
+    }
+}
 
 /// Failure-handling knobs of the message-passing runtime, separate from
 /// the science configuration.
@@ -74,6 +135,8 @@ pub struct FoamConfig {
     pub collect_monthly_sst: bool,
     /// Failure-handling knobs (deadlines, retries, fault injection).
     pub runtime: RuntimeConfig,
+    /// Checkpoint/restart knobs (off unless a directory is set).
+    pub ckpt: CkptConfig,
 }
 
 impl FoamConfig {
@@ -94,6 +157,7 @@ impl FoamConfig {
             tracing: false,
             collect_monthly_sst: false,
             runtime: RuntimeConfig::default(),
+            ckpt: CkptConfig::default(),
         }
     }
 
@@ -110,7 +174,41 @@ impl FoamConfig {
             tracing: false,
             collect_monthly_sst: false,
             runtime: RuntimeConfig::default(),
+            ckpt: CkptConfig::default(),
         }
+    }
+
+    /// Check the configuration before it can divide by zero or spin in
+    /// an empty subcycle loop somewhere deep inside the run. Called by
+    /// the driver entry points; a failure comes back as a typed
+    /// [`crate::CoupledError::Config`] instead of a panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn positive(what: &'static str, value: f64) -> Result<(), ConfigError> {
+            if value > 0.0 && value.is_finite() {
+                Ok(())
+            } else {
+                Err(ConfigError::NonPositive { what, value })
+            }
+        }
+        fn at_least_one(what: &'static str, n: usize) -> Result<(), ConfigError> {
+            if n >= 1 {
+                Ok(())
+            } else {
+                Err(ConfigError::ZeroCount { what })
+            }
+        }
+        positive("atm.dt", self.atm.dt)?;
+        positive("ocean.dt_int", self.ocean.dt_int)?;
+        positive("dt_couple", self.dt_couple)?;
+        positive("ocean.slowdown", self.ocean.slowdown)?;
+        at_least_one("ocean.n_trac", self.ocean.n_trac)?;
+        at_least_one("n_atm_ranks", self.n_atm_ranks)?;
+        at_least_one("atm.nlat", self.atm.nlat)?;
+        if self.ckpt.dir.is_some() {
+            at_least_one("ckpt.interval", self.ckpt.interval)?;
+            at_least_one("ckpt.keep", self.ckpt.keep)?;
+        }
+        Ok(())
     }
 
     /// Total ranks of the job (atmosphere + one ocean node).
@@ -151,5 +249,69 @@ mod tests {
         let c = FoamConfig::tiny(3);
         assert_eq!(c.n_ranks(), 3);
         assert!(c.atm_steps_per_couple() >= 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_timesteps() {
+        let mut c = FoamConfig::tiny(1);
+        c.atm.dt = 0.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                what: "atm.dt",
+                value: 0.0
+            })
+        );
+        let mut c = FoamConfig::tiny(1);
+        c.dt_couple = -21_600.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                what: "dt_couple",
+                ..
+            })
+        ));
+        let mut c = FoamConfig::tiny(1);
+        c.ocean.dt_int = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                what: "ocean.dt_int",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_zero_counts() {
+        let mut c = FoamConfig::tiny(1);
+        c.ocean.n_trac = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroCount {
+                what: "ocean.n_trac"
+            })
+        );
+        let mut c = FoamConfig::tiny(1);
+        c.n_atm_ranks = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroCount {
+                what: "n_atm_ranks"
+            })
+        );
+        let mut c = FoamConfig::tiny(1);
+        c.ckpt = CkptConfig::every("/tmp/unused", 4);
+        c.ckpt.interval = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroCount {
+                what: "ckpt.interval"
+            })
+        );
+        // Checkpoint knobs are only checked when checkpointing is on.
+        c.ckpt.dir = None;
+        assert!(c.validate().is_ok());
     }
 }

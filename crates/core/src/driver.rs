@@ -36,27 +36,39 @@
 //! teardown comm-lint come back clean even for faulty runs that
 //! recovered.
 
+use std::path::Path;
 use std::time::Duration;
 
-use foam_atm::{AtmForcing, AtmModel};
-use foam_coupler::tags::{TAG_DONE, TAG_FORCING, TAG_SST, TAG_SST_RETRY};
-use foam_coupler::{AtmSurfaceFields, Coupler};
+use foam_atm::{AtmExport, AtmForcing, AtmModel, AtmState};
+use foam_ckpt::{CheckpointStore, CkptError};
+use foam_coupler::tags::{TAG_CKPT, TAG_DONE, TAG_FORCING, TAG_SST, TAG_SST_RETRY};
+use foam_coupler::{AtmSurfaceFields, Coupler, CouplerState, ExchangeBuffers};
 use foam_grid::constants::SECONDS_PER_DAY;
-use foam_grid::{Field2, World};
+use foam_grid::{Field2, OceanGrid, World};
 use foam_mpi::{Comm, CommLint, RankTrace, RunConfig, Universe};
 use foam_ocean::{OceanForcing, OceanModel, SplitScheme};
 
-use crate::config::{CouplingMode, FoamConfig, RuntimeConfig};
+use crate::checkpoint::{self, GlobalSnapshot, RootShardExtras};
+use crate::config::{ConfigError, CouplingMode, FoamConfig, RuntimeConfig};
+
+/// How long the root waits for the ocean's checkpoint acknowledgement
+/// before abandoning the snapshot attempt (never the run) \[s\].
+const CKPT_ACK_TIMEOUT_SECS: f64 = 30.0;
 
 /// Typed failure of a coupled run — the graceful alternative to a
 /// panicking (or silently hanging) exchange.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CoupledError {
     /// The atmosphere root exhausted its retry budget waiting for the
     /// SST with sequence number `expected_seq`.
     SstExchange { expected_seq: usize, retries: u32 },
     /// This rank was told by the root that the run is aborting.
     Aborted,
+    /// The configuration failed [`FoamConfig::validate`].
+    Config(ConfigError),
+    /// Checkpointing or restarting failed (no readable snapshot, a
+    /// mismatched configuration, an unwritable store).
+    Ckpt(CkptError),
 }
 
 impl std::fmt::Display for CoupledError {
@@ -70,11 +82,25 @@ impl std::fmt::Display for CoupledError {
                 "SST exchange failed: sequence {expected_seq} never arrived after {retries} retries"
             ),
             CoupledError::Aborted => write!(f, "run aborted by the atmosphere root"),
+            CoupledError::Config(e) => write!(f, "invalid configuration: {e}"),
+            CoupledError::Ckpt(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for CoupledError {}
+
+impl From<ConfigError> for CoupledError {
+    fn from(e: ConfigError) -> Self {
+        CoupledError::Config(e)
+    }
+}
+
+impl From<CkptError> for CoupledError {
+    fn from(e: CkptError) -> Self {
+        CoupledError::Ckpt(e)
+    }
+}
 
 /// Results of a coupled run.
 #[derive(Debug)]
@@ -139,18 +165,66 @@ pub fn run_coupled(cfg: &FoamConfig, days: f64) -> CoupledOutput {
 /// cleanly first, so the returned error is accompanied by an orderly
 /// teardown rather than a poisoned job.
 pub fn try_run_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, CoupledError> {
+    cfg.validate()?;
+    run_inner(cfg, days, None)
+}
+
+/// Resume the coupled model from the newest readable checkpoint under
+/// `cfg.ckpt.dir`, then integrate until `days` *total* simulated days
+/// (counted from the original start, like the diagnostics series, which
+/// continue seamlessly). Snapshots that fail verification — truncated
+/// files, checksum mismatches, wrong versions — are skipped in favor of
+/// the next-older retained one; if none is readable the error of the
+/// newest candidate is returned.
+///
+/// A restart on the same rank count is bit-identical to the
+/// uninterrupted run: the snapshot stores raw IEEE-754 bits and is taken
+/// at a coupling-interval boundary on the failure-free trajectory. A
+/// restart on a *different* rank count resumes the same model state but
+/// reassociates the forcing reduction, so it matches only to rounding.
+pub fn try_resume_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, CoupledError> {
+    cfg.validate()?;
+    let dir = cfg
+        .ckpt
+        .dir
+        .as_deref()
+        .ok_or(CoupledError::Ckpt(CkptError::NoCheckpoint))?;
+    let store = CheckpointStore::open(dir)?;
+    let snap = checkpoint::load_latest(&store, cfg)?;
+    run_inner(cfg, days, Some(snap))
+}
+
+fn run_inner(
+    cfg: &FoamConfig,
+    days: f64,
+    resume: Option<GlobalSnapshot>,
+) -> Result<CoupledOutput, CoupledError> {
     let n_couple = ((days * SECONDS_PER_DAY) / cfg.dt_couple).round().max(1.0) as usize;
+    if let Some(snap) = &resume {
+        if snap.interval >= n_couple {
+            return Err(CoupledError::Ckpt(CkptError::ConfigMismatch(format!(
+                "checkpoint already at interval {} of a {n_couple}-interval run",
+                snap.interval
+            ))));
+        }
+    }
+    // Surface an unusable checkpoint root as a typed error up front,
+    // before ranks silently run without snapshots.
+    if let Some(dir) = &cfg.ckpt.dir {
+        CheckpointStore::open(dir)?;
+    }
     let n_atm = cfg.n_atm_ranks;
     let run_cfg = RunConfig {
         tracing: cfg.tracing,
         deadline: cfg.runtime.recv_deadline_secs.map(Duration::from_secs_f64),
         faults: cfg.runtime.fault_plan.clone(),
     };
+    let resume_ref = resume.as_ref();
     let out = Universe::run_cfg(cfg.n_ranks(), run_cfg, |world| {
         if world.rank() < n_atm {
-            atm_rank(cfg, world, n_couple)
+            atm_rank(cfg, world, n_couple, resume_ref)
         } else {
-            ocean_rank(cfg, world)
+            ocean_rank(cfg, world, resume_ref)
         }
     });
     // The root's error is the authoritative one; others only report
@@ -206,12 +280,12 @@ fn recv_sst(
     ocean: usize,
     expected: usize,
     recent: &[(usize, OceanForcing)],
-) -> Result<Field2, CoupledError> {
+) -> Result<(usize, Field2), CoupledError> {
     if rt.sst_retry_max == 0 {
         loop {
             let (seq, sst): (usize, Field2) = world.recv(ocean, TAG_SST);
             if seq >= expected {
-                return Ok(sst);
+                return Ok((seq, sst));
             }
         }
     }
@@ -219,7 +293,7 @@ fn recv_sst(
     let mut retries = 0u32;
     loop {
         match world.recv_deadline::<(usize, Field2)>(ocean, TAG_SST, timeout) {
-            Ok((seq, sst)) if seq >= expected => return Ok(sst),
+            Ok((seq, sst)) if seq >= expected => return Ok((seq, sst)),
             Ok((stale_seq, _)) => {
                 // A retransmission from before the integration we need:
                 // the ocean is still waiting for the forcing of interval
@@ -254,9 +328,136 @@ fn shutdown_ocean(world: &Comm, ocean: usize) {
     world.send(ocean, TAG_DONE, ());
     let () = world.recv(ocean, TAG_DONE);
     let _ = world.drain::<(usize, Field2)>(ocean, TAG_SST);
+    let _ = world.drain::<(usize, bool)>(ocean, TAG_CKPT);
 }
 
-fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResult, CoupledError> {
+/// Root bookkeeping for one completed coupling interval: the mean-SST
+/// series entry and, when enabled, the monthly-mean accumulation.
+#[allow(clippy::too_many_arguments)]
+fn record_interval(
+    series: &mut Vec<f64>,
+    monthly: &mut Vec<Field2>,
+    month_acc: &mut Option<(Field2, usize)>,
+    sst: &Field2,
+    ocn_grid: &OceanGrid,
+    sea_mask: &[bool],
+    collect_monthly: bool,
+    intervals_per_month: usize,
+) {
+    series.push(ocn_grid.masked_mean(sst.as_slice(), sea_mask));
+    if collect_monthly {
+        let (acc, n) =
+            month_acc.get_or_insert_with(|| (Field2::zeros(ocn_grid.nx, ocn_grid.ny), 0usize));
+        acc.axpy(1.0, sst);
+        *n += 1;
+        if *n == intervals_per_month {
+            let mut mean_field = acc.clone();
+            mean_field.scale(1.0 / *n as f64);
+            monthly.push(mean_field);
+            *month_acc = None;
+        }
+    }
+}
+
+/// One checkpoint attempt, coordinated across the atmosphere ranks and
+/// the ocean: the root opens a staging directory and broadcasts it,
+/// every rank writes its shard, the ocean is asked for its own via
+/// `TAG_CKPT` (FIFO ordering behind the target interval's forcing
+/// guarantees its state matches), and the root commits with an atomic
+/// rename only when every ack is positive. Any failure abandons the
+/// snapshot — never the run. Returns whether this rank's part succeeded.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_rendezvous(
+    world: &Comm,
+    atm_comm: &Comm,
+    cfg: &FoamConfig,
+    store: Option<&CheckpointStore>,
+    ocean: usize,
+    target: usize,
+    model: &AtmModel,
+    atm_state: &AtmState,
+    export: &AtmExport,
+    coupler_state: &CouplerState,
+    work: usize,
+    root_extras: Option<RootShardExtras<'_>>,
+    recent: &[(usize, OceanForcing)],
+    resend_forcings: bool,
+) -> bool {
+    let is_root = atm_comm.rank() == 0;
+    let emergency = root_extras.as_ref().map(|r| r.emergency).unwrap_or(false);
+    let mut pending = None;
+    let staging: Option<String> = if is_root {
+        pending = store.and_then(|s| s.begin(target as u64).ok());
+        let dir = pending
+            .as_ref()
+            .map(|p| p.staging_dir().to_string_lossy().into_owned());
+        atm_comm.bcast(0, Some(dir))
+    } else {
+        atm_comm.bcast::<Option<String>>(0, None)
+    };
+    let Some(dir) = staging else {
+        return false;
+    };
+    let ok = checkpoint::write_atm_shard(
+        Path::new(&dir),
+        atm_comm.rank(),
+        model.rows(),
+        model.grid().nlon,
+        atm_state,
+        export,
+        coupler_state,
+        work,
+        root_extras,
+    )
+    .is_ok();
+    let oks = atm_comm.gather(ok, 0);
+    if !is_root {
+        return ok;
+    }
+    // On the emergency path the ocean may still be waiting for lost
+    // forcings; retransmit what we hold so it can reach the target
+    // interval before the shard request (same-tag FIFO) lands.
+    if resend_forcings {
+        for f in recent {
+            world.send(ocean, TAG_FORCING, f.clone());
+        }
+    }
+    world.send(ocean, TAG_CKPT, (target, dir));
+    let deadline = Duration::from_secs_f64(CKPT_ACK_TIMEOUT_SECS);
+    let ocean_ok = loop {
+        match world.recv_deadline::<(usize, bool)>(ocean, TAG_CKPT, deadline) {
+            Ok((t, o)) if t == target => break o,
+            Ok(_) => continue, // stale ack of an earlier abandoned attempt
+            Err(_) => break false,
+        }
+    };
+    let all_ok = ocean_ok && oks.map(|v| v.iter().all(|&b| b)).unwrap_or(false);
+    let Some(p) = pending else {
+        return false;
+    };
+    if all_ok
+        && checkpoint::write_manifest(p.staging_dir(), cfg, target, atm_comm.size(), emergency)
+            .is_ok()
+    {
+        let committed = p.commit().is_ok();
+        if committed {
+            if let Some(s) = store {
+                let _ = s.retain(cfg.ckpt.keep);
+            }
+        }
+        committed
+    } else {
+        p.abort();
+        false
+    }
+}
+
+fn atm_rank(
+    cfg: &FoamConfig,
+    world: &Comm,
+    n_couple: usize,
+    resume: Option<&GlobalSnapshot>,
+) -> Result<RankResult, CoupledError> {
     let n_atm = cfg.n_atm_ranks;
     let ocean_rank_id = n_atm;
     let atm_comm = world
@@ -277,30 +478,58 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResul
         &planet,
         cfg.atm.physics,
     );
+    // Only the root coordinates checkpoints. A store that cannot open
+    // disables them quietly: snapshots are best-effort, the run itself
+    // must not die for one.
+    let ckpt_store = if is_root {
+        cfg.ckpt
+            .dir
+            .as_deref()
+            .and_then(|d| CheckpointStore::open(d).ok())
+    } else {
+        None
+    };
 
-    // Initial SST from the ocean (sequence 0). The root broadcasts
-    // `None` to signal an abort to the other atmosphere ranks.
-    let mut sst = if is_root {
-        match recv_sst(world, &cfg.runtime, ocean_rank_id, 0, &[]) {
-            Ok(s) => atm_comm
-                .bcast(0, Some(Some(s)))
-                .expect("root broadcast its own SST"),
+    // Initial SST. A fresh run receives sequence 0 from the ocean (the
+    // root broadcasts `None` to signal an abort to the other ranks); a
+    // restart restores the exchange buffers from the shared snapshot on
+    // every rank directly, no messages needed.
+    let mut sst_seq = resume.map(|s| s.exchange.sst_seq).unwrap_or(0);
+    let mut sst = match resume {
+        Some(snap) => snap.exchange.sst.clone(),
+        None if is_root => match recv_sst(world, &cfg.runtime, ocean_rank_id, 0, &[]) {
+            Ok((seq, s)) => {
+                sst_seq = seq;
+                atm_comm
+                    .bcast(0, Some(Some(s)))
+                    .expect("root broadcast its own SST")
+            }
             Err(e) => {
                 atm_comm.bcast::<Option<Field2>>(0, Some(None));
                 shutdown_ocean(world, ocean_rank_id);
                 return Err(e);
             }
-        }
-    } else {
-        match atm_comm.bcast::<Option<Field2>>(0, None) {
+        },
+        None => match atm_comm.bcast::<Option<Field2>>(0, None) {
             Some(s) => s,
             None => return Err(CoupledError::Aborted),
-        }
+        },
     };
 
-    let mut atm_state = model.init_state();
-    let mut coupler_state = coupler.init_state(&sst, AtmModel::t_init);
-    let mut export = model.initial_export(&atm_state);
+    let (j0, j1) = model.rows();
+    let start_c = resume.map(|s| s.interval).unwrap_or(0);
+    let mut atm_state = match resume {
+        Some(snap) => snap.atm_state_for_rows(j0, j1),
+        None => model.init_state(),
+    };
+    let mut coupler_state = match resume {
+        Some(snap) => snap.coupler_state_for_rank(is_root),
+        None => coupler.init_state(&sst, AtmModel::t_init),
+    };
+    let mut export = match resume {
+        Some(snap) => snap.export_for_rows(j0, j1),
+        None => model.initial_export(&atm_state),
+    };
 
     let steps_per_couple = cfg.atm_steps_per_couple();
     let intervals_per_month = ((30.0 * SECONDS_PER_DAY) / cfg.dt_couple).round() as usize;
@@ -309,9 +538,18 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResul
     // The forcings the root keeps for retransmission (lagged mode can
     // be asked for the previous interval's, so hold the last two).
     let mut recent: Vec<(usize, OceanForcing)> = Vec::new();
+    if let Some(snap) = resume {
+        res.work = snap.work_for_rank(atm_comm.rank(), atm_comm.size());
+        if is_root {
+            res.mean_sst_series = snap.mean_sst_series.clone();
+            res.monthly_sst = snap.monthly_sst.clone();
+            month_acc = snap.month_acc.clone();
+            recent = snap.exchange.recent.clone();
+        }
+    }
     let t_start = world.now();
 
-    for c in 0..n_couple {
+    for c in start_c..n_couple {
         for _ in 0..steps_per_couple {
             // ---- Coupler, distributed by latitude rows (co-located
             //      with the atmosphere decomposition, as in the paper).
@@ -395,9 +633,62 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResul
                 let got = match due {
                     Some(expected) => {
                         match recv_sst(world, &cfg.runtime, ocean_rank_id, expected, &recent) {
-                            Ok(s) => Some(s),
+                            Ok((seq, s)) => {
+                                sst_seq = seq;
+                                Some(s)
+                            }
                             Err(e) => {
-                                atm_comm.bcast(0, Some(2u8));
+                                // Abort — but first, when configured, a
+                                // best-effort emergency checkpoint so the
+                                // run is resumable from this interval. It
+                                // records the last *accepted* SST (by now
+                                // stale), so it lies off the failure-free
+                                // trajectory; the manifest marks it.
+                                if cfg.ckpt.on_error && ckpt_store.is_some() {
+                                    atm_comm.bcast(0, Some(3u8));
+                                    let mut series = res.mean_sst_series.clone();
+                                    let mut monthly = res.monthly_sst.clone();
+                                    let mut macc = month_acc.clone();
+                                    record_interval(
+                                        &mut series,
+                                        &mut monthly,
+                                        &mut macc,
+                                        &sst,
+                                        &ocn_grid,
+                                        &sea_mask,
+                                        cfg.collect_monthly_sst,
+                                        intervals_per_month,
+                                    );
+                                    let exchange = ExchangeBuffers {
+                                        sst_seq,
+                                        sst: sst.clone(),
+                                        recent: recent.clone(),
+                                    };
+                                    checkpoint_rendezvous(
+                                        world,
+                                        &atm_comm,
+                                        cfg,
+                                        ckpt_store.as_ref(),
+                                        ocean_rank_id,
+                                        c + 1,
+                                        &model,
+                                        &atm_state,
+                                        &export,
+                                        &coupler_state,
+                                        res.work,
+                                        Some(RootShardExtras {
+                                            exchange: &exchange,
+                                            series: &series,
+                                            monthly: &monthly,
+                                            month_acc: &macc,
+                                            emergency: true,
+                                        }),
+                                        &recent,
+                                        true,
+                                    );
+                                } else {
+                                    atm_comm.bcast(0, Some(2u8));
+                                }
                                 shutdown_ocean(world, ocean_rank_id);
                                 return Err(e);
                             }
@@ -406,7 +697,8 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResul
                     None => None,
                 };
                 // Status to the other atmosphere ranks: 0 = no update,
-                // 1 = update follows, 2 = abort.
+                // 1 = update follows, 2 = abort, 3 = emergency
+                // checkpoint, then abort.
                 let status = u8::from(got.is_some());
                 atm_comm.bcast(0, Some(status));
                 match got {
@@ -415,6 +707,25 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResul
                 }
             } else {
                 match atm_comm.bcast::<u8>(0, None) {
+                    3 => {
+                        checkpoint_rendezvous(
+                            world,
+                            &atm_comm,
+                            cfg,
+                            None,
+                            ocean_rank_id,
+                            c + 1,
+                            &model,
+                            &atm_state,
+                            &export,
+                            &coupler_state,
+                            res.work,
+                            None,
+                            &[],
+                            false,
+                        );
+                        Err(CoupledError::Aborted)
+                    }
                     2 => Err(CoupledError::Aborted),
                     1 => Ok(Some(atm_comm.bcast(0, None))),
                     _ => Ok(None),
@@ -428,20 +739,48 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResul
 
         // ---- Bookkeeping on the root. --------------------------------
         if is_root {
-            let mean = ocn_grid.masked_mean(sst.as_slice(), &sea_mask);
-            res.mean_sst_series.push(mean);
-            if cfg.collect_monthly_sst {
-                let (acc, n) = month_acc
-                    .get_or_insert_with(|| (Field2::zeros(ocn_grid.nx, ocn_grid.ny), 0usize));
-                acc.axpy(1.0, &sst);
-                *n += 1;
-                if *n == intervals_per_month {
-                    let mut mean_field = acc.clone();
-                    mean_field.scale(1.0 / *n as f64);
-                    res.monthly_sst.push(mean_field);
-                    month_acc = None;
-                }
-            }
+            record_interval(
+                &mut res.mean_sst_series,
+                &mut res.monthly_sst,
+                &mut month_acc,
+                &sst,
+                &ocn_grid,
+                &sea_mask,
+                cfg.collect_monthly_sst,
+                intervals_per_month,
+            );
+        }
+
+        // ---- Periodic checkpoint at the configured cadence. ----------
+        if cfg.ckpt.dir.is_some() && (c + 1) % cfg.ckpt.interval == 0 {
+            let exchange = is_root.then(|| ExchangeBuffers {
+                sst_seq,
+                sst: sst.clone(),
+                recent: recent.clone(),
+            });
+            let extras = exchange.as_ref().map(|x| RootShardExtras {
+                exchange: x,
+                series: &res.mean_sst_series,
+                monthly: &res.monthly_sst,
+                month_acc: &month_acc,
+                emergency: false,
+            });
+            checkpoint_rendezvous(
+                world,
+                &atm_comm,
+                cfg,
+                ckpt_store.as_ref(),
+                ocean_rank_id,
+                c + 1,
+                &model,
+                &atm_state,
+                &export,
+                &coupler_state,
+                res.work,
+                extras,
+                &recent,
+                false,
+            );
         }
     }
 
@@ -451,7 +790,7 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResul
     if is_root {
         if cfg.coupling == CouplingMode::Lagged {
             match recv_sst(world, &cfg.runtime, ocean_rank_id, n_couple, &recent) {
-                Ok(s) => sst = s,
+                Ok((_, s)) => sst = s,
                 Err(e) => {
                     shutdown_ocean(world, ocean_rank_id);
                     return Err(e);
@@ -467,24 +806,34 @@ fn atm_rank(cfg: &FoamConfig, world: &Comm, n_couple: usize) -> Result<RankResul
     Ok(res)
 }
 
-fn ocean_rank(cfg: &FoamConfig, world: &Comm) -> Result<RankResult, CoupledError> {
+fn ocean_rank(
+    cfg: &FoamConfig,
+    world: &Comm,
+    resume: Option<&GlobalSnapshot>,
+) -> Result<RankResult, CoupledError> {
     // Participate in the split even though the ocean keeps no sub-comm.
     let _ = world.split(-1, 0);
     let planet = World::earthlike();
     let model = OceanModel::new(cfg.ocean.clone(), &planet);
-    let mut state = model.init_state(&planet);
     let atm_root = 0usize;
 
     // `completed` counts integrated coupling intervals; the SST carrying
-    // sequence number k is the state after k integrations.
-    let mut completed = 0usize;
-    let mut latest: (usize, Field2) = (0, model.sst(&state));
+    // sequence number k is the state after k integrations. Announcing
+    // the latest SST up front serves fresh starts (the initial
+    // condition, sequence 0) and restarts (the root either consumes it
+    // or absorbs it as a stale duplicate) identically.
+    let (mut state, mut completed) = match resume {
+        Some(snap) => (snap.ocean.clone(), snap.interval),
+        None => (model.init_state(&planet), 0usize),
+    };
+    let mut latest: (usize, Field2) = (completed, model.sst(&state));
     world.send(atm_root, TAG_SST, latest.clone());
 
     // Serve the exchange protocol until the root says we are done: step
-    // on each new forcing, retransmit on each NACK, ignore duplicates.
+    // on each new forcing, retransmit on each NACK, write a checkpoint
+    // shard on request, ignore duplicates.
     loop {
-        let msg = world.recv_match(atm_root, &[TAG_FORCING, TAG_SST_RETRY, TAG_DONE]);
+        let msg = world.recv_match(atm_root, &[TAG_FORCING, TAG_SST_RETRY, TAG_DONE, TAG_CKPT]);
         match msg.tag() {
             TAG_FORCING => {
                 let (idx, forcing) = msg.downcast::<(usize, OceanForcing)>();
@@ -508,6 +857,23 @@ fn ocean_rank(cfg: &FoamConfig, world: &Comm) -> Result<RankResult, CoupledError
             TAG_SST_RETRY => {
                 let _expected: usize = msg.downcast();
                 world.send(atm_root, TAG_SST, latest.clone());
+            }
+            TAG_CKPT => {
+                // The request is FIFO-ordered behind the target
+                // interval's forcing, so on a healthy run `completed`
+                // has reached the target by now; anything else (lost
+                // forcings on the emergency path) aborts the attempt
+                // via a negative ack.
+                let (target, dir) = msg.downcast::<(usize, String)>();
+                let ok = completed == target
+                    && checkpoint::write_ocean_shard(
+                        Path::new(&dir),
+                        world.rank(),
+                        &state,
+                        completed,
+                    )
+                    .is_ok();
+                world.send(atm_root, TAG_CKPT, (target, ok));
             }
             TAG_DONE => {
                 msg.downcast::<()>();

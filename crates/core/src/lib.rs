@@ -35,13 +35,18 @@
 //! );
 //! ```
 
+pub mod checkpoint;
 mod config;
 pub mod diagnostics;
 mod driver;
 pub mod history;
 
-pub use config::{CouplingMode, FoamConfig, RuntimeConfig};
-pub use driver::{baseline_config, run_coupled, try_run_coupled, CoupledError, CoupledOutput};
+pub use checkpoint::GlobalSnapshot;
+pub use config::{CkptConfig, ConfigError, CouplingMode, FoamConfig, RuntimeConfig};
+pub use driver::{
+    baseline_config, run_coupled, try_resume_coupled, try_run_coupled, CoupledError, CoupledOutput,
+};
+pub use foam_ckpt::{CheckpointStore, CkptError, Snapshot};
 pub use history::{HistoryReader, HistoryWriter};
 
 pub use foam_atm::{AtmConfig, AtmModel};

@@ -28,6 +28,7 @@
 //!   and the ocean is called four times per day (6-h coupling), so
 //!   fluxes are accumulated between ocean calls.
 
+use foam_ckpt::{ByteReader, CkptError, Codec};
 use foam_grid::constants::{SEAWATER_FREEZE_C, STEFAN_BOLTZMANN};
 use foam_grid::{AtmGrid, Field2, OceanGrid, OverlapGrid, World};
 use foam_land::hydrology::Bucket;
@@ -88,6 +89,62 @@ pub struct CouplerState {
     /// One-shot freshwater adjustments (ice formation/melt), ocean grid
     /// \[kg/m²\] to be applied at the next ocean call.
     pub fw_oneshot: Field2,
+}
+
+impl Codec for CouplerState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.soil.encode(buf);
+        self.bucket.encode(buf);
+        self.river.encode(buf);
+        self.ice.encode(buf);
+        self.ice_col.encode(buf);
+        self.acc.encode(buf);
+        self.acc_shared.encode(buf);
+        self.acc_seconds.encode(buf);
+        self.fw_oneshot.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(CouplerState {
+            soil: Vec::<SoilColumn>::decode(r)?,
+            bucket: Vec::<Bucket>::decode(r)?,
+            river: RiverState::decode(r)?,
+            ice: Vec::<bool>::decode(r)?,
+            ice_col: Vec::<SoilColumn>::decode(r)?,
+            acc: OceanForcing::decode(r)?,
+            acc_shared: OceanForcing::decode(r)?,
+            acc_seconds: f64::decode(r)?,
+            fw_oneshot: Field2::decode(r)?,
+        })
+    }
+}
+
+/// The sequence-numbered state of the atmosphere↔ocean exchange on the
+/// root rank: the last accepted SST with its sequence number, plus the
+/// recent forcings kept for retransmission. Checkpointed so a restarted
+/// run re-enters the retry protocol exactly where it left off.
+#[derive(Debug, Clone)]
+pub struct ExchangeBuffers {
+    /// Sequence number of `sst` (completed ocean integrations).
+    pub sst_seq: usize,
+    /// Last accepted sea-surface temperature.
+    pub sst: Field2,
+    /// Recently sent `(interval, forcing)` pairs retained for resends.
+    pub recent: Vec<(usize, OceanForcing)>,
+}
+
+impl Codec for ExchangeBuffers {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.sst_seq.encode(buf);
+        self.sst.encode(buf);
+        self.recent.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(ExchangeBuffers {
+            sst_seq: usize::decode(r)?,
+            sst: Field2::decode(r)?,
+            recent: Vec::<(usize, OceanForcing)>::decode(r)?,
+        })
+    }
 }
 
 /// The coupler: static geometry + component models.

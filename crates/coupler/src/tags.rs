@@ -27,6 +27,15 @@ pub const TAG_SST_RETRY: u32 = 12;
 /// the root drain duplicates so teardown comm-lint comes back clean.
 pub const TAG_DONE: u32 = 13;
 
+/// Checkpoint request, atmosphere root → ocean. Payload:
+/// `(usize, String)` — the coupling-interval index the snapshot must
+/// capture and the staging directory the ocean writes its shard into.
+/// FIFO ordering behind the interval's forcing guarantees the ocean has
+/// integrated through that interval when it sees the request. The ocean
+/// acknowledges with `(usize, bool)` (interval, shard written) on the
+/// same tag.
+pub const TAG_CKPT: u32 = 14;
+
 /// Human-readable name for a coupler protocol tag.
 pub fn tag_name(tag: u32) -> Option<&'static str> {
     match tag {
@@ -34,6 +43,7 @@ pub fn tag_name(tag: u32) -> Option<&'static str> {
         TAG_SST => Some("sst"),
         TAG_SST_RETRY => Some("sst-retry"),
         TAG_DONE => Some("done"),
+        TAG_CKPT => Some("ckpt"),
         _ => None,
     }
 }
@@ -44,7 +54,7 @@ mod tests {
 
     #[test]
     fn tags_are_distinct_and_named() {
-        let tags = [TAG_FORCING, TAG_SST, TAG_SST_RETRY, TAG_DONE];
+        let tags = [TAG_FORCING, TAG_SST, TAG_SST_RETRY, TAG_DONE, TAG_CKPT];
         for (i, a) in tags.iter().enumerate() {
             assert!(tag_name(*a).is_some());
             for b in &tags[i + 1..] {

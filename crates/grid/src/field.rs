@@ -4,6 +4,8 @@
 
 use std::ops::{Index, IndexMut};
 
+use foam_ckpt::{ByteReader, CkptError, Codec};
+
 /// A dense `ny × nx` field of `f64`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Field2 {
@@ -153,6 +155,31 @@ impl Field2 {
     }
 }
 
+impl Codec for Field2 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.nx.encode(buf);
+        self.ny.encode(buf);
+        self.data.encode(buf);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let nx = usize::decode(r)?;
+        let ny = usize::decode(r)?;
+        let data = Vec::<f64>::decode(r)?;
+        if data.len()
+            != nx
+                .checked_mul(ny)
+                .ok_or_else(|| CkptError::Corrupt(format!("Field2 dims {nx}x{ny} overflow")))?
+        {
+            return Err(CkptError::Corrupt(format!(
+                "Field2 buffer length {} does not match dims {nx}x{ny}",
+                data.len()
+            )));
+        }
+        Ok(Field2 { nx, ny, data })
+    }
+}
+
 impl Index<(usize, usize)> for Field2 {
     type Output = f64;
     #[inline]
@@ -220,5 +247,26 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn from_vec_checks_length() {
         let _ = Field2::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_exact() {
+        let f = Field2::from_vec(3, 2, vec![1.5, -0.0, f64::NAN, 2e-308, 4.0, -7.25]);
+        let g = Field2::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(f.nx(), g.nx());
+        assert_eq!(f.ny(), g.ny());
+        for (a, b) in f.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_rejects_dim_length_mismatch() {
+        let mut buf = Vec::new();
+        5usize.encode(&mut buf); // nx
+        5usize.encode(&mut buf); // ny
+        vec![0.0f64; 4].encode(&mut buf); // wrong: 25 expected
+        let err = Field2::from_bytes(&buf).unwrap_err();
+        assert!(matches!(err, CkptError::Corrupt(_)));
     }
 }

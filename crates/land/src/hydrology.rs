@@ -24,6 +24,19 @@ pub struct Bucket {
     pub snow: f64,
 }
 
+impl foam_ckpt::Codec for Bucket {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.soil_water.encode(buf);
+        self.snow.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(Bucket {
+            soil_water: f64::decode(r)?,
+            snow: f64::decode(r)?,
+        })
+    }
+}
+
 /// What one hydrology step produced.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HydroOutput {

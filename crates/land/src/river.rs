@@ -41,6 +41,17 @@ pub struct RiverState {
     pub volume: Vec<f64>,
 }
 
+impl foam_ckpt::Codec for RiverState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.volume.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(RiverState {
+            volume: Vec::<f64>::decode(r)?,
+        })
+    }
+}
+
 impl RiverModel {
     /// Build routing from a land mask by steepest descent of the
     /// breadth-first coast distance (8-connected).

@@ -56,6 +56,23 @@ pub const SOIL_CLASSES: [SoilProperties; 5] = [
     },
 ];
 
+impl foam_ckpt::Codec for SoilProperties {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.heat_capacity.encode(buf);
+        self.conductivity.encode(buf);
+        self.albedo.encode(buf);
+        self.roughness.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(SoilProperties {
+            heat_capacity: f64::decode(r)?,
+            conductivity: f64::decode(r)?,
+            albedo: f64::decode(r)?,
+            roughness: f64::decode(r)?,
+        })
+    }
+}
+
 /// Layer thicknesses \[m\], top to bottom.
 pub const SOIL_DZ: [f64; 4] = [0.05, 0.20, 0.60, 2.00];
 
@@ -65,6 +82,19 @@ pub struct SoilColumn {
     /// Layer temperatures \[K\], index 0 at the surface.
     pub t: [f64; 4],
     pub props: SoilProperties,
+}
+
+impl foam_ckpt::Codec for SoilColumn {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.t.encode(buf);
+        self.props.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(SoilColumn {
+            t: <[f64; 4]>::decode(r)?,
+            props: SoilProperties::decode(r)?,
+        })
+    }
 }
 
 impl SoilColumn {

@@ -52,6 +52,21 @@ impl BarotropicState {
     }
 }
 
+impl foam_ckpt::Codec for BarotropicState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.eta.encode(buf);
+        self.u.encode(buf);
+        self.v.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(BarotropicState {
+            eta: Field2::decode(r)?,
+            u: Field2::decode(r)?,
+            v: Field2::decode(r)?,
+        })
+    }
+}
+
 impl BarotropicSystem {
     pub fn new(grid: OceanGrid, mask: Vec<bool>, depth: f64, slowdown: f64) -> Self {
         assert!(slowdown >= 1.0);

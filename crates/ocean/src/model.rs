@@ -107,6 +107,29 @@ pub struct OceanState {
     pub step_count: u64,
 }
 
+impl foam_ckpt::Codec for OceanState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.u.encode(buf);
+        self.v.encode(buf);
+        self.t.encode(buf);
+        self.s.encode(buf);
+        self.baro.encode(buf);
+        self.sim_t.encode(buf);
+        self.step_count.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(OceanState {
+            u: Vec::<Field2>::decode(r)?,
+            v: Vec::<Field2>::decode(r)?,
+            t: Vec::<Field2>::decode(r)?,
+            s: Vec::<Field2>::decode(r)?,
+            baro: BarotropicState::decode(r)?,
+            sim_t: f64::decode(r)?,
+            step_count: u64::decode(r)?,
+        })
+    }
+}
+
 /// Surface forcing handed to the ocean by the coupler, on the ocean grid.
 #[derive(Debug, Clone)]
 pub struct OceanForcing {
@@ -151,6 +174,23 @@ impl OceanForcing {
             }
         }
         f
+    }
+}
+
+impl foam_ckpt::Codec for OceanForcing {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.tau_x.encode(buf);
+        self.tau_y.encode(buf);
+        self.heat.encode(buf);
+        self.freshwater.encode(buf);
+    }
+    fn decode(r: &mut foam_ckpt::ByteReader<'_>) -> Result<Self, foam_ckpt::CkptError> {
+        Ok(OceanForcing {
+            tau_x: Field2::decode(r)?,
+            tau_y: Field2::decode(r)?,
+            heat: Field2::decode(r)?,
+            freshwater: Field2::decode(r)?,
+        })
     }
 }
 

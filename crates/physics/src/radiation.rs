@@ -8,6 +8,7 @@
 //! per-step solar-geometry update in between (the long "radiation steps"
 //! of the paper's Figure 2 come from exactly this cadence).
 
+use foam_ckpt::{ByteReader, CkptError, Codec};
 use foam_grid::constants::{CP_DRY, SECONDS_PER_DAY, SOLAR_CONSTANT, STEFAN_BOLTZMANN};
 
 use crate::column::AtmColumn;
@@ -101,6 +102,27 @@ impl RadCache {
     #[inline]
     pub fn sw_sfc(&self, cosz: f64) -> f64 {
         cosz * self.sw_sfc_unit
+    }
+}
+
+impl Codec for RadCache {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.lw_heating.encode(buf);
+        self.sw_heating_unit.encode(buf);
+        self.sw_sfc_unit.encode(buf);
+        self.lw_down_sfc.encode(buf);
+        self.olr.encode(buf);
+        self.cloud.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(RadCache {
+            lw_heating: Vec::<f64>::decode(r)?,
+            sw_heating_unit: Vec::<f64>::decode(r)?,
+            sw_sfc_unit: f64::decode(r)?,
+            lw_down_sfc: f64::decode(r)?,
+            olr: f64::decode(r)?,
+            cloud: f64::decode(r)?,
+        })
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
+use foam_ckpt::{ByteReader, CkptError, Codec};
+
 /// A complex number (we avoid external crates by policy; see DESIGN.md §5).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
@@ -67,6 +69,19 @@ impl Complex {
             re: -self.im,
             im: self.re,
         }
+    }
+}
+
+impl Codec for Complex {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.re.encode(buf);
+        self.im.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(Complex {
+            re: f64::decode(r)?,
+            im: f64::decode(r)?,
+        })
     }
 }
 

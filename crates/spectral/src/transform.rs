@@ -1,6 +1,7 @@
 //! Serial spherical-harmonic transform between a Gaussian grid and a
 //! rhomboidally truncated spectral space, plus spectral-space calculus.
 
+use foam_ckpt::{ByteReader, CkptError, Codec};
 use foam_grid::constants::EARTH_RADIUS;
 use foam_grid::{AtmGrid, Field2};
 
@@ -116,6 +117,26 @@ impl SpectralField {
             s += w * self.get(m, n).norm_sq();
         }
         0.5 * s
+    }
+}
+
+impl Codec for SpectralField {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.trunc.encode(buf);
+        self.data.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let trunc = Truncation::decode(r)?;
+        let data = Vec::<Complex>::decode(r)?;
+        if data.len() != trunc.len() {
+            return Err(CkptError::Corrupt(format!(
+                "SpectralField has {} coefficients but truncation R{} holds {}",
+                data.len(),
+                trunc.m_max,
+                trunc.len()
+            )));
+        }
+        Ok(SpectralField { trunc, data })
     }
 }
 

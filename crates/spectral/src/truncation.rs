@@ -6,6 +6,8 @@
 //! would instead cap n ≤ M.) The storage layout here is dense:
 //! `idx(m, n) = m (M+1) + (n − m)`.
 
+use foam_ckpt::{ByteReader, CkptError, Codec};
+
 /// A rhomboidal truncation R(M).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Truncation {
@@ -73,6 +75,17 @@ impl Truncation {
     /// rhomboidal truncation: (5M + 1) / 2, rounded up.
     pub fn min_nlat(&self) -> usize {
         (5 * self.m_max + 1).div_ceil(2)
+    }
+}
+
+impl Codec for Truncation {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.m_max.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(Truncation {
+            m_max: usize::decode(r)?,
+        })
     }
 }
 
