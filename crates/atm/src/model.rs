@@ -402,16 +402,28 @@ impl AtmModel {
         assert_eq!(forcing.fluxes.len(), self.n_local());
 
         // --- Dynamics: winds for this step. ---------------------------
+        let dyn_scope = foam_telemetry::scope("dynamics");
         let psi = self.core.psi_from_pv(&state.qg.q_now);
         let nld = self.cfg.dynamics.nlev;
         let winds: Vec<(Field2, Field2)> = (0..nld)
             .map(|d| winds_on_rows(&self.par, &psi[d]))
             .collect();
         let (u_low, v_low) = winds[nld - 1].clone();
+        drop(dyn_scope);
 
         // --- Column physics (embarrassingly parallel, load-imbalanced).
+        let phys_scope = foam_telemetry::scope("physics");
         let orb = OrbitalState::at(state.sim_t);
         let refresh = state.step_count == 0 || self.phys.radiation_due(state.sim_t, dt);
+        // Radiation-cache accounting: a refresh step recomputes the full
+        // radiative transfer in every local column (a cache miss per
+        // column); other steps reuse the cached fluxes.
+        let n_cols = self.n_local() as u64;
+        if refresh {
+            foam_telemetry::count("atm.radiation.cache_misses", n_cols);
+        } else {
+            foam_telemetry::count("atm.radiation.cache_hits", n_cols);
+        }
         let mut precip = Field2::zeros(nlon, nlocal_rows);
         let mut sw_sfc = Field2::zeros(nlon, nlocal_rows);
         let mut lw_down = Field2::zeros(nlon, nlocal_rows);
@@ -455,8 +467,10 @@ impl AtmModel {
                 work[idx] = out.iterations;
             }
         }
+        drop(phys_scope);
 
         // --- Tracer advection (T, q at every physics level). ----------
+        let dyn_scope = foam_telemetry::scope("dynamics");
         for k in 0..nl {
             let d = self.dyn_level_for(k);
             state.t[k] = advect_grid_tracer(
@@ -493,6 +507,7 @@ impl AtmModel {
         } else {
             self.core.step_leapfrog(&mut state.qg, &tend, dt);
         }
+        drop(dyn_scope);
 
         state.sim_t += dt;
         state.step_count += 1;

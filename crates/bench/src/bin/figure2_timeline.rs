@@ -9,19 +9,26 @@
 //! the radiation recomputation twice a day makes two atmosphere steps
 //! visibly longer, exactly as in the original figure.
 //!
+//! The timeline bars come from the runtime's activity traces; everything
+//! quantitative (per-rank totals, phase shares, the paper comparisons)
+//! comes from the `foam-telemetry` report, the same reduction every
+//! instrumented run produces.
+//!
 //! ```sh
 //! cargo run --release -p foam-bench --bin figure2_timeline [n_atm_ranks] [days]
 //! ```
 
 use foam::diagnostics::comm_stats_report;
-use foam::{run_coupled, FoamConfig, TraceSummary};
+use foam::{run_coupled, FoamConfig};
 use foam_bench::arg_or;
+use foam_telemetry::RankReport;
 
 fn main() {
     let n_atm: usize = arg_or(1, 16);
     let days: f64 = arg_or(2, 1.0);
     let mut cfg = FoamConfig::paper(n_atm, 42);
     cfg.tracing = true;
+    cfg.telemetry.enabled = true;
 
     println!("=== Figure 2: per-processor time allocation ===");
     println!(
@@ -29,6 +36,7 @@ fn main() {
         n_atm
     );
     let out = run_coupled(&cfg, days);
+    let report = out.telemetry.as_ref().expect("telemetry was enabled");
 
     // Common time window across ranks.
     let t0 = out
@@ -56,40 +64,55 @@ fn main() {
         println!("{label} |{}|", trace.ascii_bar(t0, t1, width));
     }
 
-    println!("\nper-rank totals (seconds):");
+    // Everything below reads the cross-rank telemetry report.
+    let ph = |r: &RankReport, p: &str| r.phases.get(p).map_or(0.0, |s| s.seconds);
+    println!("\nper-rank totals from the telemetry report (seconds):");
     println!(
-        "{:<8} {:>10} {:>10} {:>10} {:>10}",
-        "rank", "atm", "coupler", "ocean", "idle"
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "rank", "atm", "coupler", "ocean", "sst wait", "other"
     );
-    for (r, trace) in out.traces.iter().enumerate() {
+    for r in &report.ranks {
         println!(
-            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            r,
-            trace.work_time("atmosphere"),
-            trace.work_time("coupler"),
-            trace.work_time("ocean"),
-            trace.wait_time()
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            r.rank,
+            ph(r, "atmosphere"),
+            ph(r, "coupler"),
+            ph(r, "ocean"),
+            r.leaf_seconds("sst_wait"),
+            (r.wall_seconds - r.busy_seconds).max(0.0),
         );
     }
 
-    let summary = TraceSummary::from_traces(&out.traces);
-    println!("\naggregate shares of traced time:");
-    for label in ["atmosphere", "coupler", "ocean", "wait"] {
-        println!("  {label:<11} {:5.1} %", 100.0 * summary.fraction(label));
+    let busy_total: f64 = report.ranks.iter().map(|r| r.busy_seconds).sum();
+    println!("\naggregate shares of busy time (and the Figure 2 sub-phases):");
+    for path in [
+        "atmosphere",
+        "atmosphere/dynamics",
+        "atmosphere/dynamics/spectral",
+        "atmosphere/physics",
+        "coupler",
+        "ocean",
+        "ocean/baroclinic",
+        "ocean/barotropic",
+    ] {
+        if let Some(agg) = report.phase(path) {
+            println!(
+                "  {path:<28} {:5.1} %  (imbalance {:.2})",
+                100.0 * agg.sum / busy_total.max(1e-9),
+                agg.imbalance()
+            );
+        }
     }
 
     // The paper's observations, checked quantitatively:
-    let atm_work: f64 = out.traces[..n_atm]
-        .iter()
-        .map(|t| t.work_time("atmosphere"))
-        .sum();
-    let ocean_work = out.traces[n_atm].work_time("ocean");
+    let atm_work = report.phase("atmosphere").map_or(0.0, |a| a.sum);
+    let ocean_work = report.rollup("ocean");
     println!("\npaper comparisons:");
     println!(
         "  atmosphere : ocean total work = {:.1} : 1   (paper: ~16 : 1 at these resolutions)",
         atm_work / ocean_work.max(1e-9)
     );
-    let ocean_busy = ocean_work / (t1 - t0);
+    let ocean_busy = ocean_work / report.wall_seconds.max(1e-9);
     println!(
         "  ocean rank busy {:.0} % of the run → {} keep up with {} atmosphere ranks \
          (paper: 1 ocean node keeps up with 16, not 32)",
@@ -99,8 +122,17 @@ fn main() {
     );
     println!(
         "  model speedup this run: {:.0}× real time",
-        out.model_speedup
+        report.model_speedup
     );
+    if let Some(imb) = report.load_imbalance() {
+        println!(
+            "  per-rank busy time min/mean/max = {:.2}/{:.2}/{:.2} s (max/mean {:.2})",
+            imb.min,
+            imb.mean,
+            imb.max,
+            imb.ratio()
+        );
+    }
 
     // What the ranks were actually waiting on: the per-tag counters the
     // runtime collects alongside the timeline.

@@ -1,0 +1,66 @@
+//! Experiment MS — the model-speedup bench behind CI's
+//! `BENCH_model_speedup.json` artifact: a short coupled integration at
+//! two atmosphere rank counts, reduced through `foam-telemetry`. The
+//! artifact carries, per run, the full telemetry report — model speedup,
+//! the per-phase wall-clock breakdown (Figure 2 categories), and the
+//! per-rank load-imbalance summary. CI asserts the JSON parses and the
+//! measured speedup is positive.
+//!
+//! ```sh
+//! cargo run --release -p foam-bench --bin model_speedup \
+//!     [--days D] [--out PATH]
+//! ```
+//!
+//! The reduced `tiny` configuration keeps the bench fast enough for CI;
+//! `table1_scaling` covers the paper-resolution sweep.
+
+use foam::{run_coupled, FoamConfig, TelemetryConfig};
+use foam_bench::flag_or;
+use foam_telemetry::json::Value;
+
+fn main() {
+    let days: f64 = flag_or("--days", 0.25);
+    let out_path: String = flag_or("--out", "BENCH_model_speedup.json".to_string());
+
+    println!("=== model-speedup bench (telemetry reduction) ===\n");
+    let mut runs = Vec::new();
+    let mut best = 0.0f64;
+    for n_atm in [1usize, 2] {
+        let mut cfg = FoamConfig::tiny(42);
+        cfg.n_atm_ranks = n_atm;
+        cfg.telemetry = TelemetryConfig {
+            enabled: true,
+            path: None,
+        };
+        let out = run_coupled(&cfg, days);
+        let report = out.telemetry.expect("telemetry was enabled");
+        println!(
+            "{n_atm} atm rank(s) + 1 ocean: {:.0}× real time measured, \
+             {:.0}× projected parallel, busy-time imbalance {:.2}",
+            report.model_speedup,
+            report.projected_speedup(),
+            report.load_imbalance().map_or(1.0, |i| i.ratio()),
+        );
+        assert!(
+            report.tree_consistent(1e-6),
+            "phase tree inconsistent at {n_atm} atm ranks"
+        );
+        best = best.max(report.model_speedup);
+        runs.push(Value::object([
+            ("n_atm_ranks".to_string(), n_atm.into()),
+            (
+                "projected_speedup".to_string(),
+                report.projected_speedup().into(),
+            ),
+            ("report".to_string(), report.to_json()),
+        ]));
+    }
+    let doc = Value::object([
+        ("schema".to_string(), "foam-bench/model-speedup/1".into()),
+        ("days".to_string(), days.into()),
+        ("model_speedup".to_string(), best.into()),
+        ("runs".to_string(), Value::Array(runs)),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write the bench artifact");
+    println!("\nwrote {out_path} (best measured model speedup: {best:.0}× real time)");
+}

@@ -6,11 +6,12 @@
 //! **Substitution note** (DESIGN.md §4): this host exposes a single CPU
 //! core, so ranks are concurrency, not parallelism. Measured wall time
 //! is therefore reported alongside a *projected parallel* time computed
-//! from the per-rank traced busy time (`max over ranks of work`), the
-//! same accounting the paper's Figure 2 visualizes. Projected speedup
-//! curves show the shape the paper reports: near-linear over the small
-//! rank counts, degrading as latitude bands thin and the replicated
-//! coupler grows relatively more expensive.
+//! from the per-rank busy time of the `foam-telemetry` report (`max`
+//! over ranks of work, exchange waits excluded), the same accounting the
+//! paper's Figure 2 visualizes. Projected speedup curves show the shape
+//! the paper reports: near-linear over the small rank counts, degrading
+//! as latitude bands thin and the replicated coupler grows relatively
+//! more expensive.
 //!
 //! ```sh
 //! cargo run --release -p foam-bench --bin table1_scaling [days] [max_ranks]
@@ -48,8 +49,14 @@ fn main() {
 
     // ---- Coupled scaling sweep. ---------------------------------------
     println!(
-        "{:>9} {:>12} {:>14} {:>14} {:>12} {:>12}",
-        "atm ranks", "wall (s)", "measured ×RT", "projected ×RT", "atm:ocn work", "ocn busy %"
+        "{:>9} {:>12} {:>14} {:>14} {:>12} {:>12} {:>8}",
+        "atm ranks",
+        "wall (s)",
+        "measured ×RT",
+        "projected ×RT",
+        "atm:ocn work",
+        "ocn busy %",
+        "imb"
     );
     let mut ranks = vec![1usize, 2, 4];
     for r in [8usize, 16] {
@@ -60,33 +67,30 @@ fn main() {
     let sim_seconds = days * 86_400.0;
     for &n_atm in &ranks {
         let mut cfg = FoamConfig::paper(n_atm, 7);
-        cfg.tracing = true;
+        cfg.telemetry.enabled = true;
         let out = run_coupled(&cfg, days);
-        // Projected parallel wall: the busiest rank's work plus the
-        // (serial) ocean exchange that cannot overlap.
-        let works: Vec<f64> = out
-            .traces
+        let report = out.telemetry.as_ref().expect("telemetry was enabled");
+        // Projected parallel wall: the busiest rank's work (exchange
+        // waits excluded) against the (serial) ocean integration that
+        // cannot overlap.
+        let max_work = report
+            .ranks
             .iter()
             .take(n_atm)
-            .map(|t| t.work_time("atmosphere") + t.work_time("coupler"))
-            .collect();
-        let max_work = works.iter().cloned().fold(0.0f64, f64::max);
-        let ocean_work = out.traces[n_atm].work_time("ocean");
+            .map(|r| r.busy_seconds - r.leaf_seconds("sst_wait"))
+            .fold(0.0f64, f64::max);
+        let ocean_work = report.rollup("ocean");
         let projected_wall = max_work.max(ocean_work);
-        let atm_total: f64 = out
-            .traces
-            .iter()
-            .take(n_atm)
-            .map(|t| t.work_time("atmosphere"))
-            .sum();
+        let atm_total = report.phase("atmosphere").map_or(0.0, |a| a.sum);
         println!(
-            "{:>9} {:>12.2} {:>14.0} {:>14.0} {:>12.1} {:>12.0}",
+            "{:>9} {:>12.2} {:>14.0} {:>14.0} {:>12.1} {:>12.0} {:>8.2}",
             n_atm,
             out.wall_seconds,
             out.model_speedup,
             sim_seconds / projected_wall.max(1e-9),
             atm_total / ocean_work.max(1e-9),
             100.0 * ocean_work / projected_wall.max(1e-9),
+            report.load_imbalance().map_or(1.0, |i| i.ratio()),
         );
     }
 

@@ -6,7 +6,7 @@
 //! long-running HPC codes rely on (CCSM-lineage restart files, POP's
 //! pop-file restarts), adapted to FOAM-RS:
 //!
-//! * a **binary snapshot format** ([`format`]) — named sections behind a
+//! * a **binary snapshot format** ([`mod@format`]) — named sections behind a
 //!   magic/version header, each independently CRC64-checksummed, so a
 //!   torn or bit-rotted file is *diagnosed* ([`CkptError`]) rather than
 //!   silently resumed from;
@@ -25,6 +25,37 @@
 //! knows nothing about grids or models. Each component crate implements
 //! [`Codec`] for its own state types; the `foam` core assembles them
 //! into shards.
+//!
+//! # Example
+//!
+//! A snapshot round-trips any [`Codec`] value bit-exactly, and a flipped
+//! byte is caught by the section checksum instead of decoding to
+//! nonsense:
+//!
+//! ```
+//! use foam_ckpt::{CkptError, Snapshot, SnapshotWriter};
+//!
+//! let mut w = SnapshotWriter::new();
+//! w.put("ocean/temps", &vec![21.5f64, -1.8, 4.0625]);
+//! w.put("meta/interval", &7usize);
+//! let bytes = w.to_bytes();
+//!
+//! let snap = Snapshot::from_bytes(&bytes).unwrap();
+//! assert_eq!(snap.get::<Vec<f64>>("ocean/temps").unwrap(), vec![21.5, -1.8, 4.0625]);
+//! assert_eq!(snap.get::<usize>("meta/interval").unwrap(), 7);
+//! assert!(matches!(
+//!     snap.get::<usize>("meta/missing"),
+//!     Err(CkptError::MissingSection(_))
+//! ));
+//!
+//! let mut torn = bytes.clone();
+//! let last = torn.len() - 1;
+//! torn[last] ^= 0xFF; // bit-rot in the final section's payload
+//! assert!(matches!(
+//!     Snapshot::from_bytes(&torn),
+//!     Err(CkptError::CrcMismatch { .. })
+//! ));
+//! ```
 
 pub mod codec;
 pub mod crc64;

@@ -153,6 +153,7 @@ pub fn write_atm_shard(
     work: usize,
     root: Option<RootShardExtras<'_>>,
 ) -> Result<(), CkptError> {
+    // Timed by the caller's "checkpoint" scope (the rendezvous).
     let (j0, j1) = rows;
     let (ka0, ka1) = (j0 * nlon, j1 * nlon);
     let mut w = SnapshotWriter::new();
@@ -178,7 +179,21 @@ pub fn write_atm_shard(
         w.put("driver/month_acc", r.month_acc);
         w.put("driver/emergency", &r.emergency);
     }
-    w.write_atomic(&CheckpointStore::shard_path(dir, rank))
+    let path = CheckpointStore::shard_path(dir, rank);
+    w.write_atomic(&path)?;
+    count_shard_bytes(&path);
+    Ok(())
+}
+
+/// Record a written shard's size in the telemetry counters (no-op when
+/// telemetry is off or the file cannot be stat'ed).
+fn count_shard_bytes(path: &Path) {
+    if foam_telemetry::installed() {
+        foam_telemetry::count("ckpt.shards_written", 1);
+        if let Ok(meta) = std::fs::metadata(path) {
+            foam_telemetry::count("ckpt.bytes_written", meta.len());
+        }
+    }
 }
 
 /// Write the ocean rank's shard into the staging directory.
@@ -188,12 +203,16 @@ pub fn write_ocean_shard(
     state: &OceanState,
     completed: usize,
 ) -> Result<(), CkptError> {
+    let _t = foam_telemetry::scope("checkpoint");
     let mut w = SnapshotWriter::new();
     w.put("meta/role", &"ocean".to_string());
     w.put("meta/rank", &rank);
     w.put("ocean/state", state);
     w.put("ocean/completed", &completed);
-    w.write_atomic(&CheckpointStore::shard_path(dir, rank))
+    let path = CheckpointStore::shard_path(dir, rank);
+    w.write_atomic(&path)?;
+    count_shard_bytes(&path);
+    Ok(())
 }
 
 /// Write the manifest — always last, so its presence marks a complete

@@ -17,6 +17,10 @@ pub enum ConfigError {
     /// A count that must be at least one (ranks, subcycles, checkpoint
     /// cadence) was zero.
     ZeroCount { what: &'static str },
+    /// The telemetry report path cannot be written (its parent directory
+    /// does not exist or is not a directory). Caught up front so a long
+    /// run does not integrate for hours and then lose its report.
+    UnwritablePath { what: &'static str, path: PathBuf },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -26,6 +30,13 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "{what} must be positive and finite, got {value}")
             }
             ConfigError::ZeroCount { what } => write!(f, "{what} must be at least 1"),
+            ConfigError::UnwritablePath { what, path } => {
+                write!(
+                    f,
+                    "{what} is not writable: {} (parent directory missing?)",
+                    path.display()
+                )
+            }
         }
     }
 }
@@ -62,6 +73,48 @@ impl CkptConfig {
             keep: 2,
             on_error: true,
         }
+    }
+}
+
+/// Telemetry knobs. Telemetry is collected when [`enabled`] is true —
+/// either explicitly or implicitly by setting a report [`path`]. It
+/// observes wall-clock time only: enabling it cannot change any
+/// simulated field bit-for-bit (asserted by the integration tests).
+///
+/// [`enabled`]: TelemetryConfig::enabled
+/// [`path`]: TelemetryConfig::path
+///
+/// ```
+/// use foam::TelemetryConfig;
+///
+/// assert!(!TelemetryConfig::default().collect());
+/// assert!(TelemetryConfig { enabled: true, ..Default::default() }.collect());
+/// assert!(TelemetryConfig::to_file("report.json").collect());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    /// Collect phase timings and counters even when no report path is
+    /// set (the report is then only available programmatically on
+    /// [`crate::CoupledOutput::telemetry`]).
+    pub enabled: bool,
+    /// Where to write the JSON report at the end of the run. Setting a
+    /// path implies `enabled`. The parent directory must exist —
+    /// [`FoamConfig::validate`] rejects the config otherwise.
+    pub path: Option<PathBuf>,
+}
+
+impl TelemetryConfig {
+    /// Enable telemetry and write the end-of-run report to `path`.
+    pub fn to_file(path: impl Into<PathBuf>) -> Self {
+        TelemetryConfig {
+            enabled: true,
+            path: Some(path.into()),
+        }
+    }
+
+    /// Whether telemetry should be collected this run.
+    pub fn collect(&self) -> bool {
+        self.enabled || self.path.is_some()
     }
 }
 
@@ -137,6 +190,8 @@ pub struct FoamConfig {
     pub runtime: RuntimeConfig,
     /// Checkpoint/restart knobs (off unless a directory is set).
     pub ckpt: CkptConfig,
+    /// Telemetry knobs (phase timers, counters, model-speedup report).
+    pub telemetry: TelemetryConfig,
 }
 
 impl FoamConfig {
@@ -158,6 +213,7 @@ impl FoamConfig {
             collect_monthly_sst: false,
             runtime: RuntimeConfig::default(),
             ckpt: CkptConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -175,6 +231,7 @@ impl FoamConfig {
             collect_monthly_sst: false,
             runtime: RuntimeConfig::default(),
             ckpt: CkptConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -207,6 +264,22 @@ impl FoamConfig {
         if self.ckpt.dir.is_some() {
             at_least_one("ckpt.interval", self.ckpt.interval)?;
             at_least_one("ckpt.keep", self.ckpt.keep)?;
+        }
+        if let Some(path) = &self.telemetry.path {
+            // The file itself is created at the end of the run; what must
+            // already exist is the directory it lands in.
+            let parent = match path.parent() {
+                // `"report.json".parent()` is `Some("")` — the cwd.
+                Some(p) if p.as_os_str().is_empty() => PathBuf::from("."),
+                Some(p) => p.to_path_buf(),
+                None => PathBuf::from("."),
+            };
+            if !parent.is_dir() {
+                return Err(ConfigError::UnwritablePath {
+                    what: "telemetry.path",
+                    path: path.clone(),
+                });
+            }
         }
         Ok(())
     }
@@ -312,6 +385,28 @@ mod tests {
         );
         // Checkpoint knobs are only checked when checkpointing is on.
         c.ckpt.dir = None;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unwritable_telemetry_path() {
+        let mut c = FoamConfig::tiny(1);
+        c.telemetry = TelemetryConfig::to_file("/nonexistent-dir-xyzzy/report.json");
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::UnwritablePath {
+                what: "telemetry.path",
+                ..
+            })
+        ));
+        // A bare filename lands in the cwd, which exists.
+        c.telemetry = TelemetryConfig::to_file("report.json");
+        assert!(c.validate().is_ok());
+        // Plain `enabled` needs no path at all.
+        c.telemetry = TelemetryConfig {
+            enabled: true,
+            path: None,
+        };
         assert!(c.validate().is_ok());
     }
 }

@@ -36,7 +36,7 @@
 //! teardown comm-lint come back clean even for faulty runs that
 //! recovered.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use foam_atm::{AtmExport, AtmForcing, AtmModel, AtmState};
@@ -47,6 +47,7 @@ use foam_grid::constants::SECONDS_PER_DAY;
 use foam_grid::{Field2, OceanGrid, World};
 use foam_mpi::{Comm, CommLint, RankTrace, RunConfig, Universe};
 use foam_ocean::{OceanForcing, OceanModel, SplitScheme};
+use foam_telemetry::{TelemetryRegistry, TelemetryReport};
 
 use crate::checkpoint::{self, GlobalSnapshot, RootShardExtras};
 use crate::config::{ConfigError, CouplingMode, FoamConfig, RuntimeConfig};
@@ -69,6 +70,10 @@ pub enum CoupledError {
     /// Checkpointing or restarting failed (no readable snapshot, a
     /// mismatched configuration, an unwritable store).
     Ckpt(CkptError),
+    /// The end-of-run telemetry report could not be written to the
+    /// configured path. ([`FoamConfig::validate`] catches a missing
+    /// parent directory up front; this covers failures at write time.)
+    TelemetryWrite { path: PathBuf, error: String },
 }
 
 impl std::fmt::Display for CoupledError {
@@ -84,6 +89,13 @@ impl std::fmt::Display for CoupledError {
             CoupledError::Aborted => write!(f, "run aborted by the atmosphere root"),
             CoupledError::Config(e) => write!(f, "invalid configuration: {e}"),
             CoupledError::Ckpt(e) => write!(f, "checkpoint failure: {e}"),
+            CoupledError::TelemetryWrite { path, error } => {
+                write!(
+                    f,
+                    "failed to write the telemetry report to {}: {error}",
+                    path.display()
+                )
+            }
         }
     }
 }
@@ -127,6 +139,10 @@ pub struct CoupledOutput {
     pub comm_lint: CommLint,
     /// Total physics work units per atmosphere rank (load balance).
     pub work_per_rank: Vec<usize>,
+    /// The cross-rank telemetry report (phase breakdown, counters,
+    /// model speedup), when [`crate::TelemetryConfig`] enabled
+    /// collection.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Per-rank result carried out of the SPMD closure.
@@ -137,6 +153,9 @@ struct RankResult {
     final_sst: Option<Field2>,
     wall_seconds: f64,
     work: usize,
+    /// This rank's harvested registry (boxed: it is much larger than the
+    /// rest of the struct and absent unless telemetry is enabled).
+    telemetry: Option<Box<TelemetryRegistry>>,
 }
 
 /// The baseline ("CSM-like") variant of a configuration: identical
@@ -219,17 +238,35 @@ fn run_inner(
         deadline: cfg.runtime.recv_deadline_secs.map(Duration::from_secs_f64),
         faults: cfg.runtime.fault_plan.clone(),
     };
+    let start_c = resume.as_ref().map(|s| s.interval).unwrap_or(0);
+    let collect_telemetry = cfg.telemetry.collect();
     let resume_ref = resume.as_ref();
     let out = Universe::run_cfg(cfg.n_ranks(), run_cfg, |world| {
-        if world.rank() < n_atm {
+        // Each rank is one OS thread, so a thread-local registry is a
+        // per-rank registry. Harvest on both the success and the error
+        // path so a reused thread never inherits stale state.
+        if collect_telemetry {
+            foam_telemetry::install(TelemetryRegistry::new(world.rank()));
+        }
+        let result = if world.rank() < n_atm {
             atm_rank(cfg, world, n_couple, resume_ref)
         } else {
             ocean_rank(cfg, world, resume_ref)
-        }
+        };
+        let telemetry = foam_telemetry::harvest().map(Box::new);
+        result.map(|mut res| {
+            res.telemetry = telemetry;
+            res
+        })
     });
     // The root's error is the authoritative one; others only report
     // the abort it broadcast.
     let mut results = out.results;
+    let mut regs: Vec<TelemetryRegistry> = results
+        .iter_mut()
+        .filter_map(|r| r.as_mut().ok().and_then(|res| res.telemetry.take()))
+        .map(|b| *b)
+        .collect();
     let r0 = results.remove(0)?;
     let mut work_per_rank = vec![r0.work];
     for r in results.drain(..n_atm - 1) {
@@ -255,6 +292,32 @@ fn run_inner(
         .collect();
     let grid = foam_grid::OceanGrid::mercator(cfg.ocean.nx, cfg.ocean.ny, cfg.ocean.lat_max_deg);
     let ice_fraction = grid.masked_mean(&icy, &mask);
+    let telemetry = if collect_telemetry {
+        // Fold each rank's communication counters (collected by the
+        // runtime regardless of telemetry) into its registry, so the
+        // report carries messages/bytes/waits per protocol tag.
+        for reg in &mut regs {
+            if let Some(t) = out.traces.iter().find(|t| t.rank == reg.rank()) {
+                fold_comm_stats(reg, &t.stats);
+            }
+        }
+        // The speedup window is what this run actually integrated — a
+        // resumed run is only charged for the intervals after its
+        // snapshot.
+        let window = (n_couple - start_c) as f64 * cfg.dt_couple;
+        let report = TelemetryReport::from_ranks(window, wall, regs);
+        if let Some(path) = &cfg.telemetry.path {
+            report
+                .write_json(path)
+                .map_err(|e| CoupledError::TelemetryWrite {
+                    path: path.clone(),
+                    error: e.to_string(),
+                })?;
+        }
+        Some(report)
+    } else {
+        None
+    };
     Ok(CoupledOutput {
         sim_seconds,
         wall_seconds: wall,
@@ -266,7 +329,30 @@ fn run_inner(
         traces: out.traces,
         comm_lint: out.lint,
         work_per_rank,
+        telemetry,
     })
+}
+
+/// Convert one rank's per-tag communication statistics into telemetry
+/// counters (`comm.<tag>.msgs_sent`, `.bytes_recvd`, `.wait_us`, ...),
+/// using the coupler's protocol names where the tag has one.
+fn fold_comm_stats(reg: &mut TelemetryRegistry, stats: &foam_mpi::CommStats) {
+    for (&tag, t) in &stats.by_tag {
+        let name = foam_coupler::tags::tag_name(tag)
+            .map(str::to_string)
+            .unwrap_or_else(|| foam_mpi::tag_label(tag).replace(' ', ""));
+        let mut put = |what: &str, n: u64| {
+            if n > 0 {
+                reg.add(&format!("comm.{name}.{what}"), n);
+            }
+        };
+        put("msgs_sent", t.msgs_sent);
+        put("msgs_recvd", t.msgs_recvd);
+        put("bytes_sent", t.bytes_sent);
+        put("bytes_recvd", t.bytes_recvd);
+        put("drops_injected", t.injected_drops);
+        put("wait_us", (t.wait_seconds * 1e6) as u64);
+    }
 }
 
 /// Receive the SST with sequence number `expected`, driving the retry
@@ -281,6 +367,9 @@ fn recv_sst(
     expected: usize,
     recent: &[(usize, OceanForcing)],
 ) -> Result<(usize, Field2), CoupledError> {
+    // Time blocked on the exchange (nests under "coupler" when the call
+    // comes from inside a coupler region).
+    let _t = foam_telemetry::scope("sst_wait");
     if rt.sst_retry_max == 0 {
         loop {
             let (seq, sst): (usize, Field2) = world.recv(ocean, TAG_SST);
@@ -311,6 +400,7 @@ fn recv_sst(
                     });
                 }
                 retries += 1;
+                foam_telemetry::count("coupler.sst_retries", 1);
                 world.send(ocean, TAG_SST_RETRY, expected);
                 std::thread::sleep(Duration::from_secs_f64(
                     rt.sst_retry_backoff_secs * (1u64 << (retries - 1).min(10)) as f64,
@@ -383,6 +473,7 @@ fn checkpoint_rendezvous(
     recent: &[(usize, OceanForcing)],
     resend_forcings: bool,
 ) -> bool {
+    let _t = foam_telemetry::scope("checkpoint");
     let is_root = atm_comm.rank() == 0;
     let emergency = root_extras.as_ref().map(|r| r.emergency).unwrap_or(false);
     let mut pending = None;
@@ -554,6 +645,7 @@ fn atm_rank(
             // ---- Coupler, distributed by latitude rows (co-located
             //      with the atmosphere decomposition, as in the paper).
             let forcing_local = world.region("coupler", || {
+                let _t = foam_telemetry::scope("coupler");
                 let (j0, j1) = model.rows();
                 let (ka0, ka1) = (j0 * nlon, j1 * nlon);
                 // The export fields already hold exactly this rank's rows.
@@ -585,6 +677,7 @@ fn atm_rank(
             });
             // ---- Atmosphere step. ------------------------------------
             export = world.region("atmosphere", || {
+                let _t = foam_telemetry::scope("atmosphere");
                 model.step(&mut atm_state, &atm_comm, &forcing_local)
             });
             res.work += export.work.iter().sum::<usize>();
@@ -593,6 +686,7 @@ fn atm_rank(
         // ---- Ocean exchange: sum the row-local forcing parts across
         //      the atmosphere ranks, add the replicated part once. -----
         let forcing = world.region("coupler", || {
+            let _t = foam_telemetry::scope("coupler");
             let (local, shared) = coupler.take_ocean_forcing_parts(&mut coupler_state);
             let n_o = local.heat.as_slice().len();
             let mut flat = Vec::with_capacity(4 * n_o);
@@ -615,6 +709,7 @@ fn atm_rank(
             f
         });
         let received: Option<Field2> = world.region("coupler", || {
+            let _t = foam_telemetry::scope("coupler");
             if is_root {
                 let tagged = (c, forcing);
                 world.send(ocean_rank_id, TAG_FORCING, tagged.clone());
@@ -841,12 +936,15 @@ fn ocean_rank(
                 // model; duplicates (idx < completed) and early
                 // retransmissions (idx > completed) are ignored.
                 if idx == completed {
-                    world.region("ocean", || match cfg.ocean_scheme {
-                        SplitScheme::FoamSplit => {
-                            model.step_coupled(&mut state, &forcing, cfg.dt_couple)
-                        }
-                        SplitScheme::Unsplit => {
-                            model.step_unsplit(&mut state, &forcing, cfg.dt_couple)
+                    world.region("ocean", || {
+                        let _t = foam_telemetry::scope("ocean");
+                        match cfg.ocean_scheme {
+                            SplitScheme::FoamSplit => {
+                                model.step_coupled(&mut state, &forcing, cfg.dt_couple)
+                            }
+                            SplitScheme::Unsplit => {
+                                model.step_unsplit(&mut state, &forcing, cfg.dt_couple)
+                            }
                         }
                     });
                     completed += 1;

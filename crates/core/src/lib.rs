@@ -42,7 +42,9 @@ mod driver;
 pub mod history;
 
 pub use checkpoint::GlobalSnapshot;
-pub use config::{CkptConfig, ConfigError, CouplingMode, FoamConfig, RuntimeConfig};
+pub use config::{
+    CkptConfig, ConfigError, CouplingMode, FoamConfig, RuntimeConfig, TelemetryConfig,
+};
 pub use driver::{
     baseline_config, run_coupled, try_resume_coupled, try_run_coupled, CoupledError, CoupledOutput,
 };
@@ -54,3 +56,4 @@ pub use foam_coupler::Coupler;
 pub use foam_grid::{Field2, World};
 pub use foam_mpi::{CommLint, CommStats, FaultPlan, RankTrace, TraceSummary, Universe};
 pub use foam_ocean::{OceanConfig, OceanModel, SplitScheme};
+pub use foam_telemetry::{TelemetryRegistry, TelemetryReport};

@@ -288,6 +288,7 @@ impl Coupler {
         ka1: usize,
         ka_offset: usize,
     ) -> (SurfaceForAtm, Vec<f64>) {
+        let _t = foam_telemetry::scope("fluxes");
         let n_atm = self.atm_grid.len();
         let at = |f: &Field2, ka: usize| f.as_slice()[ka - ka_offset];
 

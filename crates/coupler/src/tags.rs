@@ -4,6 +4,23 @@
 //! root (world rank 0) and the ocean rank. Tags live here, next to the
 //! coupler they belong to, so trace/stats tooling and the driver agree
 //! on their meaning.
+//!
+//! A healthy exchange, by tag: the ocean opens with the sequence-0 SST,
+//! then each coupling interval is one `TAG_FORCING` (root → ocean)
+//! answered by one `TAG_SST` (ocean → root), with `TAG_SST_RETRY`
+//! NACKs only when a deadline expires, `TAG_CKPT` requesting snapshot
+//! shards, and a `TAG_DONE` handshake closing the run. Telemetry folds
+//! the per-tag communication counters into the run report under these
+//! names:
+//!
+//! ```
+//! use foam_coupler::tags::{tag_name, TAG_FORCING, TAG_SST};
+//!
+//! assert_eq!(tag_name(TAG_FORCING), Some("forcing"));
+//! assert_eq!(tag_name(TAG_SST), Some("sst"));
+//! assert_eq!(tag_name(999), None); // not a protocol tag
+//! // e.g. counter "comm.forcing.msgs_sent" in the telemetry report.
+//! ```
 
 /// Accumulated ocean forcing, atmosphere root → ocean. Payload:
 /// `(usize, OceanForcing)` — the coupling-interval index, so a resent

@@ -144,6 +144,7 @@ impl RiverModel {
     /// atmosphere grid \[kg m⁻² s⁻¹\] (the coupler regrids it to the
     /// ocean) — the river mouths of the paper.
     pub fn step(&self, state: &mut RiverState, runoff: &[f64], dt: f64) -> Field2 {
+        let _t = foam_telemetry::scope("rivers");
         let n = self.nlon * self.nlat;
         assert_eq!(runoff.len(), n);
         // Add local runoff volume.

@@ -817,19 +817,29 @@ impl OceanModel {
         let n_sub = (self.cfg.dt_int / self.baro_sys.max_dt()).ceil().max(1.0) as usize;
         let mut work = 0;
         for _ in 0..n_int {
+            let baro_scope = foam_telemetry::scope("baroclinic");
             let (fx, fy, mx, my) = self.momentum_forcings(state, forcing);
             self.internal_momentum_step(state, &fx, &fy, &mx, &my, self.cfg.dt_int);
-            self.baro_sys
-                .subcycle(&mut state.baro, &mx, &my, self.cfg.dt_int, n_sub);
+            drop(baro_scope);
+            {
+                let _t = foam_telemetry::scope("barotropic");
+                self.baro_sys
+                    .subcycle(&mut state.baro, &mx, &my, self.cfg.dt_int, n_sub);
+            }
+            foam_telemetry::count("ocean.barotropic_subcycles", n_sub as u64);
             work += self.cfg.nz + n_sub;
             state.step_count += 1;
             if state.step_count.is_multiple_of(self.cfg.n_trac as u64) {
+                let _t = foam_telemetry::scope("tracers");
                 let dt_trac = self.cfg.dt_int * self.cfg.n_trac as f64;
                 self.tracer_step(state, forcing, dt_trac);
                 self.vertical_mixing(state, dt_trac);
                 work += 4 * self.cfg.nz;
             }
-            self.apply_polar_filter(state);
+            {
+                let _t = foam_telemetry::scope("polar_filter");
+                self.apply_polar_filter(state);
+            }
             state.sim_t += self.cfg.dt_int;
         }
         work
@@ -852,12 +862,23 @@ impl OceanModel {
         let dt = dt_couple / n as f64;
         let mut work = 0;
         for _ in 0..n {
+            let baro_scope = foam_telemetry::scope("baroclinic");
             let (fx, fy, mx, my) = self.momentum_forcings(state, forcing);
             self.internal_momentum_step(state, &fx, &fy, &mx, &my, dt);
-            full.step(&mut state.baro, &mx, &my, dt);
-            self.tracer_step(state, forcing, dt);
-            self.vertical_mixing(state, dt);
-            self.apply_polar_filter(state);
+            drop(baro_scope);
+            {
+                let _t = foam_telemetry::scope("barotropic");
+                full.step(&mut state.baro, &mx, &my, dt);
+            }
+            {
+                let _t = foam_telemetry::scope("tracers");
+                self.tracer_step(state, forcing, dt);
+                self.vertical_mixing(state, dt);
+            }
+            {
+                let _t = foam_telemetry::scope("polar_filter");
+                self.apply_polar_filter(state);
+            }
             work += 1 + 5 * self.cfg.nz;
             state.sim_t += dt;
             state.step_count += 1;

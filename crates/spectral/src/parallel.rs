@@ -44,6 +44,7 @@ impl ParTransform {
     /// Distributed analysis: `local` is this rank's `(nlon × local_rows)`
     /// slab; every rank returns the complete spectral field.
     pub fn analyze(&self, comm: &Comm, local: &Field2) -> SpectralField {
+        let _t = foam_telemetry::scope("spectral");
         assert_eq!(local.ny(), self.n_local_rows());
         let mut acc = vec![Complex::ZERO; self.base.trunc.len()];
         self.base.accumulate_rows(local, self.j0, self.j1, &mut acc);
@@ -62,18 +63,21 @@ impl ParTransform {
 
     /// Local synthesis of this rank's rows (no communication).
     pub fn synthesize(&self, spec: &SpectralField) -> Field2 {
+        let _t = foam_telemetry::scope("spectral");
         self.base
             .synthesize_rows(spec, self.j0, self.j1, SynthKind::Value)
     }
 
     /// Local synthesis of ∂f/∂λ.
     pub fn synthesize_dlambda(&self, spec: &SpectralField) -> Field2 {
+        let _t = foam_telemetry::scope("spectral");
         self.base
             .synthesize_rows(spec, self.j0, self.j1, SynthKind::DLambda)
     }
 
     /// Local synthesis of cos φ · ∂f/∂φ.
     pub fn synthesize_cosgrad(&self, spec: &SpectralField) -> Field2 {
+        let _t = foam_telemetry::scope("spectral");
         self.base
             .synthesize_rows(spec, self.j0, self.j1, SynthKind::CosGrad)
     }

@@ -2,22 +2,34 @@
 //! what FOAM is about — the model speedup — plus a glance at the SST.
 //!
 //! ```sh
-//! cargo run --release -p foam-examples --bin quickstart [days]
+//! cargo run --release -p foam-examples --bin quickstart [days] [--telemetry report.json]
 //! ```
+//!
+//! With `--telemetry <path>` the run collects phase timers and counters
+//! and writes the cross-rank JSON report there (see DESIGN.md §9).
 
-use foam::{run_coupled, FoamConfig};
+use foam::{run_coupled, FoamConfig, TelemetryConfig};
 use foam_stats::ascii::render_map;
 
 fn main() {
-    let days: f64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().collect();
+    let days: f64 = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
         .unwrap_or(3.0);
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1).cloned());
 
     // The reduced demo configuration (R5 atmosphere, 32×24 ocean, 2
     // atmosphere ranks + 1 ocean rank). Swap in `FoamConfig::paper(16, 7)`
     // for the paper's production 17-node setup.
-    let cfg = FoamConfig::tiny(7);
+    let mut cfg = FoamConfig::tiny(7);
+    if let Some(path) = &telemetry_path {
+        cfg.telemetry = TelemetryConfig::to_file(path);
+    }
 
     println!(
         "FOAM-RS quickstart: {} atmosphere rank(s) + 1 ocean rank, {days} simulated day(s)…",

@@ -1,1 +1,8 @@
-
+//! `foam-tests` — cross-crate integration and property tests.
+//!
+//! This crate has no library code of its own: everything lives under
+//! `tests/`, where each file exercises a seam that no single crate's
+//! unit tests can reach — the full coupled system, checkpoint/restart
+//! determinism, communication resilience under fault injection, the
+//! hydrological cycle's conservation budget, and the telemetry
+//! reduction's algebra. See ROADMAP.md for the tier the CI gates on.

@@ -1,0 +1,107 @@
+//! Property-based tests of the telemetry reduction: the cross-rank
+//! reduce must be independent of the order ranks are harvested in, and
+//! same-rank registry merging must be commutative and associative — the
+//! algebra that makes the end-of-run reduction safe to reorder.
+
+use proptest::prelude::*;
+
+use foam_telemetry::{TelemetryRegistry, TelemetryReport};
+
+/// A small closed vocabulary keeps collisions (the interesting case)
+/// frequent.
+const PHASES: &[&str] = &["atm", "atm/dyn", "atm/phys", "ocean", "coupler"];
+const COUNTERS: &[&str] = &["msgs", "bytes", "retries"];
+
+/// Raw material for one registry: phase entries as (vocabulary index,
+/// seconds), counter entries as (vocabulary index, amount).
+type Spec = (Vec<(usize, f64)>, Vec<(usize, u32)>);
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec((0usize..PHASES.len(), 0.0f64..10.0), 0..8),
+        prop::collection::vec((0usize..COUNTERS.len(), 0u32..1000), 0..6),
+    )
+}
+
+fn build(rank: usize, (phases, counters): &Spec) -> TelemetryRegistry {
+    let mut r = TelemetryRegistry::new(rank);
+    for &(p, s) in phases {
+        r.record_phase(PHASES[p], s);
+    }
+    for &(c, n) in counters {
+        r.add(COUNTERS[c], n as u64);
+    }
+    r.set_wall_seconds(phases.iter().map(|(_, s)| *s).sum());
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any permutation of the per-rank registries reduces to the same
+    /// report — down to the serialized JSON text.
+    #[test]
+    fn reduction_is_order_independent(
+        specs in prop::collection::vec(spec(), 1..6),
+        perm in prop::collection::vec(0usize..64, 0..16),
+    ) {
+        let regs: Vec<TelemetryRegistry> = specs
+            .iter()
+            .enumerate()
+            .map(|(rank, s)| build(rank, s))
+            .collect();
+        let mut shuffled = regs.clone();
+        // Deterministic permutation driven by generated swap indices.
+        let n = shuffled.len();
+        for (i, &j) in perm.iter().enumerate() {
+            shuffled.swap(i % n, j % n);
+        }
+        let a = TelemetryReport::from_ranks(86_400.0, 2.0, regs);
+        let b = TelemetryReport::from_ranks(86_400.0, 2.0, shuffled);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty()
+        );
+    }
+
+    /// Same-rank merging is commutative: a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_commutative(sa in spec(), sb in spec()) {
+        let (a, b) = (build(0, &sa), build(0, &sb));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.phases(), ba.phases());
+        prop_assert_eq!(ab.counters(), ba.counters());
+    }
+
+    /// Same-rank merging is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(sa in spec(), sb in spec(), sc in spec()) {
+        let (a, b, c) = (build(0, &sa), build(0, &sb), build(0, &sc));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // Phase seconds are f64 sums; a different association can differ
+        // by rounding, so seconds compare with a tolerance while counts
+        // (integers) must match exactly.
+        prop_assert_eq!(left.counters(), right.counters());
+        let lp = left.phases();
+        let rp = right.phases();
+        prop_assert_eq!(lp.len(), rp.len());
+        for (path, stat) in lp {
+            let other = &rp[path];
+            prop_assert_eq!(stat.calls, other.calls);
+            prop_assert!(
+                (stat.seconds - other.seconds).abs() <= 1e-9 * (1.0 + stat.seconds.abs()),
+                "{}: {} vs {}", path, stat.seconds, other.seconds
+            );
+        }
+    }
+}

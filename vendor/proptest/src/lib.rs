@@ -222,7 +222,7 @@ impl<T: Clone> Strategy for Just<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// Length specification for [`vec()`]: a fixed size or a half-open
     /// range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
