@@ -1,0 +1,95 @@
+//! Experiment E1 — ensemble variability under fault-tolerant
+//! orchestration: the Figure 4 question ("how large is the model's
+//! internal variability?") answered the way the paper's users actually
+//! answered it — with an *ensemble* of perturbed coupled runs — plus
+//! the operational half of the story: a member killed mid-run is
+//! resumed from its checkpoint and lands on the same answer.
+//!
+//! Runs an `N`-member seed-sweep ensemble across `W` workers, writes
+//! the deterministic `foam-ensemble/1` aggregate to
+//! `BENCH_ensemble_variability.json`, and prints the ensemble-mean SST
+//! trajectory with its spread. The artifact is byte-identical for any
+//! `--workers` value — that invariance is asserted by the integration
+//! tests and checked again in CI.
+//!
+//! ```sh
+//! cargo run --release -p foam-bench --bin ensemble_variability -- \
+//!     [--members N] [--workers W] [--days D] [--seed S] [--fault-plan M]
+//! ```
+//!
+//! `--fault-plan M` injects a kill into member `M`'s SST exchange
+//! halfway through the run; the report then shows that member
+//! recovering (`retries > 0`, status `ok`).
+
+use std::path::PathBuf;
+
+use foam::FoamConfig;
+use foam_bench::flag_or;
+use foam_ensemble::{kill_sst_after, run_ensemble, EnsembleSpec};
+use foam_stats::ascii::sparkline;
+
+fn main() {
+    let members: usize = flag_or("--members", 4);
+    let workers: usize = flag_or("--workers", 2);
+    let days: f64 = flag_or("--days", 30.0);
+    let seed: u64 = flag_or("--seed", 1914);
+    let fault_member: i64 = flag_or("--fault-plan", -1);
+
+    println!("=== E1: ensemble variability ({members} members, {workers} workers) ===\n");
+
+    let mut spec = EnsembleSpec::seed_sweep(FoamConfig::tiny(seed), days, members);
+    spec.workers = workers;
+    spec.output_dir =
+        Some(std::env::temp_dir().join(format!("foam-bench-ensemble-{}", std::process::id())));
+    if fault_member >= 0 {
+        let m = fault_member as usize;
+        assert!(m < members, "--fault-plan member out of range");
+        // Kill the member's SST exchange halfway through (the coupler
+        // exchanges SST once per coupling interval, 4 per day).
+        let hits = ((days * 4.0) as u64 / 2).max(1);
+        spec.members[m].fault_plan = Some(kill_sst_after(seed, hits));
+        println!("fault plan: member {m} loses its SST exchange after {hits} intervals\n");
+    }
+
+    let out = run_ensemble(&spec).expect("ensemble spec should be valid");
+    let report = &out.report;
+
+    println!(
+        "completed {}/{} members in {:.1} s wall-clock ({} retries)",
+        report.n_ok, members, out.wall_seconds, report.total_retries
+    );
+    if let Some(t) = &out.merged_telemetry {
+        println!(
+            "aggregate model speedup across members: {:.0}× real time",
+            t.model_speedup
+        );
+    }
+
+    println!("\nensemble-mean SST trajectory (°C):");
+    println!("  {}", sparkline(&report.sst_mean_series, 90));
+    println!("ensemble spread (σ):");
+    println!("  {}", sparkline(&report.sst_spread_series, 90));
+    let last_spread = report.sst_spread_series.last().copied().unwrap_or(0.0);
+    println!("final spread: {last_spread:.4} °C");
+
+    println!("\nper-member summary:");
+    for m in &report.members {
+        let sst = m
+            .final_mean_sst
+            .map(|x| format!("{x:.3} °C"))
+            .unwrap_or_else(|| "—".into());
+        let pat = m
+            .pattern_vs_ensemble_mean
+            .as_ref()
+            .map(|p| format!(", rmse vs ens-mean {:.3}", p.rmse))
+            .unwrap_or_default();
+        println!(
+            "  member {:>2}  seed {:<6} {:>6}  retries {}  final SST {sst}{pat}",
+            m.id, m.seed, m.status, m.retries
+        );
+    }
+
+    let path = PathBuf::from("BENCH_ensemble_variability.json");
+    report.write_json(&path).expect("write report artifact");
+    println!("\nwrote {} ({})", path.display(), foam_ensemble::SCHEMA);
+}

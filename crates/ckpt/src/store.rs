@@ -66,6 +66,20 @@ impl CheckpointStore {
         dir.join(MANIFEST_FILE)
     }
 
+    /// Directory of ensemble member `member`'s own checkpoint store
+    /// under a shared ensemble root: `<root>/member-0007`. Keeping one
+    /// store per member means retention, staging debris, and restarts
+    /// of concurrent members never interfere with each other.
+    pub fn member_root(root: &Path, member: usize) -> PathBuf {
+        root.join(format!("member-{member:04}"))
+    }
+
+    /// Open (creating if needed) member `member`'s store under the
+    /// shared ensemble root `root`.
+    pub fn open_member(root: &Path, member: usize) -> Result<Self, CkptError> {
+        Self::open(&Self::member_root(root, member))
+    }
+
     /// Start a new checkpoint for `interval`: creates a fresh `.tmp`
     /// staging directory for ranks to write shards into. Any stale
     /// staging directory from an earlier attempt is discarded.
@@ -245,6 +259,20 @@ mod tests {
             2,
             "tmp debris swept"
         );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn member_stores_are_disjoint() {
+        let root = scratch("members");
+        let a = CheckpointStore::open_member(&root, 0).unwrap();
+        let b = CheckpointStore::open_member(&root, 1).unwrap();
+        assert_ne!(a.root(), b.root());
+        assert_eq!(a.root(), CheckpointStore::member_root(&root, 0));
+        commit_one(&a, 4);
+        // Member 1's store is untouched by member 0's commits.
+        assert!(b.latest().unwrap().is_none());
+        assert_eq!(a.latest().unwrap().unwrap().0, 4);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -145,6 +145,15 @@ pub struct CoupledOutput {
     pub telemetry: Option<TelemetryReport>,
 }
 
+impl CoupledOutput {
+    /// Area-mean SST after the last completed coupling interval, or
+    /// `None` if the run completed no interval — the panic-free
+    /// alternative to `mean_sst_series.last().unwrap()`.
+    pub fn final_mean_sst(&self) -> Option<f64> {
+        self.mean_sst_series.last().copied()
+    }
+}
+
 /// Per-rank result carried out of the SPMD closure.
 #[derive(Debug, Default, Clone)]
 struct RankResult {
@@ -185,7 +194,22 @@ pub fn run_coupled(cfg: &FoamConfig, days: f64) -> CoupledOutput {
 /// teardown rather than a poisoned job.
 pub fn try_run_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, CoupledError> {
     cfg.validate()?;
+    validate_days(days)?;
     run_inner(cfg, days, None)
+}
+
+/// A zero-day (or negative, or NaN) run would integrate nothing and
+/// hand back an empty `mean_sst_series` that downstream diagnostics
+/// trip over — reject it up front as a typed error instead.
+fn validate_days(days: f64) -> Result<(), CoupledError> {
+    if days > 0.0 && days.is_finite() {
+        Ok(())
+    } else {
+        Err(CoupledError::Config(ConfigError::NonPositive {
+            what: "days",
+            value: days,
+        }))
+    }
 }
 
 /// Resume the coupled model from the newest readable checkpoint under
@@ -203,6 +227,7 @@ pub fn try_run_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, Cou
 /// reassociates the forcing reduction, so it matches only to rounding.
 pub fn try_resume_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, CoupledError> {
     cfg.validate()?;
+    validate_days(days)?;
     let dir = cfg
         .ckpt
         .dir
@@ -994,7 +1019,9 @@ mod tests {
         let out = run_coupled(&cfg, 2.0);
         assert_eq!(out.mean_sst_series.len(), 8); // 4 exchanges/day
         assert!(out.final_sst.all_finite());
-        let last = *out.mean_sst_series.last().unwrap();
+        let last = out
+            .final_mean_sst()
+            .expect("an 8-interval run has a series");
         assert!((-2.0..30.0).contains(&last), "mean SST {last}");
         assert!(out.model_speedup > 1.0, "slower than real time?!");
         assert!((0.0..=1.0).contains(&out.ice_fraction));
@@ -1010,8 +1037,8 @@ mod tests {
         let mut cfg_seq = cfg.clone();
         cfg_seq.coupling = CouplingMode::Sequential;
         let seq = run_coupled(&cfg_seq, 2.0);
-        let a = lag.mean_sst_series.last().unwrap();
-        let b = seq.mean_sst_series.last().unwrap();
+        let a = lag.final_mean_sst().expect("lagged run has a series");
+        let b = seq.final_mean_sst().expect("sequential run has a series");
         assert!((a - b).abs() < 0.3, "lagged {a} vs sequential {b}");
     }
 
@@ -1078,6 +1105,32 @@ mod tests {
         assert_eq!(sst.msgs_recvd, 5);
         assert!(forcing.bytes_sent > 0);
         assert!(sst.bytes_sent > 0);
+    }
+
+    #[test]
+    fn zero_day_runs_are_a_typed_error() {
+        // A zero-day run would complete no coupling interval and leave
+        // `mean_sst_series` empty; it must be refused up front, not
+        // panic a diagnostic later.
+        let cfg = FoamConfig::tiny(8);
+        for days in [0.0, -1.0, f64::NAN] {
+            let err = try_run_coupled(&cfg, days).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CoupledError::Config(ConfigError::NonPositive { what: "days", .. })
+                ),
+                "days = {days}: {err}"
+            );
+        }
+        // The resume entry point refuses the same way.
+        let mut cfg = FoamConfig::tiny(8);
+        cfg.ckpt = crate::CkptConfig::every(std::env::temp_dir().join("foam-zero-day"), 4);
+        let err = try_resume_coupled(&cfg, 0.0).unwrap_err();
+        assert!(
+            matches!(err, CoupledError::Config(ConfigError::NonPositive { .. })),
+            "{err}"
+        );
     }
 
     #[test]

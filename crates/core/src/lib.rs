@@ -31,7 +31,7 @@
 //!     "simulated {:.1} days at {:.0}× real time; mean SST {:.2} °C",
 //!     out.sim_seconds / 86_400.0,
 //!     out.model_speedup,
-//!     out.mean_sst_series.last().unwrap()
+//!     out.final_mean_sst().unwrap_or(f64::NAN)
 //! );
 //! ```
 

@@ -1,0 +1,137 @@
+//! `foam-ensemble` — fault-tolerant orchestration of *ensembles* of
+//! coupled FOAM runs.
+//!
+//! FOAM's reason for existing is throughput for century-to-millennium
+//! climate-variability studies, and those studies are not one run: they
+//! are ensembles of perturbed coupled simulations whose spread *is* the
+//! science. This crate adds the missing layer above
+//! [`foam::try_run_coupled`]: take an [`EnsembleSpec`] (a base
+//! [`foam::FoamConfig`] plus per-member perturbations of seeds,
+//! parameters, and fault plans), execute the members across a
+//! work-stealing pool of OS workers, retry members that die with a
+//! [`foam::CoupledError`] from their own checkpoint store, and reduce
+//! everything into one deterministic `foam-ensemble/1` JSON report.
+//!
+//! # Guarantees
+//!
+//! * **Determinism / order-independence.** Member outputs depend only
+//!   on the member's own configuration (each member is a seeded,
+//!   single-trajectory coupled run), and the aggregation is performed
+//!   in member-id order over the completed set — so the aggregate
+//!   report is **byte-identical** for any worker count and any
+//!   submission order. Wall-clock quantities (speedups, phase seconds)
+//!   are deliberately kept *out* of the report; they live on
+//!   [`EnsembleOutput`] and in the merged telemetry instead.
+//! * **Fault tolerance.** A member that fails with a retryable
+//!   [`foam::CoupledError`] is retried under a bounded exponential
+//!   backoff ([`RetryPolicy`]); when the ensemble has an output
+//!   directory, each member checkpoints periodically into its own
+//!   store root ([`foam_ckpt::CheckpointStore::member_root`]) and the
+//!   retry resumes via [`foam::try_resume_coupled`] — landing on the
+//!   uninterrupted run's trajectory **bit-for-bit** (periodic
+//!   snapshots only; emergency snapshots are off precisely because
+//!   they lie off the failure-free trajectory).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use foam::FoamConfig;
+//! use foam_ensemble::{run_ensemble, EnsembleSpec};
+//!
+//! // Four members, seeds 42..46, two workers, half a simulated year.
+//! let mut spec = EnsembleSpec::seed_sweep(FoamConfig::tiny(42), 180.0, 4);
+//! spec.workers = 2;
+//! let out = run_ensemble(&spec).unwrap();
+//! println!("{}", out.report.to_json().to_string_pretty());
+//! ```
+
+mod report;
+mod runner;
+pub mod scheduler;
+mod spec;
+
+pub use report::{EnsembleReport, MemberDigest, SCHEMA};
+pub use runner::{run_ensemble, EnsembleOutput, MemberOutput, MemberRecord};
+pub use spec::{EnsembleSpec, MemberSpec, RetryPolicy};
+
+// Re-export the driver/config vocabulary an ensemble user needs, so
+// `foam_ensemble` works as a single front door.
+pub use foam::{CkptConfig, ConfigError, CoupledError, FoamConfig, RuntimeConfig, TelemetryConfig};
+pub use foam_mpi::{FaultAction, FaultPlan, FaultRule};
+
+use std::path::PathBuf;
+
+/// A fault plan that lets the first `hits` SST exchanges through
+/// untouched and silently drops every later one — including the retry
+/// protocol's retransmissions, so the member eventually aborts with a
+/// [`CoupledError`]. This is the standard way to "kill" one ensemble
+/// member mid-run and demonstrate checkpoint-based recovery
+/// (`examples/ensemble.rs --fault-plan`).
+pub fn kill_sst_after(seed: u64, hits: u64) -> FaultPlan {
+    let sst = Some(foam_coupler::tags::TAG_SST);
+    FaultPlan::new(seed)
+        .with_rule(FaultRule {
+            src: None,
+            dst: None,
+            tag: sst,
+            action: FaultAction::Delay(0.0),
+            max_hits: Some(hits),
+            probability: 1.0,
+        })
+        .with_rule(FaultRule {
+            src: None,
+            dst: None,
+            tag: sst,
+            action: FaultAction::Drop,
+            max_hits: None,
+            probability: 1.0,
+        })
+}
+
+/// Typed failure of ensemble orchestration — the spec was unusable or
+/// the output directory could not be prepared. Individual member
+/// failures do *not* surface here: they are part of the result
+/// ([`MemberRecord`]) and the report marks them `failed`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnsembleError {
+    /// The spec lists no members.
+    NoMembers,
+    /// The spec asks for a zero-worker pool.
+    NoWorkers,
+    /// Two members share an id (ids key checkpoint roots and report
+    /// entries, so they must be unique).
+    DuplicateMemberId(usize),
+    /// A quantity that must be strictly positive was not.
+    NonPositive { what: &'static str, value: f64 },
+    /// A member's derived configuration failed validation.
+    Member { id: usize, error: CoupledError },
+    /// The ensemble output directory could not be created.
+    OutputDir { path: PathBuf, error: String },
+}
+
+impl std::fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnsembleError::NoMembers => write!(f, "the ensemble spec lists no members"),
+            EnsembleError::NoWorkers => write!(f, "the ensemble spec asks for zero workers"),
+            EnsembleError::DuplicateMemberId(id) => {
+                write!(f, "duplicate member id {id} in the ensemble spec")
+            }
+            EnsembleError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+            EnsembleError::Member { id, error } => {
+                write!(f, "member {id} has an invalid configuration: {error}")
+            }
+            EnsembleError::OutputDir { path, error } => {
+                write!(
+                    f,
+                    "cannot create the ensemble output directory {}: {error}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnsembleError {}

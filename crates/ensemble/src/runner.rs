@@ -1,0 +1,184 @@
+//! Execution of an [`EnsembleSpec`]: the work-stealing pool, the
+//! per-member retry loop, and the final reduction into an
+//! [`EnsembleReport`].
+
+use std::time::Instant;
+
+use foam::{try_resume_coupled, try_run_coupled, CoupledError, CoupledOutput};
+use foam_ckpt::CheckpointStore;
+use foam_grid::Field2;
+use foam_telemetry::TelemetryReport;
+
+use crate::report::EnsembleReport;
+use crate::scheduler;
+use crate::spec::{EnsembleSpec, MemberSpec};
+use crate::EnsembleError;
+
+/// The deterministic science output of one completed member — the
+/// subset of [`foam::CoupledOutput`] the ensemble keeps (plus the
+/// member's wall-clock speedup and telemetry, which are *not* part of
+/// the deterministic report).
+#[derive(Debug, Clone)]
+pub struct MemberOutput {
+    /// Area-mean SST after each coupling interval \[°C\].
+    pub mean_sst_series: Vec<f64>,
+    /// SST field at the end of the run (ocean grid).
+    pub final_sst: Field2,
+    /// Sea-ice fraction of the ocean area at the end.
+    pub ice_fraction: f64,
+    /// Simulated span \[s\].
+    pub sim_seconds: f64,
+    /// The member's own model speedup (wall-clock; excluded from the
+    /// deterministic report).
+    pub model_speedup: f64,
+    /// The member's telemetry report, when collection was enabled.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+impl From<CoupledOutput> for MemberOutput {
+    fn from(out: CoupledOutput) -> Self {
+        MemberOutput {
+            mean_sst_series: out.mean_sst_series,
+            final_sst: out.final_sst,
+            ice_fraction: out.ice_fraction,
+            sim_seconds: out.sim_seconds,
+            model_speedup: out.model_speedup,
+            telemetry: out.telemetry,
+        }
+    }
+}
+
+/// What happened to one member: its spec, how many times it was
+/// retried, and either its output or the error that exhausted the
+/// retry budget.
+#[derive(Debug, Clone)]
+pub struct MemberRecord {
+    pub spec: MemberSpec,
+    /// Retries consumed (0 = succeeded first try; a nonzero value with
+    /// `result: Ok` means the member *recovered*).
+    pub retries: u32,
+    pub result: Result<MemberOutput, CoupledError>,
+}
+
+impl MemberRecord {
+    /// Convenience view of a successful output.
+    pub fn output(&self) -> Option<&MemberOutput> {
+        self.result.as_ref().ok()
+    }
+}
+
+/// Everything an ensemble run produced. `report` is the deterministic
+/// part (byte-identical across worker counts and submission orders);
+/// the rest carries wall-clock information.
+#[derive(Debug)]
+pub struct EnsembleOutput {
+    /// Per-member records, sorted by member id.
+    pub members: Vec<MemberRecord>,
+    /// The deterministic `foam-ensemble/1` aggregate report.
+    pub report: EnsembleReport,
+    /// All successful members' telemetry merged into one cross-member
+    /// report (wall-clock; `None` when no member carried telemetry).
+    pub merged_telemetry: Option<TelemetryReport>,
+    /// Wall-clock span of the whole ensemble \[s\].
+    pub wall_seconds: f64,
+}
+
+/// Execute the ensemble: validate the spec, prepare the output
+/// directory, run every member across the work-stealing pool (retrying
+/// failures per the spec's [`crate::RetryPolicy`]), and reduce the
+/// results into the deterministic aggregate report.
+///
+/// Member failures do not fail the ensemble — they are recorded on the
+/// member's [`MemberRecord`] and marked `failed` in the report. Only an
+/// unusable spec or output directory returns an [`EnsembleError`].
+pub fn run_ensemble(spec: &EnsembleSpec) -> Result<EnsembleOutput, EnsembleError> {
+    spec.validate()?;
+    if let Some(dir) = &spec.output_dir {
+        std::fs::create_dir_all(dir).map_err(|e| EnsembleError::OutputDir {
+            path: dir.clone(),
+            error: e.to_string(),
+        })?;
+    }
+
+    let start = Instant::now();
+    // Job index = position in the spec's member list (the submission
+    // order); the scheduler's slot-indexed results make worker count
+    // and completion order invisible downstream.
+    let order: Vec<usize> = (0..spec.members.len()).collect();
+    let results = scheduler::execute(&order, spec.members.len(), spec.workers, |i| {
+        run_member(spec, &spec.members[i])
+    });
+
+    let mut members: Vec<MemberRecord> = results
+        .into_iter()
+        .map(|r| r.expect("scheduler filled every submitted slot"))
+        .collect();
+    // Aggregation walks members in id order — never completion order.
+    members.sort_by_key(|r| r.spec.id);
+
+    let report = EnsembleReport::build(spec, &members);
+    let merged_telemetry = TelemetryReport::merged(
+        members
+            .iter()
+            .filter_map(|r| r.output()?.telemetry.as_ref()),
+    );
+
+    Ok(EnsembleOutput {
+        members,
+        report,
+        merged_telemetry,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Run one member to completion or retry exhaustion.
+///
+/// The first attempt is always a fresh run from a clean checkpoint
+/// store (stale snapshots from a previous ensemble in the same
+/// directory must not leak into this one). A retryable failure —
+/// anything but a [`CoupledError::Config`] — is retried under the
+/// spec's backoff; the retry drops the member's fault plan (the
+/// transient-fault model: an injected fault fires once, not on every
+/// attempt) and resumes from the member's newest checkpoint when one
+/// was committed, falling back to a fresh rerun otherwise. Periodic
+/// snapshots lie on the failure-free trajectory, so a resumed member's
+/// output is bit-identical to an unfaulted member's.
+fn run_member(spec: &EnsembleSpec, m: &MemberSpec) -> MemberRecord {
+    let mut cfg = spec.member_config(m);
+    if let Some(dir) = &cfg.ckpt.dir {
+        // Ensemble-owned scratch: clear it so `latest()` below can only
+        // ever see snapshots from *this* member run.
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let mut retries = 0u32;
+    let mut result = try_run_coupled(&cfg, spec.days);
+    while let Err(e) = &result {
+        let retryable = !matches!(e, CoupledError::Config(_));
+        if !retryable || retries >= spec.retry.max_retries {
+            break;
+        }
+        retries += 1;
+        std::thread::sleep(spec.retry.backoff_for(retries));
+        // Transient-fault model: the plan fired, the retry runs clean.
+        cfg.runtime.fault_plan = None;
+        let has_checkpoint = cfg
+            .ckpt
+            .dir
+            .as_deref()
+            .and_then(|dir| CheckpointStore::open(dir).ok())
+            .and_then(|store| store.latest().ok().flatten())
+            .is_some();
+        result = if has_checkpoint {
+            try_resume_coupled(&cfg, spec.days)
+        } else {
+            try_run_coupled(&cfg, spec.days)
+        };
+    }
+
+    MemberRecord {
+        spec: m.clone(),
+        retries,
+        result: result.map(MemberOutput::from),
+    }
+}

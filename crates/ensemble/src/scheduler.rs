@@ -1,0 +1,151 @@
+//! Deterministic work-stealing execution of independent jobs.
+//!
+//! The scheduler runs `n` independent jobs (ensemble members, here)
+//! across a pool of OS worker threads. Jobs are dealt round-robin onto
+//! per-worker deques in submission order; each worker pops from the
+//! front of its own deque and, when empty, steals from the *back* of a
+//! sibling's. Which worker executes which job — and in what order —
+//! therefore depends on timing, but the *results* do not: every job's
+//! output lands in the slot keyed by its job index, so
+//! [`execute`] returns the same `Vec` for any worker count and any
+//! interleaving. That slot-indexed result vector is the foundation of
+//! the ensemble's byte-identical-report guarantee.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Run `f(job)` for every job index in `order` across `workers` OS
+/// threads, returning results indexed by job id (`0..n_slots`).
+///
+/// * `order` — job indices in submission order (dealt round-robin onto
+///   the worker deques). Indices must be unique and `< n_slots`.
+/// * `n_slots` — length of the result vector; slots whose index never
+///   appears in `order` stay `None`.
+/// * `workers` — worker threads (clamped to at least 1; spawning more
+///   workers than jobs is allowed, the extras find nothing to steal).
+///
+/// `f` runs on the worker threads, so it must be `Sync` (shared by
+/// reference) and the results `Send`.
+///
+/// ```
+/// let results = foam_ensemble::scheduler::execute(&[2, 0, 1], 3, 2, |job| job * 10);
+/// assert_eq!(results, vec![Some(0), Some(10), Some(20)]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a job index repeats or is out of range, or if a job
+/// panics (the panic is propagated by `std::thread::scope`).
+pub fn execute<T, F>(order: &[usize], n_slots: usize, workers: usize, f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1);
+
+    // Deal jobs round-robin onto the worker deques in submission
+    // order. Worker w's own work is thus deterministic; only *stolen*
+    // work depends on timing.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                order
+                    .iter()
+                    .copied()
+                    .skip(w)
+                    .step_by(workers)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+
+    // Result slots, keyed by job index. Each slot is written at most
+    // once (job indices are unique), so a Mutex per slot is contention
+    // free; it exists to make the sharing safe, not to serialize.
+    let slots: Vec<Mutex<Option<T>>> = (0..n_slots).map(|_| Mutex::new(None)).collect();
+    let remaining = AtomicUsize::new(order.len());
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let remaining = &remaining;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    // Own work first (front), then steal (back) —
+                    // scanning siblings from the next worker around.
+                    let job = deques[w].lock().pop_front().or_else(|| {
+                        (1..workers).find_map(|d| deques[(w + d) % workers].lock().pop_back())
+                    });
+                    match job {
+                        Some(job) => {
+                            let result = f(job);
+                            let mut slot = slots[job].lock();
+                            assert!(slot.is_none(), "job index {job} executed twice");
+                            *slot = Some(result);
+                            remaining.fetch_sub(1, Ordering::Release);
+                        }
+                        // All deques empty. Jobs are never re-enqueued,
+                        // so empty-everywhere means every job has been
+                        // *claimed*; workers still finishing theirs
+                        // write into their own slots, which this worker
+                        // no longer touches. Safe to exit.
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        remaining.load(Ordering::Acquire),
+        0,
+        "scheduler exited with unexecuted jobs"
+    );
+    slots.into_iter().map(|s| s.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_slot_indexed_for_any_worker_count() {
+        let order: Vec<usize> = (0..17).rev().collect();
+        let expect: Vec<Option<usize>> = (0..17).map(|i| Some(i * i)).collect();
+        for workers in [1, 2, 3, 8, 32] {
+            let got = execute(&order, 17, workers, |job| job * job);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn sparse_orders_leave_unsubmitted_slots_empty() {
+        let got = execute(&[3, 1], 5, 2, |job| job);
+        assert_eq!(got, vec![None, Some(1), None, Some(3), None]);
+    }
+
+    #[test]
+    fn uneven_job_durations_still_fill_every_slot() {
+        // Long and short jobs interleaved: stealing must redistribute.
+        let order: Vec<usize> = (0..12).collect();
+        let got = execute(&order, 12, 4, |job| {
+            if job % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            job + 100
+        });
+        for (i, slot) in got.iter().enumerate() {
+            assert_eq!(*slot, Some(i + 100));
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let got: Vec<Option<u8>> = execute(&[], 0, 4, |_| unreachable!());
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! What an ensemble *is*: a base configuration plus per-member
+//! perturbations, a worker pool size, a retry policy, and an optional
+//! output directory for per-member checkpoint stores.
+
+use std::path::PathBuf;
+
+use foam::{CkptConfig, FoamConfig, TelemetryConfig};
+use foam_ckpt::CheckpointStore;
+use foam_mpi::FaultPlan;
+
+use crate::EnsembleError;
+
+/// Bounded-backoff retry policy for members that fail with a
+/// retryable [`foam::CoupledError`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries per member before it is marked failed (`0` disables
+    /// retries entirely).
+    pub max_retries: u32,
+    /// Base pause before the first retry \[s\]; doubles per attempt.
+    pub backoff_secs: f64,
+    /// Ceiling on the per-attempt backoff \[s\].
+    pub backoff_max_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_secs: 0.05,
+            backoff_max_secs: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based): exponential from
+    /// [`backoff_secs`](RetryPolicy::backoff_secs), capped.
+    pub fn backoff_for(&self, retry: u32) -> std::time::Duration {
+        let exp = (1u64 << retry.saturating_sub(1).min(16)) as f64;
+        std::time::Duration::from_secs_f64((self.backoff_secs * exp).min(self.backoff_max_secs))
+    }
+}
+
+/// One ensemble member: an id (keys its checkpoint root and its report
+/// entry) plus the perturbations applied on top of the base config.
+#[derive(Debug, Clone)]
+pub struct MemberSpec {
+    /// Unique member id (0-based by convention).
+    pub id: usize,
+    /// Seed for the atmosphere's initial-condition perturbation — the
+    /// classic ensemble-generation knob.
+    pub seed: u64,
+    /// Multiplier on the ocean's slowdown factor (parameter
+    /// perturbation; `1.0` leaves the base value).
+    pub ocean_slowdown_scale: f64,
+    /// Fault plan injected into *this member's* runtime (testing and
+    /// recovery demos: kill one member mid-run and watch it resume).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl MemberSpec {
+    /// A member that only perturbs the seed.
+    pub fn new(id: usize, seed: u64) -> Self {
+        MemberSpec {
+            id,
+            seed,
+            ocean_slowdown_scale: 1.0,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Full description of an ensemble run.
+#[derive(Debug, Clone)]
+pub struct EnsembleSpec {
+    /// Configuration every member starts from.
+    pub base: FoamConfig,
+    /// Simulated days each member integrates.
+    pub days: f64,
+    /// The members (ids must be unique).
+    pub members: Vec<MemberSpec>,
+    /// OS worker threads executing members (each member itself runs an
+    /// SPMD job of `base.n_ranks()` rank threads).
+    pub workers: usize,
+    /// Retry policy for members that fail with a retryable error.
+    pub retry: RetryPolicy,
+    /// Root directory for per-member checkpoint stores
+    /// (`<dir>/member-0003/...`). `None` disables checkpointing; failed
+    /// members are then retried from scratch instead of resumed.
+    pub output_dir: Option<PathBuf>,
+    /// Checkpoint cadence in coupling intervals (used only when
+    /// `output_dir` is set).
+    pub ckpt_interval: usize,
+}
+
+impl EnsembleSpec {
+    /// The canonical perturbed-initial-condition ensemble: `n` members
+    /// whose seeds are `base.atm.seed + id`, two workers, default retry
+    /// policy, no checkpointing.
+    pub fn seed_sweep(base: FoamConfig, days: f64, n: usize) -> Self {
+        let seed0 = base.atm.seed;
+        EnsembleSpec {
+            base,
+            days,
+            members: (0..n)
+                .map(|id| MemberSpec::new(id, seed0 + id as u64))
+                .collect(),
+            workers: 2,
+            retry: RetryPolicy::default(),
+            output_dir: None,
+            ckpt_interval: 4,
+        }
+    }
+
+    /// Check the spec before any member starts: members exist and have
+    /// unique ids, the pool is non-empty, the day count and backoffs
+    /// are sane, and every member's derived configuration validates.
+    pub fn validate(&self) -> Result<(), EnsembleError> {
+        if self.members.is_empty() {
+            return Err(EnsembleError::NoMembers);
+        }
+        if self.workers == 0 {
+            return Err(EnsembleError::NoWorkers);
+        }
+        if !(self.days > 0.0 && self.days.is_finite()) {
+            return Err(EnsembleError::NonPositive {
+                what: "days",
+                value: self.days,
+            });
+        }
+        if !(self.retry.backoff_secs >= 0.0 && self.retry.backoff_secs.is_finite()) {
+            return Err(EnsembleError::NonPositive {
+                what: "retry.backoff_secs",
+                value: self.retry.backoff_secs,
+            });
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for m in &self.members {
+            if !seen.insert(m.id) {
+                return Err(EnsembleError::DuplicateMemberId(m.id));
+            }
+            if !(m.ocean_slowdown_scale > 0.0 && m.ocean_slowdown_scale.is_finite()) {
+                return Err(EnsembleError::NonPositive {
+                    what: "ocean_slowdown_scale",
+                    value: m.ocean_slowdown_scale,
+                });
+            }
+            self.member_config(m)
+                .validate()
+                .map_err(|e| EnsembleError::Member {
+                    id: m.id,
+                    error: e.into(),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// The full [`FoamConfig`] member `m` runs with: the base config
+    /// with the member's perturbations applied, telemetry collection
+    /// forced on (the ensemble aggregates it), and — when the ensemble
+    /// has an output directory — a per-member checkpoint store with
+    /// **periodic snapshots only**: emergency snapshots record a stale
+    /// SST and lie off the failure-free trajectory, which would break
+    /// the bit-identical-resume guarantee the report's determinism
+    /// rests on.
+    pub fn member_config(&self, m: &MemberSpec) -> FoamConfig {
+        let mut cfg = self.base.clone();
+        cfg.atm.seed = m.seed;
+        cfg.ocean.slowdown *= m.ocean_slowdown_scale;
+        cfg.runtime.fault_plan = m.fault_plan.clone();
+        cfg.telemetry = TelemetryConfig {
+            enabled: true,
+            // Per-member report paths would collide; the ensemble writes
+            // one aggregate report instead.
+            path: None,
+        };
+        cfg.ckpt = match &self.output_dir {
+            Some(dir) => CkptConfig {
+                dir: Some(CheckpointStore::member_root(dir, m.id)),
+                interval: self.ckpt_interval,
+                keep: 2,
+                on_error: false,
+            },
+            None => CkptConfig::default(),
+        };
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_sweep_perturbs_seeds_only() {
+        let spec = EnsembleSpec::seed_sweep(FoamConfig::tiny(7), 2.0, 3);
+        assert_eq!(spec.members.len(), 3);
+        assert_eq!(spec.members[2].seed, 9);
+        let cfg = spec.member_config(&spec.members[2]);
+        assert_eq!(cfg.atm.seed, 9);
+        assert_eq!(cfg.ocean.slowdown, spec.base.ocean.slowdown);
+        assert!(cfg.telemetry.collect());
+        assert!(cfg.ckpt.dir.is_none());
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn member_config_roots_checkpoints_per_member() {
+        let mut spec = EnsembleSpec::seed_sweep(FoamConfig::tiny(1), 1.0, 2);
+        spec.output_dir = Some(std::env::temp_dir().join("foam-ensemble-spec-test"));
+        let c0 = spec.member_config(&spec.members[0]);
+        let c1 = spec.member_config(&spec.members[1]);
+        assert_ne!(c0.ckpt.dir, c1.ckpt.dir);
+        assert!(c0.ckpt.dir.unwrap().ends_with("member-0000"));
+        assert!(!c1.ckpt.on_error, "emergency snapshots must stay off");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let base = FoamConfig::tiny(1);
+        let mut spec = EnsembleSpec::seed_sweep(base.clone(), 1.0, 0);
+        assert_eq!(spec.validate(), Err(EnsembleError::NoMembers));
+
+        spec = EnsembleSpec::seed_sweep(base.clone(), 1.0, 2);
+        spec.workers = 0;
+        assert_eq!(spec.validate(), Err(EnsembleError::NoWorkers));
+
+        spec = EnsembleSpec::seed_sweep(base.clone(), 0.0, 2);
+        assert!(matches!(
+            spec.validate(),
+            Err(EnsembleError::NonPositive { what: "days", .. })
+        ));
+
+        spec = EnsembleSpec::seed_sweep(base.clone(), 1.0, 2);
+        spec.members[1].id = 0;
+        assert_eq!(spec.validate(), Err(EnsembleError::DuplicateMemberId(0)));
+
+        spec = EnsembleSpec::seed_sweep(base.clone(), 1.0, 2);
+        spec.members[0].ocean_slowdown_scale = -1.0;
+        assert!(matches!(
+            spec.validate(),
+            Err(EnsembleError::NonPositive {
+                what: "ocean_slowdown_scale",
+                ..
+            })
+        ));
+
+        // An invalid derived member config is caught up front, typed.
+        spec = EnsembleSpec::seed_sweep(base, 1.0, 2);
+        spec.base.atm.dt = 0.0;
+        assert!(matches!(
+            spec.validate(),
+            Err(EnsembleError::Member { id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            backoff_secs: 0.1,
+            backoff_max_secs: 0.35,
+        };
+        assert_eq!(p.backoff_for(1).as_secs_f64(), 0.1);
+        assert_eq!(p.backoff_for(2).as_secs_f64(), 0.2);
+        assert_eq!(p.backoff_for(3).as_secs_f64(), 0.35, "capped");
+        assert_eq!(p.backoff_for(60).as_secs_f64(), 0.35, "shift clamped");
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-member ensemble statistics: the mean/spread summaries an
+//! ensemble of perturbed coupled runs reduces its diagnostic series
+//! into (the numbers the `foam-ensemble/1` report carries).
+//!
+//! Everything here is **order-independent by construction**: the
+//! accumulation order over members is fixed by the slice order the
+//! caller passes (member id order, in `foam-ensemble`), so the same set
+//! of members always reduces to bit-identical statistics regardless of
+//! which member *finished* first.
+
+/// Per-time-step ensemble mean over members.
+///
+/// `series[m]` is member `m`'s diagnostic series; all members must have
+/// the same length (they integrated the same number of coupling
+/// intervals).
+///
+/// ```
+/// use foam_stats::ensemble::ensemble_mean;
+///
+/// let m = ensemble_mean(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m, vec![2.0, 3.0]);
+/// ```
+pub fn ensemble_mean(series: &[Vec<f64>]) -> Vec<f64> {
+    let n_m = series.len();
+    assert!(n_m > 0, "ensemble mean of zero members");
+    let n_t = series[0].len();
+    let mut mean = vec![0.0; n_t];
+    for s in series {
+        assert_eq!(s.len(), n_t, "members must share a series length");
+        for (acc, v) in mean.iter_mut().zip(s) {
+            *acc += v;
+        }
+    }
+    for acc in mean.iter_mut() {
+        *acc /= n_m as f64;
+    }
+    mean
+}
+
+/// Per-time-step ensemble spread (population standard deviation across
+/// members). A one-member ensemble has zero spread everywhere.
+///
+/// ```
+/// use foam_stats::ensemble::ensemble_spread;
+///
+/// let s = ensemble_spread(&[vec![1.0, 0.0], vec![3.0, 0.0]]);
+/// assert_eq!(s, vec![1.0, 0.0]);
+/// ```
+pub fn ensemble_spread(series: &[Vec<f64>]) -> Vec<f64> {
+    let n_m = series.len();
+    assert!(n_m > 0, "ensemble spread of zero members");
+    let mean = ensemble_mean(series);
+    let n_t = mean.len();
+    let mut var = vec![0.0; n_t];
+    for s in series {
+        for ((acc, v), m) in var.iter_mut().zip(s).zip(&mean) {
+            let d = v - m;
+            *acc += d * d;
+        }
+    }
+    var.into_iter().map(|v| (v / n_m as f64).sqrt()).collect()
+}
+
+/// Element-wise ensemble mean over member *fields* (flattened grids) —
+/// the reference field the per-member pattern statistics compare
+/// against.
+pub fn ensemble_mean_field(fields: &[&[f64]]) -> Vec<f64> {
+    let n_m = fields.len();
+    assert!(n_m > 0, "ensemble mean of zero fields");
+    let n_s = fields[0].len();
+    let mut mean = vec![0.0; n_s];
+    for f in fields {
+        assert_eq!(f.len(), n_s, "members must share a grid");
+        for (acc, v) in mean.iter_mut().zip(f.iter()) {
+            *acc += v;
+        }
+    }
+    for acc in mean.iter_mut() {
+        *acc /= n_m as f64;
+    }
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_member_has_zero_spread_and_is_its_own_mean() {
+        let s = vec![vec![1.5, -2.0, 0.25]];
+        assert_eq!(ensemble_mean(&s), s[0]);
+        assert_eq!(ensemble_spread(&s), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_and_spread_match_hand_computation() {
+        let s = vec![vec![1.0, 10.0], vec![2.0, 10.0], vec![3.0, 10.0]];
+        assert_eq!(ensemble_mean(&s), vec![2.0, 10.0]);
+        let spread = ensemble_spread(&s);
+        assert!((spread[0] - (2.0f64 / 3.0).sqrt()).abs() < 1e-15);
+        assert_eq!(spread[1], 0.0);
+    }
+
+    #[test]
+    fn mean_field_averages_pointwise() {
+        let a = [0.0, 4.0];
+        let b = [2.0, 0.0];
+        assert_eq!(ensemble_mean_field(&[&a, &b]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a series length")]
+    fn mismatched_lengths_are_rejected() {
+        ensemble_mean(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

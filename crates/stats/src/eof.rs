@@ -173,7 +173,10 @@ pub fn varimax(data: &[Vec<f64>], weights: &[f64], eof: &Eof, k: usize) -> Eof {
     let colvar: Vec<f64> = (0..k)
         .map(|kk| (0..n_s).map(|s| l[s * k + kk] * l[s * k + kk]).sum())
         .collect();
-    order.sort_by(|&a, &b| colvar[b].partial_cmp(&colvar[a]).unwrap());
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: degenerate input (a
+    // NaN anomaly leaking through the filter chain) makes a column
+    // variance NaN, and sorting must not panic on it.
+    order.sort_by(|&a, &b| colvar[b].total_cmp(&colvar[a]));
 
     let mut patterns = Vec::with_capacity(k);
     let mut varfrac = Vec::with_capacity(k);
@@ -295,6 +298,25 @@ mod tests {
         let eof = eof_analysis(&data, &w, 1);
         assert_eq!(eof.patterns[0][7], 0.0);
         assert!(eof.variance_fraction[0] > 0.5);
+    }
+
+    #[test]
+    fn varimax_survives_a_nan_variance() {
+        // Regression: the explained-variance sort used
+        // `partial_cmp(..).unwrap()`, so a single NaN loading (e.g. an
+        // undefined anomaly upstream) made the whole rotation panic.
+        // With `total_cmp` the rotation completes and the clean modes
+        // still come out sorted ahead of the poisoned one.
+        let (data, w, _, _) = synthetic(60, 32);
+        let mut eof = eof_analysis(&data, &w, 2);
+        eof.patterns[1][3] = f64::NAN;
+        // The NaN spreads through the rotation (Kaiser normalization
+        // couples the columns), so the *values* are garbage — what the
+        // fix guarantees is that the analysis returns with the right
+        // shape instead of aborting.
+        let rot = varimax(&data, &w, &eof, 2);
+        assert_eq!(rot.patterns.len(), 2);
+        assert_eq!(rot.variance_fraction.len(), 2);
     }
 
     #[test]

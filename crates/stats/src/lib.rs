@@ -12,11 +12,13 @@
 //! is the terminal stand-in for the paper's colour plates.
 
 pub mod ascii;
+pub mod ensemble;
 pub mod eof;
 pub mod filter;
 pub mod linalg;
 pub mod series;
 
+pub use ensemble::{ensemble_mean, ensemble_mean_field, ensemble_spread};
 pub use eof::{eof_analysis, varimax, Eof};
 pub use filter::lanczos_lowpass;
 pub use series::{anomalies_monthly, correlation, detrend, pattern_stats, FieldStats};

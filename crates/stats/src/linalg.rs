@@ -67,7 +67,10 @@ pub fn symmetric_eigen(a: &[f64], n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
             (val, vec)
         })
         .collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: an eigenvalue can be
+    // NaN when the input matrix carries one, and the sort must not
+    // panic on it (NaN orders below every finite value descending).
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let vals = pairs.iter().map(|(v, _)| *v).collect();
     let vecs = pairs.into_iter().map(|(_, v)| v).collect();
     (vals, vecs)
@@ -99,6 +102,24 @@ mod tests {
         assert!((vals[1] - 1.0).abs() < 1e-12);
         // First eigenvector ∝ (1, 1)/√2.
         assert!((vecs[0][0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn nan_eigenvalues_do_not_panic_the_sort() {
+        // Regression: the descending sort used `partial_cmp(..).unwrap()`
+        // and panicked the moment a NaN reached an eigenvalue. A NaN in
+        // the input propagates to the diagonal; the decomposition must
+        // come back (garbage values, but the right shape) instead of
+        // aborting the whole analysis.
+        let a = vec![f64::NAN, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let (vals, vecs) = symmetric_eigen(&a, 3);
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vecs.len(), 3);
+        // Finite eigenvalues still sort descending ahead of the NaN.
+        let finite: Vec<f64> = vals.iter().copied().filter(|v| v.is_finite()).collect();
+        for pair in finite.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
     }
 
     #[test]

@@ -69,6 +69,29 @@ pub struct RankReport {
 }
 
 impl RankReport {
+    /// Fold another run's slice of the *same rank* into this one:
+    /// wall/busy seconds add, phase stats and counters sum. This is the
+    /// per-rank half of the cross-run report merge
+    /// ([`TelemetryReport::merged`]); like the in-registry merge it is
+    /// commutative and associative.
+    pub fn merge(&mut self, other: &RankReport) {
+        debug_assert_eq!(self.rank, other.rank, "merging different ranks");
+        self.wall_seconds += other.wall_seconds;
+        self.busy_seconds += other.busy_seconds;
+        for (path, stat) in &other.phases {
+            self.phases
+                .entry(path.clone())
+                .or_insert(PhaseStat {
+                    calls: 0,
+                    seconds: 0.0,
+                })
+                .merge(stat);
+        }
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += *n;
+        }
+    }
+
     /// Total seconds on this rank of every phase whose *leaf* name is
     /// `leaf`, wherever it sits in the tree (the per-rank analogue of
     /// [`TelemetryReport::rollup`]).
@@ -137,10 +160,25 @@ impl TelemetryReport {
             })
             .collect();
         ranks.sort_by_key(|r| r.rank);
+        let (phases, counters) = Self::aggregate(&ranks);
+        let wall = wall_seconds.max(1e-9);
+        TelemetryReport {
+            sim_seconds,
+            wall_seconds,
+            model_speedup: sim_seconds / wall,
+            ranks,
+            phases,
+            counters,
+        }
+    }
 
+    /// Cross-rank aggregation of per-rank slices (shared by the initial
+    /// reduction and the cross-run merge).
+    #[allow(clippy::type_complexity)]
+    fn aggregate(ranks: &[RankReport]) -> (BTreeMap<String, PhaseAgg>, BTreeMap<String, u64>) {
         let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-        for r in &ranks {
+        for r in ranks {
             for (path, stat) in &r.phases {
                 let agg = phases.entry(path.clone()).or_insert(PhaseAgg {
                     sum: 0.0,
@@ -163,16 +201,55 @@ impl TelemetryReport {
         for agg in phases.values_mut() {
             agg.mean = agg.sum / agg.ranks.max(1) as f64;
         }
+        (phases, counters)
+    }
 
-        let wall = wall_seconds.max(1e-9);
-        TelemetryReport {
-            sim_seconds,
-            wall_seconds,
-            model_speedup: sim_seconds / wall,
-            ranks,
-            phases,
-            counters,
+    /// Fold another *run's* report into this one — the cross-run half
+    /// of ensemble aggregation. Same-rank slices merge
+    /// ([`RankReport::merge`]), simulated and wall-clock spans add (the
+    /// merged wall clock is the sequential-equivalent cost: what the
+    /// member runs would cost back-to-back on one machine), and the
+    /// cross-rank aggregates are recomputed. Absorbing a set of reports
+    /// in any order yields the same merged report.
+    pub fn absorb(&mut self, other: &TelemetryReport) {
+        self.sim_seconds += other.sim_seconds;
+        self.wall_seconds += other.wall_seconds;
+        for theirs in &other.ranks {
+            match self.ranks.iter_mut().find(|r| r.rank == theirs.rank) {
+                Some(mine) => mine.merge(theirs),
+                None => self.ranks.push(theirs.clone()),
+            }
         }
+        self.ranks.sort_by_key(|r| r.rank);
+        let (phases, counters) = Self::aggregate(&self.ranks);
+        self.phases = phases;
+        self.counters = counters;
+        self.model_speedup = self.sim_seconds / self.wall_seconds.max(1e-9);
+    }
+
+    /// Merge the reports of several runs (ensemble members) into one
+    /// cumulative report; `None` when the iterator is empty.
+    ///
+    /// ```
+    /// use foam_telemetry::{TelemetryRegistry, TelemetryReport};
+    ///
+    /// let mut r = TelemetryRegistry::new(0);
+    /// r.record_phase("ocean", 1.0);
+    /// let a = TelemetryReport::from_ranks(10.0, 1.0, vec![r.clone()]);
+    /// let b = TelemetryReport::from_ranks(30.0, 1.0, vec![r]);
+    /// let m = TelemetryReport::merged([&a, &b]).unwrap();
+    /// assert_eq!(m.sim_seconds, 40.0);
+    /// assert_eq!(m.phase("ocean").unwrap().sum, 2.0);
+    /// ```
+    pub fn merged<'a>(
+        reports: impl IntoIterator<Item = &'a TelemetryReport>,
+    ) -> Option<TelemetryReport> {
+        let mut iter = reports.into_iter();
+        let mut out = iter.next()?.clone();
+        for r in iter {
+            out.absorb(r);
+        }
+        Some(out)
     }
 
     /// The aggregate for one phase path.
@@ -417,6 +494,38 @@ mod tests {
         assert!(TelemetryReport::from_ranks(1.0, 1.0, vec![good]).tree_consistent(1e-9));
         let bad = reg(0, &[("a", 1.0), ("a/b", 2.0)], &[]);
         assert!(!TelemetryReport::from_ranks(1.0, 1.0, vec![bad]).tree_consistent(1e-9));
+    }
+
+    #[test]
+    fn cross_run_merge_sums_and_is_order_independent() {
+        let a = TelemetryReport::from_ranks(
+            10.0,
+            2.0,
+            vec![
+                reg(0, &[("atm", 1.0)], &[("msgs", 3)]),
+                reg(1, &[("ocean", 2.0)], &[]),
+            ],
+        );
+        let b = TelemetryReport::from_ranks(
+            30.0,
+            1.0,
+            vec![reg(0, &[("atm", 0.5), ("ckpt", 0.25)], &[("msgs", 1)])],
+        );
+        let c = TelemetryReport::from_ranks(5.0, 0.5, vec![reg(2, &[("ocean", 4.0)], &[])]);
+        let ab_c = {
+            let mut m = TelemetryReport::merged([&a, &b]).unwrap();
+            m.absorb(&c);
+            m
+        };
+        let c_b_a = TelemetryReport::merged([&c, &b, &a]).unwrap();
+        assert_eq!(ab_c, c_b_a);
+        assert_eq!(ab_c.sim_seconds, 45.0);
+        assert_eq!(ab_c.wall_seconds, 3.5);
+        assert_eq!(ab_c.phase("atm").unwrap().sum, 1.5);
+        assert_eq!(ab_c.phase("ocean").unwrap().sum, 6.0);
+        assert_eq!(ab_c.counters["msgs"], 4);
+        assert_eq!(ab_c.ranks.len(), 3);
+        assert!(TelemetryReport::merged(std::iter::empty()).is_none());
     }
 
     #[test]
