@@ -1,0 +1,169 @@
+//! Experiment C — the century-throughput bench behind CI's
+//! `BENCH_century.json` artifact: 100 simulated years pushed through the
+//! full coupled pipeline with **streaming** statistics, demonstrating
+//! that the Figure-3/4 diagnostics come out of a run whose statistics
+//! memory is `O(grid)` — independent of the number of simulated months.
+//!
+//! ```sh
+//! cargo run --release -p foam-bench --bin century \
+//!     [--years Y] [--seed S] [--eof-rank R] [--out PATH]
+//! ```
+//!
+//! The artifact records wall-clock, model speedup, the streamed month
+//! count, the leading VARIMAX mode's variance share, the two-basin
+//! correlation, and a peak-heap proxy from
+//! [`foam_telemetry::alloc::CountingAlloc`] (installed as this binary's
+//! global allocator) together with the encoded size of the stream state
+//! itself — the number that must stay flat as `--years` grows. CI runs
+//! the 1-year scaled-down variant (`century-smoke`) and gates on a
+//! throughput regression against the committed 100-year artifact.
+
+use foam::{run_coupled, FoamConfig, TelemetryConfig, World};
+use foam_bench::flag_or;
+use foam_ckpt::Codec;
+use foam_grid::{Basin, OceanGrid};
+use foam_telemetry::alloc::CountingAlloc;
+use foam_telemetry::json::Value;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Area-weighted box profile over one basin, 25–60°N (the Figure-4
+/// two-basin diagnostic), normalized to a box *mean*.
+fn basin_profile(
+    grid: &OceanGrid,
+    world: &World,
+    weights: &[f64],
+    basin: Basin,
+) -> Option<Vec<f64>> {
+    let mut profile = vec![0.0; weights.len()];
+    let mut den = 0.0;
+    for (s, p) in profile.iter_mut().enumerate() {
+        if weights[s] > 0.0 {
+            let (i, j) = (s % grid.nx, s / grid.nx);
+            if world.basin(grid.lons[i], grid.lats[j]) == basin
+                && (25.0..60.0).contains(&grid.lats[j].to_degrees())
+            {
+                *p = weights[s];
+                den += weights[s];
+            }
+        }
+    }
+    (den > 0.0).then(|| {
+        for p in profile.iter_mut() {
+            *p /= den;
+        }
+        profile
+    })
+}
+
+fn main() {
+    let years: f64 = flag_or("--years", 100.0);
+    let seed: u64 = flag_or("--seed", 1914);
+    let eof_rank: usize = flag_or("--eof-rank", 8);
+    let out_path: String = flag_or("--out", "BENCH_century.json".to_string());
+
+    println!("=== century-throughput bench ({years} simulated years, streaming statistics) ===\n");
+    let mut cfg = FoamConfig::century(seed);
+    if let Some(s) = cfg.stream.as_mut() {
+        s.eof_rank = eof_rank;
+    }
+    cfg.telemetry = TelemetryConfig {
+        enabled: true,
+        path: None,
+    };
+
+    CountingAlloc::reset_peak();
+    let baseline = CountingAlloc::stats();
+    let out = run_coupled(&cfg, years * 360.0);
+    let alloc = CountingAlloc::stats();
+
+    let stream = out.stream.as_ref().expect("century config streams");
+    let months = stream.months();
+    let grid = foam_grid::OceanGrid::mercator(cfg.ocean.nx, cfg.ocean.ny, cfg.ocean.lat_max_deg);
+    let stream_bytes = stream.to_bytes().len();
+    println!(
+        "integrated {:.1} years at {:.0}× real time ({:.1} s wall)",
+        out.sim_seconds / (360.0 * 86_400.0),
+        out.model_speedup,
+        out.wall_seconds
+    );
+    println!(
+        "streamed {months} months into {stream_bytes} bytes of statistics state \
+         ({} grid points; discarded variability fraction {:.2e})",
+        grid.len(),
+        stream.discarded_fraction()
+    );
+    println!(
+        "peak heap {:.1} MiB (live at end {:.1} MiB, {} allocations)",
+        (alloc.peak_bytes - baseline.live_bytes.min(alloc.peak_bytes)) as f64 / (1 << 20) as f64,
+        alloc.live_bytes as f64 / (1 << 20) as f64,
+        alloc.allocations - baseline.allocations,
+    );
+
+    // --- Figure-4 analysis straight off the stream. ---------------------
+    let (mut leading_varfrac, mut basin_corr) = (Value::Null, Value::Null);
+    if let Some(analysis) = stream.analyze_variability(6) {
+        let rot = analysis.varimax(4.min(analysis.eof.patterns.len()));
+        if !rot.variance_fraction.is_empty() {
+            println!(
+                "leading VARIMAX mode: {:.1} % of low-passed variance (paper: 15 %)",
+                100.0 * rot.variance_fraction[0]
+            );
+            leading_varfrac = rot.variance_fraction[0].into();
+        }
+        let world = World::earthlike();
+        let w = stream.weights();
+        if let (Some(na), Some(np)) = (
+            basin_profile(&grid, &world, w, Basin::Atlantic),
+            basin_profile(&grid, &world, w, Basin::Pacific),
+        ) {
+            let r = foam_stats::correlation(&analysis.series(&na), &analysis.series(&np));
+            println!("North Atlantic × North Pacific low-passed SST correlation: r = {r:.2}");
+            basin_corr = r.into();
+        }
+    }
+
+    let report = out.telemetry.as_ref().expect("telemetry was enabled");
+    let doc = Value::object([
+        ("schema".to_string(), "foam-bench/century/1".into()),
+        ("years".to_string(), years.into()),
+        ("seed".to_string(), seed.into()),
+        ("sim_seconds".to_string(), out.sim_seconds.into()),
+        ("wall_seconds".to_string(), out.wall_seconds.into()),
+        ("model_speedup".to_string(), out.model_speedup.into()),
+        ("months_streamed".to_string(), (months as u64).into()),
+        ("grid_points".to_string(), (grid.len() as u64).into()),
+        (
+            "stream_state_bytes".to_string(),
+            (stream_bytes as u64).into(),
+        ),
+        (
+            "discarded_fraction".to_string(),
+            stream.discarded_fraction().into(),
+        ),
+        (
+            "final_mean_sst".to_string(),
+            out.final_mean_sst()
+                .map(Value::Number)
+                .unwrap_or(Value::Null),
+        ),
+        ("leading_varimax_varfrac".to_string(), leading_varfrac),
+        ("basin_correlation".to_string(), basin_corr),
+        (
+            "alloc".to_string(),
+            Value::object([
+                ("peak_bytes".to_string(), alloc.peak_bytes.into()),
+                ("live_bytes_end".to_string(), alloc.live_bytes.into()),
+                ("total_bytes".to_string(), alloc.total_bytes.into()),
+                ("allocations".to_string(), alloc.allocations.into()),
+            ]),
+        ),
+        (
+            "telemetry_model_speedup".to_string(),
+            report.model_speedup.into(),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write the bench artifact");
+    println!("\nwrote {out_path}");
+}

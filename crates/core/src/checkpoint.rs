@@ -44,6 +44,7 @@ use foam_ocean::{OceanForcing, OceanState, SplitScheme};
 use foam_physics::RadCache;
 
 use crate::config::{CouplingMode, FoamConfig};
+use crate::stream::DriverStream;
 
 /// The complete model state at a coupling-interval boundary, reassembled
 /// on the full grid from the per-rank shards.
@@ -86,6 +87,10 @@ pub struct GlobalSnapshot {
     pub mean_sst_series: Vec<f64>,
     pub monthly_sst: Vec<Field2>,
     pub month_acc: Option<(Field2, usize)>,
+    /// Streaming-statistics state (section `driver/stream`; `None` for
+    /// snapshots written before the section existed or by runs without
+    /// [`FoamConfig::stream`]).
+    pub stream: Option<DriverStream>,
     /// Per-shard `(j0, j1, work)` physics work counters.
     pub work_rows: Vec<(usize, usize, usize)>,
     pub ocean: OceanState,
@@ -97,6 +102,7 @@ pub struct RootShardExtras<'a> {
     pub series: &'a [f64],
     pub monthly: &'a [Field2],
     pub month_acc: &'a Option<(Field2, usize)>,
+    pub stream: &'a Option<DriverStream>,
     pub emergency: bool,
 }
 
@@ -177,6 +183,7 @@ pub fn write_atm_shard(
         w.put("driver/series", &r.series.to_vec());
         w.put("driver/monthly", &r.monthly.to_vec());
         w.put("driver/month_acc", r.month_acc);
+        w.put("driver/stream", r.stream);
         w.put("driver/emergency", &r.emergency);
     }
     let path = CheckpointStore::shard_path(dir, rank);
@@ -435,6 +442,13 @@ pub fn load_snapshot(dir: &Path, cfg: &FoamConfig) -> Result<GlobalSnapshot, Ckp
     let month_acc = root
         .snap
         .get::<Option<(Field2, usize)>>("driver/month_acc")?;
+    // Older snapshots predate the streaming-statistics section; they
+    // remain loadable, the stream just restarts from the resume point.
+    let stream = if root.snap.has("driver/stream") {
+        root.snap.get::<Option<DriverStream>>("driver/stream")?
+    } else {
+        None
+    };
     if !field_dims_ok(&exchange.sst, onx, ony) || !field_dims_ok(&fw_oneshot, onx, ony) {
         return Err(CkptError::Corrupt(
             "root shard ocean-grid fields have the wrong shape".into(),
@@ -487,6 +501,7 @@ pub fn load_snapshot(dir: &Path, cfg: &FoamConfig) -> Result<GlobalSnapshot, Ckp
         mean_sst_series,
         monthly_sst,
         month_acc,
+        stream,
         work_rows,
         ocean,
     })

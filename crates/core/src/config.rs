@@ -155,6 +155,29 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// In-run streaming statistics knobs. When [`FoamConfig::stream`] is
+/// set, the driver folds each completed monthly-mean SST field into an
+/// `O(grid)` streaming estimator ([`crate::DriverStream`]) instead of
+/// (or in addition to) retaining the `O(grid × months)` monthly history
+/// — the device that makes century-scale variability runs fit in
+/// memory. The stream state checkpoints and resumes bit-identically
+/// with the rest of the run.
+#[derive(Debug, Clone)]
+pub struct StreamStatsConfig {
+    /// Maximum spatial rank of the streaming EOF sketch
+    /// ([`foam_stats::StreamingEof`]). Variability beyond this many
+    /// spatial degrees of freedom is measured (as a discarded-energy
+    /// fraction) but not resolved; 8 comfortably covers the handful of
+    /// modes Figure 4 interprets.
+    pub eof_rank: usize,
+}
+
+impl Default for StreamStatsConfig {
+    fn default() -> Self {
+        StreamStatsConfig { eof_rank: 8 }
+    }
+}
+
 /// How the atmosphere and ocean exchange information.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CouplingMode {
@@ -186,6 +209,11 @@ pub struct FoamConfig {
     /// Collect monthly-mean SST fields (needed by Figures 3–4; costs
     /// memory on long runs).
     pub collect_monthly_sst: bool,
+    /// Fold monthly-mean SST into streaming statistics as the run goes
+    /// (`O(grid)` memory however long the run) — the century-scale
+    /// replacement for `collect_monthly_sst`. Both can be on at once,
+    /// which is how the equivalence tests compare the two paths.
+    pub stream: Option<StreamStatsConfig>,
     /// Failure-handling knobs (deadlines, retries, fault injection).
     pub runtime: RuntimeConfig,
     /// Checkpoint/restart knobs (off unless a directory is set).
@@ -211,6 +239,7 @@ impl FoamConfig {
             ocean_scheme: SplitScheme::FoamSplit,
             tracing: false,
             collect_monthly_sst: false,
+            stream: None,
             runtime: RuntimeConfig::default(),
             ckpt: CkptConfig::default(),
             telemetry: TelemetryConfig::default(),
@@ -229,6 +258,43 @@ impl FoamConfig {
             ocean_scheme: SplitScheme::FoamSplit,
             tracing: false,
             collect_monthly_sst: false,
+            stream: None,
+            runtime: RuntimeConfig::default(),
+            ckpt: CkptConfig::default(),
+            telemetry: TelemetryConfig::default(),
+        }
+    }
+
+    /// The century-throughput configuration: a further-reduced grid (16×12
+    /// R3 atmosphere on one rank, 24×16×4 ocean) with streaming
+    /// statistics on and monthly-history collection *off*, sized so a
+    /// single machine pushes 100 simulated years through the full
+    /// coupled pipeline in well under an hour while the statistics
+    /// memory stays `O(grid)`. This is what the `century` bench bin
+    /// runs.
+    pub fn century(seed: u64) -> Self {
+        let mut atm = AtmConfig::tiny(seed);
+        atm.nlon = 16;
+        atm.nlat = 12;
+        atm.m_max = 3;
+        atm.nlev_phys = 4;
+        // The coarser grids admit longer stable steps than `tiny`'s.
+        atm.dt = 3600.0;
+        let mut ocean = OceanConfig::tiny();
+        ocean.nx = 24;
+        ocean.ny = 16;
+        ocean.nz = 4;
+        ocean.dt_int = 7200.0;
+        FoamConfig {
+            atm,
+            ocean,
+            n_atm_ranks: 1,
+            dt_couple: 21_600.0,
+            coupling: CouplingMode::Lagged,
+            ocean_scheme: SplitScheme::FoamSplit,
+            tracing: false,
+            collect_monthly_sst: false,
+            stream: Some(StreamStatsConfig::default()),
             runtime: RuntimeConfig::default(),
             ckpt: CkptConfig::default(),
             telemetry: TelemetryConfig::default(),
@@ -264,6 +330,9 @@ impl FoamConfig {
         if self.ckpt.dir.is_some() {
             at_least_one("ckpt.interval", self.ckpt.interval)?;
             at_least_one("ckpt.keep", self.ckpt.keep)?;
+        }
+        if let Some(stream) = &self.stream {
+            at_least_one("stream.eof_rank", stream.eof_rank)?;
         }
         if let Some(path) = &self.telemetry.path {
             // The file itself is created at the end of the run; what must
@@ -323,6 +392,35 @@ mod tests {
         assert_eq!(c.n_ranks(), 3);
         assert!(c.atm_steps_per_couple() >= 1);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn century_config_streams_instead_of_collecting() {
+        let c = FoamConfig::century(9);
+        assert!(c.validate().is_ok());
+        assert!(!c.collect_monthly_sst);
+        let stream = c
+            .stream
+            .as_ref()
+            .expect("century preset streams statistics");
+        assert!(stream.eof_rank >= 4);
+        assert_eq!(c.n_ranks(), 2);
+        // Smaller than tiny in every dimension that costs time.
+        let t = FoamConfig::tiny(9);
+        assert!(c.atm.nlon * c.atm.nlat < t.atm.nlon * t.atm.nlat);
+        assert!(c.ocean.nx * c.ocean.ny * c.ocean.nz < t.ocean.nx * t.ocean.ny * t.ocean.nz);
+    }
+
+    #[test]
+    fn validate_rejects_zero_stream_rank() {
+        let mut c = FoamConfig::century(1);
+        c.stream = Some(StreamStatsConfig { eof_rank: 0 });
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroCount {
+                what: "stream.eof_rank"
+            })
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ use foam_telemetry::{TelemetryRegistry, TelemetryReport};
 
 use crate::checkpoint::{self, GlobalSnapshot, RootShardExtras};
 use crate::config::{ConfigError, CouplingMode, FoamConfig, RuntimeConfig};
+use crate::stream::{sea_area_weights, DriverStream};
 
 /// How long the root waits for the ocean's checkpoint acknowledgement
 /// before abandoning the snapshot attempt (never the run) \[s\].
@@ -143,6 +144,10 @@ pub struct CoupledOutput {
     /// model speedup), when [`crate::TelemetryConfig`] enabled
     /// collection.
     pub telemetry: Option<TelemetryReport>,
+    /// Streaming per-month SST statistics, when [`crate::FoamConfig`]'s
+    /// `stream` was set — the `O(grid)` century-scale replacement for
+    /// `monthly_sst`.
+    pub stream: Option<DriverStream>,
 }
 
 impl CoupledOutput {
@@ -165,6 +170,8 @@ struct RankResult {
     /// This rank's harvested registry (boxed: it is much larger than the
     /// rest of the struct and absent unless telemetry is enabled).
     telemetry: Option<Box<TelemetryRegistry>>,
+    /// Root-only streaming statistics (when configured).
+    stream: Option<DriverStream>,
 }
 
 /// The baseline ("CSM-like") variant of a configuration: identical
@@ -355,6 +362,7 @@ fn run_inner(
         comm_lint: out.lint,
         work_per_rank,
         telemetry,
+        stream: r0.stream,
     })
 }
 
@@ -447,12 +455,17 @@ fn shutdown_ocean(world: &Comm, ocean: usize) {
 }
 
 /// Root bookkeeping for one completed coupling interval: the mean-SST
-/// series entry and, when enabled, the monthly-mean accumulation.
+/// series entry and, when either consumer wants months, the
+/// monthly-mean accumulation — pushed into the retained history
+/// (`collect_monthly`) and/or folded into the streaming statistics. The
+/// monthly mean is computed once, so when both paths are on they see
+/// bit-identical fields.
 #[allow(clippy::too_many_arguments)]
 fn record_interval(
     series: &mut Vec<f64>,
     monthly: &mut Vec<Field2>,
     month_acc: &mut Option<(Field2, usize)>,
+    stream: &mut Option<DriverStream>,
     sst: &Field2,
     ocn_grid: &OceanGrid,
     sea_mask: &[bool],
@@ -460,7 +473,7 @@ fn record_interval(
     intervals_per_month: usize,
 ) {
     series.push(ocn_grid.masked_mean(sst.as_slice(), sea_mask));
-    if collect_monthly {
+    if collect_monthly || stream.is_some() {
         let (acc, n) =
             month_acc.get_or_insert_with(|| (Field2::zeros(ocn_grid.nx, ocn_grid.ny), 0usize));
         acc.axpy(1.0, sst);
@@ -468,7 +481,13 @@ fn record_interval(
         if *n == intervals_per_month {
             let mut mean_field = acc.clone();
             mean_field.scale(1.0 / *n as f64);
-            monthly.push(mean_field);
+            if let Some(ds) = stream {
+                ds.push_month(mean_field.as_slice())
+                    .expect("the stream was built on the ocean grid");
+            }
+            if collect_monthly {
+                monthly.push(mean_field);
+            }
             *month_acc = None;
         }
     }
@@ -651,6 +670,18 @@ fn atm_rank(
     let intervals_per_month = ((30.0 * SECONDS_PER_DAY) / cfg.dt_couple).round() as usize;
     let mut res = RankResult::default();
     let mut month_acc: Option<(Field2, usize)> = None;
+    // Root-only streaming statistics: restored from the snapshot when
+    // it carries them, started fresh otherwise (a pre-stream snapshot
+    // resumes with the stream counting from the resume point).
+    let mut stream: Option<DriverStream> = if is_root && cfg.stream.is_some() {
+        resume.and_then(|s| s.stream.clone()).or_else(|| {
+            cfg.stream
+                .as_ref()
+                .map(|s| DriverStream::new(sea_area_weights(&ocn_grid, &sea_mask), s.eof_rank))
+        })
+    } else {
+        None
+    };
     // The forcings the root keeps for retransmission (lagged mode can
     // be asked for the previous interval's, so hold the last two).
     let mut recent: Vec<(usize, OceanForcing)> = Vec::new();
@@ -769,10 +800,12 @@ fn atm_rank(
                                     let mut series = res.mean_sst_series.clone();
                                     let mut monthly = res.monthly_sst.clone();
                                     let mut macc = month_acc.clone();
+                                    let mut strm = stream.clone();
                                     record_interval(
                                         &mut series,
                                         &mut monthly,
                                         &mut macc,
+                                        &mut strm,
                                         &sst,
                                         &ocn_grid,
                                         &sea_mask,
@@ -801,6 +834,7 @@ fn atm_rank(
                                             series: &series,
                                             monthly: &monthly,
                                             month_acc: &macc,
+                                            stream: &strm,
                                             emergency: true,
                                         }),
                                         &recent,
@@ -863,6 +897,7 @@ fn atm_rank(
                 &mut res.mean_sst_series,
                 &mut res.monthly_sst,
                 &mut month_acc,
+                &mut stream,
                 &sst,
                 &ocn_grid,
                 &sea_mask,
@@ -883,6 +918,7 @@ fn atm_rank(
                 series: &res.mean_sst_series,
                 monthly: &res.monthly_sst,
                 month_acc: &month_acc,
+                stream: &stream,
                 emergency: false,
             });
             checkpoint_rendezvous(
@@ -922,6 +958,7 @@ fn atm_rank(
     res.wall_seconds = world.now() - t_start;
     if is_root {
         res.final_sst = Some(sst);
+        res.stream = stream;
     }
     Ok(res)
 }
@@ -1074,6 +1111,29 @@ mod tests {
         let out = run_coupled(&cfg, 7.5);
         assert!(out.monthly_sst.is_empty());
         assert_eq!(out.mean_sst_series.len(), 30);
+    }
+
+    #[test]
+    fn streaming_and_collected_months_agree_bit_for_bit() {
+        // Run with BOTH paths on: every completed month must land in the
+        // retained history and the stream as the same bits, and the
+        // stream's mean field must equal averaging the history. Two
+        // 30-day months on the century grid keeps this quick.
+        let mut cfg = FoamConfig::century(12);
+        cfg.collect_monthly_sst = true;
+        let out = run_coupled(&cfg, 60.0);
+        let ds = out.stream.expect("stream configured");
+        assert_eq!(out.monthly_sst.len(), 2);
+        assert_eq!(ds.months(), 2);
+        let mean = ds.mean_field().expect("two months streamed");
+        let n = out.monthly_sst.len() as f64;
+        for (s, m) in mean.iter().enumerate() {
+            let batch: f64 = out.monthly_sst.iter().map(|f| f.as_slice()[s]).sum::<f64>() / n;
+            assert_eq!(m.to_bits(), batch.to_bits(), "s={s}");
+        }
+        // Streaming off by default: no stream state, no monthly cost.
+        let plain = run_coupled(&FoamConfig::tiny(12), 1.0);
+        assert!(plain.stream.is_none());
     }
 
     #[test]

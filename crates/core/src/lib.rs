@@ -40,16 +40,19 @@ mod config;
 pub mod diagnostics;
 mod driver;
 pub mod history;
+pub mod stream;
 
 pub use checkpoint::GlobalSnapshot;
 pub use config::{
-    CkptConfig, ConfigError, CouplingMode, FoamConfig, RuntimeConfig, TelemetryConfig,
+    CkptConfig, ConfigError, CouplingMode, FoamConfig, RuntimeConfig, StreamStatsConfig,
+    TelemetryConfig,
 };
 pub use driver::{
     baseline_config, run_coupled, try_resume_coupled, try_run_coupled, CoupledError, CoupledOutput,
 };
 pub use foam_ckpt::{CheckpointStore, CkptError, Snapshot};
 pub use history::{HistoryReader, HistoryWriter};
+pub use stream::{sea_area_weights, DriverStream};
 
 pub use foam_atm::{AtmConfig, AtmModel};
 pub use foam_coupler::Coupler;

@@ -91,21 +91,29 @@ impl EnsembleReport {
             .iter()
             .filter_map(|r| Some(r.output()?.mean_sst_series.clone()))
             .collect();
+        // The reductions only fail on zero members (excluded by the
+        // branch) or mismatched lengths, which same-day members cannot
+        // produce; an empty series is the graceful fallback either way.
         let (sst_mean_series, sst_spread_series) = if series.is_empty() {
             (Vec::new(), Vec::new())
         } else {
-            (ensemble_mean(&series), ensemble_spread(&series))
+            (
+                ensemble_mean(&series).unwrap_or_default(),
+                ensemble_spread(&series).unwrap_or_default(),
+            )
         };
 
         // Final-SST pattern stats need a reference field and a second
         // member to differ from it.
-        let mean_final: Option<Vec<f64>> = (ok.len() >= 2).then(|| {
-            let fields: Vec<&[f64]> = ok
-                .iter()
-                .filter_map(|r| Some(r.output()?.final_sst.as_slice()))
-                .collect();
-            ensemble_mean_field(&fields)
-        });
+        let mean_final: Option<Vec<f64>> = (ok.len() >= 2)
+            .then(|| {
+                let fields: Vec<&[f64]> = ok
+                    .iter()
+                    .filter_map(|r| Some(r.output()?.final_sst.as_slice()))
+                    .collect();
+                ensemble_mean_field(&fields).ok()
+            })
+            .flatten();
         let weights = mean_final.as_ref().map(|_| sea_weights(spec));
 
         let digests = members

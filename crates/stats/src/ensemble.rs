@@ -7,26 +7,46 @@
 //! caller passes (member id order, in `foam-ensemble`), so the same set
 //! of members always reduces to bit-identical statistics regardless of
 //! which member *finished* first.
+//!
+//! Degenerate inputs (zero members, mismatched series lengths) come
+//! back as a typed [`StatsError`] instead of a panic — an orchestrator
+//! that lost every member should report that failure, not abort while
+//! reporting it. The batch reductions here hold all member series at
+//! once; [`StreamEnsemble`] is the single-pass variant that folds one
+//! member in at a time.
+
+use crate::stream::{FieldMoments, StatsError};
 
 /// Per-time-step ensemble mean over members.
 ///
 /// `series[m]` is member `m`'s diagnostic series; all members must have
 /// the same length (they integrated the same number of coupling
-/// intervals).
+/// intervals) or a [`StatsError::LengthMismatch`] comes back.
 ///
 /// ```
 /// use foam_stats::ensemble::ensemble_mean;
 ///
-/// let m = ensemble_mean(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let m = ensemble_mean(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
 /// assert_eq!(m, vec![2.0, 3.0]);
+/// assert!(ensemble_mean(&[]).is_err());
 /// ```
-pub fn ensemble_mean(series: &[Vec<f64>]) -> Vec<f64> {
+pub fn ensemble_mean(series: &[Vec<f64>]) -> Result<Vec<f64>, StatsError> {
     let n_m = series.len();
-    assert!(n_m > 0, "ensemble mean of zero members");
+    if n_m == 0 {
+        return Err(StatsError::Empty {
+            what: "ensemble mean",
+        });
+    }
     let n_t = series[0].len();
     let mut mean = vec![0.0; n_t];
     for s in series {
-        assert_eq!(s.len(), n_t, "members must share a series length");
+        if s.len() != n_t {
+            return Err(StatsError::LengthMismatch {
+                what: "ensemble member series",
+                expected: n_t,
+                got: s.len(),
+            });
+        }
         for (acc, v) in mean.iter_mut().zip(s) {
             *acc += v;
         }
@@ -34,22 +54,27 @@ pub fn ensemble_mean(series: &[Vec<f64>]) -> Vec<f64> {
     for acc in mean.iter_mut() {
         *acc /= n_m as f64;
     }
-    mean
+    Ok(mean)
 }
 
 /// Per-time-step ensemble spread (population standard deviation across
-/// members). A one-member ensemble has zero spread everywhere.
+/// members). A one-member ensemble has zero spread everywhere; a
+/// zero-member one is a typed error.
 ///
 /// ```
 /// use foam_stats::ensemble::ensemble_spread;
 ///
-/// let s = ensemble_spread(&[vec![1.0, 0.0], vec![3.0, 0.0]]);
+/// let s = ensemble_spread(&[vec![1.0, 0.0], vec![3.0, 0.0]]).unwrap();
 /// assert_eq!(s, vec![1.0, 0.0]);
 /// ```
-pub fn ensemble_spread(series: &[Vec<f64>]) -> Vec<f64> {
+pub fn ensemble_spread(series: &[Vec<f64>]) -> Result<Vec<f64>, StatsError> {
     let n_m = series.len();
-    assert!(n_m > 0, "ensemble spread of zero members");
-    let mean = ensemble_mean(series);
+    if n_m == 0 {
+        return Err(StatsError::Empty {
+            what: "ensemble spread",
+        });
+    }
+    let mean = ensemble_mean(series)?;
     let n_t = mean.len();
     let mut var = vec![0.0; n_t];
     for s in series {
@@ -58,19 +83,37 @@ pub fn ensemble_spread(series: &[Vec<f64>]) -> Vec<f64> {
             *acc += d * d;
         }
     }
-    var.into_iter().map(|v| (v / n_m as f64).sqrt()).collect()
+    Ok(var.into_iter().map(|v| (v / n_m as f64).sqrt()).collect())
 }
 
 /// Element-wise ensemble mean over member *fields* (flattened grids) —
 /// the reference field the per-member pattern statistics compare
 /// against.
-pub fn ensemble_mean_field(fields: &[&[f64]]) -> Vec<f64> {
+///
+/// ```
+/// use foam_stats::ensemble::ensemble_mean_field;
+///
+/// let a = [0.0, 4.0];
+/// let b = [2.0, 0.0];
+/// assert_eq!(ensemble_mean_field(&[&a, &b]).unwrap(), vec![1.0, 2.0]);
+/// ```
+pub fn ensemble_mean_field(fields: &[&[f64]]) -> Result<Vec<f64>, StatsError> {
     let n_m = fields.len();
-    assert!(n_m > 0, "ensemble mean of zero fields");
+    if n_m == 0 {
+        return Err(StatsError::Empty {
+            what: "ensemble mean field",
+        });
+    }
     let n_s = fields[0].len();
     let mut mean = vec![0.0; n_s];
     for f in fields {
-        assert_eq!(f.len(), n_s, "members must share a grid");
+        if f.len() != n_s {
+            return Err(StatsError::LengthMismatch {
+                what: "ensemble member field",
+                expected: n_s,
+                got: f.len(),
+            });
+        }
         for (acc, v) in mean.iter_mut().zip(f.iter()) {
             *acc += v;
         }
@@ -78,7 +121,82 @@ pub fn ensemble_mean_field(fields: &[&[f64]]) -> Vec<f64> {
     for acc in mean.iter_mut() {
         *acc /= n_m as f64;
     }
-    mean
+    Ok(mean)
+}
+
+/// Streaming ensemble reduction: fold one member's series in at a time
+/// and read the mean/spread at any point — the orchestrator never holds
+/// more than one member's series plus `O(series length)` state.
+///
+/// The mean accumulates in arrival order exactly like [`ensemble_mean`]
+/// accumulates in slice order, so feeding members in the same order is
+/// **bit-identical** to the batch reduction; the spread uses Welford
+/// updates and matches [`ensemble_spread`] to ~1e-10 relative.
+///
+/// ```
+/// use foam_stats::ensemble::StreamEnsemble;
+///
+/// let mut e = StreamEnsemble::new(2);
+/// e.push_member(&[1.0, 0.0]).unwrap();
+/// e.push_member(&[3.0, 0.0]).unwrap();
+/// assert_eq!(e.mean().unwrap(), vec![2.0, 0.0]);
+/// assert_eq!(e.spread().unwrap(), vec![1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEnsemble {
+    moments: FieldMoments,
+}
+
+impl StreamEnsemble {
+    /// A reduction over series of length `n_t`.
+    pub fn new(n_t: usize) -> Self {
+        StreamEnsemble {
+            moments: FieldMoments::new(n_t),
+        }
+    }
+
+    /// Fold one member's series in; rejects a length mismatch.
+    pub fn push_member(&mut self, series: &[f64]) -> Result<(), StatsError> {
+        self.moments
+            .push(series)
+            .map_err(|_| StatsError::LengthMismatch {
+                what: "ensemble member series",
+                expected: self.moments.len(),
+                got: series.len(),
+            })
+    }
+
+    /// Members folded in so far.
+    pub fn members(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Per-time-step ensemble mean; [`StatsError::Empty`] before the
+    /// first member arrives.
+    pub fn mean(&self) -> Result<Vec<f64>, StatsError> {
+        if self.moments.is_empty() {
+            return Err(StatsError::Empty {
+                what: "ensemble mean",
+            });
+        }
+        Ok(self.moments.mean_field())
+    }
+
+    /// Per-time-step ensemble spread (population standard deviation).
+    pub fn spread(&self) -> Result<Vec<f64>, StatsError> {
+        if self.moments.is_empty() {
+            return Err(StatsError::Empty {
+                what: "ensemble spread",
+            });
+        }
+        Ok(self.moments.std_field())
+    }
+
+    /// Merge another partial reduction in (Chan's update) — for
+    /// tree-shaped or resumed reductions.
+    pub fn merge(&mut self, other: &StreamEnsemble) -> Result<(), StatsError> {
+        self.moments.merge(&other.moments)
+    }
 }
 
 #[cfg(test)]
@@ -88,15 +206,15 @@ mod tests {
     #[test]
     fn one_member_has_zero_spread_and_is_its_own_mean() {
         let s = vec![vec![1.5, -2.0, 0.25]];
-        assert_eq!(ensemble_mean(&s), s[0]);
-        assert_eq!(ensemble_spread(&s), vec![0.0, 0.0, 0.0]);
+        assert_eq!(ensemble_mean(&s).unwrap(), s[0]);
+        assert_eq!(ensemble_spread(&s).unwrap(), vec![0.0, 0.0, 0.0]);
     }
 
     #[test]
     fn mean_and_spread_match_hand_computation() {
         let s = vec![vec![1.0, 10.0], vec![2.0, 10.0], vec![3.0, 10.0]];
-        assert_eq!(ensemble_mean(&s), vec![2.0, 10.0]);
-        let spread = ensemble_spread(&s);
+        assert_eq!(ensemble_mean(&s).unwrap(), vec![2.0, 10.0]);
+        let spread = ensemble_spread(&s).unwrap();
         assert!((spread[0] - (2.0f64 / 3.0).sqrt()).abs() < 1e-15);
         assert_eq!(spread[1], 0.0);
     }
@@ -105,12 +223,75 @@ mod tests {
     fn mean_field_averages_pointwise() {
         let a = [0.0, 4.0];
         let b = [2.0, 0.0];
-        assert_eq!(ensemble_mean_field(&[&a, &b]), vec![1.0, 2.0]);
+        assert_eq!(ensemble_mean_field(&[&a, &b]).unwrap(), vec![1.0, 2.0]);
     }
 
     #[test]
-    #[should_panic(expected = "share a series length")]
-    fn mismatched_lengths_are_rejected() {
-        ensemble_mean(&[vec![1.0], vec![1.0, 2.0]]);
+    fn zero_members_are_a_typed_error() {
+        assert_eq!(
+            ensemble_mean(&[]).unwrap_err(),
+            StatsError::Empty {
+                what: "ensemble mean"
+            }
+        );
+        assert_eq!(
+            ensemble_spread(&[]).unwrap_err(),
+            StatsError::Empty {
+                what: "ensemble spread"
+            }
+        );
+        assert_eq!(
+            ensemble_mean_field(&[]).unwrap_err(),
+            StatsError::Empty {
+                what: "ensemble mean field"
+            }
+        );
+        let e = StreamEnsemble::new(4);
+        assert!(e.mean().is_err());
+        assert!(e.spread().is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_are_a_typed_error() {
+        let err = ensemble_mean(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert_eq!(
+            err,
+            StatsError::LengthMismatch {
+                what: "ensemble member series",
+                expected: 1,
+                got: 2
+            }
+        );
+        assert!(ensemble_spread(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let a = [0.0, 4.0];
+        let b = [2.0];
+        assert!(ensemble_mean_field(&[&a, &b]).is_err());
+        let mut e = StreamEnsemble::new(2);
+        e.push_member(&[0.0, 1.0]).unwrap();
+        assert!(e.push_member(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn streaming_mean_is_bit_identical_spread_close() {
+        let members: Vec<Vec<f64>> = (0..7)
+            .map(|m| {
+                (0..40)
+                    .map(|t| (m as f64 * 1.3 + t as f64 * 0.21).sin() * 5.0)
+                    .collect()
+            })
+            .collect();
+        let batch_mean = ensemble_mean(&members).unwrap();
+        let batch_spread = ensemble_spread(&members).unwrap();
+        let mut e = StreamEnsemble::new(40);
+        for m in &members {
+            e.push_member(m).unwrap();
+        }
+        assert_eq!(e.members(), 7);
+        let sm = e.mean().unwrap();
+        let ss = e.spread().unwrap();
+        for t in 0..40 {
+            assert_eq!(sm[t].to_bits(), batch_mean[t].to_bits(), "t={t}");
+            assert!((ss[t] - batch_spread[t]).abs() < 1e-10, "t={t}");
+        }
     }
 }

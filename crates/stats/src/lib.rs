@@ -10,6 +10,16 @@
 //! and area weighting. Figure 3 needs field statistics (bias, RMSE,
 //! pattern correlation) and map rendering; the ASCII map renderer here
 //! is the terminal stand-in for the paper's colour plates.
+//!
+//! Every batch analysis has a **streaming** counterpart sized for
+//! century runs — state `O(grid)`, one sample consumed at a time, and a
+//! `foam_ckpt::Codec` implementation so a checkpointed stream resumes
+//! bit-identically: [`stream::OnlineMoments`]/[`stream::FieldMoments`]
+//! (Welford moments), [`filter::StreamingLanczos`] (bit-identical to the
+//! batch filter), [`eof::StreamingEof`] (incremental rank-k subspace
+//! sketch, exact on rank-≤-k data), and [`ensemble::StreamEnsemble`].
+//! The equivalence with the batch path is proven by the property-test
+//! suite in `tests/stream_stats_props.rs`.
 
 pub mod ascii;
 pub mod ensemble;
@@ -17,8 +27,10 @@ pub mod eof;
 pub mod filter;
 pub mod linalg;
 pub mod series;
+pub mod stream;
 
-pub use ensemble::{ensemble_mean, ensemble_mean_field, ensemble_spread};
-pub use eof::{eof_analysis, varimax, Eof};
-pub use filter::lanczos_lowpass;
+pub use ensemble::{ensemble_mean, ensemble_mean_field, ensemble_spread, StreamEnsemble};
+pub use eof::{eof_analysis, varimax, Eof, StreamedAnalysis, StreamingEof};
+pub use filter::{lanczos_lowpass, StreamingLanczos};
 pub use series::{anomalies_monthly, correlation, detrend, pattern_stats, FieldStats};
+pub use stream::{FieldMoments, OnlineMoments, StatsError};

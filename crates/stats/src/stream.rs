@@ -1,0 +1,430 @@
+//! Streaming (single-pass) statistical estimators.
+//!
+//! Century-scale runs cannot afford the `O(grid × months)` history the
+//! batch analyses in this crate consume: a 100-simulated-year run on
+//! the paper's ocean grid would retain 1,200 monthly fields before a
+//! single statistic is computed. The types here consume **one sample at
+//! a time** and hold state of size `O(grid)` (plus `O(months × rank)`
+//! for the EOF sketch coefficients), so the coupled driver can
+//! regenerate the Figure 3/4 diagnostics from a stream.
+//!
+//! Equivalence with the batch implementations is part of the contract,
+//! proven by the property-test layer (`tests/stream_stats_props.rs`):
+//!
+//! * running sums ([`OnlineMoments::mean`], [`FieldMoments::mean_field`])
+//!   accumulate in the same order as the batch code, so sequential
+//!   streaming is **bit-identical** to batch;
+//! * variances use Welford's update, which matches the two-pass batch
+//!   computation to ~1e-10 relative;
+//! * [`OnlineMoments::merge`]/[`FieldMoments::merge`] (Chan's parallel
+//!   update) support "split anywhere, merge, continue" for
+//!   checkpoint/resume and ensemble reduction.
+//!
+//! All streaming state implements `foam_ckpt::Codec` with raw IEEE-754
+//! bits, so a checkpointed stream resumes bit-identically.
+
+use foam_ckpt::{ByteReader, CkptError, Codec};
+
+/// Typed error of the statistics layer — the panic-free alternative to
+/// `assert!` deep inside a reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// A reduction over zero members/samples was requested.
+    Empty { what: &'static str },
+    /// Two series/fields that must have equal lengths do not.
+    LengthMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::Empty { what } => write!(f, "{what} over zero members"),
+            StatsError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected length {expected}, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Online mean/variance of a scalar series (Welford's algorithm), plus
+/// a running sum so the mean reproduces the batch `Σx / n` bit-for-bit.
+///
+/// ```
+/// use foam_stats::stream::OnlineMoments;
+///
+/// let mut m = OnlineMoments::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.count(), 4);
+/// assert_eq!(m.mean(), 2.5);
+/// assert!((m.variance() - 1.25).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineMoments {
+    n: u64,
+    sum: f64,
+    mean_w: f64,
+    m2: f64,
+}
+
+impl OnlineMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean_w;
+        self.mean_w += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean_w);
+    }
+
+    /// Samples consumed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// True until the first sample arrives.
+    ///
+    /// ```
+    /// assert!(foam_stats::stream::OnlineMoments::new().is_empty());
+    /// ```
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Running sum Σx (the batch accumulation order).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean as `Σx / n` — bit-identical to the batch
+    /// `iter().sum::<f64>() / n`. `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.n as f64
+    }
+
+    /// Population variance (Welford `M2 / n`); `0.0` when fewer than two
+    /// samples have arrived.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    ///
+    /// ```
+    /// use foam_stats::stream::OnlineMoments;
+    ///
+    /// let mut m = OnlineMoments::new();
+    /// m.push(1.0);
+    /// m.push(3.0);
+    /// assert_eq!(m.std(), 1.0);
+    /// ```
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Fold another accumulator in (Chan's parallel update) — the
+    /// "split anywhere, merge, continue" primitive.
+    ///
+    /// ```
+    /// use foam_stats::stream::OnlineMoments;
+    ///
+    /// let mut a = OnlineMoments::new();
+    /// let mut b = OnlineMoments::new();
+    /// a.push(1.0);
+    /// b.push(3.0);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 2);
+    /// assert_eq!(a.mean(), 2.0);
+    /// ```
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean_w - self.mean_w;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
+        self.mean_w += delta * other.n as f64 / n;
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+}
+
+impl Codec for OnlineMoments {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.n.encode(buf);
+        self.sum.encode(buf);
+        self.mean_w.encode(buf);
+        self.m2.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(OnlineMoments {
+            n: u64::decode(r)?,
+            sum: f64::decode(r)?,
+            mean_w: f64::decode(r)?,
+            m2: f64::decode(r)?,
+        })
+    }
+}
+
+/// Per-element online mean/variance of a stream of equal-length vectors
+/// — one [`OnlineMoments`] per grid point (stored struct-of-arrays), so
+/// the memory footprint is `O(grid)` regardless of how many samples
+/// flow through.
+///
+/// Used two ways: per-gridpoint moments of monthly SST fields over time
+/// (the Figure-3 time mean), and per-timestep moments of diagnostic
+/// series across ensemble members (the streaming mean/spread
+/// reduction).
+///
+/// ```
+/// use foam_stats::stream::FieldMoments;
+///
+/// let mut m = FieldMoments::new(2);
+/// m.push(&[1.0, 10.0]).unwrap();
+/// m.push(&[3.0, 10.0]).unwrap();
+/// assert_eq!(m.mean_field(), vec![2.0, 10.0]);
+/// assert_eq!(m.std_field(), vec![1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldMoments {
+    n: u64,
+    sum: Vec<f64>,
+    mean_w: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl FieldMoments {
+    /// An empty accumulator for vectors of length `len`.
+    pub fn new(len: usize) -> Self {
+        FieldMoments {
+            n: 0,
+            sum: vec![0.0; len],
+            mean_w: vec![0.0; len],
+            m2: vec![0.0; len],
+        }
+    }
+
+    /// Element count of the accumulated vectors.
+    pub fn len(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// True until the first sample arrives.
+    ///
+    /// ```
+    /// assert!(foam_stats::stream::FieldMoments::new(3).is_empty());
+    /// ```
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Samples consumed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Consume one sample vector; rejects a length mismatch instead of
+    /// panicking.
+    pub fn push(&mut self, x: &[f64]) -> Result<(), StatsError> {
+        if x.len() != self.sum.len() {
+            return Err(StatsError::LengthMismatch {
+                what: "field moments sample",
+                expected: self.sum.len(),
+                got: x.len(),
+            });
+        }
+        self.n += 1;
+        let nf = self.n as f64;
+        for (i, &v) in x.iter().enumerate() {
+            self.sum[i] += v;
+            let delta = v - self.mean_w[i];
+            self.mean_w[i] += delta / nf;
+            self.m2[i] += delta * (v - self.mean_w[i]);
+        }
+        Ok(())
+    }
+
+    /// Element-wise mean `Σx / n` — the batch accumulation order, so a
+    /// sequential stream matches the batch mean bit-for-bit. All-`NaN`
+    /// when empty.
+    pub fn mean_field(&self) -> Vec<f64> {
+        let nf = self.n as f64;
+        self.sum.iter().map(|s| s / nf).collect()
+    }
+
+    /// Element-wise population variance.
+    pub fn variance_field(&self) -> Vec<f64> {
+        if self.n < 2 {
+            return vec![0.0; self.m2.len()];
+        }
+        let nf = self.n as f64;
+        self.m2.iter().map(|m| m / nf).collect()
+    }
+
+    /// Element-wise population standard deviation — the ensemble
+    /// *spread* when the samples are member series.
+    pub fn std_field(&self) -> Vec<f64> {
+        self.variance_field().into_iter().map(f64::sqrt).collect()
+    }
+
+    /// Fold another accumulator in (element-wise Chan update); rejects a
+    /// length mismatch.
+    ///
+    /// ```
+    /// use foam_stats::stream::FieldMoments;
+    ///
+    /// let mut a = FieldMoments::new(1);
+    /// let mut b = FieldMoments::new(1);
+    /// a.push(&[1.0]).unwrap();
+    /// b.push(&[3.0]).unwrap();
+    /// a.merge(&b).unwrap();
+    /// assert_eq!(a.mean_field(), vec![2.0]);
+    /// ```
+    pub fn merge(&mut self, other: &FieldMoments) -> Result<(), StatsError> {
+        if other.len() != self.len() {
+            return Err(StatsError::LengthMismatch {
+                what: "field moments merge",
+                expected: self.len(),
+                got: other.len(),
+            });
+        }
+        if other.n == 0 {
+            return Ok(());
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return Ok(());
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        for i in 0..self.len() {
+            let delta = other.mean_w[i] - self.mean_w[i];
+            self.m2[i] += other.m2[i] + delta * delta * na * nb / n;
+            self.mean_w[i] += delta * nb / n;
+            self.sum[i] += other.sum[i];
+        }
+        self.n += other.n;
+        Ok(())
+    }
+}
+
+impl Codec for FieldMoments {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.n.encode(buf);
+        self.sum.encode(buf);
+        self.mean_w.encode(buf);
+        self.m2.encode(buf);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let n = u64::decode(r)?;
+        let sum = Vec::<f64>::decode(r)?;
+        let mean_w = Vec::<f64>::decode(r)?;
+        let m2 = Vec::<f64>::decode(r)?;
+        if mean_w.len() != sum.len() || m2.len() != sum.len() {
+            return Err(CkptError::Corrupt(
+                "field moments arrays disagree on length".into(),
+            ));
+        }
+        Ok(FieldMoments { n, sum, mean_w, m2 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_mean_is_bit_identical_to_batch() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 1e3).collect();
+        let mut m = OnlineMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let batch = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert_eq!(m.mean().to_bits(), batch.to_bits());
+    }
+
+    #[test]
+    fn welford_variance_matches_two_pass() {
+        let xs: Vec<f64> = (0..500).map(|i| 20.0 + (i as f64 * 0.3).cos()).collect();
+        let mut m = OnlineMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((m.variance() - var).abs() < 1e-10 * var.max(1.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential_to_tolerance() {
+        let xs: Vec<f64> = (0..300).map(|i| (i as f64).sqrt() - 8.0).collect();
+        let mut whole = OnlineMoments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        for split in [0, 1, 150, 299, 300] {
+            let mut a = OnlineMoments::new();
+            let mut b = OnlineMoments::new();
+            for &x in &xs[..split] {
+                a.push(x);
+            }
+            for &x in &xs[split..] {
+                b.push(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-12);
+            assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn field_moments_reject_mismatched_lengths() {
+        let mut m = FieldMoments::new(3);
+        let err = m.push(&[1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            StatsError::LengthMismatch {
+                what: "field moments sample",
+                expected: 3,
+                got: 2
+            }
+        );
+        let other = FieldMoments::new(2);
+        assert!(m.merge(&other).is_err());
+    }
+
+    #[test]
+    fn codec_roundtrip_is_bit_exact() {
+        let mut m = FieldMoments::new(4);
+        m.push(&[1.0, -2.0, 3.5, 0.0]).unwrap();
+        m.push(&[0.25, 2.0, -3.5, 1e-300]).unwrap();
+        let bytes = m.to_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = FieldMoments::decode(&mut r).unwrap();
+        assert_eq!(m, back);
+    }
+}

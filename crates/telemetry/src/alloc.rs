@@ -1,0 +1,177 @@
+//! Process-wide heap accounting: a [`GlobalAlloc`] wrapper that counts
+//! live and peak heap bytes.
+//!
+//! Container-grade RSS measurement is not portable (and `/proc` parsing
+//! races the allocator); what the century bench actually needs is a
+//! *proxy* that moves with the statistics memory — live heap bytes and
+//! their high-water mark. [`CountingAlloc`] wraps the system allocator
+//! and maintains both in relaxed atomics, costing two `fetch_add`s per
+//! allocation. Opt in per binary:
+//!
+//! ```ignore
+//! use foam_telemetry::alloc::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! fn main() {
+//!     let before = CountingAlloc::stats();
+//!     // ... run ...
+//!     let after = CountingAlloc::stats();
+//!     println!("peak heap {} bytes", after.peak_bytes - before.live_bytes);
+//! }
+//! ```
+//!
+//! The counters are global to the process (allocations from every
+//! thread land in them), so in the SPMD driver they bound the *whole
+//! job's* footprint — exactly the quantity a century run must keep flat
+//! in the number of simulated months.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the process's heap accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes currently allocated and not yet freed.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since process start (or the last
+    /// [`CountingAlloc::reset_peak`]).
+    pub peak_bytes: u64,
+    /// Cumulative bytes ever allocated.
+    pub total_bytes: u64,
+    /// Cumulative allocation calls.
+    pub allocations: u64,
+}
+
+/// The counting wrapper around the system allocator. Install it with
+/// `#[global_allocator]` in binaries that report memory, then read
+/// [`CountingAlloc::stats`].
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// The allocator value for the `#[global_allocator]` static.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+
+    /// Current heap accounting. Meaningful only in processes where
+    /// `CountingAlloc` *is* the global allocator; elsewhere every field
+    /// reads zero.
+    pub fn stats() -> AllocStats {
+        AllocStats {
+            live_bytes: LIVE.load(Ordering::Relaxed),
+            peak_bytes: PEAK.load(Ordering::Relaxed),
+            total_bytes: TOTAL.load(Ordering::Relaxed),
+            allocations: COUNT.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the peak to the current live size — call at the start of
+    /// the phase whose high-water mark is being measured.
+    pub fn reset_peak() {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+fn on_alloc(size: u64) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+    TOTAL.fetch_add(size, Ordering::Relaxed);
+    COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+// SAFETY: defers entirely to `System` for memory; the bookkeeping is
+// lock-free atomics and cannot allocate or unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            let (old, new) = (layout.size() as u64, new_size as u64);
+            if new > old {
+                on_alloc(new - old);
+            } else {
+                LIVE.fetch_sub(old - new, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the allocator globally, so the
+    // counters only move when we drive them directly.
+    #[test]
+    fn bookkeeping_tracks_live_and_peak() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        let before = CountingAlloc::stats();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let mid = CountingAlloc::stats();
+            assert_eq!(mid.live_bytes, before.live_bytes + 1024);
+            assert!(mid.peak_bytes >= mid.live_bytes);
+            assert_eq!(mid.allocations, before.allocations + 1);
+            a.dealloc(p, layout);
+        }
+        let after = CountingAlloc::stats();
+        assert_eq!(after.live_bytes, before.live_bytes);
+        assert_eq!(after.total_bytes, before.total_bytes + 1024);
+        // The peak survives the free until explicitly reset.
+        assert!(after.peak_bytes >= before.live_bytes + 1024);
+        CountingAlloc::reset_peak();
+        assert_eq!(CountingAlloc::stats().peak_bytes, after.live_bytes);
+    }
+
+    #[test]
+    fn realloc_moves_live_by_the_difference() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            let live0 = CountingAlloc::stats().live_bytes;
+            let p2 = a.realloc(p, layout, 512);
+            assert_eq!(CountingAlloc::stats().live_bytes, live0 + 256);
+            let grown = Layout::from_size_align(512, 8).unwrap();
+            let p3 = a.realloc(p2, grown, 128);
+            assert_eq!(CountingAlloc::stats().live_bytes, live0 - 128);
+            a.dealloc(p3, Layout::from_size_align(128, 8).unwrap());
+        }
+    }
+}

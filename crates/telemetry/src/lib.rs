@@ -55,10 +55,12 @@
 use std::cell::RefCell;
 use std::marker::PhantomData;
 
+pub mod alloc;
 pub mod json;
 mod registry;
 mod report;
 
+pub use alloc::{AllocStats, CountingAlloc};
 pub use registry::{PhaseStat, TelemetryRegistry};
 pub use report::{Imbalance, PhaseAgg, RankReport, TelemetryReport, SCHEMA};
 

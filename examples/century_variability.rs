@@ -1,19 +1,19 @@
 //! The paper's scientific payoff in miniature: run the coupled model for
-//! many simulated years, collect monthly SST, and look for the
+//! many simulated years with **streaming** statistics, and look for the
 //! low-frequency two-basin variability of Figure 4 (VARIMAX-rotated EOFs
-//! of low-pass-filtered SST anomalies).
+//! of low-pass-filtered SST anomalies) — without ever retaining the
+//! monthly history. Statistics memory stays `O(grid)` no matter how many
+//! years you pass.
 //!
 //! ```sh
 //! cargo run --release -p foam-examples --bin century_variability [years]
 //! ```
 //!
-//! With the default reduced configuration a simulated decade takes on the
-//! order of a minute; pass more years (the paper ran > 500) as wall time
-//! allows.
+//! With the reduced century configuration a simulated decade takes a few
+//! seconds; pass more years (the paper ran > 500) as wall time allows.
 
-use foam::{run_coupled, FoamConfig, OceanModel, World};
+use foam::{run_coupled, FoamConfig, World};
 use foam_stats::ascii::{render_diff_map, sparkline};
-use foam_stats::{anomalies_monthly, detrend, eof_analysis, lanczos_lowpass, varimax};
 
 fn main() {
     let years: f64 = std::env::args()
@@ -21,66 +21,35 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(10.0);
 
-    let mut cfg = FoamConfig::tiny(11);
-    cfg.collect_monthly_sst = true;
-    println!("running {years} simulated years of the coupled model…");
+    let cfg = FoamConfig::century(11);
+    println!("running {years} simulated years of the coupled model (streaming statistics)…");
     let out = run_coupled(&cfg, years * 360.0);
-    let n_months = out.monthly_sst.len();
+    let stream = out.stream.as_ref().expect("the century config streams");
+    let n_months = stream.months();
     println!(
-        "done: {n_months} monthly SST fields at {:.0}× real time",
+        "done: {n_months} months streamed into O(grid) state at {:.0}× real time",
         out.model_speedup
     );
-    if n_months < 24 {
+
+    // --- EOF + VARIMAX (Figure 4), straight off the stream. -------------
+    let Some(analysis) = stream.analyze_variability(6) else {
         println!("need at least two years of monthly data for the analysis");
         return;
-    }
-
-    // --- Build area-weighted anomaly matrix over sea points. -----------
-    let world = World::earthlike();
-    let grid = foam_grid::OceanGrid::mercator(cfg.ocean.nx, cfg.ocean.ny, cfg.ocean.lat_max_deg);
-    let mask = OceanModel::effective_sea_mask(&cfg.ocean, &world);
-    let n_s = grid.len();
-    let weights: Vec<f64> = (0..n_s)
-        .map(|k| {
-            if mask[k] {
-                grid.cell_area(k % grid.nx, k / grid.nx) / 1.0e12
-            } else {
-                0.0
-            }
-        })
-        .collect();
-
-    // Per-point monthly anomaly series, detrended, low-pass filtered.
-    // (Low-pass period scales down for short demo runs; the paper uses
-    // 60 months on multi-century output.)
-    let lp_period = (n_months as f64 / 4.0).clamp(6.0, 60.0);
-    let mut data = vec![vec![0.0; n_s]; n_months];
-    for s in 0..n_s {
-        if weights[s] == 0.0 {
-            continue;
-        }
-        let series: Vec<f64> = out.monthly_sst.iter().map(|f| f.as_slice()[s]).collect();
-        let mut anom = anomalies_monthly(&series);
-        detrend(&mut anom);
-        let low = lanczos_lowpass(&anom, lp_period);
-        for (t, v) in low.into_iter().enumerate() {
-            data[t][s] = v;
-        }
-    }
-
-    // --- EOF + VARIMAX (Figure 4). --------------------------------------
-    let eof = eof_analysis(&data, &weights, 6);
-    let rot = varimax(&data, &weights, &eof, 4.min(eof.patterns.len()));
+    };
+    let rot = analysis.varimax(4.min(analysis.eof.patterns.len()));
     if rot.patterns.is_empty() {
         println!("variability too weak to decompose (run longer)");
         return;
     }
+    let grid = foam_grid::OceanGrid::mercator(cfg.ocean.nx, cfg.ocean.ny, cfg.ocean.lat_max_deg);
+    let weights = stream.weights();
+    let mask: Vec<bool> = weights.iter().map(|&w| w > 0.0).collect();
     println!();
     println!(
-        "leading VARIMAX mode: {:.1} % of {:.0}-month low-passed variance \
-         (paper: 15 % at 60 months)",
+        "leading VARIMAX mode: {:.1} % of low-passed variance (paper: 15 % at 60 months); \
+         sketch discarded {:.2e} of raw variability",
         100.0 * rot.variance_fraction[0],
-        lp_period
+        stream.discarded_fraction()
     );
     let pat = foam::Field2::from_vec(grid.nx, grid.ny, rot.patterns[0].clone());
     println!(
@@ -94,30 +63,30 @@ fn main() {
     println!("temporal pattern (PC 1): {}", sparkline(&rot.pcs[0], 72));
 
     // Two-basin diagnostic: correlation of N. Atlantic vs N. Pacific box
-    // means of the filtered anomalies.
-    let boxed_series = |basin: foam_grid::Basin| -> Vec<f64> {
-        (0..n_months)
-            .map(|t| {
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for s in 0..n_s {
-                    if weights[s] > 0.0 {
-                        let (i, j) = (s % grid.nx, s / grid.nx);
-                        let latd = grid.lats[j].to_degrees();
-                        if world.basin(grid.lons[i], grid.lats[j]) == basin
-                            && (25.0..60.0).contains(&latd)
-                        {
-                            num += weights[s] * data[t][s];
-                            den += weights[s];
-                        }
-                    }
+    // means of the filtered anomalies, reconstructed from the stream's
+    // coefficient record via the linearity of the analysis transform.
+    let world = World::earthlike();
+    let box_profile = |basin: foam_grid::Basin| -> Vec<f64> {
+        let mut profile = vec![0.0; weights.len()];
+        let mut den = 0.0;
+        for (s, p) in profile.iter_mut().enumerate() {
+            if weights[s] > 0.0 {
+                let (i, j) = (s % grid.nx, s / grid.nx);
+                if world.basin(grid.lons[i], grid.lats[j]) == basin
+                    && (25.0..60.0).contains(&grid.lats[j].to_degrees())
+                {
+                    *p = weights[s];
+                    den += weights[s];
                 }
-                num / den.max(1e-12)
-            })
-            .collect()
+            }
+        }
+        for p in profile.iter_mut() {
+            *p /= den.max(1e-12);
+        }
+        profile
     };
-    let natl = boxed_series(foam_grid::Basin::Atlantic);
-    let npac = boxed_series(foam_grid::Basin::Pacific);
+    let natl = analysis.series(&box_profile(foam_grid::Basin::Atlantic));
+    let npac = analysis.series(&box_profile(foam_grid::Basin::Pacific));
     let r = foam_stats::correlation(&natl, &npac);
     println!();
     println!(
