@@ -1,0 +1,179 @@
+//! The chaos-smoke campaign behind CI's `BENCH_chaos_recovery.json`
+//! artifact: one seeded end-to-end run through the **full fault
+//! matrix** — comm delay + drop (exchange timeout), a torn checkpoint
+//! write the rollback must fall back over, and a NaN physics blow-up —
+//! supervised by [`foam::supervisor::supervise_run`].
+//!
+//! ```sh
+//! cargo run --release -p foam-bench --bin chaos_recovery \
+//!     [--days D] [--seed S] [--out PATH]
+//! ```
+//!
+//! The binary *asserts* the self-healing contract (and thus fails CI
+//! when it breaks):
+//!
+//! 1. the supervised chaos run **completes** despite every fault;
+//! 2. its final state is **bit-identical** to a fault-free run of the
+//!    same configuration and seed;
+//! 3. rerunning the identical campaign yields a **byte-identical**
+//!    recovery record (no wall-clock leaks into the report).
+//!
+//! The artifact embeds the `foam-recovery/1` record — faults seen,
+//! rollbacks taken, simulated days replayed — for the CI job to
+//! validate and archive.
+
+use std::path::{Path, PathBuf};
+
+use foam::supervisor::{supervise_run, SupervisedOutput, SupervisorConfig};
+use foam::{
+    try_run_coupled, Backoff, CkptConfig, CoupledOutput, FoamConfig, PhysicsFault,
+    PhysicsFaultKind, StoreFaultPlan,
+};
+use foam_bench::flag_or;
+use foam_coupler::tags::TAG_SST;
+use foam_mpi::{FaultAction, FaultPlan, FaultRule};
+use foam_telemetry::json::Value;
+
+/// Comm chaos on the SST exchange: the first `hits` messages arrive
+/// (with a small injected delay — latency the retry protocol absorbs),
+/// every later one is dropped, including retransmissions, until the
+/// exchange's retry budget gives out.
+fn delay_then_drop_sst(seed: u64, hits: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_rule(FaultRule {
+            src: None,
+            dst: None,
+            tag: Some(TAG_SST),
+            action: FaultAction::Delay(0.01),
+            max_hits: Some(hits),
+            probability: 1.0,
+        })
+        .with_rule(FaultRule {
+            src: None,
+            dst: None,
+            tag: Some(TAG_SST),
+            action: FaultAction::Drop,
+            max_hits: None,
+            probability: 1.0,
+        })
+}
+
+/// The chaos configuration: checkpoints every 2 intervals, a lossy
+/// exchange from interval ~4, a torn write sabotaging the interval-4
+/// snapshot, and a NaN blowing up the physics at interval 6.
+fn chaos_config(seed: u64, dir: &Path) -> FoamConfig {
+    let mut cfg = FoamConfig::tiny(seed);
+    cfg.ckpt = CkptConfig {
+        dir: Some(dir.to_path_buf()),
+        interval: 2,
+        keep: 3,
+        on_error: false,
+        fault_plan: Some(StoreFaultPlan::new().torn_write(4)),
+    };
+    cfg.runtime.sst_retry_timeout_secs = 0.3;
+    cfg.runtime.sst_retry_backoff_secs = 0.02;
+    cfg.runtime.sst_retry_max = 2;
+    // Initial SST + intervals 0..=3 delivered; the drop begins while
+    // the interval-2 and (torn) interval-4 snapshots are already down.
+    cfg.runtime.fault_plan = Some(delay_then_drop_sst(seed, 5));
+    cfg.runtime.physics_fault = Some(PhysicsFault {
+        interval: 6,
+        kind: PhysicsFaultKind::Nan,
+    });
+    cfg
+}
+
+fn run_campaign(seed: u64, days: f64, dir: &Path) -> SupervisedOutput {
+    let _ = std::fs::remove_dir_all(dir);
+    let cfg = chaos_config(seed, dir);
+    let sup = SupervisorConfig {
+        max_recoveries: 4,
+        backoff: Backoff::capped(0.01, 0.1),
+    };
+    let out = supervise_run(&cfg, days, &sup).expect("the supervised chaos run must complete");
+    let _ = std::fs::remove_dir_all(dir);
+    out
+}
+
+fn assert_bit_identical(a: &CoupledOutput, b: &CoupledOutput) {
+    assert_eq!(a.mean_sst_series.len(), b.mean_sst_series.len());
+    for (x, y) in a.mean_sst_series.iter().zip(&b.mean_sst_series) {
+        assert_eq!(x.to_bits(), y.to_bits(), "mean-SST series diverged");
+    }
+    for (x, y) in a.final_sst.as_slice().iter().zip(b.final_sst.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "final SST field diverged");
+    }
+    assert_eq!(
+        a.ice_fraction.to_bits(),
+        b.ice_fraction.to_bits(),
+        "ice fraction diverged"
+    );
+}
+
+fn main() {
+    let days: f64 = flag_or("--days", 2.0);
+    let seed: u64 = flag_or("--seed", 91);
+    let out_path: String = flag_or("--out", "BENCH_chaos_recovery.json".to_string());
+
+    println!("=== chaos-recovery campaign ({days} simulated days, seed {seed}) ===\n");
+    println!("faults: SST delay+drop from hit 5, torn ckpt write @4, NaN blow-up @6");
+
+    let scratch: PathBuf =
+        std::env::temp_dir().join(format!("foam-chaos-{seed}-{}", std::process::id()));
+
+    println!("\n[1/3] fault-free reference run");
+    let clean = try_run_coupled(&FoamConfig::tiny(seed), days).expect("reference run");
+
+    println!("[2/3] supervised chaos run");
+    let chaos = run_campaign(seed, days, &scratch);
+    assert!(
+        chaos.recovery.rollbacks() >= 2,
+        "the campaign must actually trip multiple fault classes (got {:?})",
+        chaos.recovery.events
+    );
+    assert_bit_identical(&chaos.output, &clean);
+    println!(
+        "      recovered: {} faults, {} rollbacks, {:.2} sim-days replayed",
+        chaos.recovery.faults_seen(),
+        chaos.recovery.rollbacks(),
+        chaos.recovery.sim_days_replayed
+    );
+    for e in &chaos.recovery.events {
+        println!("      - {} -> {:?}", e.fault, e.action);
+    }
+    println!("      final state bit-identical to the fault-free run");
+
+    println!("[3/3] identical rerun: the recovery record must not drift");
+    let rerun = run_campaign(seed, days, &scratch);
+    let record = chaos.recovery.to_json().to_string_pretty();
+    assert_eq!(
+        record,
+        rerun.recovery.to_json().to_string_pretty(),
+        "recovery record differs between identical campaigns"
+    );
+    assert_bit_identical(&rerun.output, &clean);
+    println!("      byte-identical across reruns\n");
+
+    let doc = Value::object([
+        ("schema".to_string(), "foam-bench/chaos-recovery/1".into()),
+        ("days".to_string(), days.into()),
+        ("seed".to_string(), seed.into()),
+        (
+            "faults_seen".to_string(),
+            (chaos.recovery.faults_seen() as u64).into(),
+        ),
+        (
+            "rollbacks".to_string(),
+            (chaos.recovery.rollbacks() as u64).into(),
+        ),
+        (
+            "sim_days_replayed".to_string(),
+            chaos.recovery.sim_days_replayed.into(),
+        ),
+        ("bit_identical_to_clean".to_string(), Value::Bool(true)),
+        ("recovery_deterministic".to_string(), Value::Bool(true)),
+        ("recovery".to_string(), chaos.recovery.to_json()),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write the bench artifact");
+    println!("wrote {out_path}");
+}

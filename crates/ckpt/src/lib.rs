@@ -19,7 +19,11 @@
 //! * a **checkpoint store** ([`store`]) — per-rank shard files plus a
 //!   manifest under one directory per checkpoint, retention of the last
 //!   `keep` snapshots, and enumeration newest-first so a reader can fall
-//!   back across corrupt checkpoints.
+//!   back across corrupt checkpoints;
+//! * **deterministic fault injection** ([`faults`]) — a [`FaultyStore`]
+//!   wrapper produces torn writes, CRC corruption, and ENOSPC-style
+//!   write failures on a schedule, so every recovery path above this
+//!   crate can be exercised reproducibly.
 //!
 //! The crate is deliberately at the bottom of the dependency stack: it
 //! knows nothing about grids or models. Each component crate implements
@@ -59,11 +63,13 @@
 
 pub mod codec;
 pub mod crc64;
+pub mod faults;
 pub mod format;
 pub mod store;
 
 pub use codec::{ByteReader, Codec};
 pub use crc64::crc64;
+pub use faults::{FaultyStore, StoreFault, StoreFaultKind, StoreFaultPlan};
 pub use format::{Snapshot, SnapshotWriter, CKPT_MAGIC, CKPT_VERSION};
 pub use store::{CheckpointStore, PendingCheckpoint, MANIFEST_FILE};
 

@@ -94,6 +94,7 @@ impl CheckpointStore {
         Ok(PendingCheckpoint {
             staging,
             committed: self.committed_dir(interval),
+            fault: None,
         })
     }
 
@@ -153,6 +154,9 @@ impl CheckpointStore {
 pub struct PendingCheckpoint {
     staging: PathBuf,
     committed: PathBuf,
+    /// Injected sabotage applied just before commit (see
+    /// [`crate::faults::FaultyStore`]).
+    fault: Option<crate::faults::StoreFaultKind>,
 }
 
 impl PendingCheckpoint {
@@ -161,9 +165,20 @@ impl PendingCheckpoint {
         &self.staging
     }
 
+    /// Arm an injected storage fault to fire at commit time.
+    pub(crate) fn arm(&mut self, kind: crate::faults::StoreFaultKind) {
+        self.fault = Some(kind);
+    }
+
     /// Atomically publish the checkpoint: rename staging → committed.
     /// Call only after every shard and the manifest are in place.
     pub fn commit(self) -> Result<PathBuf, CkptError> {
+        if let Some(kind) = self.fault {
+            // Sabotage the staged bytes, then publish them anyway: the
+            // injected failure modes are exactly the ones atomic rename
+            // cannot protect against (the *contents* are bad).
+            crate::faults::apply(&self.staging, kind)?;
+        }
         if self.committed.exists() {
             std::fs::remove_dir_all(&self.committed)
                 .map_err(|e| CkptError::io("replace checkpoint", e))?;

@@ -3,6 +3,7 @@
 use std::path::PathBuf;
 
 use foam_atm::AtmConfig;
+use foam_ckpt::StoreFaultPlan;
 use foam_mpi::FaultPlan;
 use foam_ocean::{OceanConfig, SplitScheme};
 
@@ -61,6 +62,10 @@ pub struct CkptConfig {
     /// resumable but lie off the failure-free trajectory (the root
     /// records its last *accepted* SST, which by then is stale).
     pub on_error: bool,
+    /// Deterministic checkpoint-store fault injection (testing only):
+    /// torn writes, CRC corruption, ENOSPC-style write failures on a
+    /// schedule (see [`foam_ckpt::FaultyStore`]).
+    pub fault_plan: Option<StoreFaultPlan>,
 }
 
 impl CkptConfig {
@@ -72,6 +77,7 @@ impl CkptConfig {
             interval,
             keep: 2,
             on_error: true,
+            fault_plan: None,
         }
     }
 }
@@ -141,6 +147,18 @@ pub struct RuntimeConfig {
     /// Deterministic fault-injection plan for point-to-point messages
     /// (testing only).
     pub fault_plan: Option<FaultPlan>,
+    /// Physics sentinel: validates exchanged fields on the atmosphere
+    /// root and turns a numerical blow-up into a recoverable
+    /// [`crate::CoupledError::Sentinel`] instead of silently
+    /// propagating NaN through the rest of the run.
+    pub sentinel: SentinelConfig,
+    /// Deterministically kill one rank at a coupling interval (testing
+    /// only) — the chaos matrix's "node death" entry.
+    pub kill_rank: Option<RankKill>,
+    /// Deterministically poison one exchanged SST field (testing only)
+    /// — the chaos matrix's "physics blow-up" entry, caught by the
+    /// sentinel.
+    pub physics_fault: Option<PhysicsFault>,
 }
 
 impl Default for RuntimeConfig {
@@ -151,8 +169,81 @@ impl Default for RuntimeConfig {
             sst_retry_max: 3,
             sst_retry_backoff_secs: 0.05,
             fault_plan: None,
+            sentinel: SentinelConfig::default(),
+            kill_rank: None,
+            physics_fault: None,
         }
     }
+}
+
+/// Physics-sentinel thresholds. The sentinel checks the fields crossing
+/// the coupler boundary on the atmosphere root — every accepted SST
+/// field (sea-masked cells) and the root's own soil-column skin
+/// temperatures — for NaN/Inf and out-of-physical-range values. The
+/// default bounds are far outside anything a healthy run produces, so
+/// false trips cost nothing while a genuine blow-up is caught at the
+/// interval it happens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelConfig {
+    /// Check exchanged fields at all (on by default).
+    pub enabled: bool,
+    /// Coldest plausible SST \[°C\] (sea water freezes near −1.92 °C).
+    pub sst_min_c: f64,
+    /// Warmest plausible SST \[°C\].
+    pub sst_max_c: f64,
+    /// Coldest plausible soil skin temperature \[°C\]. The default sits
+    /// just above absolute zero: coarse polar columns in this model
+    /// legitimately reach −230 °C during spin-up, so the soil bound is a
+    /// NaN/absolute-zero tripwire, not a climatological range. Tighten
+    /// per experiment when the resolution supports it.
+    pub soil_min_c: f64,
+    /// Warmest plausible soil skin temperature \[°C\].
+    pub soil_max_c: f64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            enabled: true,
+            sst_min_c: -5.0,
+            sst_max_c: 60.0,
+            soil_min_c: -270.0,
+            soil_max_c: 200.0,
+        }
+    }
+}
+
+/// Deterministic rank-death injection: `rank` panics at the top of
+/// coupling interval `interval` (an in-process stand-in for a node
+/// crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKill {
+    /// World rank to kill (atmosphere ranks `0..n_atm_ranks`, ocean at
+    /// `n_atm_ranks`).
+    pub rank: usize,
+    /// Coupling interval at which the rank dies.
+    pub interval: usize,
+}
+
+/// Deterministic physics blow-up injection: the accepted SST of
+/// coupling interval `interval` is poisoned on the atmosphere root
+/// before the sentinel inspects it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysicsFault {
+    /// Coupling interval whose SST exchange is poisoned.
+    pub interval: usize,
+    /// How the field blows up.
+    pub kind: PhysicsFaultKind,
+}
+
+/// The ways an injected physics fault corrupts the SST field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysicsFaultKind {
+    /// One cell becomes NaN (the classic numerical-instability
+    /// signature).
+    Nan,
+    /// One cell leaves the physical range by orders of magnitude.
+    OutOfRange,
 }
 
 /// In-run streaming statistics knobs. When [`FoamConfig::stream`] is
@@ -333,6 +424,17 @@ impl FoamConfig {
         }
         if let Some(stream) = &self.stream {
             at_least_one("stream.eof_rank", stream.eof_rank)?;
+        }
+        if self.runtime.sentinel.enabled {
+            let s = &self.runtime.sentinel;
+            positive(
+                "runtime.sentinel SST range width",
+                s.sst_max_c - s.sst_min_c,
+            )?;
+            positive(
+                "runtime.sentinel soil range width",
+                s.soil_max_c - s.soil_min_c,
+            )?;
         }
         if let Some(path) = &self.telemetry.path {
             // The file itself is created at the end of the run; what must

@@ -40,18 +40,24 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use foam_atm::{AtmExport, AtmForcing, AtmModel, AtmState};
-use foam_ckpt::{CheckpointStore, CkptError};
+use foam_ckpt::{CheckpointStore, CkptError, FaultyStore};
 use foam_coupler::tags::{TAG_CKPT, TAG_DONE, TAG_FORCING, TAG_SST, TAG_SST_RETRY};
 use foam_coupler::{AtmSurfaceFields, Coupler, CouplerState, ExchangeBuffers};
 use foam_grid::constants::SECONDS_PER_DAY;
 use foam_grid::{Field2, OceanGrid, World};
-use foam_mpi::{Comm, CommLint, RankTrace, RunConfig, Universe};
+use foam_mpi::{Backoff, Comm, CommLint, RankTrace, RunConfig, Universe};
 use foam_ocean::{OceanForcing, OceanModel, SplitScheme};
 use foam_telemetry::{TelemetryRegistry, TelemetryReport};
 
 use crate::checkpoint::{self, GlobalSnapshot, RootShardExtras};
-use crate::config::{ConfigError, CouplingMode, FoamConfig, RuntimeConfig};
+use crate::config::{
+    ConfigError, CouplingMode, FoamConfig, PhysicsFaultKind, RuntimeConfig, SentinelConfig,
+};
 use crate::stream::{sea_area_weights, DriverStream};
+
+/// Kelvin → Celsius offset for the soil-temperature sentinel (soil
+/// columns integrate in K, the sentinel bounds are configured in °C).
+const KELVIN_OFFSET: f64 = 273.15;
 
 /// How long the root waits for the ocean's checkpoint acknowledgement
 /// before abandoning the snapshot attempt (never the run) \[s\].
@@ -75,6 +81,25 @@ pub enum CoupledError {
     /// configured path. ([`FoamConfig::validate`] catches a missing
     /// parent directory up front; this covers failures at write time.)
     TelemetryWrite { path: PathBuf, error: String },
+    /// A rank died mid-run (a panic, or an injected
+    /// [`crate::RankKill`]). The surviving ranks were quiesced by the
+    /// runtime, so the job tore down promptly instead of hanging.
+    RankDead { rank: usize, detail: String },
+    /// The physics sentinel found a non-finite or out-of-range value in
+    /// a coupled field ([`crate::SentinelConfig`]) — the model blew up,
+    /// but the last on-trajectory checkpoint predates the poison, so
+    /// the run is resumable.
+    Sentinel {
+        /// Coupling interval at which the sentinel tripped.
+        interval: usize,
+        /// Which field tripped it (`"sst"` or `"soil"`).
+        field: &'static str,
+        /// The offending value (°C; may be NaN or ±inf).
+        value: f64,
+    },
+    /// An internal invariant failed after the SPMD region completed —
+    /// "impossible" states surfaced as data instead of a panic.
+    Internal { what: String },
 }
 
 impl std::fmt::Display for CoupledError {
@@ -96,6 +121,20 @@ impl std::fmt::Display for CoupledError {
                     "failed to write the telemetry report to {}: {error}",
                     path.display()
                 )
+            }
+            CoupledError::RankDead { rank, detail } => {
+                write!(f, "rank {rank} died mid-run: {detail}")
+            }
+            CoupledError::Sentinel {
+                interval,
+                field,
+                value,
+            } => write!(
+                f,
+                "physics sentinel tripped at coupling interval {interval}: {field} = {value}"
+            ),
+            CoupledError::Internal { what } => {
+                write!(f, "internal driver invariant failed: {what}")
             }
         }
     }
@@ -245,12 +284,20 @@ pub fn try_resume_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, 
     run_inner(cfg, days, Some(snap))
 }
 
-fn run_inner(
+/// Number of coupling intervals a `days`-day run of `cfg` integrates
+/// (the loop bound of the exchange protocol; shared with the run
+/// supervisor so it can tell "resumable checkpoint" from "checkpoint
+/// already at the end of the run").
+pub(crate) fn n_couple_for(cfg: &FoamConfig, days: f64) -> usize {
+    ((days * SECONDS_PER_DAY) / cfg.dt_couple).round().max(1.0) as usize
+}
+
+pub(crate) fn run_inner(
     cfg: &FoamConfig,
     days: f64,
     resume: Option<GlobalSnapshot>,
 ) -> Result<CoupledOutput, CoupledError> {
-    let n_couple = ((days * SECONDS_PER_DAY) / cfg.dt_couple).round().max(1.0) as usize;
+    let n_couple = n_couple_for(cfg, days);
     if let Some(snap) = &resume {
         if snap.interval >= n_couple {
             return Err(CoupledError::Ckpt(CkptError::ConfigMismatch(format!(
@@ -273,7 +320,7 @@ fn run_inner(
     let start_c = resume.as_ref().map(|s| s.interval).unwrap_or(0);
     let collect_telemetry = cfg.telemetry.collect();
     let resume_ref = resume.as_ref();
-    let out = Universe::run_cfg(cfg.n_ranks(), run_cfg, |world| {
+    let out = Universe::try_run_cfg(cfg.n_ranks(), run_cfg, |world| {
         // Each rank is one OS thread, so a thread-local registry is a
         // per-rank registry. Harvest on both the success and the error
         // path so a reused thread never inherits stale state.
@@ -290,7 +337,14 @@ fn run_inner(
             res.telemetry = telemetry;
             res
         })
-    });
+    })
+    // A rank that panicked (organically or via an injected
+    // `RankKill`) surfaces as a typed error instead of re-raising the
+    // panic; the runtime already quiesced the survivors.
+    .map_err(|failure| CoupledError::RankDead {
+        rank: failure.rank,
+        detail: failure.detail,
+    })?;
     // The root's error is the authoritative one; others only report
     // the abort it broadcast.
     let mut results = out.results;
@@ -307,7 +361,9 @@ fn run_inner(
     results.remove(0)?; // the ocean rank
     let sim_seconds = n_couple as f64 * cfg.dt_couple;
     let wall = r0.wall_seconds.max(1e-9);
-    let final_sst = r0.final_sst.expect("rank 0 must produce a final SST");
+    let final_sst = r0.final_sst.ok_or_else(|| CoupledError::Internal {
+        what: "rank 0 completed without producing a final SST".to_string(),
+    })?;
     // Ice fraction diagnosed from the clamp on the final field.
     let world_obj = World::earthlike();
     let mask = OceanModel::effective_sea_mask(&cfg.ocean, &world_obj);
@@ -412,6 +468,7 @@ fn recv_sst(
         }
     }
     let timeout = Duration::from_secs_f64(rt.sst_retry_timeout_secs);
+    let backoff = Backoff::new(rt.sst_retry_backoff_secs);
     let mut retries = 0u32;
     loop {
         match world.recv_deadline::<(usize, Field2)>(ocean, TAG_SST, timeout) {
@@ -435,9 +492,7 @@ fn recv_sst(
                 retries += 1;
                 foam_telemetry::count("coupler.sst_retries", 1);
                 world.send(ocean, TAG_SST_RETRY, expected);
-                std::thread::sleep(Duration::from_secs_f64(
-                    rt.sst_retry_backoff_secs * (1u64 << (retries - 1).min(10)) as f64,
-                ));
+                std::thread::sleep(backoff.delay(retries));
             }
         }
     }
@@ -452,6 +507,70 @@ fn shutdown_ocean(world: &Comm, ocean: usize) {
     let () = world.recv(ocean, TAG_DONE);
     let _ = world.drain::<(usize, Field2)>(ocean, TAG_SST);
     let _ = world.drain::<(usize, bool)>(ocean, TAG_CKPT);
+}
+
+/// Scan a just-received SST field for non-finite or out-of-range
+/// sea-cell values. Runs on the root (the one rank that holds the full
+/// field) before the SST is accepted, so a blown-up ocean never
+/// contaminates the model state, the diagnostics, or a checkpoint.
+fn sentinel_sst(
+    s: &SentinelConfig,
+    sst: &Field2,
+    sea_mask: &[bool],
+    interval: usize,
+) -> Option<CoupledError> {
+    if !s.enabled {
+        return None;
+    }
+    for (k, &t) in sst.as_slice().iter().enumerate() {
+        if sea_mask[k] && (!t.is_finite() || t < s.sst_min_c || t > s.sst_max_c) {
+            return Some(CoupledError::Sentinel {
+                interval,
+                field: "sst",
+                value: t,
+            });
+        }
+    }
+    None
+}
+
+/// Scan the root's soil-column skin temperatures (handed over in K,
+/// checked against the °C bounds) before the root posts its forcing.
+/// Scope: the root's latitude rows — the sentinel is a blow-up tripwire,
+/// not a global audit, and the SST check above already covers the whole
+/// ocean.
+fn sentinel_soil(
+    s: &SentinelConfig,
+    skins_kelvin: impl Iterator<Item = f64>,
+    interval: usize,
+) -> Option<CoupledError> {
+    if !s.enabled {
+        return None;
+    }
+    for t_k in skins_kelvin {
+        let t = t_k - KELVIN_OFFSET;
+        if !t.is_finite() || t < s.soil_min_c || t > s.soil_max_c {
+            return Some(CoupledError::Sentinel {
+                interval,
+                field: "soil",
+                value: t,
+            });
+        }
+    }
+    None
+}
+
+/// Inject a physics fault ([`crate::PhysicsFault`]) into a received SST
+/// field: the first sea cell becomes NaN or a wildly out-of-range
+/// value, exactly as a numerically blown-up ocean would hand back.
+fn poison_sst(sst: &mut Field2, kind: PhysicsFaultKind, sea_mask: &[bool]) {
+    let Some(k) = sea_mask.iter().position(|&m| m) else {
+        return;
+    };
+    sst.as_mut_slice()[k] = match kind {
+        PhysicsFaultKind::Nan => f64::NAN,
+        PhysicsFaultKind::OutOfRange => 1.0e6,
+    };
 }
 
 /// Root bookkeeping for one completed coupling interval: the mean-SST
@@ -471,7 +590,7 @@ fn record_interval(
     sea_mask: &[bool],
     collect_monthly: bool,
     intervals_per_month: usize,
-) {
+) -> Result<(), CoupledError> {
     series.push(ocn_grid.masked_mean(sst.as_slice(), sea_mask));
     if collect_monthly || stream.is_some() {
         let (acc, n) =
@@ -482,8 +601,13 @@ fn record_interval(
             let mut mean_field = acc.clone();
             mean_field.scale(1.0 / *n as f64);
             if let Some(ds) = stream {
+                // Unreachable on a correctly built stream (it was sized
+                // from this very grid), but surfaced as data, not a
+                // panic.
                 ds.push_month(mean_field.as_slice())
-                    .expect("the stream was built on the ocean grid");
+                    .map_err(|e| CoupledError::Internal {
+                        what: format!("streaming statistics rejected a monthly mean: {e}"),
+                    })?;
             }
             if collect_monthly {
                 monthly.push(mean_field);
@@ -491,6 +615,7 @@ fn record_interval(
             *month_acc = None;
         }
     }
+    Ok(())
 }
 
 /// One checkpoint attempt, coordinated across the atmosphere ranks and
@@ -505,7 +630,7 @@ fn checkpoint_rendezvous(
     world: &Comm,
     atm_comm: &Comm,
     cfg: &FoamConfig,
-    store: Option<&CheckpointStore>,
+    store: Option<&FaultyStore>,
     ocean: usize,
     target: usize,
     model: &AtmModel,
@@ -615,12 +740,15 @@ fn atm_rank(
     );
     // Only the root coordinates checkpoints. A store that cannot open
     // disables them quietly: snapshots are best-effort, the run itself
-    // must not die for one.
+    // must not die for one. The store is always routed through the
+    // fault-injection wrapper; with no plan configured it is
+    // transparent.
     let ckpt_store = if is_root {
         cfg.ckpt
             .dir
             .as_deref()
             .and_then(|d| CheckpointStore::open(d).ok())
+            .map(|s| FaultyStore::wrap(s, cfg.ckpt.fault_plan.clone().unwrap_or_default()))
     } else {
         None
     };
@@ -635,9 +763,18 @@ fn atm_rank(
         None if is_root => match recv_sst(world, &cfg.runtime, ocean_rank_id, 0, &[]) {
             Ok((seq, s)) => {
                 sst_seq = seq;
-                atm_comm
-                    .bcast(0, Some(Some(s)))
-                    .expect("root broadcast its own SST")
+                match atm_comm.bcast(0, Some(Some(s))) {
+                    Some(s) => s,
+                    // Structurally unreachable: a broadcast returns the
+                    // root's own value to the root. Abort typed rather
+                    // than panic if it ever isn't.
+                    None => {
+                        shutdown_ocean(world, ocean_rank_id);
+                        return Err(CoupledError::Internal {
+                            what: "root broadcast of the initial SST came back empty".to_string(),
+                        });
+                    }
+                }
             }
             Err(e) => {
                 atm_comm.bcast::<Option<Field2>>(0, Some(None));
@@ -697,6 +834,19 @@ fn atm_rank(
     let t_start = world.now();
 
     for c in start_c..n_couple {
+        // Deterministic rank-death injection: die at the *start* of the
+        // scheduled interval, before any physics step — the last
+        // committed checkpoint is then exactly on the fault-free
+        // trajectory, which is what makes supervised recovery
+        // bit-identical to an unfaulted run.
+        if let Some(k) = cfg.runtime.kill_rank {
+            if k.rank == world.rank() && k.interval == c {
+                panic!(
+                    "injected rank death: rank {} at coupling interval {c}",
+                    k.rank
+                );
+            }
+        }
         for _ in 0..steps_per_couple {
             // ---- Coupler, distributed by latitude rows (co-located
             //      with the atmosphere decomposition, as in the paper).
@@ -767,6 +917,20 @@ fn atm_rank(
         let received: Option<Field2> = world.region("coupler", || {
             let _t = foam_telemetry::scope("coupler");
             if is_root {
+                // Physics sentinel, land side: check the root's soil
+                // rows before committing this interval's forcing to the
+                // ocean.
+                if let Some(e) = sentinel_soil(
+                    &cfg.runtime.sentinel,
+                    coupler_state.soil[j0 * nlon..j1 * nlon]
+                        .iter()
+                        .map(|col| col.skin()),
+                    c,
+                ) {
+                    atm_comm.bcast(0, Some(2u8));
+                    shutdown_ocean(world, ocean_rank_id);
+                    return Err(e);
+                }
                 let tagged = (c, forcing);
                 world.send(ocean_rank_id, TAG_FORCING, tagged.clone());
                 recent.push(tagged);
@@ -784,7 +948,26 @@ fn atm_rank(
                 let got = match due {
                     Some(expected) => {
                         match recv_sst(world, &cfg.runtime, ocean_rank_id, expected, &recent) {
-                            Ok((seq, s)) => {
+                            Ok((seq, mut s)) => {
+                                // Injected physics fault: poison the
+                                // received SST exactly as a blown-up
+                                // ocean would, *before* the sentinel
+                                // scan.
+                                if let Some(pf) = cfg.runtime.physics_fault {
+                                    if pf.interval == c {
+                                        poison_sst(&mut s, pf.kind, &sea_mask);
+                                    }
+                                }
+                                // Physics sentinel, ocean side: refuse
+                                // the field before it can reach the
+                                // model state or a checkpoint.
+                                if let Some(e) =
+                                    sentinel_sst(&cfg.runtime.sentinel, &s, &sea_mask, c)
+                                {
+                                    atm_comm.bcast(0, Some(2u8));
+                                    shutdown_ocean(world, ocean_rank_id);
+                                    return Err(e);
+                                }
                                 sst_seq = seq;
                                 Some(s)
                             }
@@ -801,7 +984,10 @@ fn atm_rank(
                                     let mut monthly = res.monthly_sst.clone();
                                     let mut macc = month_acc.clone();
                                     let mut strm = stream.clone();
-                                    record_interval(
+                                    // Best effort: the emergency
+                                    // snapshot is already off the
+                                    // failure-free trajectory.
+                                    let _ = record_interval(
                                         &mut series,
                                         &mut monthly,
                                         &mut macc,
@@ -903,7 +1089,7 @@ fn atm_rank(
                 &sea_mask,
                 cfg.collect_monthly_sst,
                 intervals_per_month,
-            );
+            )?;
         }
 
         // ---- Periodic checkpoint at the configured cadence. ----------
@@ -946,7 +1132,15 @@ fn atm_rank(
     if is_root {
         if cfg.coupling == CouplingMode::Lagged {
             match recv_sst(world, &cfg.runtime, ocean_rank_id, n_couple, &recent) {
-                Ok((_, s)) => sst = s,
+                Ok((_, s)) => {
+                    // The final drained SST feeds `final_sst`; a blown-up
+                    // field is refused like any mid-run one.
+                    if let Some(e) = sentinel_sst(&cfg.runtime.sentinel, &s, &sea_mask, n_couple) {
+                        shutdown_ocean(world, ocean_rank_id);
+                        return Err(e);
+                    }
+                    sst = s;
+                }
                 Err(e) => {
                     shutdown_ocean(world, ocean_rank_id);
                     return Err(e);
@@ -998,6 +1192,18 @@ fn ocean_rank(
                 // model; duplicates (idx < completed) and early
                 // retransmissions (idx > completed) are ignored.
                 if idx == completed {
+                    // Injected rank death for the ocean: die on accepting
+                    // the scheduled interval's forcing, before stepping —
+                    // the ocean state is still exactly the fault-free
+                    // interval-boundary state.
+                    if let Some(k) = cfg.runtime.kill_rank {
+                        if k.rank == world.rank() && k.interval == idx {
+                            panic!(
+                                "injected rank death: rank {} at coupling interval {idx}",
+                                k.rank
+                            );
+                        }
+                    }
                     world.region("ocean", || {
                         let _t = foam_telemetry::scope("ocean");
                         match cfg.ocean_scheme {

@@ -20,6 +20,13 @@
 //! gravity-wave-limited ocean, sequential blocking coupling) — the
 //! NCAR-CSM-like comparator of experiment T2.
 //!
+//! For unattended long runs, [`supervisor::supervise_run`] wraps the
+//! driver in a self-healing loop: typed fault classification (rank
+//! death, exchange timeout, checkpoint-store I/O, physics sentinel),
+//! rollback to the newest readable snapshot, and resume under a bounded
+//! recovery budget — with a deterministic, telemetry-embedded record of
+//! every recovery taken.
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -41,22 +48,29 @@ pub mod diagnostics;
 mod driver;
 pub mod history;
 pub mod stream;
+pub mod supervisor;
 
 pub use checkpoint::GlobalSnapshot;
 pub use config::{
-    CkptConfig, ConfigError, CouplingMode, FoamConfig, RuntimeConfig, StreamStatsConfig,
-    TelemetryConfig,
+    CkptConfig, ConfigError, CouplingMode, FoamConfig, PhysicsFault, PhysicsFaultKind, RankKill,
+    RuntimeConfig, SentinelConfig, StreamStatsConfig, TelemetryConfig,
 };
 pub use driver::{
     baseline_config, run_coupled, try_resume_coupled, try_run_coupled, CoupledError, CoupledOutput,
 };
-pub use foam_ckpt::{CheckpointStore, CkptError, Snapshot};
+pub use foam_ckpt::{
+    CheckpointStore, CkptError, FaultyStore, Snapshot, StoreFault, StoreFaultKind, StoreFaultPlan,
+};
 pub use history::{HistoryReader, HistoryWriter};
 pub use stream::{sea_area_weights, DriverStream};
+pub use supervisor::{
+    supervise_run, RecoveryAction, RecoveryEvent, RecoveryReport, RunFault, SupervisedOutput,
+    SupervisorConfig, SupervisorError, SupervisorErrorKind,
+};
 
 pub use foam_atm::{AtmConfig, AtmModel};
 pub use foam_coupler::Coupler;
 pub use foam_grid::{Field2, World};
-pub use foam_mpi::{CommLint, CommStats, FaultPlan, RankTrace, TraceSummary, Universe};
+pub use foam_mpi::{Backoff, CommLint, CommStats, FaultPlan, RankTrace, TraceSummary, Universe};
 pub use foam_ocean::{OceanConfig, OceanModel, SplitScheme};
 pub use foam_telemetry::{TelemetryRegistry, TelemetryReport};

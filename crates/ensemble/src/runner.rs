@@ -4,8 +4,8 @@
 
 use std::time::Instant;
 
-use foam::{try_resume_coupled, try_run_coupled, CoupledError, CoupledOutput};
-use foam_ckpt::CheckpointStore;
+use foam::supervisor::{supervise_run, SupervisorConfig};
+use foam::{Backoff, CoupledError, CoupledOutput};
 use foam_grid::Field2;
 use foam_telemetry::TelemetryReport;
 
@@ -131,54 +131,42 @@ pub fn run_ensemble(spec: &EnsembleSpec) -> Result<EnsembleOutput, EnsembleError
     })
 }
 
-/// Run one member to completion or retry exhaustion.
+/// Run one member under the run supervisor
+/// ([`foam::supervisor::supervise_run`]) to completion or recovery
+/// exhaustion.
 ///
-/// The first attempt is always a fresh run from a clean checkpoint
-/// store (stale snapshots from a previous ensemble in the same
-/// directory must not leak into this one). A retryable failure —
-/// anything but a [`CoupledError::Config`] — is retried under the
-/// spec's backoff; the retry drops the member's fault plan (the
-/// transient-fault model: an injected fault fires once, not on every
-/// attempt) and resumes from the member's newest checkpoint when one
-/// was committed, falling back to a fresh rerun otherwise. Periodic
-/// snapshots lie on the failure-free trajectory, so a resumed member's
-/// output is bit-identical to an unfaulted member's.
+/// The member always starts from a clean checkpoint store (stale
+/// snapshots from a previous ensemble in the same directory must not
+/// leak into this one). The spec's [`crate::RetryPolicy`] maps onto the
+/// supervisor's budget: `max_retries` bounds the rollback-and-resume
+/// attempts and the backoff knobs pace them. The supervisor classifies
+/// each failure, disarms the injected fault class that fired (the
+/// transient-fault model), rolls back to the member's newest committed
+/// snapshot, and resumes — periodic snapshots lie on the failure-free
+/// trajectory, so a recovered member's output is bit-identical to an
+/// unfaulted member's.
 fn run_member(spec: &EnsembleSpec, m: &MemberSpec) -> MemberRecord {
-    let mut cfg = spec.member_config(m);
+    let cfg = spec.member_config(m);
     if let Some(dir) = &cfg.ckpt.dir {
-        // Ensemble-owned scratch: clear it so `latest()` below can only
-        // ever see snapshots from *this* member run.
+        // Ensemble-owned scratch: clear it so the supervisor's rollback
+        // can only ever see snapshots from *this* member run.
         let _ = std::fs::remove_dir_all(dir);
     }
 
-    let mut retries = 0u32;
-    let mut result = try_run_coupled(&cfg, spec.days);
-    while let Err(e) = &result {
-        let retryable = !matches!(e, CoupledError::Config(_));
-        if !retryable || retries >= spec.retry.max_retries {
-            break;
-        }
-        retries += 1;
-        std::thread::sleep(spec.retry.backoff_for(retries));
-        // Transient-fault model: the plan fired, the retry runs clean.
-        cfg.runtime.fault_plan = None;
-        let has_checkpoint = cfg
-            .ckpt
-            .dir
-            .as_deref()
-            .and_then(|dir| CheckpointStore::open(dir).ok())
-            .and_then(|store| store.latest().ok().flatten())
-            .is_some();
-        result = if has_checkpoint {
-            try_resume_coupled(&cfg, spec.days)
-        } else {
-            try_run_coupled(&cfg, spec.days)
-        };
-    }
-
-    MemberRecord {
-        spec: m.clone(),
-        retries,
-        result: result.map(MemberOutput::from),
+    let sup = SupervisorConfig {
+        max_recoveries: spec.retry.max_retries,
+        backoff: Backoff::capped(spec.retry.backoff_secs, spec.retry.backoff_max_secs),
+    };
+    match supervise_run(&cfg, spec.days, &sup) {
+        Ok(out) => MemberRecord {
+            spec: m.clone(),
+            retries: out.recovery.rollbacks() as u32,
+            result: Ok(MemberOutput::from(out.output)),
+        },
+        Err(e) => MemberRecord {
+            spec: m.clone(),
+            retries: e.recovery.rollbacks() as u32,
+            result: Err(e.last_error),
+        },
     }
 }

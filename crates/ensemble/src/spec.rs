@@ -35,10 +35,12 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff before retry number `retry` (1-based): exponential from
-    /// [`backoff_secs`](RetryPolicy::backoff_secs), capped.
+    /// [`backoff_secs`](RetryPolicy::backoff_secs), capped. Delegates
+    /// to the shared deterministic [`foam_mpi::Backoff`] schedule —
+    /// the same one the driver's exchange retries and the run
+    /// supervisor use.
     pub fn backoff_for(&self, retry: u32) -> std::time::Duration {
-        let exp = (1u64 << retry.saturating_sub(1).min(16)) as f64;
-        std::time::Duration::from_secs_f64((self.backoff_secs * exp).min(self.backoff_max_secs))
+        foam_mpi::Backoff::capped(self.backoff_secs, self.backoff_max_secs).delay(retry)
     }
 }
 
@@ -181,6 +183,7 @@ impl EnsembleSpec {
                 interval: self.ckpt_interval,
                 keep: 2,
                 on_error: false,
+                fault_plan: None,
             },
             None => CkptConfig::default(),
         };

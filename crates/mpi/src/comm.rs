@@ -13,8 +13,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::fault::{ActiveFaults, FaultAction};
+use crate::heartbeat::HeartbeatBoard;
 use crate::stats::{tag_label, CommStats, INTERNAL_TAG};
 use crate::trace::{RankTrace, Tracer};
+use crate::universe::JobControl;
 
 /// Reduction operators supported by [`Comm::reduce`] and friends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +56,32 @@ const TAG_GATHER: u32 = INTERNAL_TAG + 4;
 const TAG_SCATTER: u32 = INTERNAL_TAG + 5;
 const TAG_ALLTOALL: u32 = INTERNAL_TAG + 6;
 const TAG_SPLIT: u32 = INTERNAL_TAG + 7;
+/// Job-abort broadcast injected by the universe when a rank dies: any
+/// rank that sees it parks itself with a [`Quiesced`] panic so the job
+/// can tear down instead of hanging in a receive that will never match.
+const TAG_ABORT: u32 = INTERNAL_TAG + 8;
+
+/// Poll interval for blocked receives: each expiry emits one idle
+/// heartbeat beacon and re-checks the job-abort flag.
+const BEACON: Duration = Duration::from_millis(25);
+
+/// Panic payload marking a rank parked by the job-abort broadcast — a
+/// casualty of another rank's failure, not a culprit. The universe
+/// recognizes it and excludes such ranks from failure attribution.
+pub(crate) struct Quiesced;
+
+/// Envelope carrying the job-abort broadcast from the universe on
+/// behalf of dead rank `src`. Not counted in comm statistics and
+/// filtered from teardown lint.
+pub(crate) fn make_abort(src: usize) -> Envelope {
+    Envelope {
+        ctx: 0,
+        src,
+        tag: TAG_ABORT,
+        bytes: 0,
+        payload: Box::new(()),
+    }
+}
 
 /// Error returned when a receive deadline expires. Carries enough of the
 /// mailbox state to diagnose the mismatch that caused the stall.
@@ -159,6 +187,11 @@ pub(crate) struct Endpoint {
     /// successful receive, so at teardown it means "ended blocked"
     /// rather than "ever timed out" (a recovered retry is not an error).
     timed_out: bool,
+    /// Shared liveness board: beats piggyback on sends/receives, idle
+    /// beacons fire while blocked.
+    board: Arc<HeartbeatBoard>,
+    /// Job-wide abort flag set by the universe when any rank dies.
+    ctl: Arc<JobControl>,
 }
 
 /// A communicator over a group of ranks.
@@ -177,6 +210,7 @@ pub struct Comm {
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new_world(
         world_rank: usize,
         rx: Receiver<Envelope>,
@@ -185,6 +219,8 @@ impl Comm {
         tracing: bool,
         deadline: Option<Duration>,
         faults: Option<Arc<ActiveFaults>>,
+        board: Arc<HeartbeatBoard>,
+        ctl: Arc<JobControl>,
     ) -> Self {
         let n = senders.len();
         let mut tracer = Tracer::new(world_rank, epoch);
@@ -201,6 +237,8 @@ impl Comm {
                 held: Vec::new(),
                 send_seq: HashMap::new(),
                 timed_out: false,
+                board,
+                ctl,
             })),
             senders,
             ctx: 0,
@@ -291,6 +329,11 @@ impl Comm {
         }
         let mut leaked: BTreeMap<(usize, u32), usize> = BTreeMap::new();
         for e in &ep.pending {
+            // Abort broadcasts are harness traffic, not application
+            // leakage.
+            if e.tag == TAG_ABORT {
+                continue;
+            }
             *leaked.entry((e.src, e.tag)).or_default() += 1;
         }
         let lint = RankLint {
@@ -329,6 +372,19 @@ impl Comm {
             payload: Box::new(value),
         };
         let mut ep = self.endpoint.borrow_mut();
+        ep.board.beat(self.world_rank());
+        let ctl = Arc::clone(&ep.ctl);
+        // A peer whose endpoint dropped mid-job means that rank died;
+        // once the universe has raised the abort flag, park quietly
+        // instead of turning the casualty into a second loud panic.
+        let deliver = |env: Envelope| {
+            if self.senders[dst_world].send(env).is_err() {
+                if ctl.aborted() {
+                    std::panic::panic_any(Quiesced);
+                }
+                panic!("peer rank endpoint dropped while sending");
+            }
+        };
         ep.stats.on_send(tag, bytes);
         let action = if let Some(faults) = ep.faults.clone() {
             let seq = ep.send_seq.entry((dst_world, tag)).or_insert(0);
@@ -356,18 +412,14 @@ impl Comm {
                 ep.held.push((dst_world, env));
             }
             None => {
-                self.senders[dst_world]
-                    .send(env)
-                    .expect("peer rank endpoint dropped while sending");
+                deliver(env);
                 // Release held messages *after* the one that just
                 // overtook them.
                 let mut i = 0;
                 while i < ep.held.len() {
                     if ep.held[i].0 == dst_world {
                         let (_, held_env) = ep.held.remove(i);
-                        self.senders[dst_world]
-                            .send(held_env)
-                            .expect("peer rank endpoint dropped while sending");
+                        deliver(held_env);
                     } else {
                         i += 1;
                     }
@@ -441,7 +493,9 @@ impl Comm {
     }
 
     /// The receive engine: match the stash, then drain the channel, then
-    /// block (with wait-time accounting and optional deadline).
+    /// block (with wait-time accounting and optional deadline). Blocking
+    /// is chunked into [`BEACON`]-sized polls so a waiting rank keeps
+    /// emitting idle heartbeats and notices the job-abort broadcast.
     fn recv_matching(
         &self,
         src: usize,
@@ -452,6 +506,10 @@ impl Comm {
         let matches =
             |e: &Envelope| e.ctx == self.ctx && e.src == src_world && tags.contains(&e.tag);
         let mut ep = self.endpoint.borrow_mut();
+        ep.board.beat(self.world_rank());
+        if ep.ctl.aborted() {
+            std::panic::panic_any(Quiesced);
+        }
 
         // Check the stash first.
         if let Some(pos) = ep.pending.iter().position(matches) {
@@ -463,6 +521,9 @@ impl Comm {
 
         // Drain the channel without blocking.
         while let Ok(env) = ep.rx.try_recv() {
+            if env.tag == TAG_ABORT {
+                std::panic::panic_any(Quiesced);
+            }
             if matches(&env) {
                 ep.stats.on_recv(env.tag, env.bytes);
                 ep.timed_out = false;
@@ -475,48 +536,56 @@ impl Comm {
         let t0 = ep.tracer.now();
         let started = Instant::now();
         loop {
-            let env = match deadline {
-                None => ep
-                    .rx
-                    .recv()
-                    .expect("all senders dropped while this rank is still receiving"),
-                Some(d) => {
-                    let result = match d.checked_sub(started.elapsed()) {
-                        Some(remaining) => ep.rx.recv_timeout(remaining),
-                        None => Err(RecvTimeoutError::Timeout),
-                    };
-                    match result {
-                        Ok(env) => env,
-                        Err(RecvTimeoutError::Timeout) => {
-                            let t1 = ep.tracer.now();
-                            ep.tracer.record_wait(t0, t1);
-                            ep.stats.on_wait(tags[0], t1 - t0);
-                            ep.timed_out = true;
-                            let pending: Vec<(usize, u32)> =
-                                ep.pending.iter().map(|e| (e.src, e.tag)).collect();
-                            return Err(RecvTimeout {
-                                rank: self.world_rank(),
-                                src,
-                                tags: tags.to_vec(),
-                                waited: started.elapsed(),
-                                pending,
-                            });
-                        }
-                        Err(RecvTimeoutError::Disconnected) => {
-                            panic!("all senders dropped while this rank is still receiving")
-                        }
+            let poll = match deadline {
+                None => BEACON,
+                Some(d) => match d.checked_sub(started.elapsed()) {
+                    Some(remaining) => remaining.min(BEACON),
+                    None => {
+                        let t1 = ep.tracer.now();
+                        ep.tracer.record_wait(t0, t1);
+                        ep.stats.on_wait(tags[0], t1 - t0);
+                        ep.timed_out = true;
+                        let pending: Vec<(usize, u32)> =
+                            ep.pending.iter().map(|e| (e.src, e.tag)).collect();
+                        return Err(RecvTimeout {
+                            rank: self.world_rank(),
+                            src,
+                            tags: tags.to_vec(),
+                            waited: started.elapsed(),
+                            pending,
+                        });
+                    }
+                },
+            };
+            match ep.rx.recv_timeout(poll) {
+                Ok(env) => {
+                    if env.tag == TAG_ABORT {
+                        std::panic::panic_any(Quiesced);
+                    }
+                    if matches(&env) {
+                        let t1 = ep.tracer.now();
+                        ep.tracer.record_wait(t0, t1);
+                        ep.stats.on_wait(env.tag, t1 - t0);
+                        ep.stats.on_recv(env.tag, env.bytes);
+                        ep.timed_out = false;
+                        return Ok(env);
+                    }
+                    ep.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Idle beacon: still alive, just waiting.
+                    ep.board.beat(self.world_rank());
+                    if ep.ctl.aborted() {
+                        std::panic::panic_any(Quiesced);
                     }
                 }
-            };
-            if matches(&env) {
-                let t1 = ep.tracer.now();
-                ep.tracer.record_wait(t0, t1);
-                ep.stats.on_wait(env.tag, t1 - t0);
-                ep.stats.on_recv(env.tag, env.bytes);
-                ep.timed_out = false;
-                return Ok(env);
+                Err(RecvTimeoutError::Disconnected) => {
+                    if ep.ctl.aborted() {
+                        std::panic::panic_any(Quiesced);
+                    }
+                    panic!("all senders dropped while this rank is still receiving")
+                }
             }
-            ep.pending.push_back(env);
         }
     }
 
@@ -525,6 +594,9 @@ impl Comm {
         let src_world = self.group[src];
         let mut ep = self.endpoint.borrow_mut();
         while let Ok(env) = ep.rx.try_recv() {
+            if env.tag == TAG_ABORT {
+                std::panic::panic_any(Quiesced);
+            }
             ep.pending.push_back(env);
         }
         ep.pending
@@ -540,6 +612,9 @@ impl Comm {
         let src_world = self.group[src];
         let mut ep = self.endpoint.borrow_mut();
         while let Ok(env) = ep.rx.try_recv() {
+            if env.tag == TAG_ABORT {
+                std::panic::panic_any(Quiesced);
+            }
             ep.pending.push_back(env);
         }
         let mut out = Vec::new();

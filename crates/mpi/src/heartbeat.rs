@@ -1,0 +1,146 @@
+//! Per-rank liveness heartbeats.
+//!
+//! Every rank of a running job ticks a shared [`HeartbeatBoard`]:
+//! heartbeats piggyback on every send and receive (a rank doing real
+//! communication is visibly alive for free), and a rank *blocked* in a
+//! receive emits an idle-period beacon every poll interval, so "quiet
+//! because waiting" and "quiet because dead" are distinguishable. The
+//! universe marks terminal states on the same board — done, dead
+//! (panicked), or quiesced (parked by a job abort) — which is what the
+//! run supervisor reads when it classifies a failure.
+//!
+//! Heartbeat *counts* are timing-dependent (a slow machine beacons more
+//! often) and must never enter a deterministic report; they are
+//! diagnostics only.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Lifecycle of one rank as seen by the heartbeat board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankState {
+    /// The rank closure is executing (or blocked in a receive, still
+    /// emitting idle beacons).
+    Running,
+    /// The rank closure returned normally.
+    Done,
+    /// The rank closure panicked — the failure that aborts the job.
+    Dead,
+    /// The rank was parked by the job-abort broadcast after another
+    /// rank died; it is a casualty, not a culprit.
+    Quiesced,
+}
+
+impl RankState {
+    fn from_u8(v: u8) -> RankState {
+        match v {
+            1 => RankState::Done,
+            2 => RankState::Dead,
+            3 => RankState::Quiesced,
+            _ => RankState::Running,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            RankState::Running => 0,
+            RankState::Done => 1,
+            RankState::Dead => 2,
+            RankState::Quiesced => 3,
+        }
+    }
+}
+
+/// Shared liveness board: one heartbeat counter and one lifecycle state
+/// per rank. All operations are lock-free relaxed atomics — the board
+/// is advisory, never a synchronization point.
+#[derive(Debug)]
+pub struct HeartbeatBoard {
+    beats: Vec<AtomicU64>,
+    states: Vec<AtomicU8>,
+}
+
+impl HeartbeatBoard {
+    /// A fresh board for `n` ranks, all `Running` with zero beats.
+    pub fn new(n: usize) -> Self {
+        HeartbeatBoard {
+            beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            states: (0..n).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Number of ranks on the board.
+    pub fn len(&self) -> usize {
+        self.beats.len()
+    }
+
+    /// True when the board covers zero ranks.
+    pub fn is_empty(&self) -> bool {
+        self.beats.is_empty()
+    }
+
+    /// Tick `rank`'s heartbeat (piggybacked on comm activity or emitted
+    /// as an idle beacon).
+    #[inline]
+    pub fn beat(&self, rank: usize) {
+        self.beats[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Heartbeats recorded for `rank` so far. Timing-dependent — never
+    /// put this in a deterministic report.
+    pub fn beats(&self, rank: usize) -> u64 {
+        self.beats[rank].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every rank's heartbeat count.
+    pub fn all_beats(&self) -> Vec<u64> {
+        self.beats
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Record `rank`'s lifecycle state.
+    pub fn set_state(&self, rank: usize, state: RankState) {
+        self.states[rank].store(state.as_u8(), Ordering::Relaxed);
+    }
+
+    /// `rank`'s last recorded lifecycle state.
+    pub fn state(&self, rank: usize) -> RankState {
+        RankState::from_u8(self.states[rank].load(Ordering::Relaxed))
+    }
+
+    /// Ranks currently in the given state, ascending.
+    pub fn ranks_in(&self, state: RankState) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&r| self.state(r) == state)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_accumulate_per_rank() {
+        let b = HeartbeatBoard::new(3);
+        b.beat(1);
+        b.beat(1);
+        b.beat(2);
+        assert_eq!(b.all_beats(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn states_round_trip() {
+        let b = HeartbeatBoard::new(4);
+        assert_eq!(b.state(0), RankState::Running);
+        b.set_state(1, RankState::Done);
+        b.set_state(2, RankState::Dead);
+        b.set_state(3, RankState::Quiesced);
+        assert_eq!(b.state(1), RankState::Done);
+        assert_eq!(b.state(2), RankState::Dead);
+        assert_eq!(b.state(3), RankState::Quiesced);
+        assert_eq!(b.ranks_in(RankState::Running), vec![0]);
+        assert_eq!(b.ranks_in(RankState::Quiesced), vec![3]);
+    }
+}

@@ -41,6 +41,17 @@
 //! * **Per-rank comm statistics** — message/byte counters and wait-time
 //!   histograms per tag ([`CommStats`]), carried on each
 //!   [`RankTrace`], so trace tooling reports *what* ranks waited on.
+//! * **Typed rank-death detection** — [`Universe::try_run_cfg`] returns a
+//!   [`RankFailure`] naming the first rank that died instead of
+//!   re-raising its panic; survivors blocked in receives are woken by a
+//!   job-abort broadcast and parked (quiesced) so the job tears down
+//!   promptly. Every rank ticks a [`HeartbeatBoard`] — beats piggyback
+//!   on sends/receives, and blocked ranks emit idle beacons — so
+//!   "waiting" and "dead" are distinguishable.
+//! * **Shared deterministic backoff** — [`Backoff`], the jitter-free
+//!   exponential schedule reused by every retry loop in the workspace
+//!   (driver SST retries, ensemble member retries, supervisor
+//!   rollback-and-resume).
 //!
 //! # Example
 //!
@@ -55,19 +66,23 @@
 //! assert_eq!(out.results, vec![6, 6, 6, 6]);
 //! ```
 
+mod backoff;
 mod comm;
 mod fault;
+mod heartbeat;
 mod stats;
 mod trace;
 mod universe;
 
+pub use backoff::Backoff;
 pub use comm::{Comm, Message, RecvTimeout, ReduceOp};
 pub use fault::{FaultAction, FaultPlan, FaultRule};
+pub use heartbeat::{HeartbeatBoard, RankState};
 pub use stats::{
     tag_label, CommLint, CommStats, LeakedMessage, TagImbalance, TagStats, WaitHistogram,
 };
 pub use trace::{RankTrace, Segment, SegmentKind, TraceSummary};
-pub use universe::{RunConfig, RunOutput, Universe};
+pub use universe::{RankFailure, RunConfig, RunOutput, Universe};
 
 #[cfg(test)]
 mod tests {

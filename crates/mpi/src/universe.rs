@@ -6,14 +6,16 @@
 //! miscommunicating job *reports* what it leaked instead of hanging.
 
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use parking_lot::Mutex;
 
-use crate::comm::{Comm, RankLint};
+use crate::comm::{make_abort, Comm, Quiesced, RankLint};
 use crate::fault::FaultPlan;
+use crate::heartbeat::{HeartbeatBoard, RankState};
 use crate::stats::{CommLint, CommStats, LeakedMessage, TagImbalance};
 use crate::trace::RankTrace;
 
@@ -39,6 +41,109 @@ pub struct RunOutput<R> {
     pub traces: Vec<RankTrace>,
     /// What the communication layer left behind at teardown.
     pub lint: CommLint,
+    /// Heartbeats each rank emitted (piggybacked on comm activity plus
+    /// idle beacons while blocked), indexed by rank. Timing-dependent —
+    /// diagnostics only, never part of a deterministic report.
+    pub heartbeats: Vec<u64>,
+}
+
+/// Job-wide abort control shared by every rank's endpoint: the first
+/// rank to die raises the flag (and records itself as culprit), after
+/// which surviving ranks park with a quiesce panic instead of hanging
+/// or failing loudly on their own.
+#[derive(Debug)]
+pub(crate) struct JobControl {
+    aborted: AtomicBool,
+    culprit: AtomicUsize,
+}
+
+impl JobControl {
+    fn new() -> Self {
+        JobControl {
+            aborted: AtomicBool::new(false),
+            culprit: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Raise the abort flag on behalf of dead rank `rank`; only the
+    /// first caller wins culprit attribution.
+    fn signal(&self, rank: usize) {
+        let _ = self
+            .culprit
+            .compare_exchange(usize::MAX, rank, Ordering::SeqCst, Ordering::SeqCst);
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    fn culprit(&self) -> Option<usize> {
+        match self.culprit.load(Ordering::SeqCst) {
+            usize::MAX => None,
+            r => Some(r),
+        }
+    }
+}
+
+/// Typed description of a failed job, returned by
+/// [`Universe::try_run_cfg`]: which rank died first, the panic message,
+/// which survivors were quiesced by the abort broadcast, plus the
+/// teardown lint and heartbeat counts for diagnosis.
+pub struct RankFailure {
+    /// World rank of the first rank that died (the culprit).
+    pub rank: usize,
+    /// The culprit's panic message (best-effort string extraction).
+    pub detail: String,
+    /// Ranks parked by the abort broadcast (casualties, ascending).
+    pub quiesced: Vec<usize>,
+    /// Per-rank heartbeat counts at teardown. Timing-dependent —
+    /// diagnostics only.
+    pub heartbeats: Vec<u64>,
+    /// What the communication layer left behind at teardown.
+    pub lint: CommLint,
+    payload: Box<dyn std::any::Any + Send>,
+}
+
+impl RankFailure {
+    /// Re-raise the culprit's original panic (used by the panicking
+    /// [`Universe::run`]-family entry points).
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+}
+
+impl std::fmt::Debug for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankFailure")
+            .field("rank", &self.rank)
+            .field("detail", &self.detail)
+            .field("quiesced", &self.quiesced)
+            .field("heartbeats", &self.heartbeats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} died: {}", self.rank, self.detail)?;
+        if !self.quiesced.is_empty() {
+            write!(f, " ({} surviving ranks quiesced)", self.quiesced.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// Entry point of the message-passing runtime.
@@ -87,6 +192,36 @@ impl Universe {
         R: Send,
         F: Fn(&Comm) -> R + Send + Sync,
     {
+        match Self::try_run_cfg(n, cfg, f) {
+            Ok(out) => out,
+            Err(failure) => {
+                // Give the user the teardown diagnosis before aborting,
+                // the way a batch MPI job prints its error file.
+                eprintln!("{}", failure.lint);
+                failure.resume()
+            }
+        }
+    }
+
+    /// Like [`Universe::run_cfg`] but a rank death comes back as a typed
+    /// [`RankFailure`] instead of re-raising the panic. When a rank dies,
+    /// the universe raises the job-abort flag and broadcasts an abort
+    /// message to every surviving rank; survivors park with a quiesce
+    /// panic at their next communication call (or within one idle-beacon
+    /// interval if blocked), so the job tears down promptly and the
+    /// *first* failure is the one attributed. This is the primitive the
+    /// run supervisor builds detect-rollback-resume on.
+    //
+    // The Err variant is large (it carries the teardown lint, the
+    // heartbeat board, and the panic payload), but this returns once
+    // per *job*, not per message — boxing would only complicate the one
+    // caller that matters.
+    #[allow(clippy::result_large_err)]
+    pub fn try_run_cfg<R, F>(n: usize, cfg: RunConfig, f: F) -> Result<RunOutput<R>, RankFailure>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Send + Sync,
+    {
         assert!(n > 0, "a universe needs at least one rank");
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
@@ -101,6 +236,8 @@ impl Universe {
             .faults
             .filter(|p| !p.is_empty())
             .map(FaultPlan::activate);
+        let board = Arc::new(HeartbeatBoard::new(n));
+        let ctl = Arc::new(JobControl::new());
 
         type Slot<R> = (std::thread::Result<R>, RankTrace, RankLint);
         let slots: Vec<Mutex<Option<Slot<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -110,6 +247,8 @@ impl Universe {
             for (rank, rx) in rxs.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
                 let faults = faults.clone();
+                let board = Arc::clone(&board);
+                let ctl = Arc::clone(&ctl);
                 let f = &f;
                 let slot = &slots[rank];
                 let deadline = cfg.deadline;
@@ -118,9 +257,36 @@ impl Universe {
                     .name(format!("foam-rank-{rank}"))
                     .stack_size(RANK_STACK)
                     .spawn_scoped(s, move || {
-                        let comm =
-                            Comm::new_world(rank, rx, senders, epoch, tracing, deadline, faults);
+                        let comm = Comm::new_world(
+                            rank,
+                            rx,
+                            Arc::clone(&senders),
+                            epoch,
+                            tracing,
+                            deadline,
+                            faults,
+                            Arc::clone(&board),
+                            Arc::clone(&ctl),
+                        );
                         let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                        match &out {
+                            Ok(_) => board.set_state(rank, RankState::Done),
+                            Err(p) if p.is::<Quiesced>() => {
+                                board.set_state(rank, RankState::Quiesced)
+                            }
+                            Err(_) => {
+                                // This rank is the (or a) culprit: flag
+                                // the job aborted and wake everyone
+                                // still blocked in a receive.
+                                board.set_state(rank, RankState::Dead);
+                                ctl.signal(rank);
+                                for (dst, tx) in senders.iter().enumerate() {
+                                    if dst != rank {
+                                        let _ = tx.send(make_abort(rank));
+                                    }
+                                }
+                            }
+                        }
                         let (trace, lint) = comm.finalize();
                         *slot.lock() = Some((out, trace, lint));
                     })
@@ -137,18 +303,14 @@ impl Universe {
         let mut results = Vec::with_capacity(n);
         let mut traces = Vec::with_capacity(n);
         let mut rank_lints = Vec::with_capacity(n);
-        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for slot in slots {
+        let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+        for (rank, slot) in slots.into_iter().enumerate() {
             let (out, trace, lint) = slot
                 .into_inner()
                 .expect("rank finished without storing a result");
             match out {
                 Ok(r) => results.push(r),
-                Err(p) => {
-                    if first_panic.is_none() {
-                        first_panic = Some(p);
-                    }
-                }
+                Err(p) => panics.push((rank, p)),
             }
             traces.push(trace);
             rank_lints.push(lint);
@@ -156,17 +318,42 @@ impl Universe {
 
         let lint = aggregate_lint(&traces, &rank_lints);
 
-        if let Some(p) = first_panic {
-            // Give the user the teardown diagnosis before aborting, the
-            // way a batch MPI job prints its error file.
-            eprintln!("{lint}");
-            std::panic::resume_unwind(p);
+        if panics.is_empty() {
+            return Ok(RunOutput {
+                results,
+                traces,
+                lint,
+                heartbeats: board.all_beats(),
+            });
         }
-        RunOutput {
-            results,
-            traces,
+
+        // Attribute the failure: the first rank that raised the abort
+        // flag if known, else the lowest-rank non-quiesced panic, else
+        // (only quiesce panics — possible when user code raises one
+        // directly) the lowest-rank panic of any kind.
+        let culprit_rank = ctl
+            .culprit()
+            .filter(|r| panics.iter().any(|(pr, _)| pr == r))
+            .or_else(|| {
+                panics
+                    .iter()
+                    .find(|(_, p)| !p.is::<Quiesced>())
+                    .map(|(r, _)| *r)
+            })
+            .unwrap_or(panics[0].0);
+        let pos = panics
+            .iter()
+            .position(|(r, _)| *r == culprit_rank)
+            .expect("culprit rank must be among the panicked ranks");
+        let (rank, payload) = panics.swap_remove(pos);
+        Err(RankFailure {
+            rank,
+            detail: panic_message(payload.as_ref()),
+            quiesced: board.ranks_in(RankState::Quiesced),
+            heartbeats: board.all_beats(),
             lint,
-        }
+            payload,
+        })
     }
 }
 
@@ -238,6 +425,66 @@ mod tests {
                 panic!("deliberate");
             }
         });
+    }
+
+    #[test]
+    fn try_run_reports_the_dead_rank_and_quiesces_survivors() {
+        // Rank 2 dies while ranks 0 and 1 are blocked in receives that
+        // will never match; the abort broadcast must park them instead
+        // of hanging the job, and the failure must name rank 2.
+        let failure = Universe::try_run_cfg(3, RunConfig::default(), |comm| {
+            match comm.rank() {
+                2 => panic!("injected rank death"),
+                _ => {
+                    // Blocks forever without the abort broadcast.
+                    let _: i32 = comm.recv((comm.rank() + 1) % 3, 77);
+                }
+            }
+        })
+        .unwrap_err();
+        assert_eq!(failure.rank, 2);
+        assert!(
+            failure.detail.contains("injected rank death"),
+            "{}",
+            failure.detail
+        );
+        assert_eq!(failure.quiesced, vec![0, 1]);
+        assert_eq!(failure.heartbeats.len(), 3);
+    }
+
+    #[test]
+    fn try_run_succeeds_with_heartbeats() {
+        let out = Universe::try_run_cfg(2, RunConfig::default(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 5i32);
+            } else {
+                let _: i32 = comm.recv(0, 0);
+            }
+            comm.barrier();
+        })
+        .unwrap();
+        assert_eq!(out.heartbeats.len(), 2);
+        // Every rank communicated, so every rank beat at least once.
+        assert!(
+            out.heartbeats.iter().all(|&b| b > 0),
+            "{:?}",
+            out.heartbeats
+        );
+    }
+
+    #[test]
+    fn blocked_rank_emits_idle_beacons() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Long enough for several 25 ms beacon intervals.
+                std::thread::sleep(std::time::Duration::from_millis(90));
+                comm.send(1, 0, ());
+            } else {
+                let () = comm.recv(0, 0);
+            }
+        });
+        // Rank 1 spent ~90 ms blocked: entry beat + >= 2 idle beacons.
+        assert!(out.heartbeats[1] >= 3, "{:?}", out.heartbeats);
     }
 
     #[test]

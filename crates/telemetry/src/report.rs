@@ -138,6 +138,11 @@ pub struct TelemetryReport {
     pub phases: BTreeMap<String, PhaseAgg>,
     /// Counters summed across ranks.
     pub counters: BTreeMap<String, u64>,
+    /// Extra report sections supplied by higher layers (e.g. the run
+    /// supervisor's recovery section), keyed by section name. Rendered
+    /// verbatim into the JSON document; deterministic content is the
+    /// supplier's contract (BTreeMap ordering keeps the keys stable).
+    pub extra: BTreeMap<String, Value>,
 }
 
 impl TelemetryReport {
@@ -169,6 +174,7 @@ impl TelemetryReport {
             ranks,
             phases,
             counters,
+            extra: BTreeMap::new(),
         }
     }
 
@@ -225,6 +231,11 @@ impl TelemetryReport {
         self.phases = phases;
         self.counters = counters;
         self.model_speedup = self.sim_seconds / self.wall_seconds.max(1e-9);
+        // Extra sections are carried over where this report has none of
+        // its own; an existing section wins (it describes *this* run).
+        for (k, v) in &other.extra {
+            self.extra.entry(k.clone()).or_insert_with(|| v.clone());
+        }
     }
 
     /// Merge the reports of several runs (ensemble members) into one
@@ -401,8 +412,8 @@ impl TelemetryReport {
             ]),
             None => Value::Null,
         };
-        Value::object([
-            ("schema".to_string(), SCHEMA.into()),
+        let mut fields = vec![
+            ("schema".to_string(), Value::from(SCHEMA)),
             ("sim_seconds".to_string(), self.sim_seconds.into()),
             ("wall_seconds".to_string(), self.wall_seconds.into()),
             ("model_speedup".to_string(), self.model_speedup.into()),
@@ -415,7 +426,14 @@ impl TelemetryReport {
             ("phases".to_string(), phases),
             ("counters".to_string(), counters),
             ("ranks".to_string(), ranks),
-        ])
+        ];
+        // Extra sections last, in BTreeMap (sorted-key) order; absent
+        // entirely when no layer added one, keeping plain reports
+        // unchanged.
+        for (k, v) in &self.extra {
+            fields.push((k.clone(), v.clone()));
+        }
+        Value::object(fields)
     }
 
     /// Write the report as pretty-printed JSON at `path`.

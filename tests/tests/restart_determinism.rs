@@ -35,6 +35,7 @@ fn ckpt_tiny(seed: u64, dir: &Path, interval: usize) -> FoamConfig {
         interval,
         keep: 3,
         on_error: false,
+        fault_plan: None,
     };
     cfg
 }
