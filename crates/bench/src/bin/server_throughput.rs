@@ -1,0 +1,170 @@
+//! The `server-smoke` campaign behind CI's `BENCH_server_throughput.json`
+//! artifact: boot `foam-server` on a loopback port, push a small job
+//! mix through the HTTP API, and measure what a serving layer is for —
+//! how fast cached content comes back versus computing it.
+//!
+//! ```sh
+//! cargo run --release -p foam-bench --bin server_throughput \
+//!     [--jobs N] [--days D] [--out PATH]
+//! ```
+//!
+//! The binary *asserts* the serving contract (and thus fails CI when
+//! it breaks):
+//!
+//! 1. a submitted job **streams** per-interval NDJSON progress to
+//!    completion and serves its report;
+//! 2. resubmitting the same content is a **cache hit**: no second
+//!    execution, and the report bytes are **identical**;
+//! 3. distinct submissions all complete and are served.
+//!
+//! The artifact records jobs/sec for fresh runs and the latency of
+//! cache hits (the paper's throughput story, transposed to serving).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use foam_bench::flag_or;
+use foam_server::client::{get, post};
+use foam_server::{Server, ServerConfig};
+use foam_telemetry::json::{parse, Value};
+
+fn job_id(body: &str) -> String {
+    parse(body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(|s| s.as_str().map(str::to_string)))
+        .expect("submission response carries a job id")
+}
+
+fn wait_done(addr: &str, id: &str) -> Value {
+    loop {
+        let state = parse(
+            &get(addr, &format!("/v1/jobs/{id}"))
+                .expect("poll job")
+                .text(),
+        )
+        .expect("job state is JSON");
+        match state.get("state").and_then(Value::as_str) {
+            Some("done") => return state,
+            Some("failed") => panic!("job {id} failed: {state:?}"),
+            _ => std::thread::sleep(std::time::Duration::from_millis(25)),
+        }
+    }
+}
+
+fn main() {
+    let jobs: usize = flag_or("--jobs", 4);
+    let days: f64 = flag_or("--days", 1.0);
+    let out_path: String = flag_or("--out", "BENCH_server_throughput.json".to_string());
+
+    let root: PathBuf =
+        std::env::temp_dir().join(format!("foam-server-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = ServerConfig::new(&root);
+    cfg.workers = 2;
+    let server = Server::start(cfg, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr().to_string();
+    println!("=== foam-server throughput ({jobs} jobs, {days} simulated days each) ===");
+    println!("serving on http://{addr}\n");
+
+    // [1] One job end to end: submit, stream progress, fetch report.
+    let spec = format!(r#"{{"preset":"tiny","seed":4242,"days":{days},"ckpt_interval":2}}"#);
+    let t0 = Instant::now();
+    let sub = post(&addr, "/v1/jobs", &spec).expect("submit");
+    assert_eq!(sub.status, 202, "submit: {}", sub.text());
+    let id = job_id(&sub.text());
+    let progress = get(&addr, &format!("/v1/jobs/{id}/progress")).expect("stream progress");
+    let lines = progress.lines();
+    let cold_latency = t0.elapsed().as_secs_f64();
+    let expected_intervals = (days * 4.0).round() as usize; // 6-hour coupling
+    assert!(
+        lines.len() > expected_intervals,
+        "expected ≥{} progress lines + final, got {}",
+        expected_intervals,
+        lines.len()
+    );
+    assert!(
+        lines
+            .last()
+            .expect("final line")
+            .contains("\"event\": \"done\""),
+        "stream must end with the done event"
+    );
+    wait_done(&addr, &id);
+    let report = get(&addr, &format!("/v1/jobs/{id}/report")).expect("fetch report");
+    assert_eq!(report.status, 200);
+    println!(
+        "[1/3] cold run: {} progress lines, report {} bytes, {:.2}s",
+        lines.len() - 1,
+        report.body.len(),
+        cold_latency
+    );
+
+    // [2] Cache hits: resubmit the identical content, check the
+    //     single-flight/caching contract, and time the hit path.
+    let re = post(&addr, "/v1/jobs", &spec).expect("resubmit");
+    let rv = parse(&re.text()).expect("resubmission is JSON");
+    assert_eq!(
+        rv.get("cached").cloned(),
+        Some(Value::Bool(true)),
+        "resubmit must hit"
+    );
+    assert_eq!(
+        rv.get("executions").and_then(Value::as_f64),
+        Some(1.0),
+        "cache hit must not re-run the model"
+    );
+    let n_hits = 50;
+    let t_hit = Instant::now();
+    for _ in 0..n_hits {
+        let again = get(&addr, &format!("/v1/jobs/{id}/report")).expect("cached report");
+        assert_eq!(
+            again.body, report.body,
+            "cached report bytes must be identical"
+        );
+    }
+    let hit_ms = 1e3 * t_hit.elapsed().as_secs_f64() / n_hits as f64;
+    println!("[2/3] cache hit: byte-identical, {hit_ms:.2} ms/fetch over {n_hits} fetches");
+
+    // [3] Throughput: a burst of distinct jobs across two tenants.
+    let t_burst = Instant::now();
+    let ids: Vec<String> = (0..jobs)
+        .map(|i| {
+            let spec = format!(
+                r#"{{"preset":"tiny","seed":{},"days":{days},"tenant":"{}","ckpt_interval":2}}"#,
+                5000 + i,
+                if i % 2 == 0 { "ada" } else { "grace" },
+            );
+            let sub = post(&addr, "/v1/jobs", &spec).expect("burst submit");
+            assert_eq!(sub.status, 202);
+            job_id(&sub.text())
+        })
+        .collect();
+    for id in &ids {
+        wait_done(&addr, id);
+    }
+    let burst = t_burst.elapsed().as_secs_f64();
+    let jobs_per_sec = jobs as f64 / burst;
+    println!("[3/3] burst: {jobs} jobs in {burst:.2}s ({jobs_per_sec:.2} jobs/s)\n");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let artifact = Value::object([
+        (
+            "schema".to_string(),
+            Value::from("foam-server-throughput/1"),
+        ),
+        ("jobs".to_string(), Value::from(jobs)),
+        ("days_per_job".to_string(), Value::from(days)),
+        ("cold_latency_s".to_string(), Value::from(cold_latency)),
+        ("cache_hit_latency_ms".to_string(), Value::from(hit_ms)),
+        ("cache_hit_byte_identical".to_string(), Value::Bool(true)),
+        ("jobs_per_sec".to_string(), Value::from(jobs_per_sec)),
+        (
+            "progress_lines_streamed".to_string(),
+            Value::from(lines.len()),
+        ),
+    ]);
+    std::fs::write(&out_path, artifact.to_string_pretty() + "\n").expect("write artifact");
+    println!("wrote {out_path}");
+}

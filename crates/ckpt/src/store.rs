@@ -80,6 +80,70 @@ impl CheckpointStore {
         Self::open(&Self::member_root(root, member))
     }
 
+    /// Directory of job `job`'s own checkpoint store under a shared
+    /// server root: `<root>/job-<id>`. Job ids are caller-chosen
+    /// (content digests, in practice); only `[A-Za-z0-9._-]` survive,
+    /// so an id can never escape the root or collide by case tricks.
+    pub fn job_root(root: &Path, job: &str) -> PathBuf {
+        let safe: String = job
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+            .collect();
+        root.join(format!("job-{safe}"))
+    }
+
+    /// Open (creating if needed) job `job`'s store under the shared
+    /// root `root`.
+    pub fn open_job(root: &Path, job: &str) -> Result<Self, CkptError> {
+        Self::open(&Self::job_root(root, job))
+    }
+
+    /// Enumerate the per-member (`member-NNNN`) and per-job
+    /// (`job-<id>`) store roots that already exist under `root`, sorted
+    /// by name. This is what lets a long-lived service reopen a shared
+    /// root and *see* the jobs a previous process left behind —
+    /// historically only ensembles created member roots and nothing
+    /// ever listed them again. A missing `root` is an empty listing,
+    /// not an error (the service simply has no history yet).
+    pub fn roots(root: &Path) -> Result<Vec<(String, PathBuf)>, CkptError> {
+        let entries = match std::fs::read_dir(root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(CkptError::io("list store roots", e)),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| CkptError::io("list store roots", e))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("member-") || name.starts_with("job-") {
+                out.push((name.to_string(), entry.path()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Retention-driven garbage collection of store roots under `root`:
+    /// every `member-*`/`job-*` root for which `keep` returns `false`
+    /// is deleted (snapshots, staging debris and all). Returns the
+    /// names of the roots removed, sorted. The caller decides the
+    /// policy — a server keeps roots of jobs still queued or running
+    /// and sweeps the rest once their results are safely in the cache.
+    pub fn sweep_roots(root: &Path, keep: impl Fn(&str) -> bool) -> Result<Vec<String>, CkptError> {
+        let mut removed = Vec::new();
+        for (name, path) in Self::roots(root)? {
+            if !keep(&name) {
+                std::fs::remove_dir_all(&path).map_err(|e| CkptError::io("sweep store root", e))?;
+                removed.push(name);
+            }
+        }
+        Ok(removed)
+    }
+
     /// Start a new checkpoint for `interval`: creates a fresh `.tmp`
     /// staging directory for ranks to write shards into. Any stale
     /// staging directory from an earlier attempt is discarded.
@@ -289,6 +353,66 @@ mod tests {
         assert!(b.latest().unwrap().is_none());
         assert_eq!(a.latest().unwrap().unwrap().0, 4);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopened_root_enumerates_prior_jobs_and_members() {
+        let root = scratch("reopen");
+        let a = CheckpointStore::open_member(&root, 3).unwrap();
+        commit_one(&a, 2);
+        let b = CheckpointStore::open_job(&root, "deadbeef01").unwrap();
+        commit_one(&b, 6);
+        // Unrelated files and directories are not store roots.
+        std::fs::write(root.join("cache.json"), b"{}").unwrap();
+        std::fs::create_dir_all(root.join("scratch")).unwrap();
+        // A new handle over the same directory (a restarted process)
+        // sees both roots, in sorted order, with their snapshots.
+        let roots = CheckpointStore::roots(&root).unwrap();
+        let names: Vec<&str> = roots.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["job-deadbeef01", "member-0003"]);
+        let reopened = CheckpointStore::open(&roots[0].1).unwrap();
+        assert_eq!(reopened.latest().unwrap().unwrap().0, 6);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn roots_of_a_missing_directory_are_empty() {
+        let root = scratch("missing-roots");
+        assert!(CheckpointStore::roots(&root).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sweep_roots_applies_the_retention_policy() {
+        let root = scratch("sweep");
+        for job in ["aa", "bb", "cc"] {
+            let s = CheckpointStore::open_job(&root, job).unwrap();
+            commit_one(&s, 1);
+        }
+        let removed = CheckpointStore::sweep_roots(&root, |name| name == "job-bb").unwrap();
+        assert_eq!(removed, vec!["job-aa", "job-cc"]);
+        let names: Vec<String> = CheckpointStore::roots(&root)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["job-bb"]);
+        // The kept root's snapshots are untouched.
+        let kept = CheckpointStore::open_job(&root, "bb").unwrap();
+        assert_eq!(kept.latest().unwrap().unwrap().0, 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn job_root_sanitizes_hostile_ids() {
+        let root = PathBuf::from("/srv/foam");
+        assert_eq!(
+            CheckpointStore::job_root(&root, "../../etc/passwd"),
+            root.join("job-....etcpasswd")
+        );
+        assert_eq!(
+            CheckpointStore::job_root(&root, "0123abcd"),
+            root.join("job-0123abcd")
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ use crate::checkpoint::{self, GlobalSnapshot, RootShardExtras};
 use crate::config::{
     ConfigError, CouplingMode, FoamConfig, PhysicsFaultKind, RuntimeConfig, SentinelConfig,
 };
+use crate::observer::{ProgressEvent, RunObserver};
 use crate::stream::{sea_area_weights, DriverStream};
 
 /// Kelvin → Celsius offset for the soil-temperature sentinel (soil
@@ -241,7 +242,21 @@ pub fn run_coupled(cfg: &FoamConfig, days: f64) -> CoupledOutput {
 pub fn try_run_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, CoupledError> {
     cfg.validate()?;
     validate_days(days)?;
-    run_inner(cfg, days, None)
+    run_inner(cfg, days, None, None)
+}
+
+/// [`try_run_coupled`] with a live [`RunObserver`]: the root rank
+/// reports each completed coupling interval and polls for
+/// cancellation. Observation is read-only — the simulated bits are
+/// identical with or without an observer attached.
+pub fn try_run_coupled_observed(
+    cfg: &FoamConfig,
+    days: f64,
+    obs: &dyn RunObserver,
+) -> Result<CoupledOutput, CoupledError> {
+    cfg.validate()?;
+    validate_days(days)?;
+    run_inner(cfg, days, None, Some(obs))
 }
 
 /// A zero-day (or negative, or NaN) run would integrate nothing and
@@ -281,7 +296,39 @@ pub fn try_resume_coupled(cfg: &FoamConfig, days: f64) -> Result<CoupledOutput, 
         .ok_or(CoupledError::Ckpt(CkptError::NoCheckpoint))?;
     let store = CheckpointStore::open(dir)?;
     let snap = checkpoint::load_latest(&store, cfg)?;
-    run_inner(cfg, days, Some(snap))
+    run_inner(cfg, days, Some(snap), None)
+}
+
+/// [`try_resume_coupled`] with a live [`RunObserver`] (see
+/// [`try_run_coupled_observed`]). Progress events resume from the
+/// snapshot's interval.
+pub fn try_resume_coupled_observed(
+    cfg: &FoamConfig,
+    days: f64,
+    obs: &dyn RunObserver,
+) -> Result<CoupledOutput, CoupledError> {
+    cfg.validate()?;
+    validate_days(days)?;
+    let dir = cfg
+        .ckpt
+        .dir
+        .as_deref()
+        .ok_or(CoupledError::Ckpt(CkptError::NoCheckpoint))?;
+    let store = CheckpointStore::open(dir)?;
+    let snap = checkpoint::load_latest(&store, cfg)?;
+    run_inner(cfg, days, Some(snap), Some(obs))
+}
+
+/// Validate-then-run, fresh start, optional observer — the shape the
+/// supervisor needs for its restart attempts.
+pub(crate) fn run_validated(
+    cfg: &FoamConfig,
+    days: f64,
+    obs: Option<&dyn RunObserver>,
+) -> Result<CoupledOutput, CoupledError> {
+    cfg.validate()?;
+    validate_days(days)?;
+    run_inner(cfg, days, None, obs)
 }
 
 /// Number of coupling intervals a `days`-day run of `cfg` integrates
@@ -296,6 +343,7 @@ pub(crate) fn run_inner(
     cfg: &FoamConfig,
     days: f64,
     resume: Option<GlobalSnapshot>,
+    obs: Option<&dyn RunObserver>,
 ) -> Result<CoupledOutput, CoupledError> {
     let n_couple = n_couple_for(cfg, days);
     if let Some(snap) = &resume {
@@ -328,7 +376,7 @@ pub(crate) fn run_inner(
             foam_telemetry::install(TelemetryRegistry::new(world.rank()));
         }
         let result = if world.rank() < n_atm {
-            atm_rank(cfg, world, n_couple, resume_ref)
+            atm_rank(cfg, world, n_couple, resume_ref, obs)
         } else {
             ocean_rank(cfg, world, resume_ref)
         };
@@ -717,6 +765,7 @@ fn atm_rank(
     world: &Comm,
     n_couple: usize,
     resume: Option<&GlobalSnapshot>,
+    obs: Option<&dyn RunObserver>,
 ) -> Result<RankResult, CoupledError> {
     let n_atm = cfg.n_atm_ranks;
     let ocean_rank_id = n_atm;
@@ -917,6 +966,16 @@ fn atm_rank(
         let received: Option<Field2> = world.region("coupler", || {
             let _t = foam_telemetry::scope("coupler");
             if is_root {
+                // Cooperative cancellation, polled at the same
+                // coordination point the sentinels use: every other
+                // rank is already waiting on the status broadcast, so
+                // the abort tears the whole job down cleanly and any
+                // committed checkpoint stays resumable.
+                if obs.is_some_and(|o| o.should_stop()) {
+                    atm_comm.bcast(0, Some(2u8));
+                    shutdown_ocean(world, ocean_rank_id);
+                    return Err(CoupledError::Aborted);
+                }
                 // Physics sentinel, land side: check the root's soil
                 // rows before committing this interval's forcing to the
                 // ocean.
@@ -1090,6 +1149,14 @@ fn atm_rank(
                 cfg.collect_monthly_sst,
                 intervals_per_month,
             )?;
+            if let Some(o) = obs {
+                o.on_interval(&ProgressEvent {
+                    interval: c + 1,
+                    n_intervals: n_couple,
+                    day: ((c + 1) as f64) * cfg.dt_couple / SECONDS_PER_DAY,
+                    mean_sst: res.mean_sst_series.last().copied().unwrap_or(f64::NAN),
+                });
+            }
         }
 
         // ---- Periodic checkpoint at the configured cadence. ----------

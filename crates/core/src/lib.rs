@@ -45,8 +45,10 @@
 pub mod checkpoint;
 mod config;
 pub mod diagnostics;
+pub mod digest;
 mod driver;
 pub mod history;
+pub mod observer;
 pub mod stream;
 pub mod supervisor;
 
@@ -55,17 +57,20 @@ pub use config::{
     CkptConfig, ConfigError, CouplingMode, FoamConfig, PhysicsFault, PhysicsFaultKind, RankKill,
     RuntimeConfig, SentinelConfig, StreamStatsConfig, TelemetryConfig,
 };
+pub use digest::CanonicalHasher;
 pub use driver::{
-    baseline_config, run_coupled, try_resume_coupled, try_run_coupled, CoupledError, CoupledOutput,
+    baseline_config, run_coupled, try_resume_coupled, try_resume_coupled_observed, try_run_coupled,
+    try_run_coupled_observed, CoupledError, CoupledOutput,
 };
 pub use foam_ckpt::{
     CheckpointStore, CkptError, FaultyStore, Snapshot, StoreFault, StoreFaultKind, StoreFaultPlan,
 };
 pub use history::{HistoryReader, HistoryWriter};
+pub use observer::{NullObserver, ProgressEvent, RunObserver};
 pub use stream::{sea_area_weights, DriverStream};
 pub use supervisor::{
-    supervise_run, RecoveryAction, RecoveryEvent, RecoveryReport, RunFault, SupervisedOutput,
-    SupervisorConfig, SupervisorError, SupervisorErrorKind,
+    supervise_run, supervise_run_resumable, RecoveryAction, RecoveryEvent, RecoveryReport,
+    RunFault, SupervisedOutput, SupervisorConfig, SupervisorError, SupervisorErrorKind,
 };
 
 pub use foam_atm::{AtmConfig, AtmModel};

@@ -36,7 +36,8 @@ use foam_telemetry::json::Value;
 
 use crate::checkpoint;
 use crate::config::FoamConfig;
-use crate::driver::{self, try_run_coupled, CoupledError, CoupledOutput};
+use crate::driver::{self, CoupledError, CoupledOutput};
+use crate::observer::RunObserver;
 
 /// Schema identifier of the recovery section/report JSON.
 pub const RECOVERY_SCHEMA: &str = "foam-recovery/1";
@@ -305,6 +306,11 @@ pub struct SupervisedOutput {
     /// What the supervisor had to do to get there (empty on a clean
     /// run).
     pub recovery: RecoveryReport,
+    /// The coupling interval the *first* attempt resumed from, when the
+    /// run was started with [`supervise_run_resumable`] over a store
+    /// that already held a snapshot (`None` for a fresh start).
+    /// Mid-run rollbacks are recorded in `recovery`, not here.
+    pub resumed_from: Option<usize>,
 }
 
 /// Run the coupled model under the supervisor: detect typed faults,
@@ -323,13 +329,60 @@ pub fn supervise_run(
     days: f64,
     sup: &SupervisorConfig,
 ) -> Result<SupervisedOutput, SupervisorError> {
+    supervise_inner(cfg, days, sup, None, false)
+}
+
+/// [`supervise_run`] for *hosted* jobs: attach a live [`RunObserver`]
+/// (progress, cancellation, recovery notifications), and — the
+/// job-facing difference — let the **first** attempt resume from a
+/// snapshot already in `cfg.ckpt.dir`. A service that died mid-job and
+/// restarted calls this to continue the job from its newest committed
+/// interval instead of recomputing; a snapshot taken at interval `k`
+/// restores the full diagnostics series, so the finished output is
+/// byte-identical to an uninterrupted run. With an empty (or absent)
+/// store this is exactly `supervise_run` plus the observer.
+pub fn supervise_run_resumable(
+    cfg: &FoamConfig,
+    days: f64,
+    sup: &SupervisorConfig,
+    obs: Option<&dyn RunObserver>,
+) -> Result<SupervisedOutput, SupervisorError> {
+    supervise_inner(cfg, days, sup, obs, true)
+}
+
+fn supervise_inner(
+    cfg: &FoamConfig,
+    days: f64,
+    sup: &SupervisorConfig,
+    obs: Option<&dyn RunObserver>,
+    resume_first: bool,
+) -> Result<SupervisedOutput, SupervisorError> {
     let mut cfg = cfg.clone();
     cfg.ckpt.on_error = false;
     let n_couple = driver::n_couple_for(&cfg, days);
     let mut events: Vec<RecoveryEvent> = Vec::new();
     let mut sim_days_replayed = 0.0f64;
     let mut recoveries = 0u32;
-    let mut result = try_run_coupled(&cfg, days);
+    // A resumable start is *tolerant* of an unreadable store (it is an
+    // optimization, not a contract): fall back to a fresh run and let
+    // the recovery loop handle any store fault that persists.
+    let first_snapshot = if resume_first {
+        cfg.ckpt
+            .dir
+            .as_deref()
+            .and_then(|dir| load_snapshot(dir, &cfg).ok().flatten())
+            .filter(|s| s.interval < n_couple)
+    } else {
+        None
+    };
+    let resumed_from = first_snapshot.as_ref().map(|s| s.interval);
+    let mut result = match first_snapshot {
+        Some(snap) => cfg
+            .validate()
+            .map_err(CoupledError::from)
+            .and_then(|()| driver::run_inner(&cfg, days, Some(snap), obs)),
+        None => driver::run_validated(&cfg, days, obs),
+    };
     loop {
         let err = match result {
             Ok(mut output) => {
@@ -338,7 +391,11 @@ pub fn supervise_run(
                     sim_days_replayed,
                 };
                 attach_recovery(&mut output, &cfg, &recovery);
-                return Ok(SupervisedOutput { output, recovery });
+                return Ok(SupervisedOutput {
+                    output,
+                    recovery,
+                    resumed_from,
+                });
             }
             Err(e) => e,
         };
@@ -410,9 +467,12 @@ pub fn supervise_run(
             replayed_intervals: replayed,
             store_error,
         });
+        if let (Some(o), Some(ev)) = (obs, events.last()) {
+            o.on_recovery(ev);
+        }
         result = match snapshot {
-            Some(snap) => driver::run_inner(&cfg, days, Some(snap)),
-            None => try_run_coupled(&cfg, days),
+            Some(snap) => driver::run_inner(&cfg, days, Some(snap), obs),
+            None => driver::run_validated(&cfg, days, obs),
         };
     }
 }

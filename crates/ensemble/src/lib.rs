@@ -45,11 +45,13 @@
 //! println!("{}", out.report.to_json().to_string_pretty());
 //! ```
 
+pub mod queue;
 mod report;
 mod runner;
 pub mod scheduler;
 mod spec;
 
+pub use queue::FairShareQueue;
 pub use report::{EnsembleReport, MemberDigest, SCHEMA};
 pub use runner::{run_ensemble, EnsembleOutput, MemberOutput, MemberRecord};
 pub use spec::{EnsembleSpec, MemberSpec, RetryPolicy};

@@ -1,0 +1,92 @@
+//! The content-addressed result cache.
+//!
+//! One file per digest under `<root>/cache/`, holding the report's
+//! exact serialized bytes. Byte-exactness is the point: FOAM's reports
+//! are deterministic down to the IEEE-754 bit (the ensemble and
+//! supervisor test suites prove it), so the cache can hand every
+//! future requester *the same bytes* the first run produced, and an
+//! integration test can assert `cached == fresh` with `==`, not an
+//! epsilon.
+//!
+//! Writes go through the same tmp-then-rename discipline as
+//! `foam-ckpt` snapshot commits: a reader never observes a torn file,
+//! and a crash mid-write leaves only a `*.tmp` that the next store
+//! overwrites harmlessly.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) the cache directory under `root`.
+    pub fn open(root: &Path) -> io::Result<ResultCache> {
+        let dir = root.join("cache");
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    fn path(&self, digest: &str) -> PathBuf {
+        // Digests are 16 hex chars; anything else could not have come
+        // from us and must not touch the filesystem.
+        debug_assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+        self.dir.join(format!("{digest}.json"))
+    }
+
+    /// The cached report bytes, if this digest has completed before.
+    pub fn get(&self, digest: &str) -> Option<Vec<u8>> {
+        fs::read(self.path(digest)).ok()
+    }
+
+    pub fn contains(&self, digest: &str) -> bool {
+        self.path(digest).is_file()
+    }
+
+    /// Atomically store the report for `digest`.
+    pub fn put(&self, digest: &str, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{digest}.tmp"));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, self.path(digest))
+    }
+
+    /// All cached digests, sorted (restart uses this to list completed
+    /// jobs without any in-memory state surviving).
+    pub fn digests(&self) -> Vec<String> {
+        let mut out: Vec<String> = fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                name.strip_suffix(".json").map(str::to_string)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trips_exact_bytes() {
+        let dir = std::env::temp_dir().join(format!("foam-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.get("00ff00ff00ff00ff").is_none());
+        let payload = b"{\"x\": 0.30000000000000004}\n".to_vec();
+        cache.put("00ff00ff00ff00ff", &payload).unwrap();
+        assert_eq!(cache.get("00ff00ff00ff00ff").unwrap(), payload);
+        assert!(cache.contains("00ff00ff00ff00ff"));
+        assert_eq!(cache.digests(), vec!["00ff00ff00ff00ff".to_string()]);
+        // Reopening sees the same content (it is all on disk).
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.get("00ff00ff00ff00ff").unwrap(), payload);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

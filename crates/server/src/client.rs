@@ -1,0 +1,101 @@
+//! A minimal blocking HTTP/1.1 client for the job API.
+//!
+//! The server speaks a deliberately small dialect (fixed-length JSON
+//! or chunked NDJSON, `Connection: close`), so its counterpart client
+//! is equally small: one request per connection, read to close,
+//! de-chunk if needed. This is what the bench harness, the integration
+//! tests, and the CI smoke job talk to the server with — no external
+//! HTTP stack required.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One completed exchange: status code plus the (de-chunked) body.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body's non-empty lines — the natural shape of an NDJSON
+    /// progress stream.
+    pub fn lines(&self) -> Vec<String> {
+        self.text()
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// Perform one request against `addr` (e.g. `"127.0.0.1:7341"`).
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "malformed chunk size"))?;
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else {
+        // `Connection: close` responses end at EOF.
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(Response { status, body })
+}
+
+pub fn get(addr: &str, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path, None)
+}
+
+pub fn post(addr: &str, path: &str, body: &str) -> io::Result<Response> {
+    request(addr, "POST", path, Some(body.as_bytes()))
+}

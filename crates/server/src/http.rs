@@ -1,0 +1,146 @@
+//! A deliberately small HTTP/1.1 layer over `TcpStream`.
+//!
+//! No async runtime is vendored, and none is needed: a simulation
+//! service is bounded by the model, not by connection volume, so
+//! blocking I/O with one OS thread per connection is the right tool —
+//! the same thread-as-rank philosophy `foam-mpi` uses. This module
+//! implements exactly the slice of HTTP/1.1 the job API requires:
+//! request-line + headers + `Content-Length` bodies on the way in;
+//! fixed-length JSON responses and `Transfer-Encoding: chunked` NDJSON
+//! streams on the way out. Every response closes the connection
+//! (`Connection: close`), which keeps the state machine trivial and is
+//! cheap at job-queue request rates.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use foam_telemetry::json::Value;
+
+/// Upper bound on request bodies (a job spec is a few hundred bytes;
+/// a megabyte is paranoia headroom, not a real limit).
+const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request: method, path (with any `?query` dropped), body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Read and parse one request from the stream. Malformed requests
+/// surface as `Err`; the caller answers 400 and closes.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let path = target.split('?').next().unwrap_or("").to_string();
+    Ok(Request { method, path, body })
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a complete JSON response and flush. The body bytes are passed
+/// through verbatim — important for the result cache, whose contract is
+/// *byte-identical* replies.
+pub fn respond_bytes(stream: &mut TcpStream, code: u16, body: &[u8]) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(code),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write a JSON value as a pretty-printed response.
+pub fn respond_json(stream: &mut TcpStream, code: u16, value: &Value) -> io::Result<()> {
+    let mut body = value.to_string_pretty();
+    body.push('\n');
+    respond_bytes(stream, code, body.as_bytes())
+}
+
+/// Write a JSON error envelope: `{"error": "..."}`.
+pub fn respond_error(stream: &mut TcpStream, code: u16, message: &str) -> io::Result<()> {
+    respond_json(
+        stream,
+        code,
+        &Value::object([("error".to_string(), Value::from(message))]),
+    )
+}
+
+/// A `Transfer-Encoding: chunked` NDJSON stream: one JSON object per
+/// line, each flushed as its own chunk so clients see progress live.
+pub struct NdjsonStream<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> NdjsonStream<'a> {
+    /// Write the response head and hand back the line writer.
+    pub fn begin(stream: &'a mut TcpStream) -> io::Result<Self> {
+        stream.write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        )?;
+        Ok(NdjsonStream { stream })
+    }
+
+    /// Send one NDJSON line (without its trailing newline) as a chunk.
+    pub fn line(&mut self, line: &str) -> io::Result<()> {
+        let payload = format!("{line}\n");
+        write!(self.stream, "{:x}\r\n", payload.len())?;
+        self.stream.write_all(payload.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminate the chunked body.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}

@@ -1,0 +1,261 @@
+//! Job specifications: what a client submits, and how it becomes both
+//! a [`FoamConfig`] and a content-address.
+//!
+//! A spec deliberately exposes *presets + knobs* rather than the full
+//! configuration surface: the service vocabulary is "a `tiny` run,
+//! seed 42, 4 simulated days", which keeps the digest space clean and
+//! the HTTP API stable. Two axes are kept strictly apart:
+//!
+//! * **Content** — preset, seed, days, rank/member counts: everything
+//!   that determines the simulated bits. These feed the canonical
+//!   digest (via [`FoamConfig::canonical_digest`], which also folds in
+//!   the crate version), which is the job id *and* the cache key.
+//! * **Placement** — tenant, priority, checkpoint cadence: who is
+//!   asking and how the service schedules and protects the work. These
+//!   never touch the digest, so the same run submitted by two tenants
+//!   at different priorities is recognized as the same content and
+//!   computed once.
+
+use foam::{CanonicalHasher, FoamConfig};
+use foam_ensemble::EnsembleSpec;
+use foam_telemetry::json::{parse, Value};
+
+/// What kind of computation a job performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One supervised coupled run.
+    Run,
+    /// A perturbed-initial-condition seed sweep, aggregated into the
+    /// deterministic `foam-ensemble/1` report.
+    Ensemble,
+}
+
+impl JobKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobKind::Run => "run",
+            JobKind::Ensemble => "ensemble",
+        }
+    }
+}
+
+/// A parsed, validated job submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub kind: JobKind,
+    /// Configuration preset: `tiny`, `century`, or `paper`.
+    pub preset: String,
+    pub seed: u64,
+    pub days: f64,
+    /// Atmosphere ranks for the `paper` preset (ignored otherwise —
+    /// `tiny`/`century` fix their own decomposition).
+    pub ranks: usize,
+    /// Ensemble members (`kind == Ensemble` only).
+    pub members: usize,
+    /// Ensemble worker threads (placement, not content).
+    pub workers: usize,
+    /// Who submitted (fair-share bucket). Defaults to `"anonymous"`.
+    pub tenant: String,
+    /// Dispatch priority within the tenant (higher first).
+    pub priority: i32,
+    /// Checkpoint cadence in coupling intervals.
+    pub ckpt_interval: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid job spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn get_u64(obj: &Value, key: &str, default: u64) -> Result<u64, SpecError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                .ok_or_else(|| SpecError(format!("{key} must be a non-negative integer")))?;
+            Ok(n as u64)
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parse a submission body. Unknown keys are rejected so typos
+    /// (`"dayz": 30`) fail loudly instead of running the default.
+    pub fn parse(body: &str) -> Result<JobSpec, SpecError> {
+        let v = parse(body).map_err(|e| SpecError(format!("bad JSON: {e}")))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| SpecError("body must be a JSON object".to_string()))?;
+        const KNOWN: [&str; 10] = [
+            "kind",
+            "preset",
+            "seed",
+            "days",
+            "ranks",
+            "members",
+            "workers",
+            "tenant",
+            "priority",
+            "ckpt_interval",
+        ];
+        for key in obj.keys() {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(SpecError(format!("unknown key {key:?}")));
+            }
+        }
+        let kind = match v.get("kind").and_then(Value::as_str).unwrap_or("run") {
+            "run" => JobKind::Run,
+            "ensemble" => JobKind::Ensemble,
+            other => return Err(SpecError(format!("unknown kind {other:?}"))),
+        };
+        let preset = v
+            .get("preset")
+            .and_then(Value::as_str)
+            .unwrap_or("tiny")
+            .to_string();
+        if !matches!(preset.as_str(), "tiny" | "century" | "paper") {
+            return Err(SpecError(format!("unknown preset {preset:?}")));
+        }
+        let days = v.get("days").and_then(Value::as_f64).unwrap_or(1.0);
+        if !(days > 0.0 && days.is_finite()) {
+            return Err(SpecError("days must be positive and finite".to_string()));
+        }
+        let tenant = v
+            .get("tenant")
+            .and_then(Value::as_str)
+            .unwrap_or("anonymous")
+            .to_string();
+        if tenant.is_empty() || tenant.len() > 64 {
+            return Err(SpecError("tenant must be 1..=64 characters".to_string()));
+        }
+        let priority = v
+            .get("priority")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+            .clamp(-1_000.0, 1_000.0) as i32;
+        let spec = JobSpec {
+            kind,
+            preset,
+            seed: get_u64(&v, "seed", 42)?,
+            days,
+            ranks: get_u64(&v, "ranks", 4)?.clamp(1, 64) as usize,
+            members: get_u64(&v, "members", 2)?.clamp(1, 256) as usize,
+            workers: get_u64(&v, "workers", 2)?.clamp(1, 64) as usize,
+            tenant,
+            priority,
+            ckpt_interval: get_u64(&v, "ckpt_interval", 4)?.max(1) as usize,
+        };
+        Ok(spec)
+    }
+
+    /// The base model configuration this spec names (checkpoint and
+    /// telemetry routing are the executor's business, not the spec's).
+    pub fn config(&self) -> FoamConfig {
+        match self.preset.as_str() {
+            "century" => FoamConfig::century(self.seed),
+            "paper" => FoamConfig::paper(self.ranks, self.seed),
+            _ => FoamConfig::tiny(self.seed),
+        }
+    }
+
+    /// The content-address: job id and cache key in one. Folds the
+    /// model config's canonical digest (which includes seed and crate
+    /// version) with the job-shape fields; placement fields (tenant,
+    /// priority, workers, checkpoint cadence) are deliberately
+    /// excluded — they cannot change a simulated bit.
+    pub fn digest(&self) -> String {
+        let mut h = CanonicalHasher::new();
+        h.field_str("kind", self.kind.as_str())
+            .field_digest("config", &self.config().canonical_digest())
+            .field_f64("days", self.days)
+            .field_u64(
+                "members",
+                if self.kind == JobKind::Ensemble {
+                    self.members as u64
+                } else {
+                    0
+                },
+            );
+        h.finish()
+    }
+
+    /// The ensemble expansion of this spec (`kind == Ensemble`).
+    pub fn ensemble(&self) -> EnsembleSpec {
+        let mut spec = EnsembleSpec::seed_sweep(self.config(), self.days, self.members);
+        spec.workers = self.workers;
+        spec.ckpt_interval = self.ckpt_interval;
+        spec
+    }
+
+    /// Canonical JSON form — what `spec.json` stores for restart
+    /// recovery and what job listings embed.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("kind".to_string(), Value::from(self.kind.as_str())),
+            ("preset".to_string(), Value::from(self.preset.as_str())),
+            ("seed".to_string(), Value::from(self.seed)),
+            ("days".to_string(), Value::from(self.days)),
+            ("ranks".to_string(), Value::from(self.ranks)),
+            ("members".to_string(), Value::from(self.members)),
+            ("workers".to_string(), Value::from(self.workers)),
+            ("tenant".to_string(), Value::from(self.tenant.as_str())),
+            (
+                "priority".to_string(),
+                Value::from(f64::from(self.priority)),
+            ),
+            ("ckpt_interval".to_string(), Value::from(self.ckpt_interval)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_round_trip() {
+        let spec = JobSpec::parse(r#"{"preset":"tiny","seed":7,"days":2}"#).unwrap();
+        assert_eq!(spec.kind, JobKind::Run);
+        assert_eq!(spec.tenant, "anonymous");
+        let rt = JobSpec::parse(&spec.to_value().to_string_pretty()).unwrap();
+        assert_eq!(rt.digest(), spec.digest());
+        assert_eq!(rt.tenant, spec.tenant);
+    }
+
+    #[test]
+    fn placement_fields_do_not_move_the_digest() {
+        let a = JobSpec::parse(r#"{"seed":7,"days":2}"#).unwrap();
+        let b = JobSpec::parse(
+            r#"{"seed":7,"days":2,"tenant":"alice","priority":9,"workers":8,"ckpt_interval":2}"#,
+        )
+        .unwrap();
+        assert_eq!(a.digest(), b.digest());
+        // Content fields do.
+        let c = JobSpec::parse(r#"{"seed":8,"days":2}"#).unwrap();
+        let d = JobSpec::parse(r#"{"seed":7,"days":3}"#).unwrap();
+        let e = JobSpec::parse(r#"{"seed":7,"days":2,"kind":"ensemble"}"#).unwrap();
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(a.digest(), d.digest());
+        assert_ne!(a.digest(), e.digest());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(JobSpec::parse(r#"{"dayz":30}"#).is_err());
+        assert!(JobSpec::parse(r#"{"days":0}"#).is_err());
+        assert!(JobSpec::parse(r#"{"days":-1}"#).is_err());
+        assert!(JobSpec::parse(r#"{"kind":"sorcery"}"#).is_err());
+        assert!(JobSpec::parse(r#"{"preset":"huge"}"#).is_err());
+        assert!(JobSpec::parse(r#"{"seed":1.5}"#).is_err());
+        assert!(JobSpec::parse("[]").is_err());
+        assert!(JobSpec::parse("not json").is_err());
+    }
+}
