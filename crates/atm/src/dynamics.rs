@@ -19,7 +19,9 @@ use foam_ckpt::{ByteReader, CkptError, Codec};
 use foam_grid::constants::{EARTH_RADIUS, OMEGA};
 use foam_grid::Field2;
 use foam_mpi::Comm;
-use foam_spectral::{Complex, ParTransform, SpectralField, Truncation};
+use foam_spectral::{Complex, ParTransform, SpectralField, SpectralWorkspace, Truncation};
+
+use crate::workspace::DynWorkspace;
 
 /// Dynamical-core configuration.
 #[derive(Debug, Clone)]
@@ -141,16 +143,30 @@ impl QgCore {
         self.apply_per_n(q, &self.inv)
     }
 
+    /// Allocation-free [`QgCore::psi_from_pv`]: overwrites every
+    /// coefficient of the `nlev` fields in `out`. Bit-identical to the
+    /// allocating form.
+    pub fn psi_from_pv_into(&self, q: &[SpectralField], out: &mut [SpectralField]) {
+        self.apply_per_n_into(q, &self.inv, out)
+    }
+
     /// Anomaly PV from ψ.
     pub fn pv_from_psi(&self, psi: &[SpectralField]) -> Vec<SpectralField> {
         self.apply_per_n(psi, &self.fwd)
     }
 
     fn apply_per_n(&self, x: &[SpectralField], mats: &[Vec<f64>]) -> Vec<SpectralField> {
+        let mut out: Vec<SpectralField> = (0..self.cfg.nlev)
+            .map(|_| SpectralField::zeros(self.trunc))
+            .collect();
+        self.apply_per_n_into(x, mats, &mut out);
+        out
+    }
+
+    fn apply_per_n_into(&self, x: &[SpectralField], mats: &[Vec<f64>], out: &mut [SpectralField]) {
         let nl = self.cfg.nlev;
         assert_eq!(x.len(), nl);
-        let mut out: Vec<SpectralField> =
-            (0..nl).map(|_| SpectralField::zeros(self.trunc)).collect();
+        assert_eq!(out.len(), nl);
         for (m, n) in self.trunc.pairs() {
             let k = self.trunc.idx(m, n);
             let mat = &mats[n];
@@ -162,7 +178,6 @@ impl QgCore {
                 out[i].data[k] = acc;
             }
         }
-        out
     }
 
     /// PV tendencies. `dpsi_eq[k]` is the equilibrium interface shear
@@ -241,6 +256,97 @@ impl QgCore {
         tend
     }
 
+    /// Allocation-free [`QgCore::tendencies`]: leaves the tendencies in
+    /// `dw.tend` for [`QgCore::step_leapfrog_ws`] /
+    /// [`QgCore::step_euler_ws`]. Performs exactly the same operations
+    /// in the same order as the allocating form — bit-identical, pinned
+    /// by the [`DynWorkspace`] doctest. Kept in lockstep with
+    /// [`QgCore::tendencies`]; change both together.
+    pub fn tendencies_ws(
+        &self,
+        par: &ParTransform,
+        comm: &Comm,
+        state_q: &[SpectralField],
+        dpsi_eq: &[SpectralField],
+        orog_pv: Option<&SpectralField>,
+        dw: &mut DynWorkspace,
+    ) {
+        let nl = self.cfg.nlev;
+        let DynWorkspace {
+            spec,
+            psi,
+            tend,
+            jac,
+            drag,
+            ga,
+            gb,
+            gc,
+            gd,
+            gj,
+            rossby_r,
+            ..
+        } = dw;
+        self.psi_from_pv_into(state_q, psi);
+        for k in 0..nl {
+            // Nonlinear advection: −J(ψ, q), via the transform method.
+            jacobian_into(
+                par,
+                comm,
+                &psi[k],
+                &state_q[k],
+                spec,
+                ga,
+                gb,
+                gc,
+                gd,
+                gj,
+                &mut tend[k],
+            );
+            tend[k].scale(-1.0);
+        }
+
+        let a2 = EARTH_RADIUS * EARTH_RADIUS;
+        for k in 0..nl {
+            // β term: −(2Ω/a²) ∂ψ/∂λ, spectral multiply by i m.
+            for (m, n) in self.trunc.pairs() {
+                let idx = self.trunc.idx(m, n);
+                let beta = psi[k].data[idx]
+                    .mul_i()
+                    .scale(-(2.0 * OMEGA / a2) * m as f64);
+                tend[k].data[idx] += beta;
+            }
+        }
+        // Orographic forcing of the bottom level: −J(ψ_b, f h/H).
+        if let Some(h) = orog_pv {
+            jacobian_into(par, comm, &psi[nl - 1], h, spec, ga, gb, gc, gd, gj, jac);
+            jac.scale(-1.0);
+            for (m, n) in self.trunc.pairs() {
+                let idx = self.trunc.idx(m, n);
+                tend[nl - 1].data[idx] += jac.data[idx];
+            }
+        }
+        // Ekman drag on the bottom level: −∇²ψ/τ_E.
+        psi[nl - 1].laplacian_into(drag);
+        drag.scale(-1.0 / self.cfg.tau_ekman);
+        for (m, n) in self.trunc.pairs() {
+            let idx = self.trunc.idx(m, n);
+            tend[nl - 1].data[idx] += drag.data[idx];
+        }
+        // Interface thermal relaxation: drive the shear toward dpsi_eq.
+        rossby_r.clear();
+        rossby_r.extend(self.cfg.rossby_radii.iter().map(|&rd| 1.0 / (rd * rd)));
+        for k in 0..nl - 1 {
+            for (m, n) in self.trunc.pairs() {
+                let idx = self.trunc.idx(m, n);
+                let shear = psi[k].data[idx] - psi[k + 1].data[idx];
+                let dev = shear - dpsi_eq[k].data[idx];
+                let f = dev.scale(rossby_r[k] / self.cfg.tau_thermal);
+                tend[k].data[idx] += f;
+                tend[k + 1].data[idx] += f.scale(-1.0);
+            }
+        }
+    }
+
     /// One leapfrog step with Robert–Asselin filtering and implicit
     /// hyperdiffusion. Advances `state` in place by `dt`.
     pub fn step_leapfrog(&self, state: &mut QgState, tend: &[SpectralField], dt: f64) {
@@ -267,6 +373,45 @@ impl QgCore {
         for k in 0..nl {
             state.q_prev[k] = state.q_now[k].clone();
             state.q_now[k].axpy(dt, &tend[k]);
+            state.q_now[k].apply_hyperdiffusion(self.cfg.nu_hyper, dt);
+        }
+    }
+
+    /// Allocation-free [`QgCore::step_leapfrog`] consuming the
+    /// tendencies left in `dw` by [`QgCore::tendencies_ws`]. The new
+    /// time levels are built in workspace scratch and swapped into the
+    /// state — same arithmetic, zero churn, bit-identical.
+    pub fn step_leapfrog_ws(&self, state: &mut QgState, dt: f64, dw: &mut DynWorkspace) {
+        let nl = self.cfg.nlev;
+        let DynWorkspace {
+            tend,
+            q_next,
+            filtered,
+            ..
+        } = dw;
+        for k in 0..nl {
+            q_next.copy_from(&state.q_prev[k]);
+            q_next.axpy(2.0 * dt, &tend[k]);
+            q_next.apply_hyperdiffusion(self.cfg.nu_hyper, 2.0 * dt);
+            // Robert–Asselin: filter the middle time level.
+            filtered.copy_from(&state.q_now[k]);
+            for i in 0..filtered.data.len() {
+                filtered.data[i] += (state.q_prev[k].data[i] + q_next.data[i]
+                    - state.q_now[k].data[i].scale(2.0))
+                .scale(self.cfg.robert);
+            }
+            std::mem::swap(&mut state.q_prev[k], filtered);
+            std::mem::swap(&mut state.q_now[k], q_next);
+        }
+    }
+
+    /// Allocation-free [`QgCore::step_euler`] consuming the tendencies
+    /// left in `dw` by [`QgCore::tendencies_ws`].
+    pub fn step_euler_ws(&self, state: &mut QgState, dt: f64, dw: &mut DynWorkspace) {
+        let nl = self.cfg.nlev;
+        for k in 0..nl {
+            state.q_prev[k].copy_from(&state.q_now[k]);
+            state.q_now[k].axpy(dt, &dw.tend[k]);
             state.q_now[k].apply_hyperdiffusion(self.cfg.nu_hyper, dt);
         }
     }
@@ -298,6 +443,41 @@ pub fn jacobian(
         }
     }
     par.analyze(comm, &j)
+}
+
+/// Allocation-free [`jacobian`]: the four synthesis slabs, the grid
+/// product field and the transform scratch are caller-provided (all
+/// fully overwritten). Bit-identical to the allocating form.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn jacobian_into(
+    par: &ParTransform,
+    comm: &Comm,
+    a: &SpectralField,
+    b: &SpectralField,
+    spec: &mut SpectralWorkspace,
+    a_lam: &mut Field2,
+    a_cmu: &mut Field2,
+    b_lam: &mut Field2,
+    b_cmu: &mut Field2,
+    jgrid: &mut Field2,
+    out: &mut SpectralField,
+) {
+    par.synthesize_dlambda_into(a, spec, a_lam);
+    par.synthesize_cosgrad_into(a, spec, a_cmu);
+    par.synthesize_dlambda_into(b, spec, b_lam);
+    par.synthesize_cosgrad_into(b, spec, b_cmu);
+    let grid = &par.base.grid;
+    let a2 = EARTH_RADIUS * EARTH_RADIUS;
+    for jl in 0..par.n_local_rows() {
+        let mu = grid.mu[par.j0 + jl];
+        let fac = 1.0 / (a2 * (1.0 - mu * mu));
+        for i in 0..grid.nlon {
+            let v =
+                (a_lam.get(i, jl) * b_cmu.get(i, jl) - a_cmu.get(i, jl) * b_lam.get(i, jl)) * fac;
+            jgrid.set(i, jl, v);
+        }
+    }
+    par.analyze_into(comm, jgrid, spec, out);
 }
 
 /// Invert a dense `n × n` matrix by Gauss–Jordan with partial pivoting.

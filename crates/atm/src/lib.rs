@@ -21,11 +21,17 @@
 //!   temperature and moisture fields by the QG winds,
 //! * [`model`] — [`AtmModel`]: the latitude-decomposed SPMD component
 //!   combining dynamics, tracers and `foam-physics` columns, exchanging
-//!   surface fields with the coupler.
+//!   surface fields with the coupler,
+//! * [`workspace`] — [`AtmWorkspace`]: pre-allocated scratch making the
+//!   whole step allocation-free via [`AtmModel::step_ws`], bit-identical
+//!   to the allocate-per-step [`AtmModel::step`] (the zero-churn rule;
+//!   see PERFORMANCE.md).
 
 pub mod dynamics;
 pub mod model;
 pub mod tracers;
+pub mod workspace;
 
 pub use dynamics::{QgConfig, QgState};
 pub use model::{AtmConfig, AtmExport, AtmForcing, AtmModel, AtmState};
+pub use workspace::{AtmWorkspace, DynWorkspace};

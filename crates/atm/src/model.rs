@@ -12,7 +12,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dynamics::{QgConfig, QgCore, QgState};
-use crate::tracers::{advect_grid_tracer, winds_on_rows};
+use crate::tracers::{
+    advect_grid_tracer, advect_grid_tracer_ws, winds_on_rows, winds_on_rows_into,
+};
+use crate::workspace::{AtmWorkspace, DynWorkspace};
 use foam_ckpt::Codec;
 
 /// Midlatitude reference Coriolis parameter for thermal-wind coupling.
@@ -357,6 +360,12 @@ impl AtmModel {
     /// Δψ_eq = (R_d Δln p / f₀) · T̄′ (thermal wind), with the global mean
     /// removed (it has no dynamical meaning).
     fn shear_from_tbar_field(&self, mut tbar: SpectralField, itf: usize) -> SpectralField {
+        self.shear_from_tbar_into(&mut tbar, itf);
+        tbar
+    }
+
+    /// In-place form of [`AtmModel::shear_from_tbar_field`].
+    fn shear_from_tbar_into(&self, tbar: &mut SpectralField, itf: usize) {
         let nld = self.cfg.dynamics.nlev;
         // Pressure ratio across the interface: equally spaced sigma-like
         // dynamic levels at (k+1/2)/nld of the column.
@@ -365,7 +374,6 @@ impl AtmModel {
         let k00 = self.par.base.trunc.idx(0, 0);
         tbar.data[k00] = Complex::ZERO;
         tbar.scale(R_DRY * dlnp / F0);
-        tbar
     }
 
     /// Equilibrium shears from the *current* temperature state
@@ -392,7 +400,40 @@ impl AtmModel {
         out
     }
 
+    /// Allocation-free [`AtmModel::equilibrium_shear`]: accumulates the
+    /// layer-pair mean temperature in `field` and leaves the shears in
+    /// `out`. Bit-identical to the allocating form.
+    fn equilibrium_shear_ws(
+        &self,
+        comm: &Comm,
+        t: &[Field2],
+        inner: &mut DynWorkspace,
+        field: &mut Field2,
+        out: &mut [SpectralField],
+    ) {
+        let nld = self.cfg.dynamics.nlev;
+        for itf in 0..nld - 1 {
+            field.fill(0.0);
+            let mut cnt = 0.0;
+            for k in 0..self.cfg.nlev_phys {
+                let d = self.dyn_level_for(k);
+                if d == itf || d == itf + 1 {
+                    field.axpy(1.0, &t[k]);
+                    cnt += 1.0;
+                }
+            }
+            field.scale(1.0 / f64::max(cnt, 1.0));
+            self.par
+                .analyze_into(comm, field, &mut inner.spec, &mut out[itf]);
+            self.shear_from_tbar_into(&mut out[itf], itf);
+        }
+    }
+
     /// Advance the atmosphere by one step (`cfg.dt` seconds).
+    ///
+    /// This is the allocate-per-step reference path; hot loops use the
+    /// bit-identical [`AtmModel::step_ws`]. The two bodies are kept in
+    /// lockstep — change both together (tests pin their equivalence).
     pub fn step(&self, state: &mut AtmState, comm: &Comm, forcing: &AtmForcing) -> AtmExport {
         let grid = self.grid();
         let nlocal_rows = self.par.n_local_rows();
@@ -522,6 +563,209 @@ impl AtmModel {
             lw_down,
             cloud,
             work,
+        }
+    }
+
+    /// Advance the atmosphere by one step without allocating: all
+    /// scratch comes from `ws` and the results overwrite `export`.
+    /// Bit-identical to [`AtmModel::step`] — both run exactly the same
+    /// floating-point operations in the same order; only buffer
+    /// ownership differs. Kept in lockstep with [`AtmModel::step`];
+    /// change both together.
+    ///
+    /// ```
+    /// use foam_atm::workspace::AtmWorkspace;
+    /// use foam_atm::{AtmConfig, AtmModel};
+    /// use foam_grid::World;
+    /// use foam_mpi::Universe;
+    ///
+    /// Universe::run(1, |comm| {
+    ///     let model = AtmModel::new(AtmConfig::tiny(4), comm);
+    ///     let world = World::earthlike();
+    ///     let mut a = model.init_state();
+    ///     let mut b = model.init_state();
+    ///     let mut ws = AtmWorkspace::new(&model);
+    ///     let mut export = model.empty_export();
+    ///     for _ in 0..3 {
+    ///         let forcing = model.standalone_forcing(&a, &world);
+    ///         let e = model.step(&mut a, comm, &forcing);
+    ///         model.step_ws(&mut b, comm, &forcing, &mut ws, &mut export);
+    ///         assert_eq!(e.t_low.as_slice(), export.t_low.as_slice());
+    ///         assert_eq!(e.precip.as_slice(), export.precip.as_slice());
+    ///     }
+    ///     assert_eq!(a.t[0].as_slice(), b.t[0].as_slice());
+    ///     assert_eq!(a.qg.q_now[0].data, b.qg.q_now[0].data);
+    /// });
+    /// ```
+    pub fn step_ws(
+        &self,
+        state: &mut AtmState,
+        comm: &Comm,
+        forcing: &AtmForcing,
+        ws: &mut AtmWorkspace,
+        export: &mut AtmExport,
+    ) {
+        let grid = self.grid();
+        let nlocal_rows = self.par.n_local_rows();
+        let nlon = grid.nlon;
+        let nl = self.cfg.nlev_phys;
+        let dt = self.cfg.dt;
+        assert_eq!(forcing.fluxes.len(), self.n_local());
+        let AtmWorkspace {
+            inner,
+            psi,
+            winds,
+            dpsi_eq,
+            shear_field,
+            tr_out,
+            col,
+            phys,
+        } = ws;
+
+        // --- Dynamics: winds for this step. ---------------------------
+        let dyn_scope = foam_telemetry::scope("dynamics");
+        self.core.psi_from_pv_into(&state.qg.q_now, psi);
+        let nld = self.cfg.dynamics.nlev;
+        for d in 0..nld {
+            let (u, v) = &mut winds[d];
+            winds_on_rows_into(&self.par, &psi[d], inner, u, v);
+        }
+        export
+            .u_low
+            .as_mut_slice()
+            .copy_from_slice(winds[nld - 1].0.as_slice());
+        export
+            .v_low
+            .as_mut_slice()
+            .copy_from_slice(winds[nld - 1].1.as_slice());
+        drop(dyn_scope);
+
+        // --- Column physics (embarrassingly parallel, load-imbalanced).
+        let phys_scope = foam_telemetry::scope("physics");
+        let orb = OrbitalState::at(state.sim_t);
+        let refresh = state.step_count == 0 || self.phys.radiation_due(state.sim_t, dt);
+        let n_cols = self.n_local() as u64;
+        if refresh {
+            foam_telemetry::count("atm.radiation.cache_misses", n_cols);
+        } else {
+            foam_telemetry::count("atm.radiation.cache_hits", n_cols);
+        }
+        for jl in 0..nlocal_rows {
+            let lat = grid.lats[self.par.j0 + jl];
+            for i in 0..nlon {
+                let idx = jl * nlon + i;
+                // Load the column.
+                for k in 0..nl {
+                    col.t[k] = state.t[k].get(i, jl);
+                    col.q[k] = state.q[k].get(i, jl);
+                }
+                let sfc = SurfaceState {
+                    kind: SurfaceKind::Ocean, // kind is unused with external fluxes
+                    t_sfc: forcing.t_sfc[idx],
+                    albedo: forcing.albedo[idx],
+                    wetness: 1.0,
+                };
+                let out = self.phys.step_with_fluxes_ws(
+                    col,
+                    &sfc,
+                    forcing.fluxes[idx],
+                    orb,
+                    grid.lons[i],
+                    lat,
+                    &mut state.rad[idx],
+                    refresh,
+                    dt,
+                    phys,
+                );
+                for k in 0..nl {
+                    state.t[k].set(i, jl, col.t[k]);
+                    state.q[k].set(i, jl, col.q[k]);
+                }
+                export.precip.set(i, jl, out.precip / dt);
+                export.sw_sfc.set(i, jl, out.sw_sfc);
+                export.lw_down.set(i, jl, out.lw_down_sfc);
+                export.cloud.set(i, jl, out.cloud);
+                export.work[idx] = out.iterations;
+            }
+        }
+        drop(phys_scope);
+
+        // --- Tracer advection (T, q at every physics level). ----------
+        let dyn_scope = foam_telemetry::scope("dynamics");
+        for k in 0..nl {
+            let d = self.dyn_level_for(k);
+            advect_grid_tracer_ws(
+                &self.par,
+                comm,
+                &psi[d],
+                &state.t[k],
+                dt,
+                self.cfg.tracer_nu4,
+                150.0, // physical floor on T [K]
+                inner,
+                tr_out,
+            );
+            std::mem::swap(&mut state.t[k], tr_out);
+            advect_grid_tracer_ws(
+                &self.par,
+                comm,
+                &psi[d],
+                &state.q[k],
+                dt,
+                self.cfg.tracer_nu4,
+                0.0,
+                inner,
+                tr_out,
+            );
+            std::mem::swap(&mut state.q[k], tr_out);
+        }
+
+        // --- QG step forced by the new temperature field. --------------
+        self.equilibrium_shear_ws(comm, &state.t, inner, shear_field, dpsi_eq);
+        self.core.tendencies_ws(
+            &self.par,
+            comm,
+            &state.qg.q_now,
+            dpsi_eq,
+            self.orog_pv.as_ref(),
+            inner,
+        );
+        if state.step_count == 0 {
+            self.core.step_euler_ws(&mut state.qg, dt, inner);
+        } else {
+            self.core.step_leapfrog_ws(&mut state.qg, dt, inner);
+        }
+        drop(dyn_scope);
+
+        state.sim_t += dt;
+        state.step_count += 1;
+
+        export
+            .t_low
+            .as_mut_slice()
+            .copy_from_slice(state.t[nl - 1].as_slice());
+        export
+            .q_low
+            .as_mut_slice()
+            .copy_from_slice(state.q[nl - 1].as_slice());
+    }
+
+    /// An export-shaped zero buffer for reuse with
+    /// [`AtmModel::step_ws`] (every field is fully overwritten by the
+    /// step).
+    pub fn empty_export(&self) -> AtmExport {
+        let grid = self.grid();
+        let z = || Field2::zeros(grid.nlon, self.par.n_local_rows());
+        AtmExport {
+            t_low: z(),
+            q_low: z(),
+            u_low: z(),
+            v_low: z(),
+            precip: z(),
+            sw_sfc: z(),
+            lw_down: z(),
+            cloud: z(),
+            work: vec![0; self.n_local()],
         }
     }
 
@@ -702,6 +946,45 @@ mod tests {
             }
             assert_eq!(refreshes, 3); // initial + 2 boundary crossings
         });
+    }
+
+    #[test]
+    fn step_ws_is_bit_identical_to_step_across_ranks() {
+        // The workspace path must reproduce the allocate-per-step path
+        // exactly — every export field and every piece of state — on
+        // both serial and decomposed runs.
+        for p in [1usize, 2] {
+            Universe::run(p, |comm| {
+                let model = AtmModel::new(AtmConfig::tiny(13), comm);
+                let world = World::earthlike();
+                let mut a = model.init_state();
+                let mut b = model.init_state();
+                let mut ws = AtmWorkspace::new(&model);
+                let mut export = model.empty_export();
+                for _ in 0..6 {
+                    let forcing = model.standalone_forcing(&a, &world);
+                    let e = model.step(&mut a, comm, &forcing);
+                    model.step_ws(&mut b, comm, &forcing, &mut ws, &mut export);
+                    assert_eq!(e.t_low.as_slice(), export.t_low.as_slice());
+                    assert_eq!(e.q_low.as_slice(), export.q_low.as_slice());
+                    assert_eq!(e.u_low.as_slice(), export.u_low.as_slice());
+                    assert_eq!(e.v_low.as_slice(), export.v_low.as_slice());
+                    assert_eq!(e.precip.as_slice(), export.precip.as_slice());
+                    assert_eq!(e.sw_sfc.as_slice(), export.sw_sfc.as_slice());
+                    assert_eq!(e.lw_down.as_slice(), export.lw_down.as_slice());
+                    assert_eq!(e.cloud.as_slice(), export.cloud.as_slice());
+                    assert_eq!(e.work, export.work);
+                }
+                for k in 0..model.cfg.nlev_phys {
+                    assert_eq!(a.t[k].as_slice(), b.t[k].as_slice());
+                    assert_eq!(a.q[k].as_slice(), b.q[k].as_slice());
+                }
+                for k in 0..model.cfg.dynamics.nlev {
+                    assert_eq!(a.qg.q_now[k].data, b.qg.q_now[k].data);
+                    assert_eq!(a.qg.q_prev[k].data, b.qg.q_prev[k].data);
+                }
+            });
+        }
     }
 
     #[test]

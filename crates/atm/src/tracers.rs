@@ -13,6 +13,9 @@ use foam_grid::Field2;
 use foam_mpi::Comm;
 use foam_spectral::{ParTransform, SpectralField};
 
+use crate::dynamics::jacobian_into;
+use crate::workspace::DynWorkspace;
+
 /// Advective tendency of tracer `x` (spectral) under streamfunction
 /// `psi` (spectral): returns −J(ψ, x) in spectral space. Identical
 /// machinery to the PV Jacobian.
@@ -61,6 +64,76 @@ pub fn advect_grid_tracer(
     out
 }
 
+/// Allocation-free [`advect_grid_tracer`]: the spectral round trip
+/// runs entirely in `dw`'s scratch and the updated slab overwrites
+/// `out` (callers typically `std::mem::swap` it with the state slab).
+/// Bit-identical to the allocating form.
+///
+/// ```
+/// use foam_atm::tracers::{advect_grid_tracer, advect_grid_tracer_ws};
+/// use foam_atm::workspace::DynWorkspace;
+/// use foam_grid::{AtmGrid, Field2};
+/// use foam_mpi::Universe;
+/// use foam_spectral::{Complex, ParTransform, SpectralField, SphericalTransform, Truncation};
+///
+/// Universe::run(1, |comm| {
+///     let par = ParTransform::new(
+///         SphericalTransform::new(AtmGrid::new(24, 16), Truncation::rhomboidal(5)),
+///         comm,
+///     );
+///     let mut psi = SpectralField::zeros(par.base.trunc);
+///     psi.set(2, 3, Complex::new(3.0e6, 1.0e6));
+///     let local = Field2::from_fn(par.base.grid.nlon, par.n_local_rows(), |i, jl| {
+///         (i as f64 * 0.3).sin() + jl as f64 * 0.01
+///     });
+///     let a = advect_grid_tracer(&par, comm, &psi, &local, 1800.0, 1e16, 0.0);
+///     let mut dw = DynWorkspace::new(&par, 3);
+///     let mut b = Field2::zeros(par.base.grid.nlon, par.n_local_rows());
+///     advect_grid_tracer_ws(&par, comm, &psi, &local, 1800.0, 1e16, 0.0, &mut dw, &mut b);
+///     assert_eq!(a.as_slice(), b.as_slice());
+/// });
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn advect_grid_tracer_ws(
+    par: &ParTransform,
+    comm: &Comm,
+    psi: &SpectralField,
+    local: &Field2,
+    dt: f64,
+    nu4: f64,
+    floor: f64,
+    dw: &mut DynWorkspace,
+    out: &mut Field2,
+) {
+    let DynWorkspace {
+        spec,
+        tr_spec,
+        tr_tend,
+        ga,
+        gb,
+        gc,
+        gd,
+        gj,
+        ..
+    } = dw;
+    par.analyze_into(comm, local, spec, tr_spec);
+    // Advective tendency −J(ψ, x), as in [`advect`].
+    jacobian_into(par, comm, psi, tr_spec, spec, ga, gb, gc, gd, gj, tr_tend);
+    tr_tend.scale(-1.0);
+    tr_spec.axpy(dt, tr_tend);
+    // Implicit ∇²+∇⁴ diffusion; the ∇² part offsets the weak
+    // amplification of forward-Euler advection.
+    tr_spec.apply_diffusion(nu4 * 3.0e-11, nu4, dt);
+    par.synthesize_into(tr_spec, spec, out);
+    // The spectral round trip is lossy for non-band-limited fields; keep
+    // the physical bound.
+    for v in out.as_mut_slice() {
+        if *v < floor {
+            *v = floor;
+        }
+    }
+}
+
 /// Horizontal winds (u, v) \[m/s\] on this rank's rows from a
 /// streamfunction, dividing out the cos φ factor of the spectral
 /// gradients.
@@ -80,6 +153,55 @@ pub fn winds_on_rows(par: &ParTransform, psi: &SpectralField) -> (Field2, Field2
         }
     }
     (u, v)
+}
+
+/// Allocation-free [`winds_on_rows`]: the cos-gradient and λ-derivative
+/// slabs are synthesized into `dw` scratch and the winds overwrite
+/// `u`/`v`. Bit-identical to the allocating form.
+///
+/// ```
+/// use foam_atm::tracers::{winds_on_rows, winds_on_rows_into};
+/// use foam_atm::workspace::DynWorkspace;
+/// use foam_grid::{AtmGrid, Field2};
+/// use foam_mpi::Universe;
+/// use foam_spectral::{Complex, ParTransform, SpectralField, SphericalTransform, Truncation};
+///
+/// Universe::run(1, |comm| {
+///     let par = ParTransform::new(
+///         SphericalTransform::new(AtmGrid::new(24, 16), Truncation::rhomboidal(5)),
+///         comm,
+///     );
+///     let mut psi = SpectralField::zeros(par.base.trunc);
+///     psi.set(1, 2, Complex::new(2.0e6, -0.5e6));
+///     let (u, v) = winds_on_rows(&par, &psi);
+///     let mut dw = DynWorkspace::new(&par, 3);
+///     let mut u2 = Field2::zeros(par.base.grid.nlon, par.n_local_rows());
+///     let mut v2 = u2.clone();
+///     winds_on_rows_into(&par, &psi, &mut dw, &mut u2, &mut v2);
+///     assert_eq!(u.as_slice(), u2.as_slice());
+///     assert_eq!(v.as_slice(), v2.as_slice());
+/// });
+/// ```
+pub fn winds_on_rows_into(
+    par: &ParTransform,
+    psi: &SpectralField,
+    dw: &mut DynWorkspace,
+    u: &mut Field2,
+    v: &mut Field2,
+) {
+    let DynWorkspace { spec, ga, gb, .. } = dw;
+    par.synthesize_cosgrad_into(psi, spec, ga);
+    ga.scale(-1.0 / EARTH_RADIUS);
+    par.synthesize_dlambda_into(psi, spec, gb);
+    gb.scale(1.0 / EARTH_RADIUS);
+    let grid = &par.base.grid;
+    for jl in 0..par.n_local_rows() {
+        let cos = grid.lats[par.j0 + jl].cos();
+        for i in 0..grid.nlon {
+            u.set(i, jl, ga.get(i, jl) / cos);
+            v.set(i, jl, gb.get(i, jl) / cos);
+        }
+    }
 }
 
 #[cfg(test)]

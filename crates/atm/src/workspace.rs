@@ -1,0 +1,179 @@
+//! Pre-allocated scratch for the atmosphere step.
+//!
+//! The coupled hot loop must not allocate in steady state (the
+//! zero-churn rule; see PERFORMANCE.md). Everything the atmosphere
+//! step needs beyond its prognostic state — streamfunctions, spectral
+//! tendencies, transform scratch, grid-space Jacobian slabs, the
+//! physics column and its working vectors — lives in an
+//! [`AtmWorkspace`] created once and reused for every step. The
+//! workspace-threaded step ([`crate::model::AtmModel::step_ws`]) is
+//! bit-identical to the allocate-per-step path
+//! ([`crate::model::AtmModel::step`]): both perform exactly the same
+//! floating-point operations in the same order; only the ownership of
+//! the buffers differs. Tests and doctests pin that equivalence.
+
+use foam_grid::Field2;
+use foam_physics::{AtmColumn, PhysicsWorkspace};
+use foam_spectral::{ParTransform, SpectralField, SpectralWorkspace};
+
+use crate::model::AtmModel;
+
+/// Scratch for the dynamical-core and tracer kernels: spectral
+/// transform workspace, per-level streamfunction/tendency fields, and
+/// the grid-space slabs the Jacobian evaluates on.
+///
+/// One `DynWorkspace` serves every kernel in a step — the Jacobian,
+/// winds, tracer advection, PV tendencies and the leapfrog update all
+/// borrow disjoint pieces of it.
+///
+/// ```
+/// use foam_atm::dynamics::{QgConfig, QgCore, QgState};
+/// use foam_atm::workspace::DynWorkspace;
+/// use foam_grid::AtmGrid;
+/// use foam_mpi::Universe;
+/// use foam_spectral::{Complex, ParTransform, SpectralField, SphericalTransform, Truncation};
+///
+/// Universe::run(1, |comm| {
+///     let par = ParTransform::new(
+///         SphericalTransform::new(AtmGrid::new(24, 16), Truncation::rhomboidal(5)),
+///         comm,
+///     );
+///     let core = QgCore::new(QgConfig::default(), par.base.trunc);
+///     let mut a = QgState::zeros(par.base.trunc, 3);
+///     a.q_now[0].set(2, 3, Complex::new(1.0e-6, -2.0e-7));
+///     a.q_prev = a.q_now.clone();
+///     let mut b = a.clone();
+///     let dpsi: Vec<SpectralField> =
+///         (0..2).map(|_| SpectralField::zeros(par.base.trunc)).collect();
+///     let mut dw = DynWorkspace::new(&par, 3);
+///     for s in 0..4 {
+///         // Allocate-per-step path…
+///         let tend = core.tendencies(&par, comm, &a.q_now, &dpsi, None);
+///         // …and the workspace path: bit-identical states.
+///         core.tendencies_ws(&par, comm, &b.q_now, &dpsi, None, &mut dw);
+///         if s == 0 {
+///             core.step_euler(&mut a, &tend, 1800.0);
+///             core.step_euler_ws(&mut b, 1800.0, &mut dw);
+///         } else {
+///             core.step_leapfrog(&mut a, &tend, 1800.0);
+///             core.step_leapfrog_ws(&mut b, 1800.0, &mut dw);
+///         }
+///     }
+///     for k in 0..3 {
+///         assert_eq!(a.q_now[k].data, b.q_now[k].data);
+///         assert_eq!(a.q_prev[k].data, b.q_prev[k].data);
+///     }
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynWorkspace {
+    /// Legendre/FFT/reduction scratch for the spectral transforms.
+    pub(crate) spec: SpectralWorkspace,
+    /// ψ per dynamic level, recomputed inside `tendencies_ws`.
+    pub(crate) psi: Vec<SpectralField>,
+    /// PV tendencies per dynamic level (output of `tendencies_ws`,
+    /// input of the `step_*_ws` time steppers).
+    pub(crate) tend: Vec<SpectralField>,
+    /// Orographic-Jacobian output.
+    pub(crate) jac: SpectralField,
+    /// Ekman-drag Laplacian.
+    pub(crate) drag: SpectralField,
+    /// Leapfrog scratch: the new time level and the Robert-filtered
+    /// middle level, swapped into the state each step.
+    pub(crate) q_next: SpectralField,
+    pub(crate) filtered: SpectralField,
+    /// Tracer spectral coefficients and advective tendency.
+    pub(crate) tr_spec: SpectralField,
+    pub(crate) tr_tend: SpectralField,
+    /// Grid-space slabs: four synthesis outputs plus the Jacobian
+    /// product field (also reused as wind scratch).
+    pub(crate) ga: Field2,
+    pub(crate) gb: Field2,
+    pub(crate) gc: Field2,
+    pub(crate) gd: Field2,
+    pub(crate) gj: Field2,
+    /// Reciprocal squared Rossby radii of the interfaces.
+    pub(crate) rossby_r: Vec<f64>,
+}
+
+impl DynWorkspace {
+    /// Scratch sized for `nlev` dynamic levels on `par`'s local rows.
+    pub fn new(par: &ParTransform, nlev: usize) -> Self {
+        let trunc = par.base.trunc;
+        let nlon = par.base.grid.nlon;
+        let rows = par.n_local_rows();
+        let sf = || SpectralField::zeros(trunc);
+        let gf = || Field2::zeros(nlon, rows);
+        DynWorkspace {
+            spec: SpectralWorkspace::new(&par.base),
+            psi: (0..nlev).map(|_| sf()).collect(),
+            tend: (0..nlev).map(|_| sf()).collect(),
+            jac: sf(),
+            drag: sf(),
+            q_next: sf(),
+            filtered: sf(),
+            tr_spec: sf(),
+            tr_tend: sf(),
+            ga: gf(),
+            gb: gf(),
+            gc: gf(),
+            gd: gf(),
+            gj: gf(),
+            rossby_r: Vec::new(),
+        }
+    }
+}
+
+/// Everything [`AtmModel::step_ws`] needs beyond the prognostic state:
+/// a [`DynWorkspace`] for the spectral kernels, per-level wind and
+/// streamfunction buffers, the equilibrium-shear fields, and one
+/// reusable physics column with its [`PhysicsWorkspace`].
+///
+/// Create it once per run with [`AtmWorkspace::new`] and pass it to
+/// every [`AtmModel::step_ws`] call; after the first few steps the
+/// buffers reach their steady-state capacity and the step allocates
+/// nothing. See [`AtmModel::step_ws`] for a usage example.
+#[derive(Debug, Clone)]
+pub struct AtmWorkspace {
+    /// Kernel-level scratch.
+    pub(crate) inner: DynWorkspace,
+    /// ψ per dynamic level for winds and tracer advection (distinct
+    /// from `inner.psi`, which `tendencies_ws` overwrites later in the
+    /// step).
+    pub(crate) psi: Vec<SpectralField>,
+    /// (u, v) per dynamic level.
+    pub(crate) winds: Vec<(Field2, Field2)>,
+    /// Equilibrium interface shears (nlev − 1 fields).
+    pub(crate) dpsi_eq: Vec<SpectralField>,
+    /// Layer-pair mean temperature accumulator.
+    pub(crate) shear_field: Field2,
+    /// Tracer-advection output slab, swapped into the state per level.
+    pub(crate) tr_out: Field2,
+    /// The one physics column, reloaded per grid cell.
+    pub(crate) col: AtmColumn,
+    /// Column-physics scratch.
+    pub(crate) phys: PhysicsWorkspace,
+}
+
+impl AtmWorkspace {
+    /// Workspace sized for `model`'s grid, truncation and level counts.
+    pub fn new(model: &AtmModel) -> Self {
+        let par = &model.par;
+        let trunc = par.base.trunc;
+        let nld = model.cfg.dynamics.nlev;
+        let nlon = par.base.grid.nlon;
+        let rows = par.n_local_rows();
+        AtmWorkspace {
+            inner: DynWorkspace::new(par, nld),
+            psi: (0..nld).map(|_| SpectralField::zeros(trunc)).collect(),
+            winds: (0..nld)
+                .map(|_| (Field2::zeros(nlon, rows), Field2::zeros(nlon, rows)))
+                .collect(),
+            dpsi_eq: (0..nld - 1).map(|_| SpectralField::zeros(trunc)).collect(),
+            shear_field: Field2::zeros(nlon, rows),
+            tr_out: Field2::zeros(nlon, rows),
+            col: AtmColumn::isothermal(model.cfg.nlev_phys, 2000.0, 280.0),
+            phys: PhysicsWorkspace::with_levels(model.cfg.nlev_phys),
+        }
+    }
+}

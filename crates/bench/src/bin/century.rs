@@ -18,15 +18,41 @@
 //! the 1-year scaled-down variant (`century-smoke`) and gates on a
 //! throughput regression against the committed 100-year artifact.
 
-use foam::{run_coupled, FoamConfig, TelemetryConfig, World};
+use std::sync::Mutex;
+
+use foam::{
+    try_run_coupled_observed, FoamConfig, ProgressEvent, RunObserver, TelemetryConfig, World,
+};
 use foam_bench::flag_or;
 use foam_ckpt::Codec;
 use foam_grid::{Basin, OceanGrid};
-use foam_telemetry::alloc::CountingAlloc;
+use foam_telemetry::alloc::{CountingAlloc, SteadyMeter};
 use foam_telemetry::json::Value;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Opens a [`SteadyMeter`] once the run passes its warm-up interval, so
+/// the artifact can report *steady-state* allocations per simulated
+/// year — excluding setup (workspace construction, spectral tables,
+/// initial states), which is one-off and allowed to allocate freely.
+struct SteadyWatch {
+    /// First coupling interval considered steady (1-based).
+    warmup: usize,
+    /// The interval the meter actually opened at, and the meter.
+    meter: Mutex<Option<(usize, SteadyMeter)>>,
+}
+
+impl RunObserver for SteadyWatch {
+    fn on_interval(&self, ev: &ProgressEvent) {
+        if ev.interval >= self.warmup {
+            let mut g = self.meter.lock().expect("steady meter lock");
+            if g.is_none() {
+                *g = Some((ev.interval, SteadyMeter::begin()));
+            }
+        }
+    }
+}
 
 /// Area-weighted box profile over one basin, 25–60°N (the Figure-4
 /// two-basin diagnostic), normalized to a box *mean*.
@@ -73,9 +99,30 @@ fn main() {
         path: None,
     };
 
+    // Steady-state window: everything after the first simulated year
+    // (or the second half of a sub-year smoke run) counts; the warm-up
+    // absorbs the one-off setup allocations.
+    let n_intervals = ((years * 360.0 * 86_400.0) / cfg.dt_couple).round() as usize;
+    let intervals_per_year = ((360.0 * 86_400.0) / cfg.dt_couple).round() as usize;
+    let watch = SteadyWatch {
+        warmup: intervals_per_year.min(n_intervals / 2).max(1),
+        meter: Mutex::new(None),
+    };
+
     CountingAlloc::reset_peak();
     let baseline = CountingAlloc::stats();
-    let out = run_coupled(&cfg, years * 360.0);
+    let out = try_run_coupled_observed(&cfg, years * 360.0, &watch)
+        .unwrap_or_else(|e| panic!("coupled run failed: {e}"));
+    // Read the steady window before the analysis below churns the heap.
+    let steady = watch
+        .meter
+        .lock()
+        .expect("steady meter lock")
+        .map(|(opened_at, meter)| {
+            let intervals = n_intervals.saturating_sub(opened_at);
+            let steady_years = intervals as f64 * cfg.dt_couple / (360.0 * 86_400.0);
+            (steady_years, meter.so_far())
+        });
     let alloc = CountingAlloc::stats();
 
     let stream = out.stream.as_ref().expect("century config streams");
@@ -100,6 +147,15 @@ fn main() {
         alloc.live_bytes as f64 / (1 << 20) as f64,
         alloc.allocations - baseline.allocations,
     );
+    if let Some((sy, d)) = steady {
+        let rate = d.per(sy);
+        println!(
+            "steady state: {:.3e} allocations/yr ({:.1} MiB/yr) over the final {:.2} simulated years",
+            rate.allocations,
+            rate.total_bytes / (1 << 20) as f64,
+            sy,
+        );
+    }
 
     // --- Figure-4 analysis straight off the stream. ---------------------
     let (mut leading_varfrac, mut basin_corr) = (Value::Null, Value::Null);
@@ -157,6 +213,30 @@ fn main() {
                 ("live_bytes_end".to_string(), alloc.live_bytes.into()),
                 ("total_bytes".to_string(), alloc.total_bytes.into()),
                 ("allocations".to_string(), alloc.allocations.into()),
+                (
+                    "steady_years".to_string(),
+                    steady
+                        .map(|(sy, _)| Value::Number(sy))
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "steady_allocations".to_string(),
+                    steady
+                        .map(|(_, d)| Value::Number(d.allocations as f64))
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "steady_allocs_per_year".to_string(),
+                    steady
+                        .map(|(sy, d)| Value::Number(d.per(sy).allocations))
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "steady_bytes_per_year".to_string(),
+                    steady
+                        .map(|(sy, d)| Value::Number(d.per(sy).total_bytes))
+                        .unwrap_or(Value::Null),
+                ),
             ]),
         ),
         (

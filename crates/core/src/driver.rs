@@ -39,10 +39,10 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use foam_atm::{AtmExport, AtmForcing, AtmModel, AtmState};
+use foam_atm::{AtmExport, AtmForcing, AtmModel, AtmState, AtmWorkspace};
 use foam_ckpt::{CheckpointStore, CkptError, FaultyStore};
 use foam_coupler::tags::{TAG_CKPT, TAG_DONE, TAG_FORCING, TAG_SST, TAG_SST_RETRY};
-use foam_coupler::{AtmSurfaceFields, Coupler, CouplerState, ExchangeBuffers};
+use foam_coupler::{AtmSurfaceView, Coupler, CouplerState, CouplerWorkspace, ExchangeBuffers};
 use foam_grid::constants::SECONDS_PER_DAY;
 use foam_grid::{Field2, OceanGrid, World};
 use foam_mpi::{Backoff, Comm, CommLint, RankTrace, RunConfig, Universe};
@@ -760,6 +760,46 @@ fn checkpoint_rendezvous(
     }
 }
 
+/// Per-rank scratch for the coupled hot loop, created once per run and
+/// reused across every step and coupling interval (the zero-churn rule;
+/// see PERFORMANCE.md and DESIGN.md §14). Holding these buffers here —
+/// instead of allocating them inside [`AtmModel::step`] and
+/// [`Coupler::step_rows`] each step — removes essentially all
+/// steady-state allocation from the driver without changing a single
+/// floating-point operation: the workspace paths are bit-identical to
+/// the allocate-per-step ones (pinned by tests in `foam-atm` and
+/// `foam-tests`).
+struct StepWorkspace {
+    /// Spectral/physics scratch for [`AtmModel::step_ws`].
+    atm: AtmWorkspace,
+    /// Accumulators and outputs for [`Coupler::step_rows_ws`].
+    coupler: CouplerWorkspace,
+    /// Row-local coupler→atmosphere forcing, refilled in place each
+    /// step (`clear` + `extend_from_slice` never reallocates once the
+    /// capacity is established).
+    forcing: AtmForcing,
+    /// Flat `[tau_x | tau_y | heat | freshwater]` buffer for the
+    /// per-interval ocean-forcing reduction via
+    /// [`Comm::allreduce_mut`].
+    flat: Vec<f64>,
+}
+
+impl StepWorkspace {
+    fn new(model: &AtmModel, coupler: &Coupler) -> Self {
+        let n_local = model.n_local();
+        StepWorkspace {
+            atm: AtmWorkspace::new(model),
+            coupler: coupler.workspace(),
+            forcing: AtmForcing {
+                fluxes: Vec::with_capacity(n_local),
+                t_sfc: Vec::with_capacity(n_local),
+                albedo: Vec::with_capacity(n_local),
+            },
+            flat: Vec::new(),
+        }
+    }
+}
+
 fn atm_rank(
     cfg: &FoamConfig,
     world: &Comm,
@@ -880,6 +920,9 @@ fn atm_rank(
             recent = snap.exchange.recent.clone();
         }
     }
+    // All hot-loop scratch, allocated once here; the loop below runs
+    // allocation-free in steady state (PERFORMANCE.md).
+    let mut ws = StepWorkspace::new(&model, &coupler);
     let t_start = world.now();
 
     for c in start_c..n_couple {
@@ -899,41 +942,61 @@ fn atm_rank(
         for _ in 0..steps_per_couple {
             // ---- Coupler, distributed by latitude rows (co-located
             //      with the atmosphere decomposition, as in the paper).
-            let forcing_local = world.region("coupler", || {
+            world.region("coupler", || {
                 let _t = foam_telemetry::scope("coupler");
                 let (j0, j1) = model.rows();
                 let (ka0, ka1) = (j0 * nlon, j1 * nlon);
-                // The export fields already hold exactly this rank's rows.
-                let fields = AtmSurfaceFields {
-                    t_low: export.t_low.clone(),
-                    q_low: export.q_low.clone(),
-                    u_low: export.u_low.clone(),
-                    v_low: export.v_low.clone(),
-                    precip: export.precip.clone(),
-                    sw_sfc: export.sw_sfc.clone(),
-                    lw_down: export.lw_down.clone(),
+                // The export fields already hold exactly this rank's
+                // rows; borrow them instead of cloning seven fields.
+                let view = AtmSurfaceView {
+                    t_low: &export.t_low,
+                    q_low: &export.q_low,
+                    u_low: &export.u_low,
+                    v_low: &export.v_low,
+                    precip: &export.precip,
+                    sw_sfc: &export.sw_sfc,
+                    lw_down: &export.lw_down,
                 };
-                let (sfc, runoff) =
-                    coupler.step_rows(&mut coupler_state, &fields, &sst, cfg.atm.dt, ka0, ka1, ka0);
+                coupler.step_rows_ws(
+                    &mut coupler_state,
+                    view,
+                    &sst,
+                    cfg.atm.dt,
+                    ka0,
+                    ka1,
+                    ka0,
+                    &mut ws.coupler,
+                );
                 // Rivers need the global runoff; they are cheap, so they
-                // run replicated from the allgathered field.
-                let local_runoff = runoff[ka0..ka1].to_vec();
+                // run replicated from the allgathered field. (This
+                // gather is the one small per-step allocation left in
+                // the loop — see PERFORMANCE.md's steady-state budget.)
+                let local_runoff = ws.coupler.runoff[ka0..ka1].to_vec();
                 let full_runoff: Vec<f64> = atm_comm
                     .allgather(local_runoff)
                     .into_iter()
                     .flatten()
                     .collect();
-                coupler.route_rivers(&mut coupler_state, &full_runoff, cfg.atm.dt);
-                AtmForcing {
-                    fluxes: sfc.fluxes[ka0..ka1].to_vec(),
-                    t_sfc: sfc.t_sfc[ka0..ka1].to_vec(),
-                    albedo: sfc.albedo[ka0..ka1].to_vec(),
-                }
+                coupler.route_rivers_ws(
+                    &mut coupler_state,
+                    &full_runoff,
+                    cfg.atm.dt,
+                    &mut ws.coupler,
+                );
+                // Refill (never reallocate) the row-local forcing slice.
+                let out = &ws.coupler.out;
+                ws.forcing.fluxes.clear();
+                ws.forcing.fluxes.extend_from_slice(&out.fluxes[ka0..ka1]);
+                ws.forcing.t_sfc.clear();
+                ws.forcing.t_sfc.extend_from_slice(&out.t_sfc[ka0..ka1]);
+                ws.forcing.albedo.clear();
+                ws.forcing.albedo.extend_from_slice(&out.albedo[ka0..ka1]);
             });
-            // ---- Atmosphere step. ------------------------------------
-            export = world.region("atmosphere", || {
+            // ---- Atmosphere step, writing into the reused export. ----
+            world.region("atmosphere", || {
                 let _t = foam_telemetry::scope("atmosphere");
-                model.step(&mut atm_state, &atm_comm, &forcing_local)
+                let StepWorkspace { atm, forcing, .. } = &mut ws;
+                model.step_ws(&mut atm_state, &atm_comm, forcing, atm, &mut export);
             });
             res.work += export.work.iter().sum::<usize>();
         }
@@ -944,18 +1007,25 @@ fn atm_rank(
             let _t = foam_telemetry::scope("coupler");
             let (local, shared) = coupler.take_ocean_forcing_parts(&mut coupler_state);
             let n_o = local.heat.as_slice().len();
-            let mut flat = Vec::with_capacity(4 * n_o);
+            // Reduce through the reused flat buffer: `allreduce_mut` is
+            // bit-identical to `allreduce` (same fold order) but
+            // allocation-free in steady state. The `OceanForcing` built
+            // below is owned by the exchange message, so it (alone)
+            // still allocates — once per coupling interval, not per
+            // step.
+            let flat = &mut ws.flat;
+            flat.clear();
             flat.extend_from_slice(local.tau_x.as_slice());
             flat.extend_from_slice(local.tau_y.as_slice());
             flat.extend_from_slice(local.heat.as_slice());
             flat.extend_from_slice(local.freshwater.as_slice());
-            let summed = atm_comm.allreduce(&flat, foam_mpi::ReduceOp::Sum);
+            atm_comm.allreduce_mut(flat, foam_mpi::ReduceOp::Sum);
             let (onx, ony) = (ocn_grid.nx, ocn_grid.ny);
             let mut f = foam_ocean::OceanForcing {
-                tau_x: Field2::from_vec(onx, ony, summed[..n_o].to_vec()),
-                tau_y: Field2::from_vec(onx, ony, summed[n_o..2 * n_o].to_vec()),
-                heat: Field2::from_vec(onx, ony, summed[2 * n_o..3 * n_o].to_vec()),
-                freshwater: Field2::from_vec(onx, ony, summed[3 * n_o..].to_vec()),
+                tau_x: Field2::from_vec(onx, ony, flat[..n_o].to_vec()),
+                tau_y: Field2::from_vec(onx, ony, flat[n_o..2 * n_o].to_vec()),
+                heat: Field2::from_vec(onx, ony, flat[2 * n_o..3 * n_o].to_vec()),
+                freshwater: Field2::from_vec(onx, ony, flat[3 * n_o..].to_vec()),
             };
             f.tau_x.axpy(1.0, &shared.tau_x);
             f.tau_y.axpy(1.0, &shared.tau_y);

@@ -56,6 +56,52 @@ pub struct AtmSurfaceFields {
     pub lw_down: Field2,
 }
 
+/// Borrowed view of the atmosphere surface fields — what the coupler
+/// actually reads. Lets callers hand the coupler their own buffers
+/// (e.g. the atmosphere's reusable export) without cloning seven
+/// fields per step (the zero-churn rule; see PERFORMANCE.md).
+#[derive(Debug, Clone, Copy)]
+pub struct AtmSurfaceView<'a> {
+    /// Lowest-level air temperature \[K\], humidity, winds \[m/s\].
+    pub t_low: &'a Field2,
+    pub q_low: &'a Field2,
+    pub u_low: &'a Field2,
+    pub v_low: &'a Field2,
+    /// Precipitation rate \[kg m⁻² s⁻¹\].
+    pub precip: &'a Field2,
+    /// Shortwave absorbed at the surface and downwelling longwave \[W/m²\].
+    pub sw_sfc: &'a Field2,
+    pub lw_down: &'a Field2,
+}
+
+impl AtmSurfaceFields {
+    /// Borrow these fields as an [`AtmSurfaceView`].
+    ///
+    /// ```
+    /// use foam_coupler::AtmSurfaceFields;
+    /// use foam_grid::Field2;
+    ///
+    /// let f = Field2::filled(4, 3, 1.0);
+    /// let atm = AtmSurfaceFields {
+    ///     t_low: f.clone(), q_low: f.clone(), u_low: f.clone(), v_low: f.clone(),
+    ///     precip: f.clone(), sw_sfc: f.clone(), lw_down: f,
+    /// };
+    /// let view = atm.view();
+    /// assert_eq!(view.t_low.as_slice(), atm.t_low.as_slice());
+    /// ```
+    pub fn view(&self) -> AtmSurfaceView<'_> {
+        AtmSurfaceView {
+            t_low: &self.t_low,
+            q_low: &self.q_low,
+            u_low: &self.u_low,
+            v_low: &self.v_low,
+            precip: &self.precip,
+            sw_sfc: &self.sw_sfc,
+            lw_down: &self.lw_down,
+        }
+    }
+}
+
 /// What the coupler returns to the atmosphere (full grid, flattened).
 #[derive(Debug, Clone)]
 pub struct SurfaceForAtm {
@@ -63,6 +109,34 @@ pub struct SurfaceForAtm {
     /// Effective radiating surface temperature \[K\].
     pub t_sfc: Vec<f64>,
     pub albedo: Vec<f64>,
+}
+
+/// Pre-allocated scratch and result buffers for
+/// [`Coupler::step_rows_ws`], created once per run with
+/// [`Coupler::workspace`] and reused every step. The pseudo-column
+/// keeps its reference profile between calls (only the bottom level is
+/// rewritten), and all accumulators are reset at the start of each
+/// call, so a reused workspace is bit-identical to fresh allocation.
+#[derive(Debug, Clone)]
+pub struct CouplerWorkspace {
+    /// Surface seen by the atmosphere, written by the last
+    /// [`Coupler::step_rows_ws`] call (entries in its cell range).
+    pub out: SurfaceForAtm,
+    /// Local runoff \[m over the step\], full-length, entries filled in
+    /// the last call's cell range.
+    pub runoff: Vec<f64>,
+    /// The reference pseudo-column; only its bottom level changes.
+    col: AtmColumn,
+    /// Per-atmosphere-cell sea-side accumulators.
+    sea_flux: Vec<BulkFluxes>,
+    sea_area: Vec<f64>,
+    sea_tsfc: Vec<f64>,
+    sea_albedo: Vec<f64>,
+    /// River-routing scratch ([`Coupler::route_rivers_ws`]): per-cell
+    /// outflow, atmosphere-grid mouths, their ocean-grid regridding.
+    river_outflow: Vec<f64>,
+    mouths_atm: Field2,
+    mouths_ocn: Field2,
 }
 
 /// Mutable coupler state.
@@ -241,15 +315,42 @@ impl Coupler {
         }
     }
 
-    /// A pseudo-column carrying the lowest-level state at cell `ka`
-    /// (the bulk formulas only read the bottom level). `off` is the flat
-    /// index of `atm`'s first entry (0 for full-grid fields).
-    fn pseudo_column(&self, atm: &AtmSurfaceFields, ka: usize, off: usize) -> AtmColumn {
-        let mut col = AtmColumn::isothermal(self.nlev_ref, 2000.0, 280.0);
+    /// A fresh scratch/result buffer set for [`Coupler::step_rows_ws`],
+    /// sized for this coupler's grids.
+    pub fn workspace(&self) -> CouplerWorkspace {
+        let n = self.atm_grid.len();
+        CouplerWorkspace {
+            out: SurfaceForAtm {
+                fluxes: vec![BulkFluxes::default(); n],
+                t_sfc: vec![288.0; n],
+                albedo: vec![0.07; n],
+            },
+            runoff: vec![0.0; n],
+            col: AtmColumn::isothermal(self.nlev_ref, 2000.0, 280.0),
+            sea_flux: vec![BulkFluxes::default(); n],
+            sea_area: vec![0.0; n],
+            sea_tsfc: vec![0.0; n],
+            sea_albedo: vec![0.0; n],
+            river_outflow: Vec::new(),
+            mouths_atm: Field2::zeros(self.atm_grid.nlon, self.atm_grid.nlat),
+            mouths_ocn: Field2::zeros(self.ocn_grid.nx, self.ocn_grid.ny),
+        }
+    }
+
+    /// Load the lowest-level state at cell `ka` into the reference
+    /// pseudo-column (the bulk formulas only read the bottom level;
+    /// every other level keeps the constructor's profile). `off` is the
+    /// flat index of `atm`'s first entry (0 for full-grid fields).
+    fn pseudo_column_into(
+        &self,
+        atm: AtmSurfaceView<'_>,
+        ka: usize,
+        off: usize,
+        col: &mut AtmColumn,
+    ) {
         let n = col.nlev();
         col.t[n - 1] = atm.t_low.as_slice()[ka - off];
         col.q[n - 1] = atm.q_low.as_slice()[ka - off];
-        col
     }
 
     /// One coupler pass for one atmosphere step of length `dt` \[s\]:
@@ -288,20 +389,91 @@ impl Coupler {
         ka1: usize,
         ka_offset: usize,
     ) -> (SurfaceForAtm, Vec<f64>) {
+        let mut ws = self.workspace();
+        self.step_rows_ws(st, atm.view(), sst, dt, ka0, ka1, ka_offset, &mut ws);
+        (ws.out, ws.runoff)
+    }
+
+    /// Allocation-free [`Coupler::step_rows`]: reads the atmosphere
+    /// surface through a borrowed [`AtmSurfaceView`] and leaves the
+    /// results in `ws.out` / `ws.runoff`. Bit-identical to the
+    /// allocating form (which is now a thin wrapper over this one).
+    ///
+    /// ```
+    /// use foam_coupler::{AtmSurfaceFields, Coupler};
+    /// use foam_grid::{AtmGrid, Field2, OceanGrid, World};
+    /// use foam_physics::PhysicsConfig;
+    ///
+    /// let atm_grid = AtmGrid::new(8, 6);
+    /// let ocn_grid = OceanGrid::mercator(8, 6, 60.0);
+    /// let coupler = Coupler::new(
+    ///     atm_grid.clone(),
+    ///     ocn_grid.clone(),
+    ///     vec![true; ocn_grid.len()],
+    ///     &World::earthlike(),
+    ///     PhysicsConfig::default(),
+    /// );
+    /// let sst = Field2::filled(8, 6, 15.0);
+    /// let g = |v| Field2::filled(8, 6, v);
+    /// let atm = AtmSurfaceFields {
+    ///     t_low: g(285.0), q_low: g(0.008), u_low: g(5.0), v_low: g(0.0),
+    ///     precip: g(1.0e-5), sw_sfc: g(200.0), lw_down: g(350.0),
+    /// };
+    /// let mut st_a = coupler.init_state(&sst, |_| 280.0);
+    /// let mut st_b = st_a.clone();
+    /// let n = atm_grid.len();
+    ///
+    /// // Allocating reference vs the reused-workspace path:
+    /// let (out, runoff) = coupler.step_rows(&mut st_a, &atm, &sst, 1800.0, 0, n, 0);
+    /// let mut ws = coupler.workspace();
+    /// coupler.step_rows_ws(&mut st_b, atm.view(), &sst, 1800.0, 0, n, 0, &mut ws);
+    /// assert_eq!(out.t_sfc, ws.out.t_sfc);   // bit-identical
+    /// assert_eq!(runoff, ws.runoff);
+    /// ```
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_rows_ws(
+        &self,
+        st: &mut CouplerState,
+        atm: AtmSurfaceView<'_>,
+        sst: &Field2,
+        dt: f64,
+        ka0: usize,
+        ka1: usize,
+        ka_offset: usize,
+        ws: &mut CouplerWorkspace,
+    ) {
         let _t = foam_telemetry::scope("fluxes");
         let n_atm = self.atm_grid.len();
         let at = |f: &Field2, ka: usize| f.as_slice()[ka - ka_offset];
 
         // ---------------- Overlap-grid air–sea fluxes. -----------------
         // Accumulate per-atm (sea-average) and per-ocean quantities.
-        let mut sea_flux_atm: Vec<BulkFluxes> = vec![BulkFluxes::default(); n_atm];
-        let mut sea_area_atm = vec![0.0; n_atm];
-        let mut sea_tsfc_atm = vec![0.0; n_atm];
-        let mut sea_albedo_atm = vec![0.0; n_atm];
+        // Reset the reused buffers to the values a fresh allocation
+        // would carry.
+        let CouplerWorkspace {
+            out,
+            runoff,
+            col,
+            sea_flux,
+            sea_area,
+            sea_tsfc,
+            sea_albedo,
+            // River scratch is route_rivers_ws's, untouched here.
+            ..
+        } = ws;
+        let sea_flux_atm = sea_flux;
+        let sea_area_atm = sea_area;
+        let sea_tsfc_atm = sea_tsfc;
+        let sea_albedo_atm = sea_albedo;
+        sea_flux_atm.fill(BulkFluxes::default());
+        sea_area_atm.fill(0.0);
+        sea_tsfc_atm.fill(0.0);
+        sea_albedo_atm.fill(0.0);
 
         for ka in ka0..ka1 {
-            let col = self.pseudo_column(atm, ka, ka_offset);
-            let wind = (at(&atm.u_low, ka), at(&atm.v_low, ka));
+            self.pseudo_column_into(atm, ka, ka_offset, col);
+            let col = &*col;
+            let wind = (at(atm.u_low, ka), at(atm.v_low, ka));
             self.overlap.for_each_pair_of_atm(ka, |ko, area| {
                 let icy = st.ice[ko];
                 let sst_c = sst.as_slice()[ko];
@@ -318,7 +490,7 @@ impl Coupler {
                 } else {
                     (SurfaceState::open_ocean(sst_c + 273.15), 0.07)
                 };
-                let f = self.phys.surface_fluxes(&col, &sfc, wind);
+                let f = self.phys.surface_fluxes(col, &sfc, wind);
 
                 // Atmosphere side: area-weighted sea-average flux.
                 let w = area;
@@ -348,7 +520,7 @@ impl Coupler {
                         0.0,
                     )
                 } else {
-                    let q = at(&atm.sw_sfc, ka) + at(&atm.lw_down, ka)
+                    let q = at(atm.sw_sfc, ka) + at(atm.lw_down, ka)
                         - STEFAN_BOLTZMANN * t_water_k.powi(4)
                         - f.sensible
                         - f.latent;
@@ -362,17 +534,16 @@ impl Coupler {
                 st.acc.tau_y.as_mut_slice()[ko] += wn * tauy;
                 st.acc.heat.as_mut_slice()[ko] += wn * heat;
                 // P − E on the sea part; rivers are added by route_rivers.
-                st.acc.freshwater.as_mut_slice()[ko] += wn * (at(&atm.precip, ka) - evap);
+                st.acc.freshwater.as_mut_slice()[ko] += wn * (at(atm.precip, ka) - evap);
             });
         }
 
         // ---------------- Land surface + hydrology. --------------------
-        let mut out = SurfaceForAtm {
-            fluxes: vec![BulkFluxes::default(); n_atm],
-            t_sfc: vec![288.0; n_atm],
-            albedo: vec![0.07; n_atm],
-        };
-        let mut runoff = vec![0.0; n_atm];
+        out.fluxes.fill(BulkFluxes::default());
+        out.t_sfc.fill(288.0);
+        out.albedo.fill(0.07);
+        runoff.fill(0.0);
+        let _ = n_atm;
         for ka in ka0..ka1 {
             let sea_a = sea_area_atm[ka];
             let cell_a = self.overlap.atm_cell_area(ka);
@@ -384,8 +555,8 @@ impl Coupler {
             let mut land_t = 0.0;
             let mut land_albedo = 0.0;
             if land_frac > 1.0e-6 {
-                let col = self.pseudo_column(atm, ka, ka_offset);
-                let wind = (at(&atm.u_low, ka), at(&atm.v_low, ka));
+                self.pseudo_column_into(atm, ka, ka_offset, col);
+                let wind = (at(atm.u_low, ka), at(atm.v_low, ka));
                 let props = SOIL_CLASSES[self.soil_type[ka]];
                 let snow_covered = st.bucket[ka].snow > 1.0e-4;
                 let albedo = if snow_covered { 0.65 } else { props.albedo };
@@ -401,17 +572,17 @@ impl Coupler {
                     albedo,
                     wetness: st.bucket[ka].wetness(),
                 };
-                land_flux = self.phys.surface_fluxes(&col, &sfc, wind);
+                land_flux = self.phys.surface_fluxes(col, &sfc, wind);
                 // Soil energy budget.
                 let skin = st.soil[ka].skin();
-                let net = at(&atm.sw_sfc, ka) + at(&atm.lw_down, ka)
+                let net = at(atm.sw_sfc, ka) + at(atm.lw_down, ka)
                     - STEFAN_BOLTZMANN * skin.powi(4)
                     - land_flux.sensible
                     - land_flux.latent;
                 // Hydrology first (melt energy cools the soil).
-                let snowing = at(&atm.t_low, ka) < 273.15 && skin < 273.15;
+                let snowing = at(atm.t_low, ka) < 273.15 && skin < 273.15;
                 let h = st.bucket[ka].step(
-                    at(&atm.precip, ka),
+                    at(atm.precip, ka),
                     land_flux.evaporation,
                     snowing,
                     skin,
@@ -439,7 +610,7 @@ impl Coupler {
                 if any_ice {
                     let skin = st.ice_col[ka].skin();
                     let f = &sea_flux_atm[ka];
-                    let net = at(&atm.sw_sfc, ka) + at(&atm.lw_down, ka)
+                    let net = at(atm.sw_sfc, ka) + at(atm.lw_down, ka)
                         - STEFAN_BOLTZMANN * skin.powi(4)
                         - f.sensible / sea_a.max(1.0)
                         - f.latent / sea_a.max(1.0);
@@ -501,7 +672,6 @@ impl Coupler {
         }
 
         st.acc_seconds += dt;
-        (out, runoff)
     }
 
     /// Route runoff through the river network and book the mouth inflow
@@ -515,6 +685,63 @@ impl Coupler {
         for ko in 0..self.ocn_grid.len() {
             if self.sea_mask[ko] {
                 st.acc_shared.freshwater.as_mut_slice()[ko] += dt * mouths_ocn.as_slice()[ko];
+            }
+        }
+    }
+
+    /// [`Coupler::route_rivers`] against workspace scratch —
+    /// bit-identical (the `_into` forms it calls reset their buffers to
+    /// exactly the zeros fresh allocations would hold) and
+    /// allocation-free in steady state.
+    ///
+    /// ```
+    /// use foam_coupler::Coupler;
+    /// use foam_grid::{AtmGrid, Field2, OceanGrid, World};
+    /// use foam_physics::PhysicsConfig;
+    ///
+    /// let atm_grid = AtmGrid::new(8, 6);
+    /// let ocn_grid = OceanGrid::mercator(8, 6, 60.0);
+    /// let coupler = Coupler::new(
+    ///     atm_grid.clone(),
+    ///     ocn_grid.clone(),
+    ///     vec![true; ocn_grid.len()],
+    ///     &World::earthlike(),
+    ///     PhysicsConfig::default(),
+    /// );
+    /// let sst = Field2::filled(8, 6, 15.0);
+    /// let mut st_a = coupler.init_state(&sst, |_| 280.0);
+    /// let mut st_b = st_a.clone();
+    /// let runoff = vec![1.0e-4; atm_grid.len()];
+    ///
+    /// coupler.route_rivers(&mut st_a, &runoff, 1800.0);
+    /// let mut ws = coupler.workspace();
+    /// coupler.route_rivers_ws(&mut st_b, &runoff, 1800.0, &mut ws);
+    /// // Bit-identical, including the shared freshwater accumulator:
+    /// assert_eq!(st_a.river.volume, st_b.river.volume);
+    /// assert_eq!(
+    ///     st_a.acc_shared.freshwater.as_slice(),
+    ///     st_b.acc_shared.freshwater.as_slice(),
+    /// );
+    /// ```
+    pub fn route_rivers_ws(
+        &self,
+        st: &mut CouplerState,
+        runoff: &[f64],
+        dt: f64,
+        ws: &mut CouplerWorkspace,
+    ) {
+        self.river.step_into(
+            &mut st.river,
+            runoff,
+            dt,
+            &mut ws.river_outflow,
+            &mut ws.mouths_atm,
+        );
+        self.overlap
+            .atm_to_ocean_into(&ws.mouths_atm, &mut ws.mouths_ocn);
+        for ko in 0..self.ocn_grid.len() {
+            if self.sea_mask[ko] {
+                st.acc_shared.freshwater.as_mut_slice()[ko] += dt * ws.mouths_ocn.as_slice()[ko];
             }
         }
     }

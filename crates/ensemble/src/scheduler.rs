@@ -77,7 +77,11 @@ where
                 loop {
                     // Own work first (front), then steal (back) —
                     // scanning siblings from the next worker around.
-                    let job = deques[w].lock().pop_front().or_else(|| {
+                    // The own-deque guard must drop before stealing:
+                    // holding it while locking a sibling's deque is a
+                    // circular wait when two workers go idle at once.
+                    let own = deques[w].lock().pop_front();
+                    let job = own.or_else(|| {
                         (1..workers).find_map(|d| deques[(w + d) % workers].lock().pop_back())
                     });
                     match job {

@@ -152,9 +152,33 @@ impl OverlapGrid {
     /// Area-average an atmosphere field onto the ocean grid (sea cells;
     /// land ocean cells get 0).
     pub fn atm_to_ocean(&self, f: &Field2) -> Field2 {
-        assert_eq!((f.nx(), f.ny()), (self.atm_nx, self.atm_ny));
-        let fa = f.as_slice();
         let mut out = Field2::zeros(self.ocn_nx, self.ocn_ny);
+        self.atm_to_ocean_into(f, &mut out);
+        out
+    }
+
+    /// [`OverlapGrid::atm_to_ocean`] into a caller-owned output field
+    /// (ocean shape), allocation-free and bit-identical: `out` is fully
+    /// overwritten, zeros included, exactly as a fresh field would be.
+    ///
+    /// ```
+    /// use foam_grid::{AtmGrid, Field2, OceanGrid, OverlapGrid};
+    ///
+    /// let atm = AtmGrid::new(8, 6);
+    /// let ocn = OceanGrid::mercator(8, 6, 60.0);
+    /// let sea = vec![true; ocn.len()];
+    /// let ov = OverlapGrid::build(&atm, &ocn, &sea);
+    /// let f = Field2::filled(8, 6, 2.5);
+    ///
+    /// let fresh = ov.atm_to_ocean(&f);
+    /// let mut reused = Field2::filled(8, 6, -1.0); // stale contents
+    /// ov.atm_to_ocean_into(&f, &mut reused);
+    /// assert_eq!(fresh.as_slice(), reused.as_slice()); // bit-identical
+    /// ```
+    pub fn atm_to_ocean_into(&self, f: &Field2, out: &mut Field2) {
+        assert_eq!((f.nx(), f.ny()), (self.atm_nx, self.atm_ny));
+        assert_eq!((out.nx(), out.ny()), (self.ocn_nx, self.ocn_ny));
+        let fa = f.as_slice();
         let o = out.as_mut_slice();
         for (ko, entries) in self.ocn_entries.iter().enumerate() {
             let mut num = 0.0;
@@ -163,11 +187,8 @@ impl OverlapGrid {
                 num += a * fa[ka as usize];
                 den += a;
             }
-            if den > 0.0 {
-                o[ko] = num / den;
-            }
+            o[ko] = if den > 0.0 { num / den } else { 0.0 };
         }
-        out
     }
 
     /// Evaluate a flux on every overlap cell (as a function of the two

@@ -144,9 +144,48 @@ impl RiverModel {
     /// atmosphere grid \[kg m⁻² s⁻¹\] (the coupler regrids it to the
     /// ocean) — the river mouths of the paper.
     pub fn step(&self, state: &mut RiverState, runoff: &[f64], dt: f64) -> Field2 {
+        let mut outflow = Vec::new();
+        let mut mouths = Field2::zeros(self.nlon, self.nlat);
+        self.step_into(state, runoff, dt, &mut outflow, &mut mouths);
+        mouths
+    }
+
+    /// [`RiverModel::step`] with caller-owned scratch (`outflow`) and
+    /// output (`mouths`, atmosphere shape) — allocation-free once the
+    /// scratch has grown to grid size, and bit-identical to the
+    /// allocating form: both buffers are reset to exactly the zeros a
+    /// fresh allocation would hold before the update runs.
+    ///
+    /// ```
+    /// use foam_grid::{AtmGrid, Field2, World};
+    /// use foam_land::river::RiverModel;
+    ///
+    /// let grid = AtmGrid::new(8, 6);
+    /// let land = World::earthlike().atm_land_mask(&grid);
+    /// let river = RiverModel::build(&grid, &land);
+    /// let runoff = vec![1.0e-4; grid.len()];
+    ///
+    /// let mut a = river.init_state();
+    /// let mut b = a.clone();
+    /// let fresh = river.step(&mut a, &runoff, 1800.0);
+    /// let mut outflow = Vec::new();
+    /// let mut mouths = Field2::filled(8, 6, -1.0); // stale contents
+    /// river.step_into(&mut b, &runoff, 1800.0, &mut outflow, &mut mouths);
+    /// assert_eq!(fresh.as_slice(), mouths.as_slice()); // bit-identical
+    /// assert_eq!(a.volume, b.volume);
+    /// ```
+    pub fn step_into(
+        &self,
+        state: &mut RiverState,
+        runoff: &[f64],
+        dt: f64,
+        outflow: &mut Vec<f64>,
+        mouths: &mut Field2,
+    ) {
         let _t = foam_telemetry::scope("rivers");
         let n = self.nlon * self.nlat;
         assert_eq!(runoff.len(), n);
+        assert_eq!((mouths.nx(), mouths.ny()), (self.nlon, self.nlat));
         // Add local runoff volume.
         for k in 0..n {
             if self.is_land[k] && runoff[k] > 0.0 {
@@ -154,14 +193,15 @@ impl RiverModel {
             }
         }
         // F = V·u/d, capped so a cell cannot export more than it holds.
-        let mut outflow = vec![0.0; n];
+        outflow.clear();
+        outflow.resize(n, 0.0);
         for k in 0..n {
             if self.is_land[k] {
                 let f = state.volume[k] * FLOW_VELOCITY / self.dist[k].max(1.0);
                 outflow[k] = (f * dt).min(state.volume[k]);
             }
         }
-        let mut mouths = Field2::zeros(self.nlon, self.nlat);
+        mouths.fill(0.0);
         for k in 0..n {
             if !self.is_land[k] || outflow[k] == 0.0 {
                 continue;
@@ -177,7 +217,6 @@ impl RiverModel {
                 mouths[(d % self.nlon, d / self.nlon)] += flux;
             }
         }
-        mouths
     }
 
     /// Total river water in storage \[m³\].

@@ -738,6 +738,86 @@ impl Comm {
         self.bcast(0, r)
     }
 
+    /// In-place, allocation-recycling [`Comm::allreduce`]: every rank's
+    /// `data` is overwritten with the element-wise reduction over all
+    /// ranks. Bit-identical to `allreduce` (same binomial-tree fold
+    /// order rooted at rank 0), but steady-state allocation-free: on one
+    /// rank it is a pure no-op, and on several ranks message payloads
+    /// are drawn from and returned to the per-thread [`crate::pool`],
+    /// so repeated calls with the same length stop touching the heap.
+    ///
+    /// ```
+    /// use foam_mpi::{ReduceOp, Universe};
+    ///
+    /// let out = Universe::run(4, |comm| {
+    ///     let mut x = vec![comm.rank() as f64, 1.0];
+    ///     comm.allreduce_mut(&mut x, ReduceOp::Sum);
+    ///     x
+    /// });
+    /// for r in out.results {
+    ///     assert_eq!(r, vec![6.0, 4.0]);
+    /// }
+    /// ```
+    pub fn allreduce_mut(&self, data: &mut [f64], op: ReduceOp) {
+        let p = self.size();
+        if p == 1 {
+            // reduce(root=0) at p = 1 returns the input unchanged, so
+            // the in-place form has nothing to do.
+            return;
+        }
+        // Fan-in reduce to rank 0 (virtual rank == rank), accumulating
+        // into `data` with exactly the fold order of [`Comm::reduce`].
+        let vr = self.rank;
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                let parent = vr - mask;
+                let mut buf = crate::pool::take(data.len());
+                buf.copy_from_slice(data);
+                self.send_internal(parent, TAG_REDUCE, buf);
+                break;
+            } else if vr + mask < p {
+                let other: Vec<f64> = self.recv_internal(vr + mask, TAG_REDUCE);
+                assert_eq!(
+                    other.len(),
+                    data.len(),
+                    "allreduce_mut called with mismatched lengths"
+                );
+                for (a, b) in data.iter_mut().zip(other.iter()) {
+                    *a = op.apply(*a, *b);
+                }
+                crate::pool::put(other);
+            }
+            mask <<= 1;
+        }
+        // Tree broadcast of the reduced vector from rank 0, in place.
+        if vr != 0 {
+            let mut mask = 1usize;
+            while mask < p {
+                if vr & mask != 0 {
+                    let got: Vec<f64> = self.recv_internal(vr - mask, TAG_BCAST);
+                    data.copy_from_slice(&got);
+                    crate::pool::put(got);
+                    break;
+                }
+                mask <<= 1;
+            }
+        }
+        let mut mask = 1usize;
+        while mask < p && vr & mask == 0 {
+            mask <<= 1;
+        }
+        let mut child = mask >> 1;
+        while child > 0 {
+            if vr + child < p {
+                let mut buf = crate::pool::take(data.len());
+                buf.copy_from_slice(data);
+                self.send_internal(vr + child, TAG_BCAST, buf);
+            }
+            child >>= 1;
+        }
+    }
+
     /// Scalar convenience wrapper over [`Comm::allreduce`].
     pub fn allreduce_scalar(&self, x: f64, op: ReduceOp) -> f64 {
         self.allreduce(&[x], op)[0]
@@ -964,6 +1044,23 @@ mod tests {
             assert_eq!(mn, 0.0);
             assert_eq!(mx, 6.0);
         });
+    }
+
+    #[test]
+    fn allreduce_mut_is_bit_identical_to_allreduce() {
+        for p in 1..=6 {
+            Universe::run(p, move |comm| {
+                let data: Vec<f64> = (0..5)
+                    .map(|i| (comm.rank() * 5 + i) as f64 * 0.37 - 3.0)
+                    .collect();
+                for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+                    let expect = comm.allreduce(&data, op);
+                    let mut got = data.clone();
+                    comm.allreduce_mut(&mut got, op);
+                    assert_eq!(got, expect, "p={p} op={op:?}");
+                }
+            });
+        }
     }
 
     #[test]

@@ -48,6 +48,10 @@
 //!   promptly. Every rank ticks a [`HeartbeatBoard`] — beats piggyback
 //!   on sends/receives, and blocked ranks emit idle beacons — so
 //!   "waiting" and "dead" are distinguishable.
+//! * **Payload recycling** — the per-thread [`pool`] recycles `Vec<f64>`
+//!   message payloads, and [`Comm::allreduce_mut`] is an in-place,
+//!   steady-state allocation-free reduction for hot-loop use (see
+//!   PERFORMANCE.md).
 //! * **Shared deterministic backoff** — [`Backoff`], the jitter-free
 //!   exponential schedule reused by every retry loop in the workspace
 //!   (driver SST retries, ensemble member retries, supervisor
@@ -70,6 +74,7 @@ mod backoff;
 mod comm;
 mod fault;
 mod heartbeat;
+pub mod pool;
 mod stats;
 mod trace;
 mod universe;

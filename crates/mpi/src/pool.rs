@@ -1,0 +1,90 @@
+//! A thread-local recycling pool for `Vec<f64>` message payloads.
+//!
+//! The coupled hot loop exchanges same-shaped `Vec<f64>` payloads
+//! (spectral reduction buffers, SST/forcing slabs) every interval.
+//! Allocating a fresh vector per message churns the heap at a rate
+//! proportional to simulated time — the dominant cost the century bench
+//! counts. This pool lets send paths *recycle* payload capacity instead:
+//! [`take`] hands back a previously freed buffer when one is available,
+//! and receive paths return consumed payloads with [`put`].
+//!
+//! The pool is per-thread (each simulated rank is one OS thread, and
+//! `Comm` itself is deliberately not `Send`), so no locking is involved.
+//! Buffers flow freely between ranks — a payload taken from one rank's
+//! pool is typically `put` back on the receiving rank — and each
+//! thread's idle stash is capped (16 buffers), so a chatty rank cannot
+//! hoard unbounded memory.
+//!
+//! See PERFORMANCE.md for the zero-churn rule this implements.
+
+use std::cell::RefCell;
+
+/// Maximum number of idle buffers retained per thread; beyond this,
+/// [`put`] simply drops its argument. Bounds worst-case idle memory at
+/// `CAP × largest payload` per rank.
+const CAP: usize = 16;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Take a zero-filled buffer of exactly `len` elements, reusing pooled
+/// capacity when possible (a fresh allocation only happens when the pool
+/// is empty or the recycled buffer is too small).
+///
+/// ```
+/// let a = foam_mpi::pool::take(8);
+/// assert_eq!(a.len(), 8);
+/// assert!(a.iter().all(|&x| x == 0.0));
+/// foam_mpi::pool::put(a);
+/// // The next take reuses the freed capacity instead of allocating.
+/// let b = foam_mpi::pool::take(4);
+/// assert_eq!(b.len(), 4);
+/// assert!(b.capacity() >= 8);
+/// ```
+pub fn take(len: usize) -> Vec<f64> {
+    let mut v = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    v.clear();
+    v.resize(len, 0.0);
+    v
+}
+
+/// Return a consumed payload buffer to the calling thread's pool so a
+/// later [`take`] can reuse its capacity. Zero-capacity vectors and
+/// buffers beyond the per-thread cap are simply dropped.
+pub fn put(buf: Vec<f64>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < CAP {
+            p.push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_sized_and_zeroed_even_after_dirty_put() {
+        let mut a = take(4);
+        a.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        put(a);
+        let b = take(6);
+        assert_eq!(b, vec![0.0; 6]);
+        let c = take(2);
+        assert_eq!(c, vec![0.0; 2]);
+    }
+
+    #[test]
+    fn pool_is_capped() {
+        for _ in 0..(2 * CAP) {
+            put(vec![0.0; 8]);
+        }
+        let held = POOL.with(|p| p.borrow().len());
+        assert!(held <= CAP, "pool held {held} > CAP {CAP}");
+    }
+}

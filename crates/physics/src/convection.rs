@@ -22,6 +22,7 @@
 use foam_grid::constants::{CP_DRY, L_VAP, R_DRY};
 
 use crate::column::{moist_adiabat, saturation_humidity, AtmColumn};
+use crate::workspace::{fit, PhysicsWorkspace};
 
 /// Tunable parameters.
 #[derive(Debug, Clone, Copy)]
@@ -141,6 +142,18 @@ pub fn compute_cape(col: &AtmColumn) -> f64 {
 /// moisture (the precipitated water). Conserves moist enthalpy exactly.
 /// Returns (precip \[kg/m²\], sweeps used).
 pub fn deep_convection(col: &mut AtmColumn, dt: f64, p: &ConvectionParams) -> (f64, usize) {
+    deep_convection_ws(col, dt, p, &mut Vec::new())
+}
+
+/// Allocation-free [`deep_convection`]: the heating-increment scratch
+/// vector is caller-provided (see [`PhysicsWorkspace`]). Bit-identical
+/// to the allocating form.
+pub fn deep_convection_ws(
+    col: &mut AtmColumn,
+    dt: f64,
+    p: &ConvectionParams,
+    dts: &mut Vec<f64>,
+) -> (f64, usize) {
     if !p.deep_enabled {
         return (0.0, 0);
     }
@@ -154,7 +167,7 @@ pub fn deep_convection(col: &mut AtmColumn, dt: f64, p: &ConvectionParams) -> (f
     let p0 = col.p[n - 1];
     // Heating demanded by relaxation toward the moist adiabat.
     let mut heat = 0.0; // J/m²
-    let mut dts = vec![0.0; n];
+    fit(dts, n);
     for k in 0..n - 1 {
         let t_ref = moist_adiabat(t0, q0, p0, col.p[k]);
         if t_ref > col.t[k] {
@@ -247,9 +260,36 @@ pub fn stratiform(col: &mut AtmColumn, p: &ConvectionParams) -> f64 {
 
 /// The full convection sequence for one step.
 pub fn convect(col: &mut AtmColumn, dt: f64, p: &ConvectionParams) -> ConvectionResult {
+    convect_ws(col, dt, p, &mut PhysicsWorkspace::new())
+}
+
+/// Allocation-free [`convect`]: deep-convection scratch is borrowed
+/// from `ws` (the other stages were already allocation-free).
+/// Bit-identical to the allocating form.
+///
+/// ```
+/// use foam_physics::convection::{convect, convect_ws, ConvectionParams};
+/// use foam_physics::{AtmColumn, PhysicsWorkspace};
+///
+/// let mut ws = PhysicsWorkspace::new();
+/// let p = ConvectionParams::default();
+/// let mut a = AtmColumn::standard(18, 302.0);
+/// a.t[17] += 3.0; // make it convect
+/// let mut b = a.clone();
+/// let ra = convect(&mut a, 1800.0, &p);
+/// let rb = convect_ws(&mut b, 1800.0, &p, &mut ws);
+/// assert_eq!(a.t, b.t);
+/// assert_eq!(ra.total_precip(), rb.total_precip());
+/// ```
+pub fn convect_ws(
+    col: &mut AtmColumn,
+    dt: f64,
+    p: &ConvectionParams,
+    ws: &mut PhysicsWorkspace,
+) -> ConvectionResult {
     let it_dry = dry_adjustment(col, p.max_iters);
     let it_shallow = shallow_convection(col);
-    let (precip_deep, it_deep) = deep_convection(col, dt, p);
+    let (precip_deep, it_deep) = deep_convection_ws(col, dt, p, &mut ws.dts);
     let precip_stratiform = stratiform(col, p);
     ConvectionResult {
         precip_deep,

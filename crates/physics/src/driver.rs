@@ -7,10 +7,11 @@ use foam_grid::constants::L_VAP;
 use foam_grid::constants::STEFAN_BOLTZMANN;
 
 use crate::column::{saturation_humidity, AtmColumn};
-use crate::convection::{convect, ConvectionParams};
-use crate::pbl::vertical_diffusion;
-use crate::radiation::{full_radiation, OrbitalState, RadCache, RadParams};
+use crate::convection::{convect_ws, ConvectionParams};
+use crate::pbl::vertical_diffusion_ws;
+use crate::radiation::{full_radiation_into, OrbitalState, RadCache, RadParams};
 use crate::surface::{bulk_fluxes_fixed_z0, bulk_fluxes_ocean, roughness, BulkFluxes, BulkInput};
+use crate::workspace::PhysicsWorkspace;
 
 /// What kind of surface underlies a column (sets roughness and the flux
 /// formula family; the coupler blends land/sea within a cell).
@@ -211,6 +212,10 @@ impl ColumnPhysics {
 
     /// Advance one column by `dt` seconds with surface fluxes supplied
     /// externally (computed by the coupler on the overlap grid).
+    ///
+    /// Allocating convenience wrapper over
+    /// [`ColumnPhysics::step_with_fluxes_ws`]; hot loops should hold a
+    /// [`PhysicsWorkspace`] and call that directly.
     #[allow(clippy::too_many_arguments)]
     pub fn step_with_fluxes(
         &self,
@@ -224,12 +229,51 @@ impl ColumnPhysics {
         refresh: bool,
         dt: f64,
     ) -> PhysicsTendencies {
+        let mut ws = PhysicsWorkspace::new();
+        self.step_with_fluxes_ws(col, sfc, fluxes, orb, lon, lat, cache, refresh, dt, &mut ws)
+    }
+
+    /// Allocation-free [`ColumnPhysics::step_with_fluxes`]: every stage
+    /// (radiation refresh, PBL diffusion, convection) borrows its
+    /// scratch from `ws`. Bit-identical to the allocating form.
+    ///
+    /// ```
+    /// use foam_physics::{
+    ///     AtmColumn, ColumnPhysics, OrbitalState, PhysicsWorkspace, RadCache, SurfaceState,
+    /// };
+    ///
+    /// let e = ColumnPhysics::default();
+    /// let sfc = SurfaceState::open_ocean(300.0);
+    /// let orb = OrbitalState { day_of_year: 81.0, seconds_utc: 0.0 };
+    /// let mut ws = PhysicsWorkspace::new();
+    /// let (mut a, mut b) = (AtmColumn::standard(18, 299.0), AtmColumn::standard(18, 299.0));
+    /// let (mut ca, mut cb) = (RadCache::empty(18), RadCache::empty(18));
+    /// let f = e.surface_fluxes(&a, &sfc, (5.0, 0.0));
+    /// let ta = e.step_with_fluxes(&mut a, &sfc, f, orb, 3.1, 0.1, &mut ca, true, 1800.0);
+    /// let tb = e.step_with_fluxes_ws(&mut b, &sfc, f, orb, 3.1, 0.1, &mut cb, true, 1800.0, &mut ws);
+    /// assert_eq!(a.t, b.t);
+    /// assert_eq!(ta.precip, tb.precip);
+    /// ```
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_with_fluxes_ws(
+        &self,
+        col: &mut AtmColumn,
+        sfc: &SurfaceState,
+        fluxes: BulkFluxes,
+        orb: OrbitalState,
+        lon: f64,
+        lat: f64,
+        cache: &mut RadCache,
+        refresh: bool,
+        dt: f64,
+        ws: &mut PhysicsWorkspace,
+    ) -> PhysicsTendencies {
         let n = col.nlev();
 
         // 1. Radiation: expensive refresh on schedule, cheap solar
         //    rescale otherwise.
         if refresh {
-            *cache = full_radiation(col, sfc.t_sfc, sfc.albedo, &self.cfg.rad);
+            full_radiation_into(col, sfc.t_sfc, sfc.albedo, &self.cfg.rad, ws, cache);
         }
         let cosz = if self.cfg.diurnal {
             orb.cos_zenith(lon, lat)
@@ -252,10 +296,10 @@ impl ColumnPhysics {
         } else {
             self.cfg.k_pbl_stable
         };
-        vertical_diffusion(col, dt, k_pbl, self.cfg.pbl_depth);
+        vertical_diffusion_ws(col, dt, k_pbl, self.cfg.pbl_depth, ws);
 
         // 4. Convection + stratiform condensation.
-        let conv = convect(col, dt, &self.cfg.conv);
+        let conv = convect_ws(col, dt, &self.cfg.conv, ws);
 
         let net_sfc_heat = cache.sw_sfc(cosz) + cache.lw_down_sfc
             - STEFAN_BOLTZMANN * sfc.t_sfc.powi(4)

@@ -25,12 +25,16 @@
 //! * [`ColumnPhysics`] — the per-column driver combining all of the
 //!   above; it also reports a *work counter* (adjustment iterations), the
 //!   source of the cloud-driven load imbalance the paper observes.
+//! * [`PhysicsWorkspace`] — pre-allocated scratch making the whole
+//!   per-column sequence allocation-free via the `_ws`/`_into` method
+//!   variants (see PERFORMANCE.md for the zero-churn rule).
 
 pub mod column;
 pub mod convection;
 pub mod pbl;
 pub mod radiation;
 pub mod surface;
+pub mod workspace;
 
 mod driver;
 
@@ -40,3 +44,4 @@ pub use driver::{
 };
 pub use radiation::{OrbitalState, RadCache};
 pub use surface::BulkFluxes;
+pub use workspace::PhysicsWorkspace;

@@ -7,25 +7,73 @@
 //! unconditionally stable, as in the original.
 
 use crate::column::AtmColumn;
+use crate::workspace::{fit, PhysicsWorkspace};
 use foam_grid::constants::{CP_DRY, R_DRY};
 
 /// Apply one implicit vertical-diffusion step to θ and q.
 ///
 /// `k_sfc` is the near-surface diffusivity \[m²/s\]; the profile decays as
 /// exp(−z/`h_scale`).
+///
+/// Allocating convenience wrapper over [`vertical_diffusion_ws`]; hot
+/// loops should hold a [`PhysicsWorkspace`] and call that directly.
 pub fn vertical_diffusion(col: &mut AtmColumn, dt: f64, k_sfc: f64, h_scale: f64) {
+    vertical_diffusion_ws(col, dt, k_sfc, h_scale, &mut PhysicsWorkspace::new());
+}
+
+/// Allocation-free [`vertical_diffusion`]: all working vectors are
+/// borrowed from `ws`. Bit-identical to the allocating form.
+///
+/// ```
+/// use foam_physics::pbl::{vertical_diffusion, vertical_diffusion_ws};
+/// use foam_physics::{AtmColumn, PhysicsWorkspace};
+///
+/// let mut ws = PhysicsWorkspace::new();
+/// let mut a = AtmColumn::standard(18, 288.0);
+/// let mut b = a.clone();
+/// vertical_diffusion(&mut a, 1800.0, 50.0, 1000.0);
+/// vertical_diffusion_ws(&mut b, 1800.0, 50.0, 1000.0, &mut ws);
+/// assert_eq!(a.t, b.t);
+/// assert_eq!(a.q, b.q);
+/// ```
+pub fn vertical_diffusion_ws(
+    col: &mut AtmColumn,
+    dt: f64,
+    k_sfc: f64,
+    h_scale: f64,
+    ws: &mut PhysicsWorkspace,
+) {
     let n = col.nlev();
     if n < 2 || k_sfc <= 0.0 {
         return;
     }
+    let PhysicsWorkspace {
+        z,
+        m,
+        g,
+        exner,
+        theta,
+        q,
+        band_a,
+        band_b,
+        band_c,
+        band_cp,
+        band_dp,
+        ..
+    } = ws;
+
     // Geometry: heights of layer centres.
-    let z: Vec<f64> = (0..n).map(|k| col.height(k)).collect();
-    let m: Vec<f64> = (0..n).map(|k| col.layer_mass(k)).collect();
+    fit(z, n);
+    fit(m, n);
+    for k in 0..n {
+        z[k] = col.height(k);
+        m[k] = col.layer_mass(k);
+    }
 
     // Interface diffusive couplings g_k between layer k and k+1:
     // flux = rho K (X_k − X_{k+1}) / Δz  (positive downward when the
     // upper layer is richer). Express the update implicitly.
-    let mut g = vec![0.0; n - 1];
+    fit(g, n - 1);
     for k in 0..n - 1 {
         let z_int = 0.5 * (z[k] + z[k + 1]);
         let kk = k_sfc * (-z_int / h_scale).exp();
@@ -38,13 +86,16 @@ pub fn vertical_diffusion(col: &mut AtmColumn, dt: f64, k_sfc: f64, h_scale: f64
     }
 
     // Convert T to θ, diffuse θ and q, convert back.
-    let exner: Vec<f64> = (0..n)
-        .map(|k| (col.p[k] / 1.0e5f64).powf(R_DRY / CP_DRY))
-        .collect();
-    let mut theta: Vec<f64> = (0..n).map(|k| col.t[k] / exner[k]).collect();
-    solve_tridiag_diffusion(&mut theta, &g, &m, dt);
-    let mut q = col.q.clone();
-    solve_tridiag_diffusion(&mut q, &g, &m, dt);
+    fit(exner, n);
+    fit(theta, n);
+    for k in 0..n {
+        exner[k] = (col.p[k] / 1.0e5f64).powf(R_DRY / CP_DRY);
+        theta[k] = col.t[k] / exner[k];
+    }
+    solve_tridiag_diffusion(theta, g, m, dt, band_a, band_b, band_c, band_cp, band_dp);
+    q.clear();
+    q.extend_from_slice(&col.q);
+    solve_tridiag_diffusion(q, g, m, dt, band_a, band_b, band_c, band_cp, band_dp);
     for k in 0..n {
         col.t[k] = theta[k] * exner[k];
         col.q[k] = q[k].max(0.0);
@@ -53,11 +104,24 @@ pub fn vertical_diffusion(col: &mut AtmColumn, dt: f64, k_sfc: f64, h_scale: f64
 
 /// Backward-Euler diffusion solve: (I − dt A) X^{n+1} = X^n where A is
 /// the conservative flux-divergence operator built from couplings `g`.
-fn solve_tridiag_diffusion(x: &mut [f64], g: &[f64], m: &[f64], dt: f64) {
+/// The five band/sweep buffers are caller-provided scratch, fully
+/// rebuilt here.
+#[allow(clippy::too_many_arguments)]
+fn solve_tridiag_diffusion(
+    x: &mut [f64],
+    g: &[f64],
+    m: &[f64],
+    dt: f64,
+    a: &mut Vec<f64>,
+    b: &mut Vec<f64>,
+    c: &mut Vec<f64>,
+    cp: &mut Vec<f64>,
+    dp: &mut Vec<f64>,
+) {
     let n = x.len();
-    let mut a = vec![0.0; n]; // sub-diagonal
-    let mut b = vec![0.0; n]; // diagonal
-    let mut c = vec![0.0; n]; // super-diagonal
+    fit(a, n); // sub-diagonal
+    fit(b, n); // diagonal
+    fit(c, n); // super-diagonal
     for k in 0..n {
         let up = if k > 0 { g[k - 1] } else { 0.0 };
         let dn = if k < n - 1 { g[k] } else { 0.0 };
@@ -70,8 +134,8 @@ fn solve_tridiag_diffusion(x: &mut [f64], g: &[f64], m: &[f64], dt: f64) {
         }
     }
     // Thomas algorithm.
-    let mut cp = vec![0.0; n];
-    let mut dp = vec![0.0; n];
+    fit(cp, n);
+    fit(dp, n);
     cp[0] = c[0] / b[0];
     dp[0] = x[0] / b[0];
     for k in 1..n {

@@ -12,6 +12,7 @@ use foam_ckpt::{ByteReader, CkptError, Codec};
 use foam_grid::constants::{CP_DRY, SECONDS_PER_DAY, SOLAR_CONSTANT, STEFAN_BOLTZMANN};
 
 use crate::column::AtmColumn;
+use crate::workspace::{fit, PhysicsWorkspace};
 
 /// Orbital / solar geometry at a simulated instant.
 #[derive(Debug, Clone, Copy)]
@@ -175,36 +176,79 @@ pub fn diagnose_cloud(col: &AtmColumn) -> f64 {
 /// temperature \[K\]. Returns a [`RadCache`] to be reused (rescaled by
 /// solar geometry) until the next refresh.
 pub fn full_radiation(col: &AtmColumn, t_sfc: f64, albedo_sfc: f64, p: &RadParams) -> RadCache {
+    let mut cache = RadCache::empty(col.nlev());
+    full_radiation_into(
+        col,
+        t_sfc,
+        albedo_sfc,
+        p,
+        &mut PhysicsWorkspace::new(),
+        &mut cache,
+    );
+    cache
+}
+
+/// Allocation-free [`full_radiation`]: overwrites `cache` in place,
+/// borrowing the sweep buffers (emissivity, Planck source, interface
+/// fluxes) from `ws`, so the twice-daily refresh stops churning the
+/// heap. Bit-identical to the allocating form.
+///
+/// ```
+/// use foam_physics::radiation::{full_radiation, full_radiation_into, RadParams};
+/// use foam_physics::{AtmColumn, PhysicsWorkspace, RadCache};
+///
+/// let col = AtmColumn::standard(18, 288.0);
+/// let p = RadParams::default();
+/// let a = full_radiation(&col, 288.0, 0.1, &p);
+/// let mut b = RadCache::empty(18);
+/// full_radiation_into(&col, 288.0, 0.1, &p, &mut PhysicsWorkspace::new(), &mut b);
+/// assert_eq!(a.lw_heating, b.lw_heating);
+/// assert_eq!(a.olr, b.olr);
+/// ```
+pub fn full_radiation_into(
+    col: &AtmColumn,
+    t_sfc: f64,
+    albedo_sfc: f64,
+    p: &RadParams,
+    ws: &mut PhysicsWorkspace,
+    cache: &mut RadCache,
+) {
     let n = col.nlev();
     let cloud = diagnose_cloud(col);
+    let PhysicsWorkspace {
+        eps,
+        planck,
+        down,
+        up,
+        ..
+    } = ws;
 
     // --- Longwave: gray two-stream sweeps. --------------------------
     // Layer emissivity from water vapour + CO₂ (+ cloud boost).
-    let eps: Vec<f64> = (0..n)
-        .map(|k| {
-            let mass = col.layer_mass(k);
-            let tau = p.k_h2o * col.q[k] * mass + p.k_co2 * p.co2_factor * mass;
-            let e = 1.0 - (-tau).exp();
-            (e + p.cloud_lw * cloud * (1.0 - e)).min(1.0)
-        })
-        .collect();
-    let planck: Vec<f64> = (0..n)
-        .map(|k| STEFAN_BOLTZMANN * col.t[k].powi(4))
-        .collect();
+    fit(eps, n);
+    fit(planck, n);
+    for k in 0..n {
+        let mass = col.layer_mass(k);
+        let tau = p.k_h2o * col.q[k] * mass + p.k_co2 * p.co2_factor * mass;
+        let e = 1.0 - (-tau).exp();
+        eps[k] = (e + p.cloud_lw * cloud * (1.0 - e)).min(1.0);
+        planck[k] = STEFAN_BOLTZMANN * col.t[k].powi(4);
+    }
 
     // Downward sweep: D_0 = 0 at TOA.
-    let mut down = vec![0.0; n + 1];
+    fit(down, n + 1);
     for k in 0..n {
         down[k + 1] = down[k] * (1.0 - eps[k]) + eps[k] * planck[k];
     }
     // Upward sweep: U at the surface is σT_s⁴ (unit emissivity surface).
-    let mut up = vec![0.0; n + 1];
+    fit(up, n + 1);
     up[n] = STEFAN_BOLTZMANN * t_sfc.powi(4);
     for k in (0..n).rev() {
         up[k] = up[k + 1] * (1.0 - eps[k]) + eps[k] * planck[k];
     }
     // Net upward flux at each interface; heating = -dF/dm / cp.
-    let mut lw_heating = vec![0.0; n];
+    let lw_heating = &mut cache.lw_heating;
+    fit(lw_heating, n);
     for k in 0..n {
         let f_top = up[k] - down[k];
         let f_bot = up[k + 1] - down[k + 1];
@@ -224,21 +268,17 @@ pub fn full_radiation(col: &AtmColumn, t_sfc: f64, albedo_sfc: f64, p: &RadParam
         .map(|k| col.q[k] * col.layer_mass(k))
         .sum::<f64>()
         .max(1e-9);
-    let sw_heating_unit: Vec<f64> = (0..n)
-        .map(|k| {
-            let frac = col.q[k] * col.layer_mass(k) / wsum;
-            absorbed * frac / (CP_DRY * col.layer_mass(k))
-        })
-        .collect();
-
-    RadCache {
-        lw_heating,
-        sw_heating_unit,
-        sw_sfc_unit,
-        lw_down_sfc: down[n],
-        olr: up[0],
-        cloud,
+    let sw_heating_unit = &mut cache.sw_heating_unit;
+    fit(sw_heating_unit, n);
+    for k in 0..n {
+        let frac = col.q[k] * col.layer_mass(k) / wsum;
+        sw_heating_unit[k] = absorbed * frac / (CP_DRY * col.layer_mass(k));
     }
+
+    cache.sw_sfc_unit = sw_sfc_unit;
+    cache.lw_down_sfc = down[n];
+    cache.olr = up[0];
+    cache.cloud = cloud;
 }
 
 #[cfg(test)]

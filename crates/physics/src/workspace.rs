@@ -1,0 +1,123 @@
+//! Pre-allocated scratch for the per-column physics hot path.
+//!
+//! The column physics runs in every grid column on every step; each of
+//! its stages historically allocated its working vectors on entry
+//! (heights, tridiagonal bands, radiation sweeps, …) — roughly a dozen
+//! heap allocations per column per step, the single largest allocation
+//! source after the spectral transform. [`PhysicsWorkspace`] owns all of
+//! that scratch so the `_ws`/`_into` variants of the physics entry
+//! points ([`crate::pbl::vertical_diffusion_ws`],
+//! [`crate::convection::convect_ws`],
+//! [`crate::radiation::full_radiation_into`],
+//! [`crate::ColumnPhysics::step_with_fluxes_ws`]) run allocation-free
+//! in steady state.
+//!
+//! Buffers are sized lazily with the crate-internal `fit` helper
+//! (clear + resize): each call clears and resizes
+//! to the column at hand, so one workspace serves columns of different
+//! depths (the dynamics' physics columns and the coupler's reference
+//! columns); capacity grows to the largest column seen and is then
+//! reused forever. Every `_ws` variant is bit-identical to its
+//! allocating original — the workspace only changes *where* the scratch
+//! lives, never the arithmetic performed on it (see PERFORMANCE.md).
+
+/// Reusable scratch buffers for one column-physics engine.
+///
+/// The workspace is plain data: create it once per rank (or per thread)
+/// and thread it through the `_ws` entry points. Dropping it between
+/// steps merely forfeits the reuse; no correctness depends on its
+/// contents, which are overwritten on every call.
+///
+/// ```
+/// use foam_physics::pbl::{vertical_diffusion, vertical_diffusion_ws};
+/// use foam_physics::{AtmColumn, PhysicsWorkspace};
+///
+/// let mut ws = PhysicsWorkspace::new();
+/// let mut a = AtmColumn::standard(10, 290.0);
+/// let mut b = a.clone();
+/// vertical_diffusion(&mut a, 1800.0, 60.0, 1200.0);
+/// vertical_diffusion_ws(&mut b, 1800.0, 60.0, 1200.0, &mut ws);
+/// // Bit-identical to the allocating path.
+/// assert_eq!(a.t, b.t);
+/// assert_eq!(a.q, b.q);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhysicsWorkspace {
+    // Vertical diffusion: geometry, couplings, θ/q work vectors.
+    pub(crate) z: Vec<f64>,
+    pub(crate) m: Vec<f64>,
+    pub(crate) g: Vec<f64>,
+    pub(crate) exner: Vec<f64>,
+    pub(crate) theta: Vec<f64>,
+    pub(crate) q: Vec<f64>,
+    // Tridiagonal solve bands (rebuilt per solve from `g`/`m`).
+    pub(crate) band_a: Vec<f64>,
+    pub(crate) band_b: Vec<f64>,
+    pub(crate) band_c: Vec<f64>,
+    pub(crate) band_cp: Vec<f64>,
+    pub(crate) band_dp: Vec<f64>,
+    // Deep convection heating increments.
+    pub(crate) dts: Vec<f64>,
+    // Radiation sweeps: emissivity, Planck source, interface fluxes.
+    pub(crate) eps: Vec<f64>,
+    pub(crate) planck: Vec<f64>,
+    pub(crate) down: Vec<f64>,
+    pub(crate) up: Vec<f64>,
+}
+
+impl PhysicsWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused
+    /// thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace with every buffer pre-reserved for columns of up to
+    /// `nlev` levels, so even the event-driven stages (deep convection
+    /// fills `dts` only when a column actually convects) never touch
+    /// the allocator mid-run. Prefer this in hot loops that must hold
+    /// the zero-churn rule from the very first step.
+    ///
+    /// ```
+    /// use foam_physics::PhysicsWorkspace;
+    ///
+    /// let ws = PhysicsWorkspace::with_levels(8);
+    /// // Same empty workspace as `new()`, just born at capacity.
+    /// assert_eq!(format!("{ws:?}"), format!("{:?}", PhysicsWorkspace::new()));
+    /// ```
+    pub fn with_levels(nlev: usize) -> Self {
+        let mut ws = Self::default();
+        // Interface sweeps (`down`/`up`) span nlev + 1 boundaries; the
+        // rest are per-layer. Reserving the max everywhere is simplest
+        // and costs a few hundred bytes once.
+        let cap = nlev + 1;
+        for v in [
+            &mut ws.z,
+            &mut ws.m,
+            &mut ws.g,
+            &mut ws.exner,
+            &mut ws.theta,
+            &mut ws.q,
+            &mut ws.band_a,
+            &mut ws.band_b,
+            &mut ws.band_c,
+            &mut ws.band_cp,
+            &mut ws.band_dp,
+            &mut ws.dts,
+            &mut ws.eps,
+            &mut ws.planck,
+            &mut ws.down,
+            &mut ws.up,
+        ] {
+            v.reserve_exact(cap);
+        }
+        ws
+    }
+}
+
+/// Clear `v` and refill it with `n` zeros, reusing capacity. In steady
+/// state (capacity ≥ `n`) this touches no allocator.
+pub(crate) fn fit(v: &mut Vec<f64>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
+}

@@ -155,49 +155,113 @@ impl FftPlan {
         self.n == 0
     }
 
+    /// The scratch length (in `Complex` elements) that every `_into`
+    /// method of this plan accepts: `5 * len()`. Allocate it once and
+    /// reuse it across calls — that is the whole point of the scratch
+    /// API.
+    ///
+    /// ```
+    /// use foam_spectral::fft::{Complex, FftPlan};
+    /// let plan = FftPlan::new(16);
+    /// let mut scratch = vec![Complex::ZERO; plan.scratch_len()];
+    /// let x = vec![Complex::ONE; 16];
+    /// let mut y = vec![Complex::ZERO; 16];
+    /// plan.forward_into(&x, &mut y, &mut scratch);
+    /// assert!((y[0].re - 16.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn scratch_len(&self) -> usize {
+        5 * self.n
+    }
+
     /// Forward DFT: X_k = Σ_j x_j e^{-2πijk/n} (no normalization).
     pub fn forward(&self, x: &[Complex]) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; self.n];
+        let mut scratch = vec![Complex::ZERO; 2 * self.n];
+        self.forward_into(x, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free [`FftPlan::forward`]: writes the transform into
+    /// `out` using caller-provided `scratch` (at least `2 * len()`
+    /// elements; [`FftPlan::scratch_len`] always suffices). Produces
+    /// bit-identical results to `forward`.
+    pub fn forward_into(&self, x: &[Complex], out: &mut [Complex], scratch: &mut [Complex]) {
         assert_eq!(x.len(), self.n);
-        self.rec(x, 1, self.n)
+        assert_eq!(out.len(), self.n);
+        assert!(scratch.len() >= 2 * self.n, "scratch too small");
+        self.rec_into(x, 1, self.n, out, scratch);
     }
 
     /// Inverse DFT: x_j = (1/n) Σ_k X_k e^{+2πijk/n}.
     pub fn inverse(&self, x: &[Complex]) -> Vec<Complex> {
-        assert_eq!(x.len(), self.n);
-        // Conjugate trick: IDFT(x) = conj(DFT(conj(x))) / n.
-        let conj: Vec<Complex> = x.iter().map(|c| c.conj()).collect();
-        let y = self.rec(&conj, 1, self.n);
-        let s = 1.0 / self.n as f64;
-        y.into_iter().map(|c| c.conj().scale(s)).collect()
+        let mut out = vec![Complex::ZERO; self.n];
+        let mut scratch = vec![Complex::ZERO; 3 * self.n];
+        self.inverse_into(x, &mut out, &mut scratch);
+        out
     }
 
-    /// Recursive mixed-radix Cooley–Tukey. `x` is viewed with `stride`;
-    /// `n` is the logical length of this sub-transform.
-    fn rec(&self, x: &[Complex], stride: usize, n: usize) -> Vec<Complex> {
+    /// Allocation-free [`FftPlan::inverse`] (`scratch` needs at least
+    /// `3 * len()` elements; [`FftPlan::scratch_len`] always suffices).
+    pub fn inverse_into(&self, x: &[Complex], out: &mut [Complex], scratch: &mut [Complex]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        assert!(scratch.len() >= 3 * self.n, "scratch too small");
+        // Conjugate trick: IDFT(x) = conj(DFT(conj(x))) / n.
+        let (conj, rest) = scratch.split_at_mut(self.n);
+        for (c, v) in conj.iter_mut().zip(x) {
+            *c = v.conj();
+        }
+        self.rec_into(conj, 1, self.n, out, rest);
+        let s = 1.0 / self.n as f64;
+        for c in out.iter_mut() {
+            *c = c.conj().scale(s);
+        }
+    }
+
+    /// Recursive mixed-radix Cooley–Tukey into a caller buffer. `x` is
+    /// viewed with `stride`; `n` is the logical length of this
+    /// sub-transform. `scratch` must hold at least `2 * n` elements:
+    /// the level uses `n` for its sub-transform outputs and lends the
+    /// rest downward (the geometric sum n + n/2 + … stays under 2n).
+    fn rec_into(
+        &self,
+        x: &[Complex],
+        stride: usize,
+        n: usize,
+        out: &mut [Complex],
+        scratch: &mut [Complex],
+    ) {
         if n == 1 {
-            return vec![x[0]];
+            out[0] = x[0];
+            return;
         }
         let r = smallest_prime_factor(n);
         let m = n / r;
         // r sub-transforms of length m over the decimated sequences.
-        let subs: Vec<Vec<Complex>> = (0..r)
-            .map(|j| self.rec(&x[j * stride..], stride * r, m))
-            .collect();
+        let (subs, rest) = scratch.split_at_mut(n);
+        for j in 0..r {
+            self.rec_into(
+                &x[j * stride..],
+                stride * r,
+                m,
+                &mut subs[j * m..(j + 1) * m],
+                rest,
+            );
+        }
         // Combine: X[s + t m] = Σ_j W_n^{j(s+tm)} Y_j[s].
         let tw_step = self.n / n; // twiddle table is for the full length
-        let mut out = vec![Complex::ZERO; n];
         for s in 0..m {
             for t in 0..r {
                 let k = s + t * m;
                 let mut acc = Complex::ZERO;
-                for (j, sub) in subs.iter().enumerate() {
+                for j in 0..r {
                     let idx = (j * k) % n * tw_step;
-                    acc += self.twiddle[idx] * sub[s];
+                    acc += self.twiddle[idx] * subs[j * m + s];
                 }
                 out[k] = acc;
             }
         }
-        out
     }
 }
 
@@ -222,18 +286,58 @@ fn smallest_prime_factor(n: usize) -> usize {
 /// c_m = (1/nlon) Σ_i f_i e^{-imλ_i} for m = 0..=m_max, so that
 /// f_i = Re[c_0 + 2 Σ_{m≥1} c_m e^{imλ_i}] for band-limited f.
 pub fn real_analysis(plan: &FftPlan, row: &[f64], m_max: usize) -> Vec<Complex> {
-    assert_eq!(row.len(), plan.len());
-    let x: Vec<Complex> = row.iter().map(|&v| Complex::new(v, 0.0)).collect();
-    let y = plan.forward(&x);
-    let s = 1.0 / plan.len() as f64;
-    (0..=m_max).map(|m| y[m].scale(s)).collect()
+    let mut out = vec![Complex::ZERO; m_max + 1];
+    let mut scratch = vec![Complex::ZERO; 4 * plan.len()];
+    real_analysis_into(plan, row, &mut out, &mut scratch);
+    out
+}
+
+/// Allocation-free [`real_analysis`]: fills `out` (length `m_max + 1`)
+/// with the one-sided coefficients, using caller scratch of at least
+/// `4 * plan.len()` elements ([`FftPlan::scratch_len`] always
+/// suffices). Bit-identical to the allocating form.
+pub fn real_analysis_into(
+    plan: &FftPlan,
+    row: &[f64],
+    out: &mut [Complex],
+    scratch: &mut [Complex],
+) {
+    let n = plan.len();
+    assert_eq!(row.len(), n);
+    assert!(!out.is_empty() && out.len() <= n);
+    assert!(scratch.len() >= 4 * n, "scratch too small");
+    let (x, rest) = scratch.split_at_mut(n);
+    for (c, &v) in x.iter_mut().zip(row) {
+        *c = Complex::new(v, 0.0);
+    }
+    let (y, rec) = rest.split_at_mut(n);
+    plan.rec_into(x, 1, n, y, rec);
+    let s = 1.0 / n as f64;
+    for (o, c) in out.iter_mut().zip(y.iter()) {
+        *o = c.scale(s);
+    }
 }
 
 /// Real synthesis on a longitude circle: inverse of [`real_analysis`].
 pub fn real_synthesis(plan: &FftPlan, coeffs: &[Complex], out: &mut [f64]) {
+    let mut scratch = vec![Complex::ZERO; 5 * plan.len()];
+    real_synthesis_into(plan, coeffs, out, &mut scratch);
+}
+
+/// Allocation-free [`real_synthesis`] using caller scratch of at least
+/// `5 * plan.len()` elements (exactly [`FftPlan::scratch_len`]).
+/// Bit-identical to the allocating form.
+pub fn real_synthesis_into(
+    plan: &FftPlan,
+    coeffs: &[Complex],
+    out: &mut [f64],
+    scratch: &mut [Complex],
+) {
     let n = plan.len();
     assert_eq!(out.len(), n);
-    let mut spec = vec![Complex::ZERO; n];
+    assert!(scratch.len() >= 5 * n, "scratch too small");
+    let (spec, rest) = scratch.split_at_mut(n);
+    spec.fill(Complex::ZERO);
     // Build the two-sided spectrum of a real signal: X_m = n c_m,
     // X_{n-m} = n conj(c_m).
     let m_max = coeffs.len() - 1;
@@ -243,8 +347,9 @@ pub fn real_synthesis(plan: &FftPlan, coeffs: &[Complex], out: &mut [f64]) {
         spec[m] = coeffs[m].scale(n as f64);
         spec[n - m] = coeffs[m].conj().scale(n as f64);
     }
-    let x = plan.inverse(&spec);
-    for (o, c) in out.iter_mut().zip(x) {
+    let (y, rec) = rest.split_at_mut(n);
+    plan.inverse_into(spec, y, rec);
+    for (o, c) in out.iter_mut().zip(y.iter()) {
         *o = c.re;
     }
 }

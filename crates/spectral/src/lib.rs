@@ -19,7 +19,10 @@
 //! * [`Truncation`] — the rhomboidal (m, n) index set,
 //! * [`SphericalTransform`] — serial analysis/synthesis plus spectral-space
 //!   calculus (Laplacian, its inverse, hyperdiffusion, gradients),
-//! * [`ParTransform`] — the latitude-distributed transform.
+//! * [`ParTransform`] — the latitude-distributed transform,
+//! * [`SpectralWorkspace`] — pre-allocated scratch making every hot
+//!   transform allocation-free via the `_ws`/`_into` method variants
+//!   (see PERFORMANCE.md for the zero-churn rule they implement).
 
 pub mod fft;
 pub mod legendre;
@@ -29,5 +32,5 @@ mod truncation;
 
 pub use fft::Complex;
 pub use parallel::ParTransform;
-pub use transform::{SpectralField, SphericalTransform};
+pub use transform::{SpectralField, SpectralWorkspace, SphericalTransform, SynthKind};
 pub use truncation::Truncation;

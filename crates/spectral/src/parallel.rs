@@ -12,7 +12,7 @@ use foam_grid::Field2;
 use foam_mpi::{Comm, ReduceOp};
 
 use crate::fft::Complex;
-use crate::transform::{SpectralField, SphericalTransform, SynthKind};
+use crate::transform::{SpectralField, SpectralWorkspace, SphericalTransform, SynthKind};
 
 /// A [`SphericalTransform`] plus a latitude decomposition for one rank.
 pub struct ParTransform {
@@ -44,20 +44,38 @@ impl ParTransform {
     /// Distributed analysis: `local` is this rank's `(nlon × local_rows)`
     /// slab; every rank returns the complete spectral field.
     pub fn analyze(&self, comm: &Comm, local: &Field2) -> SpectralField {
+        let mut ws = SpectralWorkspace::new(&self.base);
+        let mut out = SpectralField::zeros(self.base.trunc);
+        self.analyze_into(comm, local, &mut ws, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ParTransform::analyze`]: overwrites `out` with
+    /// the complete spectral field, borrowing all scratch (accumulator,
+    /// reduction buffer, FFT scratch) from `ws`. Bit-identical to the
+    /// allocating form.
+    pub fn analyze_into(
+        &self,
+        comm: &Comm,
+        local: &Field2,
+        ws: &mut SpectralWorkspace,
+        out: &mut SpectralField,
+    ) {
         let _t = foam_telemetry::scope("spectral");
         assert_eq!(local.ny(), self.n_local_rows());
-        let mut acc = vec![Complex::ZERO; self.base.trunc.len()];
-        self.base.accumulate_rows(local, self.j0, self.j1, &mut acc);
+        assert_eq!(out.trunc, self.base.trunc);
+        let SpectralWorkspace { fft, cm, acc, flat } = ws;
+        acc.fill(Complex::ZERO);
+        self.base
+            .accumulate_rows_scratch(local, self.j0, self.j1, acc, cm, fft);
         // Global combine: flatten to interleaved re/im and sum-reduce.
-        let flat: Vec<f64> = acc.iter().flat_map(|c| [c.re, c.im]).collect();
-        let summed = comm.allreduce(&flat, ReduceOp::Sum);
-        let data = summed
-            .chunks_exact(2)
-            .map(|p| Complex::new(p[0], p[1]))
-            .collect();
-        SpectralField {
-            trunc: self.base.trunc,
-            data,
+        for (pair, c) in flat.chunks_exact_mut(2).zip(acc.iter()) {
+            pair[0] = c.re;
+            pair[1] = c.im;
+        }
+        comm.allreduce_mut(flat, ReduceOp::Sum);
+        for (c, pair) in out.data.iter_mut().zip(flat.chunks_exact(2)) {
+            *c = Complex::new(pair[0], pair[1]);
         }
     }
 
@@ -68,6 +86,20 @@ impl ParTransform {
             .synthesize_rows(spec, self.j0, self.j1, SynthKind::Value)
     }
 
+    /// Allocation-free [`ParTransform::synthesize`]: overwrites the
+    /// `(nlon × local_rows)` slab `out`. Bit-identical to the
+    /// allocating form, as are the other `_into` synthesis variants.
+    pub fn synthesize_into(
+        &self,
+        spec: &SpectralField,
+        ws: &mut SpectralWorkspace,
+        out: &mut Field2,
+    ) {
+        let _t = foam_telemetry::scope("spectral");
+        self.base
+            .synthesize_rows_into(spec, self.j0, self.j1, SynthKind::Value, ws, out);
+    }
+
     /// Local synthesis of ∂f/∂λ.
     pub fn synthesize_dlambda(&self, spec: &SpectralField) -> Field2 {
         let _t = foam_telemetry::scope("spectral");
@@ -75,11 +107,35 @@ impl ParTransform {
             .synthesize_rows(spec, self.j0, self.j1, SynthKind::DLambda)
     }
 
+    /// Allocation-free [`ParTransform::synthesize_dlambda`].
+    pub fn synthesize_dlambda_into(
+        &self,
+        spec: &SpectralField,
+        ws: &mut SpectralWorkspace,
+        out: &mut Field2,
+    ) {
+        let _t = foam_telemetry::scope("spectral");
+        self.base
+            .synthesize_rows_into(spec, self.j0, self.j1, SynthKind::DLambda, ws, out);
+    }
+
     /// Local synthesis of cos φ · ∂f/∂φ.
     pub fn synthesize_cosgrad(&self, spec: &SpectralField) -> Field2 {
         let _t = foam_telemetry::scope("spectral");
         self.base
             .synthesize_rows(spec, self.j0, self.j1, SynthKind::CosGrad)
+    }
+
+    /// Allocation-free [`ParTransform::synthesize_cosgrad`].
+    pub fn synthesize_cosgrad_into(
+        &self,
+        spec: &SpectralField,
+        ws: &mut SpectralWorkspace,
+        out: &mut Field2,
+    ) {
+        let _t = foam_telemetry::scope("spectral");
+        self.base
+            .synthesize_rows_into(spec, self.j0, self.j1, SynthKind::CosGrad, ws, out);
     }
 
     /// Gather a distributed grid field to rank 0 (diagnostics/coupling).

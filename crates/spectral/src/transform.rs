@@ -5,7 +5,7 @@ use foam_ckpt::{ByteReader, CkptError, Codec};
 use foam_grid::constants::EARTH_RADIUS;
 use foam_grid::{AtmGrid, Field2};
 
-use crate::fft::{real_analysis, real_synthesis, Complex, FftPlan};
+use crate::fft::{real_analysis_into, real_synthesis_into, Complex, FftPlan};
 use crate::legendre::LegendreTable;
 use crate::truncation::Truncation;
 
@@ -56,13 +56,28 @@ impl SpectralField {
     /// Spectral Laplacian: each (m, n) multiplied by −n(n+1)/a².
     pub fn laplacian(&self) -> SpectralField {
         let mut out = self.clone();
+        self.laplacian_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`SpectralField::laplacian`]: writes the
+    /// Laplacian of `self` into `out` (every coefficient is
+    /// overwritten). Bit-identical to the allocating form.
+    pub fn laplacian_into(&self, out: &mut SpectralField) {
+        assert_eq!(self.trunc, out.trunc);
         let a2 = EARTH_RADIUS * EARTH_RADIUS;
         for (m, n) in self.trunc.pairs() {
             let k = self.trunc.idx(m, n);
             let eig = -((n * (n + 1)) as f64) / a2;
             out.data[k] = self.data[k].scale(eig);
         }
-        out
+    }
+
+    /// Overwrite `self` with a bitwise copy of `other`'s coefficients.
+    #[inline]
+    pub fn copy_from(&mut self, other: &SpectralField) {
+        assert_eq!(self.trunc, other.trunc);
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Inverse Laplacian; the (0,0) (global mean) component, which is in
@@ -140,6 +155,53 @@ impl Codec for SpectralField {
     }
 }
 
+/// Pre-allocated scratch for the spherical-harmonic transform: FFT
+/// scratch, one row of Fourier coefficients, a spectral accumulator and
+/// its flattened `(re, im)` image for cross-rank reduction.
+///
+/// Every `_ws`/`_into` method of [`SphericalTransform`] and
+/// [`ParTransform`](crate::ParTransform) borrows the pieces it needs
+/// from one of these instead of allocating per call, which is what
+/// keeps the coupled hot loop allocation-free in steady state (see
+/// PERFORMANCE.md). One workspace serves one transform engine; sharing
+/// it across engines of different sizes panics on a size assert.
+///
+/// ```
+/// use foam_grid::{AtmGrid, Field2};
+/// use foam_spectral::{SpectralField, SpectralWorkspace, SphericalTransform, Truncation};
+///
+/// let t = SphericalTransform::new(AtmGrid::new(16, 8), Truncation::rhomboidal(3));
+/// let mut ws = SpectralWorkspace::new(&t);
+/// let f = Field2::from_fn(16, 8, |i, j| (i + j) as f64);
+/// let mut spec = SpectralField::zeros(t.trunc);
+/// t.analyze_ws(&f, &mut ws, &mut spec);
+/// assert_eq!(spec, t.analyze(&f)); // bit-identical to the allocating path
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpectralWorkspace {
+    /// FFT scratch (`plan.scratch_len()` elements).
+    pub(crate) fft: Vec<Complex>,
+    /// One longitude row of Fourier coefficients (`m_max + 1`).
+    pub(crate) cm: Vec<Complex>,
+    /// Spectral accumulator for the distributed analysis.
+    pub(crate) acc: Vec<Complex>,
+    /// `acc` flattened to `(re, im)` pairs for the allreduce.
+    pub(crate) flat: Vec<f64>,
+}
+
+impl SpectralWorkspace {
+    /// A workspace sized for `t`; reuse it across all transforms of the
+    /// same engine.
+    pub fn new(t: &SphericalTransform) -> Self {
+        SpectralWorkspace {
+            fft: vec![Complex::ZERO; t.plan.scratch_len()],
+            cm: vec![Complex::ZERO; t.trunc.m_max + 1],
+            acc: vec![Complex::ZERO; t.trunc.len()],
+            flat: vec![0.0; 2 * t.trunc.len()],
+        }
+    }
+}
+
 /// Transform engine bound to a grid and truncation: precomputed FFT plan
 /// and Legendre tables.
 pub struct SphericalTransform {
@@ -182,13 +244,41 @@ impl SphericalTransform {
         spec
     }
 
+    /// Allocation-free [`SphericalTransform::analyze`]: overwrites
+    /// `out` with the analysis of `f`, borrowing scratch from `ws`.
+    /// Bit-identical to the allocating form.
+    pub fn analyze_ws(&self, f: &Field2, ws: &mut SpectralWorkspace, out: &mut SpectralField) {
+        assert_eq!(out.trunc, self.trunc);
+        out.data.fill(Complex::ZERO);
+        self.accumulate_rows_scratch(f, 0, f.ny(), &mut out.data, &mut ws.cm, &mut ws.fft);
+    }
+
     /// Accumulate the Legendre-quadrature contribution of grid rows
     /// `[j0, j1)` into `acc` (used directly by the distributed transform;
     /// the full analysis is the sum of all rows' contributions).
     pub fn accumulate_rows(&self, f: &Field2, j0: usize, j1: usize, acc: &mut [Complex]) {
+        let mut cm = vec![Complex::ZERO; self.trunc.m_max + 1];
+        let mut fft = vec![Complex::ZERO; self.plan.scratch_len()];
+        self.accumulate_rows_scratch(f, j0, j1, acc, &mut cm, &mut fft);
+    }
+
+    /// [`SphericalTransform::accumulate_rows`] with explicit scratch:
+    /// `cm` holds one row of Fourier coefficients (`m_max + 1`) and
+    /// `fft` the FFT scratch (`FftPlan::scratch_len` of the grid's
+    /// plan). [`SpectralWorkspace`] carries suitably sized buffers.
+    pub fn accumulate_rows_scratch(
+        &self,
+        f: &Field2,
+        j0: usize,
+        j1: usize,
+        acc: &mut [Complex],
+        cm: &mut [Complex],
+        fft: &mut [Complex],
+    ) {
         assert_eq!(f.nx(), self.grid.nlon);
         assert_eq!(acc.len(), self.trunc.len());
         let m_max = self.trunc.m_max;
+        assert_eq!(cm.len(), m_max + 1);
         for (jl, j) in (j0..j1).enumerate() {
             let row = if f.ny() == self.grid.nlat {
                 f.row(j)
@@ -196,7 +286,7 @@ impl SphericalTransform {
                 // Local slab: row index is relative.
                 f.row(jl)
             };
-            let cm = real_analysis(&self.plan, row, m_max);
+            real_analysis_into(&self.plan, row, cm, fft);
             let w = self.grid.weights[j];
             for m in 0..=m_max {
                 let t = &self.tables[m];
@@ -234,11 +324,46 @@ impl SphericalTransform {
         j1: usize,
         kind: SynthKind,
     ) -> Field2 {
+        let mut out = Field2::zeros(self.grid.nlon, j1 - j0);
+        let mut cm = vec![Complex::ZERO; self.trunc.m_max + 1];
+        let mut fft = vec![Complex::ZERO; self.plan.scratch_len()];
+        self.synthesize_rows_scratch(spec, j0, j1, kind, &mut cm, &mut fft, &mut out);
+        out
+    }
+
+    /// Allocation-free [`SphericalTransform::synthesize_rows`]:
+    /// overwrites the `(nlon × (j1 − j0))` slab `out`, borrowing
+    /// scratch from `ws`. Bit-identical to the allocating form.
+    pub fn synthesize_rows_into(
+        &self,
+        spec: &SpectralField,
+        j0: usize,
+        j1: usize,
+        kind: SynthKind,
+        ws: &mut SpectralWorkspace,
+        out: &mut Field2,
+    ) {
+        self.synthesize_rows_scratch(spec, j0, j1, kind, &mut ws.cm, &mut ws.fft, out);
+    }
+
+    /// [`SphericalTransform::synthesize_rows_into`] with explicit
+    /// scratch slices (see
+    /// [`SphericalTransform::accumulate_rows_scratch`] for sizes).
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthesize_rows_scratch(
+        &self,
+        spec: &SpectralField,
+        j0: usize,
+        j1: usize,
+        kind: SynthKind,
+        cm: &mut [Complex],
+        fft: &mut [Complex],
+        out: &mut Field2,
+    ) {
         assert_eq!(spec.trunc, self.trunc);
-        let nlon = self.grid.nlon;
-        let m_max = self.trunc.m_max;
-        let mut out = Field2::zeros(nlon, j1 - j0);
-        let mut cm = vec![Complex::ZERO; m_max + 1];
+        assert_eq!(out.nx(), self.grid.nlon);
+        assert_eq!(out.ny(), j1 - j0);
+        assert_eq!(cm.len(), self.trunc.m_max + 1);
         for j in j0..j1 {
             for (m, c) in cm.iter_mut().enumerate() {
                 let t = &self.tables[m];
@@ -256,9 +381,8 @@ impl SphericalTransform {
                 }
                 *c = acc;
             }
-            real_synthesis(&self.plan, &cm, out.row_mut(j - j0));
+            real_synthesis_into(&self.plan, cm, out.row_mut(j - j0), fft);
         }
-        out
     }
 
     /// Rotational winds from a streamfunction: returns (U, V) where

@@ -49,6 +49,115 @@ pub struct AllocStats {
     pub allocations: u64,
 }
 
+impl AllocStats {
+    /// Allocation activity between `earlier` and `self` — the
+    /// cumulative counters only, since the instantaneous ones
+    /// (`live_bytes`, `peak_bytes`) have no meaningful difference.
+    /// Saturating, so a mismatched pair reads zero instead of wrapping.
+    ///
+    /// ```
+    /// use foam_telemetry::alloc::AllocStats;
+    ///
+    /// let before = AllocStats { live_bytes: 0, peak_bytes: 0, total_bytes: 1_000, allocations: 10 };
+    /// let after = AllocStats { live_bytes: 0, peak_bytes: 0, total_bytes: 1_640, allocations: 17 };
+    /// let d = after.since(&before);
+    /// assert_eq!(d.allocations, 7);
+    /// assert_eq!(d.total_bytes, 640);
+    /// assert_eq!(before.since(&after), Default::default()); // saturates
+    /// ```
+    pub fn since(&self, earlier: &AllocStats) -> AllocDelta {
+        AllocDelta {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            total_bytes: self.total_bytes.saturating_sub(earlier.total_bytes),
+        }
+    }
+}
+
+/// Allocation activity over a window: the difference of two
+/// [`AllocStats`] snapshots (see [`AllocStats::since`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocDelta {
+    /// Allocation calls made inside the window.
+    pub allocations: u64,
+    /// Bytes requested inside the window.
+    pub total_bytes: u64,
+}
+
+impl AllocDelta {
+    /// Normalize the window to a rate — e.g. allocations per simulated
+    /// year when `units` is the simulated years the window covered.
+    /// Returns zero counts for a non-positive `units` rather than an
+    /// infinity that would poison a JSON report.
+    ///
+    /// ```
+    /// use foam_telemetry::alloc::AllocDelta;
+    ///
+    /// let d = AllocDelta { allocations: 990, total_bytes: 4_950 };
+    /// let per_year = d.per(99.0);
+    /// assert_eq!(per_year.allocations, 10.0);
+    /// assert_eq!(per_year.total_bytes, 50.0);
+    /// assert_eq!(d.per(0.0).allocations, 0.0);
+    /// ```
+    pub fn per(&self, units: f64) -> AllocRate {
+        if units > 0.0 {
+            AllocRate {
+                allocations: self.allocations as f64 / units,
+                total_bytes: self.total_bytes as f64 / units,
+            }
+        } else {
+            AllocRate {
+                allocations: 0.0,
+                total_bytes: 0.0,
+            }
+        }
+    }
+}
+
+/// An [`AllocDelta`] normalized per unit (simulated year, step, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AllocRate {
+    /// Allocation calls per unit.
+    pub allocations: f64,
+    /// Bytes requested per unit.
+    pub total_bytes: f64,
+}
+
+/// A scoped steady-state allocation measurement: snapshot the counters
+/// when the warm-up ends ([`SteadyMeter::begin`]), then read the
+/// activity of the steady window ([`SteadyMeter::so_far`]). The century
+/// bench begins one at the end of the first simulated year and divides
+/// by the remaining years to report `steady_allocs_per_year`, the
+/// number the CI regression gate watches (see PERFORMANCE.md).
+///
+/// ```
+/// use foam_telemetry::alloc::SteadyMeter;
+///
+/// let meter = SteadyMeter::begin();
+/// let warm = Vec::from([0u8; 64]); // churn (only counted if the
+///                                  // counting allocator is installed)
+/// let d = meter.so_far();
+/// assert!(d.allocations <= 1_000); // bounded either way
+/// drop(warm);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyMeter {
+    start: AllocStats,
+}
+
+impl SteadyMeter {
+    /// Open the measurement window at the current counters.
+    pub fn begin() -> Self {
+        SteadyMeter {
+            start: CountingAlloc::stats(),
+        }
+    }
+
+    /// Allocation activity since [`SteadyMeter::begin`].
+    pub fn so_far(&self) -> AllocDelta {
+        CountingAlloc::stats().since(&self.start)
+    }
+}
+
 /// The counting wrapper around the system allocator. Install it with
 /// `#[global_allocator]` in binaries that report memory, then read
 /// [`CountingAlloc::stats`].
@@ -157,6 +266,29 @@ mod tests {
         assert!(after.peak_bytes >= before.live_bytes + 1024);
         CountingAlloc::reset_peak();
         assert_eq!(CountingAlloc::stats().peak_bytes, after.live_bytes);
+    }
+
+    #[test]
+    fn steady_window_sees_activity_inside_it() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        let meter = SteadyMeter::begin();
+        unsafe {
+            let p = a.alloc(layout);
+            a.dealloc(p, layout);
+        }
+        // Sibling tests drive the same process-wide counters
+        // concurrently, so the window is a lower bound here.
+        let d = meter.so_far();
+        assert!(d.allocations >= 1);
+        assert!(d.total_bytes >= 64);
+        let rate = AllocDelta {
+            allocations: 9,
+            total_bytes: 900,
+        }
+        .per(3.0);
+        assert_eq!(rate.allocations, 3.0);
+        assert_eq!(rate.total_bytes, 300.0);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod json;
 mod registry;
 mod report;
 
-pub use alloc::{AllocStats, CountingAlloc};
+pub use alloc::{AllocDelta, AllocRate, AllocStats, CountingAlloc, SteadyMeter};
 pub use registry::{PhaseStat, TelemetryRegistry};
 pub use report::{Imbalance, PhaseAgg, RankReport, TelemetryReport, SCHEMA};
 

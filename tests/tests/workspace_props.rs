@@ -1,0 +1,219 @@
+//! Bit-identity of the zero-churn workspace hot loop (PERFORMANCE.md,
+//! DESIGN.md §14): driving the atmosphere + coupler through the
+//! pre-allocated workspace path (`step_ws` / `step_rows_ws`, what the
+//! coupled driver runs) must produce exactly the bits of the
+//! allocate-per-step reference path (`step` / `step_rows`), including
+//! across a checkpoint/resume split where the resumed leg starts from
+//! freshly constructed workspaces mid-trajectory — exactly what a
+//! driver restart does.
+
+use foam::{FoamConfig, World};
+use foam_atm::{AtmExport, AtmForcing, AtmModel, AtmState, AtmWorkspace};
+use foam_ckpt::Codec;
+use foam_coupler::{AtmSurfaceFields, AtmSurfaceView, Coupler, CouplerState};
+use foam_grid::Field2;
+use foam_mpi::{Comm, Universe};
+use foam_ocean::OceanModel;
+
+/// One-rank harness holding everything the driver's inner loop touches.
+struct Harness {
+    model: AtmModel,
+    coupler: Coupler,
+    sst: Field2,
+    dt: f64,
+}
+
+impl Harness {
+    fn new(cfg: &FoamConfig, comm: &Comm) -> Self {
+        let planet = World::earthlike();
+        let model = AtmModel::new(cfg.atm.clone(), comm);
+        let sea_mask = OceanModel::effective_sea_mask(&cfg.ocean, &planet);
+        let ocn_grid =
+            foam_grid::OceanGrid::mercator(cfg.ocean.nx, cfg.ocean.ny, cfg.ocean.lat_max_deg);
+        let coupler = Coupler::new(
+            model.grid().clone(),
+            ocn_grid,
+            sea_mask,
+            &planet,
+            cfg.atm.physics,
+        );
+        let ocean = OceanModel::new(cfg.ocean.clone(), &planet);
+        let sst = ocean.sst(&ocean.init_state(&planet));
+        Harness {
+            model,
+            coupler,
+            sst,
+            dt: cfg.atm.dt,
+        }
+    }
+
+    fn init(&self) -> (AtmState, CouplerState, AtmExport) {
+        let state = self.model.init_state();
+        let cstate = self.coupler.init_state(&self.sst, AtmModel::t_init);
+        let export = self.model.initial_export(&state);
+        (state, cstate, export)
+    }
+
+    /// The pre-refactor reference step: clone the surface fields, let
+    /// the coupler and the atmosphere allocate their outputs fresh.
+    fn step_reference(
+        &self,
+        comm: &Comm,
+        state: &mut AtmState,
+        cstate: &mut CouplerState,
+        export: &mut AtmExport,
+    ) {
+        let (j0, j1) = self.model.rows();
+        let nlon = self.model.grid().nlon;
+        let (ka0, ka1) = (j0 * nlon, j1 * nlon);
+        let fields = AtmSurfaceFields {
+            t_low: export.t_low.clone(),
+            q_low: export.q_low.clone(),
+            u_low: export.u_low.clone(),
+            v_low: export.v_low.clone(),
+            precip: export.precip.clone(),
+            sw_sfc: export.sw_sfc.clone(),
+            lw_down: export.lw_down.clone(),
+        };
+        let (sfc, runoff) = self
+            .coupler
+            .step_rows(cstate, &fields, &self.sst, self.dt, ka0, ka1, ka0);
+        self.coupler
+            .route_rivers(cstate, &runoff[ka0..ka1], self.dt);
+        let forcing = AtmForcing {
+            fluxes: sfc.fluxes[ka0..ka1].to_vec(),
+            t_sfc: sfc.t_sfc[ka0..ka1].to_vec(),
+            albedo: sfc.albedo[ka0..ka1].to_vec(),
+        };
+        *export = self.model.step(state, comm, &forcing);
+    }
+
+    /// The workspace step the coupled driver runs (`StepWorkspace`).
+    #[allow(clippy::too_many_arguments)]
+    fn step_ws(
+        &self,
+        comm: &Comm,
+        state: &mut AtmState,
+        cstate: &mut CouplerState,
+        export: &mut AtmExport,
+        aws: &mut AtmWorkspace,
+        cws: &mut foam_coupler::CouplerWorkspace,
+        forcing: &mut AtmForcing,
+        full_runoff: &mut Vec<f64>,
+    ) {
+        let (j0, j1) = self.model.rows();
+        let nlon = self.model.grid().nlon;
+        let (ka0, ka1) = (j0 * nlon, j1 * nlon);
+        let view = AtmSurfaceView {
+            t_low: &export.t_low,
+            q_low: &export.q_low,
+            u_low: &export.u_low,
+            v_low: &export.v_low,
+            precip: &export.precip,
+            sw_sfc: &export.sw_sfc,
+            lw_down: &export.lw_down,
+        };
+        self.coupler
+            .step_rows_ws(cstate, view, &self.sst, self.dt, ka0, ka1, ka0, cws);
+        // Mirrors the driver: the (allgathered) global runoff lives in
+        // its own reused buffer, separate from the coupler workspace.
+        full_runoff.clear();
+        full_runoff.extend_from_slice(&cws.runoff[ka0..ka1]);
+        self.coupler
+            .route_rivers_ws(cstate, full_runoff, self.dt, cws);
+        forcing.fluxes.clear();
+        forcing.fluxes.extend_from_slice(&cws.out.fluxes[ka0..ka1]);
+        forcing.t_sfc.clear();
+        forcing.t_sfc.extend_from_slice(&cws.out.t_sfc[ka0..ka1]);
+        forcing.albedo.clear();
+        forcing.albedo.extend_from_slice(&cws.out.albedo[ka0..ka1]);
+        self.model.step_ws(state, comm, forcing, aws, export);
+    }
+}
+
+fn encode_all(state: &AtmState, cstate: &CouplerState, export: &AtmExport) -> Vec<u8> {
+    let mut buf = Vec::new();
+    state.encode(&mut buf);
+    cstate.encode(&mut buf);
+    export.encode(&mut buf);
+    buf
+}
+
+/// Property: for every (seed, resume split) pair, N workspace steps with
+/// a checkpoint/resume at the split — resuming into *fresh* workspaces,
+/// like a driver restart — equal N allocate-per-step reference steps,
+/// bit for bit, in the dynamical state, the tracer fields, the coupler
+/// state, and every export field.
+#[test]
+fn workspace_path_is_bit_identical_across_resume_splits() {
+    const N_STEPS: usize = 6;
+    for seed in [3u64, 17] {
+        for split in [1usize, 3, 5] {
+            let cfg = FoamConfig::tiny(seed);
+            Universe::run(1, move |comm| {
+                let h = Harness::new(&cfg, comm);
+
+                // Reference trajectory, allocate-per-step all the way.
+                let (mut state_a, mut cstate_a, mut export_a) = h.init();
+                for _ in 0..N_STEPS {
+                    h.step_reference(comm, &mut state_a, &mut cstate_a, &mut export_a);
+                }
+
+                // Workspace trajectory with a mid-run serialize →
+                // deserialize → fresh-workspace resume at `split`.
+                let (mut state_b, mut cstate_b, mut export_b) = h.init();
+                let mut aws = AtmWorkspace::new(&h.model);
+                let mut cws = h.coupler.workspace();
+                let mut forcing = AtmForcing {
+                    fluxes: Vec::new(),
+                    t_sfc: Vec::new(),
+                    albedo: Vec::new(),
+                };
+                let mut full_runoff = Vec::new();
+                for _ in 0..split {
+                    h.step_ws(
+                        comm,
+                        &mut state_b,
+                        &mut cstate_b,
+                        &mut export_b,
+                        &mut aws,
+                        &mut cws,
+                        &mut forcing,
+                        &mut full_runoff,
+                    );
+                }
+                let snapshot = encode_all(&state_b, &cstate_b, &export_b);
+                let mut r = foam_ckpt::ByteReader::new(&snapshot);
+                let mut state_b = AtmState::decode(&mut r).expect("atm state round-trips");
+                let mut cstate_b = CouplerState::decode(&mut r).expect("coupler state round-trips");
+                let mut export_b = AtmExport::decode(&mut r).expect("export round-trips");
+                let mut aws = AtmWorkspace::new(&h.model);
+                let mut cws = h.coupler.workspace();
+                let mut forcing = AtmForcing {
+                    fluxes: Vec::new(),
+                    t_sfc: Vec::new(),
+                    albedo: Vec::new(),
+                };
+                let mut full_runoff = Vec::new();
+                for _ in split..N_STEPS {
+                    h.step_ws(
+                        comm,
+                        &mut state_b,
+                        &mut cstate_b,
+                        &mut export_b,
+                        &mut aws,
+                        &mut cws,
+                        &mut forcing,
+                        &mut full_runoff,
+                    );
+                }
+
+                assert_eq!(
+                    encode_all(&state_a, &cstate_a, &export_a),
+                    encode_all(&state_b, &cstate_b, &export_b),
+                    "seed {seed}, split {split}: workspace path diverged from the reference"
+                );
+            });
+        }
+    }
+}
