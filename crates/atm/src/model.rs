@@ -4,6 +4,7 @@
 use foam_grid::constants::R_DRY;
 use foam_grid::{AtmGrid, Field2};
 use foam_mpi::Comm;
+use foam_physics::forcing::Forcings;
 use foam_physics::radiation::OrbitalState;
 use foam_physics::surface::BulkFluxes;
 use foam_physics::{AtmColumn, ColumnPhysics, PhysicsConfig, SurfaceKind, SurfaceState};
@@ -178,6 +179,9 @@ pub struct AtmModel {
     pub phys: ColumnPhysics,
     /// Orographic PV (f·h/H) in spectral space, if enabled.
     orog_pv: Option<SpectralField>,
+    /// Scenario forcings (CO₂ / solar / aerosol time series) folded
+    /// into the column physics once per simulated day; empty = identity.
+    forcings: Forcings,
 }
 
 impl AtmModel {
@@ -206,6 +210,35 @@ impl AtmModel {
             core,
             phys,
             orog_pv,
+            forcings: Forcings::default(),
+        }
+    }
+
+    /// Install scenario forcings (the driver threads
+    /// `FoamConfig::forcings` here). The default is empty — identity —
+    /// so unforced runs are bit-identical with or without this call.
+    pub fn set_forcings(&mut self, forcings: Forcings) {
+        self.forcings = forcings;
+    }
+
+    /// The installed scenario forcings.
+    pub fn forcings(&self) -> &Forcings {
+        &self.forcings
+    }
+
+    /// The column-physics engine in effect at simulated time `sim_t`:
+    /// the configured engine with any scenario forcing for that
+    /// simulated day folded in. `PhysicsConfig` is `Copy`, so this is
+    /// stack-only — safe in the zero-churn hot loop. The forcing is a
+    /// pure function of the integer simulated day and static series,
+    /// which is what makes checkpoint/resume of forced runs
+    /// bit-identical for free.
+    #[inline]
+    fn effective_phys(&self, sim_t: f64) -> ColumnPhysics {
+        if self.forcings.is_empty() {
+            self.phys.clone()
+        } else {
+            ColumnPhysics::new(self.forcings.apply(self.phys.cfg, Forcings::day_of(sim_t)))
         }
     }
 
@@ -454,8 +487,9 @@ impl AtmModel {
 
         // --- Column physics (embarrassingly parallel, load-imbalanced).
         let phys_scope = foam_telemetry::scope("physics");
-        let orb = OrbitalState::at(state.sim_t);
-        let refresh = state.step_count == 0 || self.phys.radiation_due(state.sim_t, dt);
+        let orb = OrbitalState::at_with(state.sim_t, self.phys.cfg.obliquity_deg);
+        let eff = self.effective_phys(state.sim_t);
+        let refresh = state.step_count == 0 || eff.radiation_due(state.sim_t, dt);
         // Radiation-cache accounting: a refresh step recomputes the full
         // radiative transfer in every local column (a cache miss per
         // column); other steps reuse the cached fluxes.
@@ -486,7 +520,7 @@ impl AtmModel {
                     albedo: forcing.albedo[idx],
                     wetness: 1.0,
                 };
-                let out = self.phys.step_with_fluxes(
+                let out = eff.step_with_fluxes(
                     &mut col,
                     &sfc,
                     forcing.fluxes[idx],
@@ -642,8 +676,9 @@ impl AtmModel {
 
         // --- Column physics (embarrassingly parallel, load-imbalanced).
         let phys_scope = foam_telemetry::scope("physics");
-        let orb = OrbitalState::at(state.sim_t);
-        let refresh = state.step_count == 0 || self.phys.radiation_due(state.sim_t, dt);
+        let orb = OrbitalState::at_with(state.sim_t, self.phys.cfg.obliquity_deg);
+        let eff = self.effective_phys(state.sim_t);
+        let refresh = state.step_count == 0 || eff.radiation_due(state.sim_t, dt);
         let n_cols = self.n_local() as u64;
         if refresh {
             foam_telemetry::count("atm.radiation.cache_misses", n_cols);
@@ -665,7 +700,7 @@ impl AtmModel {
                     albedo: forcing.albedo[idx],
                     wetness: 1.0,
                 };
-                let out = self.phys.step_with_fluxes_ws(
+                let out = eff.step_with_fluxes_ws(
                     col,
                     &sfc,
                     forcing.fluxes[idx],

@@ -41,7 +41,7 @@ use foam_coupler::{CouplerState, ExchangeBuffers};
 use foam_grid::Field2;
 use foam_land::{Bucket, RiverState, SoilColumn};
 use foam_ocean::{OceanForcing, OceanState, SplitScheme};
-use foam_physics::RadCache;
+use foam_physics::{Forcings, RadCache};
 
 use crate::config::{CouplingMode, FoamConfig};
 use crate::stream::DriverStream;
@@ -237,7 +237,24 @@ pub fn write_manifest(
     w.put("manifest/dims", &config_dims(cfg));
     w.put("manifest/dts", &config_dts(cfg));
     w.put("manifest/emergency", &emergency);
+    // Scenario facts the resumed trajectory depends on: the forcing
+    // series (`Codec`-encoded breakpoints) and the static radiative
+    // scenario knobs. Kept out of `manifest/dts` so snapshots written
+    // before scenarios existed stay loadable (see `load_snapshot`'s
+    // absent-tolerant check).
+    w.put("manifest/forcings", &cfg.forcings);
+    w.put("manifest/scenario_statics", &scenario_statics(cfg));
     w.write_atomic(&CheckpointStore::manifest_path(dir))
+}
+
+/// Static scenario knobs compared bitwise on resume (like
+/// `config_dts`): solar scale, aerosol optical depth, obliquity.
+fn scenario_statics(cfg: &FoamConfig) -> Vec<f64> {
+    vec![
+        cfg.atm.physics.rad.solar_scale,
+        cfg.atm.physics.rad.aerosol_od,
+        cfg.atm.physics.obliquity_deg,
+    ]
 }
 
 /// One decoded atmosphere shard, prior to stitching.
@@ -276,6 +293,35 @@ pub fn load_snapshot(dir: &Path, cfg: &FoamConfig) -> Result<GlobalSnapshot, Ckp
     if !same_dts {
         return Err(CkptError::ConfigMismatch(
             "snapshot timesteps differ from the configuration".into(),
+        ));
+    }
+    // Scenario forcings are trajectory-determining configuration:
+    // resuming a CO₂-ramp snapshot under different forcings (or vice
+    // versa) would silently diverge from both experiments. Snapshots
+    // that predate the sections count as unforced/present-day.
+    let snap_forcings = if manifest.has("manifest/forcings") {
+        manifest.get::<Forcings>("manifest/forcings")?
+    } else {
+        Forcings::default()
+    };
+    if snap_forcings != cfg.forcings {
+        return Err(CkptError::ConfigMismatch(
+            "snapshot scenario forcings differ from the configuration".into(),
+        ));
+    }
+    let snap_statics = if manifest.has("manifest/scenario_statics") {
+        manifest.get::<Vec<f64>>("manifest/scenario_statics")?
+    } else {
+        scenario_statics(&FoamConfig::tiny(0)) // the unforced defaults
+    };
+    let statics_ok = snap_statics.len() == scenario_statics(cfg).len()
+        && snap_statics
+            .iter()
+            .zip(scenario_statics(cfg))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !statics_ok {
+        return Err(CkptError::ConfigMismatch(
+            "snapshot solar/aerosol/obliquity settings differ from the configuration".into(),
         ));
     }
     let interval = manifest.get::<u64>("manifest/interval")? as usize;

@@ -6,6 +6,7 @@ use foam_atm::AtmConfig;
 use foam_ckpt::StoreFaultPlan;
 use foam_mpi::FaultPlan;
 use foam_ocean::{OceanConfig, SplitScheme};
+use foam_physics::forcing::Forcings;
 
 /// A configuration rejected by [`FoamConfig::validate`] — the typed
 /// alternative to panicking deep inside the run when a zero timestep or
@@ -22,6 +23,13 @@ pub enum ConfigError {
     /// does not exist or is not a directory). Caught up front so a long
     /// run does not integrate for hours and then lose its report.
     UnwritablePath { what: &'static str, path: PathBuf },
+    /// A scenario forcing series is malformed (breakpoint days not
+    /// strictly increasing / non-finite) or a forced value leaves the
+    /// physically admissible range for its channel.
+    BadForcing {
+        what: &'static str,
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -37,6 +45,9 @@ impl std::fmt::Display for ConfigError {
                     "{what} is not writable: {} (parent directory missing?)",
                     path.display()
                 )
+            }
+            ConfigError::BadForcing { what, reason } => {
+                write!(f, "{what} is not a valid forcing series: {reason}")
             }
         }
     }
@@ -305,6 +316,15 @@ pub struct FoamConfig {
     /// replacement for `collect_monthly_sst`. Both can be on at once,
     /// which is how the equivalence tests compare the two paths.
     pub stream: Option<StreamStatsConfig>,
+    /// Scenario forcings: piecewise-linear CO₂ / solar / aerosol time
+    /// series (in simulated days) the atmosphere folds into its column
+    /// physics once per simulated day. Empty (the default) is the
+    /// identity — unforced runs are bit-identical to pre-scenario
+    /// builds. The content participates in
+    /// [`FoamConfig::canonical_digest`] and is recorded in snapshots so
+    /// a resume under different forcings is rejected instead of
+    /// silently diverging.
+    pub forcings: Forcings,
     /// Failure-handling knobs (deadlines, retries, fault injection).
     pub runtime: RuntimeConfig,
     /// Checkpoint/restart knobs (off unless a directory is set).
@@ -331,6 +351,7 @@ impl FoamConfig {
             tracing: false,
             collect_monthly_sst: false,
             stream: None,
+            forcings: Forcings::default(),
             runtime: RuntimeConfig::default(),
             ckpt: CkptConfig::default(),
             telemetry: TelemetryConfig::default(),
@@ -350,6 +371,7 @@ impl FoamConfig {
             tracing: false,
             collect_monthly_sst: false,
             stream: None,
+            forcings: Forcings::default(),
             runtime: RuntimeConfig::default(),
             ckpt: CkptConfig::default(),
             telemetry: TelemetryConfig::default(),
@@ -386,6 +408,7 @@ impl FoamConfig {
             tracing: false,
             collect_monthly_sst: false,
             stream: Some(StreamStatsConfig::default()),
+            forcings: Forcings::default(),
             runtime: RuntimeConfig::default(),
             ckpt: CkptConfig::default(),
             telemetry: TelemetryConfig::default(),
@@ -424,6 +447,60 @@ impl FoamConfig {
         }
         if let Some(stream) = &self.stream {
             at_least_one("stream.eof_rank", stream.eof_rank)?;
+        }
+        // Scenario forcings: every breakpoint value must stay inside
+        // the physically admissible envelope of its channel. Piecewise-
+        // linear interpolation and constant extrapolation cannot leave
+        // the convex hull of the breakpoints, so checking breakpoints
+        // bounds the whole series.
+        fn forcing_range(
+            what: &'static str,
+            series: &foam_physics::ForcingSeries,
+            lo: f64,
+            hi: f64,
+        ) -> Result<(), ConfigError> {
+            if series
+                .points()
+                .iter()
+                .any(|&(_, v)| !(lo..=hi).contains(&v))
+            {
+                return Err(ConfigError::BadForcing {
+                    what,
+                    reason: "breakpoint value outside the admissible range",
+                });
+            }
+            Ok(())
+        }
+        forcing_range("forcings.co2", &self.forcings.co2, 1.0 / 32.0, 32.0)?;
+        forcing_range("forcings.solar", &self.forcings.solar, 0.8, 1.2)?;
+        forcing_range("forcings.aerosol", &self.forcings.aerosol, 0.0, 5.0)?;
+        // The static knobs the forcings multiply into obey the same
+        // envelopes (sweep overrides land here, not in the series).
+        let rad = &self.atm.physics.rad;
+        if !(0.8..=1.2).contains(&rad.solar_scale) {
+            return Err(ConfigError::BadForcing {
+                what: "atm.physics.rad.solar_scale",
+                reason: "static value outside the admissible range [0.8, 1.2]",
+            });
+        }
+        if !(0.0..=5.0).contains(&rad.aerosol_od) {
+            return Err(ConfigError::BadForcing {
+                what: "atm.physics.rad.aerosol_od",
+                reason: "static value outside the admissible range [0, 5]",
+            });
+        }
+        if !(1.0 / 32.0..=32.0).contains(&rad.co2_factor) {
+            return Err(ConfigError::BadForcing {
+                what: "atm.physics.rad.co2_factor",
+                reason: "static value outside the admissible range [1/32, 32]",
+            });
+        }
+        let obl = self.atm.physics.obliquity_deg;
+        if !(0.0..=45.0).contains(&obl) || !obl.is_finite() {
+            return Err(ConfigError::NonPositive {
+                what: "atm.physics.obliquity_deg (must lie in [0, 45])",
+                value: obl,
+            });
         }
         if self.runtime.sentinel.enabled {
             let s = &self.runtime.sentinel;
@@ -585,6 +662,53 @@ mod tests {
         );
         // Checkpoint knobs are only checked when checkpointing is on.
         c.ckpt.dir = None;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_forcings() {
+        use foam_physics::ForcingSeries;
+        let mut c = FoamConfig::tiny(1);
+        c.forcings.co2 = ForcingSeries::constant(100.0); // > 32× CO₂
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadForcing {
+                what: "forcings.co2",
+                reason: "breakpoint value outside the admissible range",
+            })
+        );
+        let mut c = FoamConfig::tiny(1);
+        c.forcings.solar = ForcingSeries::constant(0.5); // a half-dark sun
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadForcing {
+                what: "forcings.solar",
+                ..
+            })
+        ));
+        let mut c = FoamConfig::tiny(1);
+        c.forcings.aerosol = ForcingSeries::from_points(vec![(0.0, 0.0), (30.0, -0.1)]).unwrap();
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadForcing {
+                what: "forcings.aerosol",
+                ..
+            })
+        ));
+        // In-range forcings pass.
+        let mut c = FoamConfig::tiny(1);
+        c.forcings.co2 = ForcingSeries::from_points(vec![(0.0, 1.0), (360.0, 2.0)]).unwrap();
+        c.forcings.solar = ForcingSeries::constant(1.01);
+        c.forcings.aerosol = ForcingSeries::constant(0.15);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wild_obliquity() {
+        let mut c = FoamConfig::tiny(1);
+        c.atm.physics.obliquity_deg = 90.0;
+        assert!(matches!(c.validate(), Err(ConfigError::NonPositive { .. })));
+        c.atm.physics.obliquity_deg = 22.1;
         assert!(c.validate().is_ok());
     }
 

@@ -166,7 +166,9 @@ impl FoamConfig {
             .field_f64("co2_factor", phys.rad.co2_factor)
             .field_f64("sw_abs_per_pw", phys.rad.sw_abs_per_pw)
             .field_f64("cloud_albedo", phys.rad.cloud_albedo)
-            .field_f64("cloud_lw", phys.rad.cloud_lw);
+            .field_f64("cloud_lw", phys.rad.cloud_lw)
+            .field_f64("solar_scale", phys.rad.solar_scale)
+            .field_f64("aerosol_od", phys.rad.aerosol_od);
         let mut conv_h = CanonicalHasher::new();
         conv_h
             .field_bool("deep_enabled", phys.conv.deep_enabled)
@@ -184,7 +186,8 @@ impl FoamConfig {
             .field_f64("pbl_depth", phys.pbl_depth)
             .field_f64("z_ref", phys.z_ref)
             .field_bool("diurnal", phys.diurnal)
-            .field_str("vintage", &format!("{:?}", phys.vintage));
+            .field_str("vintage", &format!("{:?}", phys.vintage))
+            .field_f64("obliquity_deg", phys.obliquity_deg);
 
         let mut atm_h = CanonicalHasher::new();
         atm_h
@@ -250,9 +253,29 @@ impl FoamConfig {
                 "stream_eof_rank",
                 self.stream.as_ref().map(|s| s.eof_rank as u64).unwrap_or(0),
             )
-            .field_bool("collect_monthly_sst", self.collect_monthly_sst);
+            .field_bool("collect_monthly_sst", self.collect_monthly_sst)
+            // Scenario forcings are content: a CO₂ ramp and a control
+            // over the same base config are different experiments and
+            // must never collide in a result cache.
+            .field_digest("forcings", &forcings_digest(&self.forcings));
         h.finish()
     }
+}
+
+/// Canonical sub-digest of a forcing bundle: each channel's breakpoint
+/// series flattened to `[day₀, value₀, day₁, value₁, …]` (order is
+/// content — the series *is* an ordered sequence). Empty channels hash
+/// as empty sequences, so the default `Forcings` contributes a fixed
+/// digest and legacy digests shift uniformly exactly once.
+fn forcings_digest(f: &foam_physics::Forcings) -> String {
+    fn flat(points: &[(f64, f64)]) -> Vec<f64> {
+        points.iter().flat_map(|&(d, v)| [d, v]).collect()
+    }
+    let mut h = CanonicalHasher::new();
+    h.field_f64s("co2", &flat(f.co2.points()))
+        .field_f64s("solar", &flat(f.solar.points()))
+        .field_f64s("aerosol", &flat(f.aerosol.points()));
+    h.finish()
 }
 
 #[cfg(test)]
@@ -334,6 +357,40 @@ mod tests {
         c.runtime.sst_retry_timeout_secs = 99.0;
         c.ckpt = crate::CkptConfig::every("/tmp/anywhere", 3);
         assert_eq!(d, c.canonical_digest());
+    }
+
+    #[test]
+    fn forcing_content_moves_the_digest() {
+        use foam_physics::ForcingSeries;
+        let base = FoamConfig::tiny(42);
+        let d = base.canonical_digest();
+
+        // Two different scenarios over the same base config must get
+        // distinct digests (the result-cache collision regression).
+        let mut ramp = base.clone();
+        ramp.forcings.co2 =
+            ForcingSeries::from_points(vec![(0.0, 1.0), (70.0 * 360.0, 2.0)]).unwrap();
+        let mut pulse = base.clone();
+        pulse.forcings.aerosol =
+            ForcingSeries::from_points(vec![(0.0, 0.0), (30.0, 0.15), (400.0, 0.0)]).unwrap();
+        let (dr, dp) = (ramp.canonical_digest(), pulse.canonical_digest());
+        assert_ne!(dr, d, "CO₂ ramp must move the digest");
+        assert_ne!(dp, d, "aerosol pulse must move the digest");
+        assert_ne!(dr, dp, "distinct scenarios over one base must not collide");
+
+        // The series *content* is hashed, not just its presence.
+        let mut ramp2 = base.clone();
+        ramp2.forcings.co2 =
+            ForcingSeries::from_points(vec![(0.0, 1.0), (70.0 * 360.0, 4.0)]).unwrap();
+        assert_ne!(ramp.canonical_digest(), ramp2.canonical_digest());
+
+        // New static science knobs are content too.
+        let mut solar = base.clone();
+        solar.atm.physics.rad.solar_scale = 1.01;
+        assert_ne!(solar.canonical_digest(), d);
+        let mut paleo = base.clone();
+        paleo.atm.physics.obliquity_deg = 22.1;
+        assert_ne!(paleo.canonical_digest(), d);
     }
 
     #[test]

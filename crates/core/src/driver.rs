@@ -815,7 +815,12 @@ fn atm_rank(
     let is_root = atm_comm.rank() == 0;
 
     let planet = World::earthlike();
-    let model = AtmModel::new(cfg.atm.clone(), &atm_comm);
+    let mut model = AtmModel::new(cfg.atm.clone(), &atm_comm);
+    // Scenario forcings apply identically on every atmosphere rank (a
+    // pure function of static config + simulated day, so no exchange is
+    // ever needed to keep ranks consistent).
+    model.set_forcings(cfg.forcings.clone());
+    let model = model;
     let nlon = model.grid().nlon;
     let sea_mask = OceanModel::effective_sea_mask(&cfg.ocean, &planet);
     let ocn_grid =

@@ -54,7 +54,7 @@ mod spec;
 pub use queue::FairShareQueue;
 pub use report::{EnsembleReport, MemberDigest, SCHEMA};
 pub use runner::{run_ensemble, EnsembleOutput, MemberOutput, MemberRecord};
-pub use spec::{EnsembleSpec, MemberSpec, RetryPolicy};
+pub use spec::{EnsembleSpec, MemberSpec, ParamOverride, RetryPolicy};
 
 // Re-export the driver/config vocabulary an ensemble user needs, so
 // `foam_ensemble` works as a single front door.

@@ -44,6 +44,57 @@ impl RetryPolicy {
     }
 }
 
+/// A scalar physics parameter a member (or a scenario sweep axis) sets
+/// to an absolute value, overriding the base configuration.
+///
+/// Unlike [`MemberSpec::ocean_slowdown_scale`] these are *absolute*
+/// settings, not multipliers: a solar-constant sweep says "member k
+/// runs at scale 1.002", not "scale the base by x". That is what a
+/// scenario's `[sweep]` section lowers to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamOverride {
+    /// Solar-constant multiplier (`atm.physics.rad.solar_scale`).
+    SolarScale(f64),
+    /// CO₂ concentration factor (`atm.physics.rad.co2_factor`).
+    Co2Factor(f64),
+    /// Stratospheric aerosol optical depth (`atm.physics.rad.aerosol_od`).
+    AerosolOd(f64),
+    /// Axial tilt in degrees (`atm.physics.obliquity_deg`).
+    ObliquityDeg(f64),
+}
+
+impl ParamOverride {
+    /// Apply the override to `cfg` in place.
+    pub fn apply(self, cfg: &mut FoamConfig) {
+        match self {
+            ParamOverride::SolarScale(v) => cfg.atm.physics.rad.solar_scale = v,
+            ParamOverride::Co2Factor(v) => cfg.atm.physics.rad.co2_factor = v,
+            ParamOverride::AerosolOd(v) => cfg.atm.physics.rad.aerosol_od = v,
+            ParamOverride::ObliquityDeg(v) => cfg.atm.physics.obliquity_deg = v,
+        }
+    }
+
+    /// The overridden value (for reports and range checks).
+    pub fn value(self) -> f64 {
+        match self {
+            ParamOverride::SolarScale(v)
+            | ParamOverride::Co2Factor(v)
+            | ParamOverride::AerosolOd(v)
+            | ParamOverride::ObliquityDeg(v) => v,
+        }
+    }
+
+    /// The name of the knob (for reports and error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamOverride::SolarScale(_) => "solar_scale",
+            ParamOverride::Co2Factor(_) => "co2_factor",
+            ParamOverride::AerosolOd(_) => "aerosol_od",
+            ParamOverride::ObliquityDeg(_) => "obliquity_deg",
+        }
+    }
+}
+
 /// One ensemble member: an id (keys its checkpoint root and its report
 /// entry) plus the perturbations applied on top of the base config.
 #[derive(Debug, Clone)]
@@ -56,6 +107,10 @@ pub struct MemberSpec {
     /// Multiplier on the ocean's slowdown factor (parameter
     /// perturbation; `1.0` leaves the base value).
     pub ocean_slowdown_scale: f64,
+    /// Absolute parameter settings for this member (sweep axes).
+    /// Applied in order after the multiplicative perturbations, so a
+    /// later override of the same knob wins.
+    pub overrides: Vec<ParamOverride>,
     /// Fault plan injected into *this member's* runtime (testing and
     /// recovery demos: kill one member mid-run and watch it resume).
     pub fault_plan: Option<FaultPlan>,
@@ -68,6 +123,7 @@ impl MemberSpec {
             id,
             seed,
             ocean_slowdown_scale: 1.0,
+            overrides: Vec::new(),
             fault_plan: None,
         }
     }
@@ -170,6 +226,9 @@ impl EnsembleSpec {
         let mut cfg = self.base.clone();
         cfg.atm.seed = m.seed;
         cfg.ocean.slowdown *= m.ocean_slowdown_scale;
+        for ov in &m.overrides {
+            ov.apply(&mut cfg);
+        }
         cfg.runtime.fault_plan = m.fault_plan.clone();
         cfg.telemetry = TelemetryConfig {
             enabled: true,
@@ -255,6 +314,28 @@ mod tests {
         assert!(matches!(
             spec.validate(),
             Err(EnsembleError::Member { id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn overrides_set_absolute_values_and_are_validated() {
+        let mut spec = EnsembleSpec::seed_sweep(FoamConfig::tiny(3), 1.0, 2);
+        spec.members[1].overrides = vec![
+            ParamOverride::SolarScale(1.01),
+            ParamOverride::ObliquityDeg(24.5),
+        ];
+        let c0 = spec.member_config(&spec.members[0]);
+        let c1 = spec.member_config(&spec.members[1]);
+        assert_eq!(c0.atm.physics.rad.solar_scale, 1.0);
+        assert_eq!(c1.atm.physics.rad.solar_scale, 1.01);
+        assert_eq!(c1.atm.physics.obliquity_deg, 24.5);
+        assert!(spec.validate().is_ok());
+
+        // Out-of-envelope overrides are caught up front, typed per member.
+        spec.members[1].overrides = vec![ParamOverride::SolarScale(3.0)];
+        assert!(matches!(
+            spec.validate(),
+            Err(EnsembleError::Member { id: 1, .. })
         ));
     }
 

@@ -85,6 +85,9 @@ pub struct PhysicsConfig {
     pub diurnal: bool,
     /// CCM2 or CCM3 moist physics (paper §6).
     pub vintage: PhysicsVintage,
+    /// Axial tilt \[deg\] driving the seasonal cycle (23.45 = present
+    /// day; paleo scenarios set Milankovitch values).
+    pub obliquity_deg: f64,
 }
 
 impl PhysicsConfig {
@@ -110,6 +113,7 @@ impl Default for PhysicsConfig {
             z_ref: 70.0,
             diurnal: true,
             vintage: PhysicsVintage::Ccm3,
+            obliquity_deg: crate::radiation::OBLIQUITY_PRESENT_DEG,
         }
     }
 }
@@ -244,7 +248,7 @@ impl ColumnPhysics {
     ///
     /// let e = ColumnPhysics::default();
     /// let sfc = SurfaceState::open_ocean(300.0);
-    /// let orb = OrbitalState { day_of_year: 81.0, seconds_utc: 0.0 };
+    /// let orb = OrbitalState::at(81.0 * 86_400.0);
     /// let mut ws = PhysicsWorkspace::new();
     /// let (mut a, mut b) = (AtmColumn::standard(18, 299.0), AtmColumn::standard(18, 299.0));
     /// let (mut ca, mut cb) = (RadCache::empty(18), RadCache::empty(18));
@@ -331,6 +335,7 @@ mod tests {
             OrbitalState {
                 day_of_year: 81.0,
                 seconds_utc: 0.0,
+                obliquity_deg: crate::radiation::OBLIQUITY_PRESENT_DEG,
             },
             std::f64::consts::PI, // lon at local noon
             0.1,                  // ~6°N
@@ -365,8 +370,8 @@ mod tests {
             let t = step as f64 * 1800.0;
             let refresh = e.radiation_due(t, 1800.0);
             let orb_t = OrbitalState {
-                day_of_year: orb.day_of_year,
                 seconds_utc: t % 86_400.0,
+                ..orb
             };
             let out = e.step(
                 &mut col,
@@ -418,6 +423,7 @@ mod tests {
         let midnight = OrbitalState {
             day_of_year: 81.0,
             seconds_utc: 43_200.0,
+            obliquity_deg: crate::radiation::OBLIQUITY_PRESENT_DEG,
         };
         let out2 = e.step(
             &mut col,

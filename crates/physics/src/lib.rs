@@ -22,6 +22,9 @@
 //! * [`surface`] — stability-dependent bulk transfer coefficients, with
 //!   the CCM3 wind-speed-dependent ocean roughness.
 //! * [`pbl`] — implicit vertical diffusion for the boundary layer.
+//! * [`forcing`] — piecewise-linear scenario forcings (CO₂ / solar /
+//!   aerosol time series) folded into an effective [`PhysicsConfig`]
+//!   once per simulated day.
 //! * [`ColumnPhysics`] — the per-column driver combining all of the
 //!   above; it also reports a *work counter* (adjustment iterations), the
 //!   source of the cloud-driven load imbalance the paper observes.
@@ -31,6 +34,7 @@
 
 pub mod column;
 pub mod convection;
+pub mod forcing;
 pub mod pbl;
 pub mod radiation;
 pub mod surface;
@@ -42,6 +46,7 @@ pub use column::AtmColumn;
 pub use driver::{
     ColumnPhysics, PhysicsConfig, PhysicsTendencies, PhysicsVintage, SurfaceKind, SurfaceState,
 };
+pub use forcing::{DailyForcing, ForcingSeries, Forcings};
 pub use radiation::{OrbitalState, RadCache};
 pub use surface::BulkFluxes;
 pub use workspace::PhysicsWorkspace;

@@ -14,6 +14,11 @@ use foam_grid::constants::{CP_DRY, SECONDS_PER_DAY, SOLAR_CONSTANT, STEFAN_BOLTZ
 use crate::column::AtmColumn;
 use crate::workspace::{fit, PhysicsWorkspace};
 
+/// Present-day axial tilt \[deg\] — the default obliquity; paleo
+/// scenarios override it (Earth's tilt wanders 22.1°–24.5° over the
+/// ~41 kyr Milankovitch cycle).
+pub const OBLIQUITY_PRESENT_DEG: f64 = 23.45;
+
 /// Orbital / solar geometry at a simulated instant.
 #[derive(Debug, Clone, Copy)]
 pub struct OrbitalState {
@@ -21,21 +26,31 @@ pub struct OrbitalState {
     pub day_of_year: f64,
     /// Seconds since local midnight at longitude 0.
     pub seconds_utc: f64,
+    /// Axial tilt \[deg\] (declination amplitude).
+    pub obliquity_deg: f64,
 }
 
 impl OrbitalState {
-    /// Construct from absolute simulated seconds.
+    /// Construct from absolute simulated seconds with the present-day
+    /// obliquity.
     pub fn at(sim_seconds: f64) -> Self {
+        Self::at_with(sim_seconds, OBLIQUITY_PRESENT_DEG)
+    }
+
+    /// Construct from absolute simulated seconds with an explicit
+    /// obliquity \[deg\] (paleo configurations).
+    pub fn at_with(sim_seconds: f64, obliquity_deg: f64) -> Self {
         let day = sim_seconds / SECONDS_PER_DAY;
         OrbitalState {
             day_of_year: day % foam_grid::constants::DAYS_PER_YEAR,
             seconds_utc: sim_seconds % SECONDS_PER_DAY,
+            obliquity_deg,
         }
     }
 
-    /// Solar declination \[rad\] (±23.45° sinusoid).
+    /// Solar declination \[rad\] (±obliquity sinusoid).
     pub fn declination(&self) -> f64 {
-        let obliquity = 23.45f64.to_radians();
+        let obliquity = self.obliquity_deg.to_radians();
         obliquity
             * (2.0 * std::f64::consts::PI * (self.day_of_year - 81.0)
                 / foam_grid::constants::DAYS_PER_YEAR)
@@ -143,6 +158,12 @@ pub struct RadParams {
     pub cloud_albedo: f64,
     /// Cloud longwave emissivity boost at full cover.
     pub cloud_lw: f64,
+    /// Multiplier on the solar constant (1 = nominal 1367 W/m²; solar
+    /// sweep scenarios scale this).
+    pub solar_scale: f64,
+    /// Gray stratospheric aerosol optical depth attenuating the solar
+    /// beam (0 = clean; volcanic pulse scenarios raise it).
+    pub aerosol_od: f64,
 }
 
 impl Default for RadParams {
@@ -154,6 +175,8 @@ impl Default for RadParams {
             sw_abs_per_pw: 0.0035,
             cloud_albedo: 0.45,
             cloud_lw: 0.35,
+            solar_scale: 1.0,
+            aerosol_od: 0.0,
         }
     }
 }
@@ -259,7 +282,11 @@ pub fn full_radiation_into(
     let pw = col.precipitable_water();
     let a_atm = (p.sw_abs_per_pw * pw + 0.05).min(0.35);
     let a_cloud = p.cloud_albedo * cloud;
-    let toa = SOLAR_CONSTANT; // per unit cosz
+    // Effective TOA beam: scaled solar constant through the gray
+    // stratospheric aerosol layer (Beer–Lambert). At the defaults
+    // (scale 1, depth 0) both factors are exactly 1.0, so unforced runs
+    // keep their historical bit patterns.
+    let toa = SOLAR_CONSTANT * p.solar_scale * (-p.aerosol_od).exp(); // per unit cosz
     let reaching_sfc = toa * (1.0 - a_cloud) * (1.0 - a_atm);
     let sw_sfc_unit = reaching_sfc * (1.0 - albedo_sfc);
     // Atmospheric absorption distributed ∝ layer water content.
@@ -295,6 +322,7 @@ mod tests {
         let o = OrbitalState {
             day_of_year: 81.0,
             seconds_utc: 0.0,
+            obliquity_deg: OBLIQUITY_PRESENT_DEG,
         };
         let cz = o.cos_zenith(std::f64::consts::PI, 0.0);
         assert!(cz > 0.99, "noon equator equinox cosz = {cz}");
@@ -309,11 +337,13 @@ mod tests {
         let solstice_n = OrbitalState {
             day_of_year: 171.0,
             seconds_utc: 0.0,
+            obliquity_deg: OBLIQUITY_PRESENT_DEG,
         };
         assert!(solstice_n.declination() > 23.0f64.to_radians());
         let solstice_s = OrbitalState {
             day_of_year: 351.0,
             seconds_utc: 0.0,
+            obliquity_deg: OBLIQUITY_PRESENT_DEG,
         };
         assert!(solstice_s.declination() < -23.0f64.to_radians());
     }
@@ -323,6 +353,7 @@ mod tests {
         let summer = OrbitalState {
             day_of_year: 171.0,
             seconds_utc: 0.0,
+            obliquity_deg: OBLIQUITY_PRESENT_DEG,
         };
         // North pole in June: sun never sets; mean cosz ≈ sin δ > 0.35.
         assert!(summer.daily_mean_cosz(1.55) > 0.3);
@@ -406,6 +437,69 @@ mod tests {
         }
         assert!(diagnose_cloud(&wet) > diagnose_cloud(&dry));
         assert!(diagnose_cloud(&wet) <= 1.0);
+    }
+
+    #[test]
+    fn solar_scale_and_aerosol_modulate_the_beam() {
+        let c = col();
+        let base = full_radiation(&c, 288.0, 0.1, &RadParams::default());
+        let bright = full_radiation(
+            &c,
+            288.0,
+            0.1,
+            &RadParams {
+                solar_scale: 1.02,
+                ..Default::default()
+            },
+        );
+        // A 2 % brighter sun delivers exactly 2 % more surface SW.
+        assert!((bright.sw_sfc_unit / base.sw_sfc_unit - 1.02).abs() < 1e-12);
+        let hazy = full_radiation(
+            &c,
+            288.0,
+            0.1,
+            &RadParams {
+                aerosol_od: 0.15,
+                ..Default::default()
+            },
+        );
+        // Beer–Lambert: OD 0.15 attenuates the beam by e^-0.15.
+        assert!((hazy.sw_sfc_unit / base.sw_sfc_unit - (-0.15f64).exp()).abs() < 1e-12);
+        // Longwave is untouched by either solar knob.
+        assert_eq!(hazy.olr.to_bits(), base.olr.to_bits());
+        assert_eq!(bright.lw_down_sfc.to_bits(), base.lw_down_sfc.to_bits());
+    }
+
+    #[test]
+    fn defaults_preserve_unforced_bit_patterns() {
+        let c = col();
+        let p = RadParams::default();
+        assert_eq!(p.solar_scale, 1.0);
+        assert_eq!(p.aerosol_od, 0.0);
+        let r = full_radiation(&c, 288.0, 0.1, &p);
+        // ×1.0 and ×exp(-0.0)=×1.0 must be bit-exact no-ops.
+        let toa = SOLAR_CONSTANT * p.solar_scale * (-p.aerosol_od).exp();
+        assert_eq!(toa.to_bits(), SOLAR_CONSTANT.to_bits());
+        assert!(r.sw_sfc_unit > 0.0);
+    }
+
+    #[test]
+    fn lower_obliquity_flattens_the_seasonal_cycle() {
+        let present = OrbitalState {
+            day_of_year: 171.0,
+            seconds_utc: 0.0,
+            obliquity_deg: OBLIQUITY_PRESENT_DEG,
+        };
+        let paleo = OrbitalState {
+            obliquity_deg: 22.1,
+            ..present
+        };
+        assert!(paleo.declination() < present.declination());
+        // Polar summer insolation drops with obliquity.
+        assert!(paleo.daily_mean_cosz(1.4) < present.daily_mean_cosz(1.4));
+        // `at` uses the present-day tilt.
+        assert_eq!(OrbitalState::at(0.0).obliquity_deg, OBLIQUITY_PRESENT_DEG);
+        assert_eq!(OrbitalState::at_with(0.0, 24.5).obliquity_deg, 24.5);
     }
 
     #[test]

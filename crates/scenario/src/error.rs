@@ -1,0 +1,90 @@
+//! Typed scenario errors, each carrying enough position information to
+//! print a compiler-style diagnostic (`line 7, col 12: unknown key
+//! "dayz" in [scenario]`).
+
+use crate::parse::Span;
+
+/// Everything that can go wrong between scenario source text and a
+/// validated, runnable configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The text does not parse: bad header, missing `=`, unterminated
+    /// string/array, unrecognized token.
+    Syntax { span: Span, msg: String },
+    /// A key appears twice in one section.
+    DuplicateKey { span: Span, key: String },
+    /// A `[section]` the format does not define.
+    UnknownSection { span: Span, name: String },
+    /// A key the section does not define (typo protection: `dayz = 30`
+    /// must fail loudly, not silently run the default).
+    UnknownKey {
+        span: Span,
+        section: String,
+        key: String,
+    },
+    /// A key holds the wrong shape of value (`days = "many"`).
+    Expected {
+        span: Span,
+        key: String,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// A required key is absent from its section.
+    MissingKey { section: String, key: String },
+    /// A value parses but lies outside the physically admissible
+    /// envelope for its knob.
+    OutOfRange {
+        span: Span,
+        key: String,
+        value: f64,
+        lo: f64,
+        hi: f64,
+    },
+    /// A value violates a structural rule the range check cannot
+    /// express (ramp ends before it starts, series days not
+    /// increasing, empty sweep, ...).
+    Invalid { span: Span, msg: String },
+    /// The lowered [`foam::FoamConfig`] failed the model's own
+    /// validation — the backstop behind the scenario-level checks.
+    Config(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Syntax { span, msg } => write!(f, "{span}: {msg}"),
+            ScenarioError::DuplicateKey { span, key } => {
+                write!(f, "{span}: duplicate key {key:?}")
+            }
+            ScenarioError::UnknownSection { span, name } => {
+                write!(f, "{span}: unknown section [{name}]")
+            }
+            ScenarioError::UnknownKey { span, section, key } => {
+                write!(f, "{span}: unknown key {key:?} in [{section}]")
+            }
+            ScenarioError::Expected {
+                span,
+                key,
+                expected,
+                found,
+            } => write!(f, "{span}: {key:?} expects a {expected}, found a {found}"),
+            ScenarioError::MissingKey { section, key } => {
+                write!(f, "[{section}] is missing the required key {key:?}")
+            }
+            ScenarioError::OutOfRange {
+                span,
+                key,
+                value,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "{span}: {key:?} = {value} lies outside the admissible range [{lo}, {hi}]"
+            ),
+            ScenarioError::Invalid { span, msg } => write!(f, "{span}: {msg}"),
+            ScenarioError::Config(msg) => write!(f, "lowered config rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}

@@ -1,0 +1,209 @@
+//! # foam-scenario — declarative climate experiments
+//!
+//! The paper's experiments — CO₂ ramps, volcanic aerosol pulses,
+//! solar-constant sweeps, paleo orbital configurations, slab-ocean
+//! ablations — are *configurations*, not code. This crate gives them a
+//! small declarative surface:
+//!
+//! ```text
+//! [scenario]
+//! name = "co2-ramp-1pct"
+//! preset = tiny
+//! seed = 42
+//! days = 360
+//!
+//! [forcing.co2]
+//! kind = ramp
+//! from = 1.0
+//! to = 2.0
+//! start_day = 0
+//! end_day = 360
+//! shape = exponential
+//! ```
+//!
+//! and a pipeline behind it:
+//!
+//! 1. **Parse** ([`parse::Document`]): a hand-rolled, std-only parser
+//!    for the TOML-subset above; every token carries a 1-based
+//!    [`Span`] for compiler-style diagnostics.
+//! 2. **Validate** ([`Scenario::from_doc`]): unknown sections/keys are
+//!    rejected, every value is range-checked against the same
+//!    envelopes `FoamConfig::validate` enforces, all as typed
+//!    [`ScenarioError`]s pointing at the offending source.
+//! 3. **Lower**: ramps and pulses compile to piecewise-linear
+//!    [`foam_physics::ForcingSeries`] breakpoints
+//!    ([`Scenario::config`]); `[sweep]` sections become
+//!    [`foam_ensemble::EnsembleSpec`] members carrying absolute
+//!    [`foam_ensemble::ParamOverride`]s ([`Scenario::ensemble`]).
+//!
+//! The model never interprets scenario text: by the time a run starts,
+//! a scenario is just a validated [`foam::FoamConfig`] whose forcings
+//! the physics samples once per simulated day — which is what keeps
+//! checkpoint/resume bit-identical mid-ramp and lets
+//! [`Scenario::content_digest`] give every experiment a stable
+//! content-address.
+
+pub mod error;
+pub mod parse;
+pub mod report;
+mod scenario;
+
+pub use error::ScenarioError;
+pub use parse::{Document, Span, Value};
+pub use scenario::{
+    OceanKind, Scenario, Sweep, AEROSOL_RANGE, CO2_RANGE, OBLIQUITY_RANGE, SOLAR_RANGE,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RAMP: &str = "\
+[scenario]
+name = \"co2-ramp\"
+preset = tiny
+seed = 7
+days = 40
+
+[forcing.co2]
+kind = ramp
+from = 1.0
+to = 2.0
+start_day = 0
+end_day = 40
+";
+
+    #[test]
+    fn ramp_scenario_lowers_to_breakpoints_and_validated_config() {
+        let sc = Scenario::parse(RAMP).unwrap();
+        assert_eq!(sc.name, "co2-ramp");
+        assert_eq!(sc.seed, 7);
+        let pts = sc.forcings.co2.points();
+        assert_eq!(pts, &[(0.0, 1.0), (40.0, 2.0)]);
+        let cfg = sc.config().unwrap();
+        assert_eq!(cfg.atm.seed, 7);
+        assert_eq!(cfg.forcings.co2.value_at(20.0), Some(1.5));
+        assert!(sc.ensemble().unwrap().is_none());
+    }
+
+    #[test]
+    fn pulse_returns_to_identity_exactly() {
+        let src = "\
+[scenario]
+name = \"pinatubo\"
+
+[forcing.aerosol]
+kind = pulse
+peak = 0.15
+onset_day = 10
+rise_days = 5
+decay_days = 30
+";
+        let sc = Scenario::parse(src).unwrap();
+        let pts = sc.forcings.aerosol.points();
+        assert_eq!(pts.first().unwrap(), &(10.0, 0.0));
+        assert_eq!(pts[1], (15.0, 0.15));
+        let last = pts.last().unwrap();
+        assert_eq!(last.1, 0.0, "pulse must pin the identity at the end");
+        assert_eq!(last.0, 15.0 + 180.0);
+        // Long after the pulse, the channel is exactly neutral again.
+        assert_eq!(sc.forcings.aerosol.value_at(10_000.0), Some(0.0));
+    }
+
+    #[test]
+    fn sweep_lowers_to_ensemble_members_with_overrides() {
+        let src = "\
+[scenario]
+name = \"solar-sweep\"
+days = 2
+
+[sweep]
+axis = solar_scale
+from = 0.99
+to = 1.01
+step = 0.01
+workers = 3
+";
+        let sc = Scenario::parse(src).unwrap();
+        let spec = sc.ensemble().unwrap().expect("sweep present");
+        assert_eq!(spec.members.len(), 3);
+        assert_eq!(spec.workers, 3);
+        // Same seed everywhere: the sweep isolates the parameter.
+        assert!(spec.members.iter().all(|m| m.seed == sc.seed));
+        let c2 = spec.member_config(&spec.members[2]);
+        assert_eq!(c2.atm.physics.rad.solar_scale, 0.99 + 2.0 * 0.01);
+    }
+
+    #[test]
+    fn errors_are_typed_and_carry_spans() {
+        // Unknown key in [scenario].
+        let e = Scenario::parse("[scenario]\nname = x\ndayz = 30\n").unwrap_err();
+        assert!(
+            matches!(e, ScenarioError::UnknownKey { ref key, .. } if key == "dayz"),
+            "{e}"
+        );
+        assert!(e.to_string().contains("line 3"), "{e}");
+
+        // Out-of-range forcing value, span on the value.
+        let e = Scenario::parse(
+            "[scenario]\nname = x\n[forcing.solar]\nkind = constant\nvalue = 2.0\n",
+        )
+        .unwrap_err();
+        match e {
+            ScenarioError::OutOfRange { span, value, .. } => {
+                assert_eq!(value, 2.0);
+                assert_eq!(span.line, 5);
+            }
+            other => panic!("expected OutOfRange, got {other}"),
+        }
+
+        // Unknown section; missing [scenario]; missing required key.
+        assert!(matches!(
+            Scenario::parse("[scenario]\nname = x\n[volcano]\n").unwrap_err(),
+            ScenarioError::UnknownSection { .. }
+        ));
+        assert!(matches!(
+            Scenario::parse("[model]\nocean = slab\n").unwrap_err(),
+            ScenarioError::MissingKey { .. }
+        ));
+        assert!(matches!(
+            Scenario::parse("[scenario]\nname = x\n[forcing.co2]\nkind = ramp\n").unwrap_err(),
+            ScenarioError::MissingKey { .. }
+        ));
+
+        // Structural rules: ramp must move forward in time.
+        let e = Scenario::parse(
+            "[scenario]\nname = x\n[forcing.co2]\nkind = ramp\nfrom = 1\nto = 2\n\
+             start_day = 10\nend_day = 5\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, ScenarioError::Invalid { .. }), "{e}");
+    }
+
+    #[test]
+    fn slab_ablation_thins_the_ocean() {
+        let sc = Scenario::parse("[scenario]\nname = x\n[model]\nocean = slab\n").unwrap();
+        let cfg = sc.config().unwrap();
+        assert_eq!(cfg.ocean.nz, 2);
+        assert_eq!(cfg.ocean.depth, 100.0);
+        let full = Scenario::parse("[scenario]\nname = x\n")
+            .unwrap()
+            .config()
+            .unwrap();
+        assert!(full.ocean.nz > 2);
+    }
+
+    #[test]
+    fn content_digest_tracks_content_not_presentation() {
+        let a = Scenario::parse(RAMP).unwrap();
+        // Same content, different comments/whitespace: same digest.
+        let b = Scenario::parse(&format!("# a comment\n\n{RAMP}")).unwrap();
+        assert_eq!(a.content_digest().unwrap(), b.content_digest().unwrap());
+        // Different forcing: different digest.
+        let c = Scenario::parse(&RAMP.replace("to = 2.0", "to = 3.0")).unwrap();
+        assert_ne!(a.content_digest().unwrap(), c.content_digest().unwrap());
+        // Different days: different digest.
+        let d = Scenario::parse(&RAMP.replace("days = 40", "days = 41")).unwrap();
+        assert_ne!(a.content_digest().unwrap(), d.content_digest().unwrap());
+    }
+}

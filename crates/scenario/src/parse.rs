@@ -1,0 +1,416 @@
+//! The surface syntax: a hand-rolled, line-oriented parser for the
+//! TOML-subset scenario format.
+//!
+//! The grammar is deliberately tiny — small enough to parse with no
+//! dependencies and to diagnose precisely:
+//!
+//! ```text
+//! document := (blank | comment | section-header | key-value)*
+//! section-header := '[' name (. name)* ']'
+//! key-value := ident '=' value
+//! value := number | string | bare-word | '[' value (',' value)* ']'
+//! comment := '#' ... end-of-line        (also allowed after a value)
+//! ```
+//!
+//! Numbers are IEEE-754 doubles in the usual Rust syntax; strings are
+//! double-quoted with no escapes; bare words (`slab`, `ramp`) read as
+//! strings so enum-like keys don't need quoting. Every section, key,
+//! and value carries a [`Span`] (1-based line and column) so semantic
+//! errors can point at the offending source text, not just name it.
+
+use crate::error::ScenarioError;
+
+/// A 1-based (line, column) position in the scenario source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Span {
+    pub fn new(line: usize, col: usize) -> Self {
+        Span { line, col }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// A parsed right-hand-side value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Number(f64),
+    /// Both `"quoted"` and bare-word forms land here.
+    Str(String),
+    Array(Vec<(Span, Value)>),
+}
+
+impl Value {
+    /// Human name of the value's shape, for "expected X, found Y".
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Number(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    pub key: String,
+    pub key_span: Span,
+    pub value: Value,
+    pub value_span: Span,
+}
+
+/// One `[name]` block and the entries under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    pub name: String,
+    pub span: Span,
+    pub entries: Vec<Entry>,
+}
+
+impl Section {
+    /// The entry for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// The whole parsed file, still untyped.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    pub sections: Vec<Section>,
+}
+
+impl Document {
+    /// Parse scenario source into sections and entries. Purely
+    /// syntactic: unknown sections/keys and range violations are the
+    /// semantic layer's business ([`crate::Scenario::from_doc`]).
+    pub fn parse(src: &str) -> Result<Document, ScenarioError> {
+        let mut doc = Document::default();
+        for (idx, raw) in src.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw);
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let col0 = 1 + line.chars().count() - line.trim_start().chars().count();
+            if let Some(rest) = trimmed.strip_prefix('[') {
+                let span = Span::new(line_no, col0);
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| ScenarioError::Syntax {
+                        span,
+                        msg: "section header is missing the closing `]`".to_string(),
+                    })?;
+                let name = name.trim();
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._-".contains(c))
+                {
+                    return Err(ScenarioError::Syntax {
+                        span,
+                        msg: format!(
+                            "bad section name {name:?} (lowercase letters, digits, `.`, `_`, `-`)"
+                        ),
+                    });
+                }
+                if doc.sections.iter().any(|s| s.name == name) {
+                    return Err(ScenarioError::Syntax {
+                        span,
+                        msg: format!("duplicate section [{name}]"),
+                    });
+                }
+                doc.sections.push(Section {
+                    name: name.to_string(),
+                    span,
+                    entries: Vec::new(),
+                });
+                continue;
+            }
+            // A key-value line. It must live under some section.
+            let eq = trimmed.find('=').ok_or_else(|| ScenarioError::Syntax {
+                span: Span::new(line_no, col0),
+                msg: "expected `key = value` or a `[section]` header".to_string(),
+            })?;
+            let key = trimmed[..eq].trim();
+            let key_span = Span::new(line_no, col0);
+            if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(ScenarioError::Syntax {
+                    span: key_span,
+                    msg: format!("bad key {key:?} (letters, digits, `_`)"),
+                });
+            }
+            let rhs = &trimmed[eq + 1..];
+            let rhs_col = col0 + trimmed[..eq + 1].chars().count();
+            let mut vp = VParser::new(rhs, line_no, rhs_col);
+            let (value_span, value) = vp.value()?;
+            vp.expect_end()?;
+            let section = doc
+                .sections
+                .last_mut()
+                .ok_or_else(|| ScenarioError::Syntax {
+                    span: key_span,
+                    msg: format!("key {key:?} appears before any [section] header"),
+                })?;
+            if section.entries.iter().any(|e| e.key == key) {
+                return Err(ScenarioError::DuplicateKey {
+                    span: key_span,
+                    key: key.to_string(),
+                });
+            }
+            section.entries.push(Entry {
+                key: key.to_string(),
+                key_span,
+                value,
+                value_span,
+            });
+        }
+        Ok(doc)
+    }
+}
+
+/// Cut a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A tiny recursive-descent parser for one right-hand-side value.
+struct VParser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    /// Column of `chars[0]` in the original source line.
+    col0: usize,
+}
+
+impl VParser {
+    fn new(src: &str, line: usize, col0: usize) -> Self {
+        VParser {
+            chars: src.chars().collect(),
+            pos: 0,
+            line,
+            col0,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col0 + self.pos)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<(Span, Value), ScenarioError> {
+        self.skip_ws();
+        let span = self.span();
+        match self.peek() {
+            None => Err(ScenarioError::Syntax {
+                span,
+                msg: "expected a value after `=`".to_string(),
+            }),
+            Some('"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '"' {
+                        let s: String = self.chars[start..self.pos].iter().collect();
+                        self.pos += 1;
+                        return Ok((span, Value::Str(s)));
+                    }
+                    self.pos += 1;
+                }
+                Err(ScenarioError::Syntax {
+                    span,
+                    msg: "unterminated string".to_string(),
+                })
+            }
+            Some('[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(']') => {
+                            self.pos += 1;
+                            return Ok((span, Value::Array(items)));
+                        }
+                        None => {
+                            return Err(ScenarioError::Syntax {
+                                span: self.span(),
+                                msg: "unterminated array (missing `]`)".to_string(),
+                            })
+                        }
+                        _ => {}
+                    }
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => self.pos += 1,
+                        Some(']') => {}
+                        _ => {
+                            return Err(ScenarioError::Syntax {
+                                span: self.span(),
+                                msg: "expected `,` or `]` in array".to_string(),
+                            })
+                        }
+                    }
+                }
+            }
+            Some(_) => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_whitespace() || c == ',' || c == ']' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let tok: String = self.chars[start..self.pos].iter().collect();
+                if let Ok(n) = tok.parse::<f64>() {
+                    if !n.is_finite() {
+                        return Err(ScenarioError::Syntax {
+                            span,
+                            msg: format!("non-finite number {tok:?}"),
+                        });
+                    }
+                    return Ok((span, Value::Number(n)));
+                }
+                if tok.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return Ok((span, Value::Str(tok)));
+                }
+                Err(ScenarioError::Syntax {
+                    span,
+                    msg: format!("unrecognized value {tok:?}"),
+                })
+            }
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ScenarioError> {
+        self.skip_ws();
+        if self.peek().is_some() {
+            let tail: String = self.chars[self.pos..].iter().collect();
+            return Err(ScenarioError::Syntax {
+                span: self.span(),
+                msg: format!("unexpected trailing input {tail:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_value_shapes() {
+        let doc = Document::parse(
+            "# header comment\n\
+             [scenario]\n\
+             name = \"co2 ramp\"  # trailing comment\n\
+             days = 360\n\
+             kind = ramp\n\
+             [forcing.co2]\n\
+             points = [[0, 1.0], [360, 2.0]]\n",
+        )
+        .unwrap();
+        assert_eq!(doc.sections.len(), 2);
+        assert_eq!(doc.sections[0].name, "scenario");
+        assert_eq!(
+            doc.sections[0].get("name").unwrap().value,
+            Value::Str("co2 ramp".to_string())
+        );
+        assert_eq!(
+            doc.sections[0].get("days").unwrap().value,
+            Value::Number(360.0)
+        );
+        assert_eq!(
+            doc.sections[0].get("kind").unwrap().value,
+            Value::Str("ramp".to_string())
+        );
+        let pts = &doc.sections[1].get("points").unwrap().value;
+        match pts {
+            Value::Array(rows) => {
+                assert_eq!(rows.len(), 2);
+                match &rows[1].1 {
+                    Value::Array(pair) => {
+                        assert_eq!(pair[0].1, Value::Number(360.0));
+                        assert_eq!(pair[1].1, Value::Number(2.0));
+                    }
+                    other => panic!("expected pair, got {other:?}"),
+                }
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_point_at_the_offence() {
+        let err = Document::parse("[scenario]\n  days 360\n").unwrap_err();
+        match err {
+            ScenarioError::Syntax { span, .. } => {
+                assert_eq!(span, Span::new(2, 3));
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        let err = Document::parse("[scenario]\ndays = 1\ndays = 2\n").unwrap_err();
+        assert!(matches!(err, ScenarioError::DuplicateKey { span, .. } if span.line == 3));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_without_panicking() {
+        for bad in [
+            "[unclosed\n",
+            "[]\n",
+            "[A Bad Name]\n",
+            "orphan = 1\n",
+            "[s]\nkey = \"unterminated\n",
+            "[s]\nkey = [1, 2\n",
+            "[s]\nkey = @!#\n",
+            "[s]\nkey = 1 trailing\n",
+            "[s]\nkey = inf\n",
+            "[s]\nkey = nan\n",
+            "[s]\nkey =\n",
+            "[s]\n= 3\n",
+            "[s]\n[s]\n",
+        ] {
+            let e = Document::parse(bad).unwrap_err();
+            // Every error renders with a position.
+            assert!(e.to_string().contains("line "), "{bad:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn comments_inside_strings_are_not_comments() {
+        let doc = Document::parse("[s]\nname = \"not # a comment\"\n").unwrap();
+        assert_eq!(
+            doc.sections[0].get("name").unwrap().value,
+            Value::Str("not # a comment".to_string())
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic textual reports for scenario runs.
+//!
+//! Everything printed here is a pure function of the simulated bits —
+//! no wall-clock, no hostnames — so the golden-regression tests can
+//! compare reports byte-for-byte across runs and machines. Floats are
+//! rendered with 17 significant digits (round-trip exact for f64),
+//! matching the repo's other golden formats.
+
+use foam::CoupledOutput;
+use foam_ensemble::EnsembleOutput;
+
+use crate::Scenario;
+
+fn stats_lines(out: &mut String, label: &str, series: &[f64]) {
+    use std::fmt::Write;
+    let n = series.len();
+    writeln!(out, "{label} intervals: {n}").unwrap();
+    if n == 0 {
+        return;
+    }
+    let first = series[0];
+    let last = series[n - 1];
+    let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+    for &v in series {
+        lo = lo.min(v);
+        hi = hi.max(v);
+        sum += v;
+    }
+    let mean = sum / n as f64;
+    let var = series.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    writeln!(out, "{label} first: {first:.17e}").unwrap();
+    writeln!(out, "{label} final: {last:.17e}").unwrap();
+    writeln!(out, "{label} min: {lo:.17e}").unwrap();
+    writeln!(out, "{label} max: {hi:.17e}").unwrap();
+    writeln!(out, "{label} std: {:.17e}", var.sqrt()).unwrap();
+}
+
+/// The report for a single (non-sweep) scenario run: identity, forcing
+/// shape, and the variability of the area-mean SST trace — the
+/// scenario-scale analogue of the paper's Figure-4 diagnostics.
+pub fn run_report(sc: &Scenario, out: &CoupledOutput) -> String {
+    let mut s = String::new();
+    use std::fmt::Write;
+    writeln!(
+        s,
+        "scenario: {} (preset {}, seed {}, {} days)",
+        sc.name, sc.preset, sc.seed, sc.days
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "forcing breakpoints: co2={} solar={} aerosol={}",
+        sc.forcings.co2.points().len(),
+        sc.forcings.solar.points().len(),
+        sc.forcings.aerosol.points().len()
+    )
+    .unwrap();
+    stats_lines(&mut s, "mean_sst", &out.mean_sst_series);
+    writeln!(s, "ice_fraction: {:.17e}", out.ice_fraction).unwrap();
+    s
+}
+
+/// The report for a sweep scenario: one line per member, keyed by the
+/// swept value, plus the spread across the sweep axis.
+pub fn sweep_report(sc: &Scenario, out: &EnsembleOutput) -> String {
+    let mut s = String::new();
+    use std::fmt::Write;
+    let sweep = sc.sweep.as_ref().expect("sweep_report needs a sweep");
+    writeln!(
+        s,
+        "scenario: {} (preset {}, seed {}, {} days, sweep {})",
+        sc.name, sc.preset, sc.seed, sc.days, sweep.axis
+    )
+    .unwrap();
+    let mut finals = Vec::new();
+    for (i, rec) in out.members.iter().enumerate() {
+        match rec.output() {
+            Some(m) => {
+                let f = m.mean_sst_series.last().copied().unwrap_or(f64::NAN);
+                finals.push(f);
+                writeln!(
+                    s,
+                    "member {i}: {}={:.17e} final_mean_sst={f:.17e}",
+                    sweep.axis, sweep.values[i]
+                )
+                .unwrap();
+            }
+            None => writeln!(
+                s,
+                "member {i}: {}={:.17e} FAILED",
+                sweep.axis, sweep.values[i]
+            )
+            .unwrap(),
+        }
+    }
+    stats_lines(&mut s, "sweep final_mean_sst", &finals);
+    s
+}

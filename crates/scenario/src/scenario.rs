@@ -1,0 +1,649 @@
+//! The semantic layer: typed scenarios, envelope checks, and lowering
+//! to runnable model objects.
+//!
+//! [`Scenario::parse`] turns source text into a [`Scenario`] — every
+//! section and key resolved, every value range-checked with a source
+//! span. Lowering then produces:
+//!
+//! * [`Scenario::config`] — a validated [`FoamConfig`] with the
+//!   scenario's forcings threaded in (piecewise-linear breakpoint
+//!   series the physics evaluates once per simulated day), and
+//! * [`Scenario::ensemble`] — when a `[sweep]` section is present, an
+//!   [`EnsembleSpec`] whose members carry absolute
+//!   [`ParamOverride`]s along the sweep axis.
+//!
+//! Ramp and pulse shapes compile down to breakpoints at this stage, so
+//! the model only ever sees [`ForcingSeries`] — the checkpoint codec,
+//! digest, and resume guarantees all operate on the lowered form.
+
+use foam::{CanonicalHasher, FoamConfig};
+use foam_ensemble::{EnsembleSpec, ParamOverride};
+use foam_physics::{ForcingSeries, Forcings};
+
+use crate::error::ScenarioError;
+use crate::parse::{Document, Entry, Section, Span, Value};
+
+/// Admissible envelopes, mirrored from `FoamConfig::validate` so
+/// scenario diagnostics can carry spans while the config check remains
+/// the backstop.
+pub const CO2_RANGE: (f64, f64) = (1.0 / 32.0, 32.0);
+pub const SOLAR_RANGE: (f64, f64) = (0.8, 1.2);
+pub const AEROSOL_RANGE: (f64, f64) = (0.0, 5.0);
+pub const OBLIQUITY_RANGE: (f64, f64) = (0.0, 45.0);
+
+/// Ocean treatment: the full dynamical ocean from the preset, or a
+/// slab-like shallow mixed layer (ablation experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OceanKind {
+    #[default]
+    Full,
+    Slab,
+}
+
+/// One sweep over a scalar parameter, lowered to ensemble members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// The knob being swept (`solar_scale`, `co2_factor`,
+    /// `aerosol_od`, `obliquity_deg`).
+    pub axis: String,
+    /// The absolute values the members run at.
+    pub values: Vec<f64>,
+    /// Ensemble worker threads.
+    pub workers: usize,
+}
+
+impl Sweep {
+    /// The override member `i` carries.
+    pub fn override_for(&self, i: usize) -> ParamOverride {
+        let v = self.values[i];
+        match self.axis.as_str() {
+            "solar_scale" => ParamOverride::SolarScale(v),
+            "co2_factor" => ParamOverride::Co2Factor(v),
+            "aerosol_od" => ParamOverride::AerosolOd(v),
+            _ => ParamOverride::ObliquityDeg(v),
+        }
+    }
+}
+
+/// A parsed, validated scenario: ready to lower.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human name (report headers, job listings).
+    pub name: String,
+    /// Optional free-text description.
+    pub description: String,
+    /// Base configuration preset: `tiny`, `century`, or `paper`.
+    pub preset: String,
+    /// Initial-condition seed.
+    pub seed: u64,
+    /// Simulated days to integrate.
+    pub days: f64,
+    /// Ocean treatment (full vs slab ablation).
+    pub ocean: OceanKind,
+    /// Static axial tilt override \[deg\].
+    pub obliquity_deg: Option<f64>,
+    /// Static CO₂ concentration factor override.
+    pub co2_factor: Option<f64>,
+    /// Static solar-constant multiplier override.
+    pub solar_scale: Option<f64>,
+    /// Static aerosol optical depth override.
+    pub aerosol_od: Option<f64>,
+    /// Time-varying forcings, already lowered to breakpoint series.
+    pub forcings: Forcings,
+    /// Parameter sweep, if the scenario declares one.
+    pub sweep: Option<Sweep>,
+}
+
+/// Typed accessors over a parsed [`Entry`].
+fn as_number(e: &Entry) -> Result<f64, ScenarioError> {
+    match e.value {
+        Value::Number(n) => Ok(n),
+        ref other => Err(ScenarioError::Expected {
+            span: e.value_span,
+            key: e.key.clone(),
+            expected: "number",
+            found: other.kind(),
+        }),
+    }
+}
+
+fn as_str(e: &Entry) -> Result<&str, ScenarioError> {
+    match e.value {
+        Value::Str(ref s) => Ok(s),
+        ref other => Err(ScenarioError::Expected {
+            span: e.value_span,
+            key: e.key.clone(),
+            expected: "string",
+            found: other.kind(),
+        }),
+    }
+}
+
+fn check_keys(section: &Section, known: &[&str]) -> Result<(), ScenarioError> {
+    for e in &section.entries {
+        if !known.contains(&e.key.as_str()) {
+            return Err(ScenarioError::UnknownKey {
+                span: e.key_span,
+                section: section.name.clone(),
+                key: e.key.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn require<'a>(section: &'a Section, key: &str) -> Result<&'a Entry, ScenarioError> {
+    section.get(key).ok_or_else(|| ScenarioError::MissingKey {
+        section: section.name.clone(),
+        key: key.to_string(),
+    })
+}
+
+fn in_range(e: &Entry, v: f64, (lo, hi): (f64, f64)) -> Result<f64, ScenarioError> {
+    if (lo..=hi).contains(&v) {
+        Ok(v)
+    } else {
+        Err(ScenarioError::OutOfRange {
+            span: e.value_span,
+            key: e.key.clone(),
+            value: v,
+            lo,
+            hi,
+        })
+    }
+}
+
+/// Lower one `[forcing.*]` section to a breakpoint series.
+///
+/// `identity` is the channel's no-op value (1.0 for the multiplicative
+/// CO₂/solar channels, 0.0 for additive aerosol); pulses rise from and
+/// decay back to it.
+fn lower_forcing(
+    section: &Section,
+    identity: f64,
+    range: (f64, f64),
+) -> Result<ForcingSeries, ScenarioError> {
+    let kind_entry = require(section, "kind")?;
+    let kind = as_str(kind_entry)?;
+    let bad_points = |span: Span, msg: &str| ScenarioError::Invalid {
+        span,
+        msg: msg.to_string(),
+    };
+    let series = match kind {
+        "constant" => {
+            check_keys(section, &["kind", "value"])?;
+            let e = require(section, "value")?;
+            let v = in_range(e, as_number(e)?, range)?;
+            ForcingSeries::constant(v)
+        }
+        "ramp" => {
+            check_keys(
+                section,
+                &["kind", "from", "to", "start_day", "end_day", "shape"],
+            )?;
+            let ef = require(section, "from")?;
+            let et = require(section, "to")?;
+            let from = in_range(ef, as_number(ef)?, range)?;
+            let to = in_range(et, as_number(et)?, range)?;
+            let es = require(section, "start_day")?;
+            let ee = require(section, "end_day")?;
+            let start = as_number(es)?;
+            let end = as_number(ee)?;
+            if !(start.is_finite() && start >= 0.0) {
+                return Err(bad_points(es.value_span, "start_day must be >= 0"));
+            }
+            if !(end.is_finite() && end > start) {
+                return Err(bad_points(ee.value_span, "end_day must exceed start_day"));
+            }
+            let shape = match section.get("shape") {
+                None => "linear",
+                Some(e) => match as_str(e)? {
+                    s @ ("linear" | "exponential") => s,
+                    other => {
+                        return Err(ScenarioError::Invalid {
+                            span: e.value_span,
+                            msg: format!("unknown ramp shape {other:?} (linear or exponential)"),
+                        })
+                    }
+                },
+            };
+            let points = if shape == "linear" {
+                vec![(start, from), (end, to)]
+            } else {
+                // Exponential ramps interpolate geometrically; sample
+                // every ~30 days so the piecewise-linear series tracks
+                // the curve, pinning the endpoints exactly.
+                if from <= 0.0 || to <= 0.0 {
+                    return Err(bad_points(
+                        ef.value_span,
+                        "exponential ramps need positive endpoints",
+                    ));
+                }
+                let n = (((end - start) / 30.0).ceil() as usize).max(1);
+                (0..=n)
+                    .map(|i| {
+                        let f = i as f64 / n as f64;
+                        (start + f * (end - start), from * (to / from).powf(f))
+                    })
+                    .collect()
+            };
+            ForcingSeries::from_points(points)
+                .ok_or_else(|| bad_points(es.value_span, "ramp days must be increasing"))?
+        }
+        "pulse" => {
+            check_keys(
+                section,
+                &["kind", "peak", "onset_day", "rise_days", "decay_days"],
+            )?;
+            let ep = require(section, "peak")?;
+            let peak = in_range(ep, as_number(ep)?, range)?;
+            let eo = require(section, "onset_day")?;
+            let er = require(section, "rise_days")?;
+            let ed = require(section, "decay_days")?;
+            let onset = as_number(eo)?;
+            let rise = as_number(er)?;
+            let decay = as_number(ed)?;
+            if !(onset.is_finite() && onset >= 0.0) {
+                return Err(bad_points(eo.value_span, "onset_day must be >= 0"));
+            }
+            if !(rise.is_finite() && rise > 0.0) {
+                return Err(bad_points(er.value_span, "rise_days must be positive"));
+            }
+            if !(decay.is_finite() && decay > 0.0) {
+                return Err(bad_points(ed.value_span, "decay_days must be positive"));
+            }
+            // Linear rise from the channel identity to the peak, then
+            // exponential relaxation back, sampled and cut off at six
+            // e-folding times where the final breakpoint pins the
+            // identity exactly (so long runs return to baseline
+            // bit-for-bit, not asymptotically).
+            let t_peak = onset + rise;
+            let mut points = vec![(onset, identity), (t_peak, peak)];
+            let step = (decay / 10.0).clamp(1.0, 30.0);
+            let t_end = t_peak + 6.0 * decay;
+            let mut t = t_peak + step;
+            while t < t_end {
+                points.push((
+                    t,
+                    identity + (peak - identity) * (-(t - t_peak) / decay).exp(),
+                ));
+                t += step;
+            }
+            points.push((t_end, identity));
+            ForcingSeries::from_points(points)
+                .ok_or_else(|| bad_points(eo.value_span, "pulse produced non-increasing days"))?
+        }
+        "series" => {
+            check_keys(section, &["kind", "points"])?;
+            let e = require(section, "points")?;
+            let rows = match e.value {
+                Value::Array(ref rows) => rows,
+                ref other => {
+                    return Err(ScenarioError::Expected {
+                        span: e.value_span,
+                        key: e.key.clone(),
+                        expected: "array of [day, value] pairs",
+                        found: other.kind(),
+                    })
+                }
+            };
+            let mut points = Vec::with_capacity(rows.len());
+            for (span, row) in rows {
+                let pair = match row {
+                    Value::Array(p) if p.len() == 2 => p,
+                    _ => {
+                        return Err(bad_points(
+                            *span,
+                            "each series point must be a [day, value] pair",
+                        ))
+                    }
+                };
+                let day = match pair[0].1 {
+                    Value::Number(d) => d,
+                    ref other => {
+                        return Err(ScenarioError::Expected {
+                            span: pair[0].0,
+                            key: "points".to_string(),
+                            expected: "number",
+                            found: other.kind(),
+                        })
+                    }
+                };
+                let val = match pair[1].1 {
+                    Value::Number(v) => v,
+                    ref other => {
+                        return Err(ScenarioError::Expected {
+                            span: pair[1].0,
+                            key: "points".to_string(),
+                            expected: "number",
+                            found: other.kind(),
+                        })
+                    }
+                };
+                if !(range.0..=range.1).contains(&val) {
+                    return Err(ScenarioError::OutOfRange {
+                        span: pair[1].0,
+                        key: "points".to_string(),
+                        value: val,
+                        lo: range.0,
+                        hi: range.1,
+                    });
+                }
+                points.push((day, val));
+            }
+            if points.is_empty() {
+                return Err(bad_points(e.value_span, "series needs at least one point"));
+            }
+            ForcingSeries::from_points(points).ok_or_else(|| {
+                bad_points(
+                    e.value_span,
+                    "series days must be finite and strictly increasing",
+                )
+            })?
+        }
+        other => {
+            return Err(ScenarioError::Invalid {
+                span: kind_entry.value_span,
+                msg: format!("unknown forcing kind {other:?} (constant, ramp, pulse, or series)"),
+            })
+        }
+    };
+    Ok(series)
+}
+
+impl Scenario {
+    /// Parse and semantically validate scenario source text.
+    pub fn parse(src: &str) -> Result<Scenario, ScenarioError> {
+        Scenario::from_doc(&Document::parse(src)?)
+    }
+
+    /// Resolve a parsed [`Document`] into a typed scenario.
+    pub fn from_doc(doc: &Document) -> Result<Scenario, ScenarioError> {
+        let mut sc = Scenario {
+            name: String::new(),
+            description: String::new(),
+            preset: "tiny".to_string(),
+            seed: 42,
+            days: 1.0,
+            ocean: OceanKind::Full,
+            obliquity_deg: None,
+            co2_factor: None,
+            solar_scale: None,
+            aerosol_od: None,
+            forcings: Forcings::default(),
+            sweep: None,
+        };
+        let mut saw_scenario = false;
+        for section in &doc.sections {
+            match section.name.as_str() {
+                "scenario" => {
+                    saw_scenario = true;
+                    check_keys(section, &["name", "description", "preset", "seed", "days"])?;
+                    sc.name = as_str(require(section, "name")?)?.to_string();
+                    if let Some(e) = section.get("description") {
+                        sc.description = as_str(e)?.to_string();
+                    }
+                    if let Some(e) = section.get("preset") {
+                        let p = as_str(e)?;
+                        if !matches!(p, "tiny" | "century" | "paper") {
+                            return Err(ScenarioError::Invalid {
+                                span: e.value_span,
+                                msg: format!("unknown preset {p:?} (tiny, century, or paper)"),
+                            });
+                        }
+                        sc.preset = p.to_string();
+                    }
+                    if let Some(e) = section.get("seed") {
+                        let n = as_number(e)?;
+                        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+                            return Err(ScenarioError::Invalid {
+                                span: e.value_span,
+                                msg: "seed must be a non-negative integer".to_string(),
+                            });
+                        }
+                        sc.seed = n as u64;
+                    }
+                    if let Some(e) = section.get("days") {
+                        let d = as_number(e)?;
+                        if d <= 0.0 {
+                            return Err(ScenarioError::Invalid {
+                                span: e.value_span,
+                                msg: "days must be positive".to_string(),
+                            });
+                        }
+                        sc.days = d;
+                    }
+                }
+                "model" => {
+                    check_keys(
+                        section,
+                        &[
+                            "ocean",
+                            "obliquity_deg",
+                            "co2_factor",
+                            "solar_scale",
+                            "aerosol_od",
+                        ],
+                    )?;
+                    if let Some(e) = section.get("ocean") {
+                        sc.ocean = match as_str(e)? {
+                            "full" => OceanKind::Full,
+                            "slab" => OceanKind::Slab,
+                            other => {
+                                return Err(ScenarioError::Invalid {
+                                    span: e.value_span,
+                                    msg: format!("unknown ocean {other:?} (full or slab)"),
+                                })
+                            }
+                        };
+                    }
+                    if let Some(e) = section.get("obliquity_deg") {
+                        sc.obliquity_deg = Some(in_range(e, as_number(e)?, OBLIQUITY_RANGE)?);
+                    }
+                    if let Some(e) = section.get("co2_factor") {
+                        sc.co2_factor = Some(in_range(e, as_number(e)?, CO2_RANGE)?);
+                    }
+                    if let Some(e) = section.get("solar_scale") {
+                        sc.solar_scale = Some(in_range(e, as_number(e)?, SOLAR_RANGE)?);
+                    }
+                    if let Some(e) = section.get("aerosol_od") {
+                        sc.aerosol_od = Some(in_range(e, as_number(e)?, AEROSOL_RANGE)?);
+                    }
+                }
+                "forcing.co2" => {
+                    sc.forcings.co2 = lower_forcing(section, 1.0, CO2_RANGE)?;
+                }
+                "forcing.solar" => {
+                    sc.forcings.solar = lower_forcing(section, 1.0, SOLAR_RANGE)?;
+                }
+                "forcing.aerosol" => {
+                    sc.forcings.aerosol = lower_forcing(section, 0.0, AEROSOL_RANGE)?;
+                }
+                "sweep" => {
+                    check_keys(
+                        section,
+                        &["axis", "values", "from", "to", "step", "workers"],
+                    )?;
+                    let ea = require(section, "axis")?;
+                    let axis = as_str(ea)?;
+                    let range = match axis {
+                        "solar_scale" => SOLAR_RANGE,
+                        "co2_factor" => CO2_RANGE,
+                        "aerosol_od" => AEROSOL_RANGE,
+                        "obliquity_deg" => OBLIQUITY_RANGE,
+                        other => {
+                            return Err(ScenarioError::Invalid {
+                                span: ea.value_span,
+                                msg: format!(
+                                    "unknown sweep axis {other:?} (solar_scale, co2_factor, \
+                                     aerosol_od, or obliquity_deg)"
+                                ),
+                            })
+                        }
+                    };
+                    let values = if let Some(e) = section.get("values") {
+                        let rows = match e.value {
+                            Value::Array(ref rows) => rows,
+                            ref other => {
+                                return Err(ScenarioError::Expected {
+                                    span: e.value_span,
+                                    key: e.key.clone(),
+                                    expected: "array of numbers",
+                                    found: other.kind(),
+                                })
+                            }
+                        };
+                        let mut vs = Vec::with_capacity(rows.len());
+                        for (span, v) in rows {
+                            let n = match v {
+                                Value::Number(n) => *n,
+                                other => {
+                                    return Err(ScenarioError::Expected {
+                                        span: *span,
+                                        key: "values".to_string(),
+                                        expected: "number",
+                                        found: other.kind(),
+                                    })
+                                }
+                            };
+                            if !(range.0..=range.1).contains(&n) {
+                                return Err(ScenarioError::OutOfRange {
+                                    span: *span,
+                                    key: "values".to_string(),
+                                    value: n,
+                                    lo: range.0,
+                                    hi: range.1,
+                                });
+                            }
+                            vs.push(n);
+                        }
+                        vs
+                    } else {
+                        let ef = require(section, "from")?;
+                        let et = require(section, "to")?;
+                        let es = require(section, "step")?;
+                        let from = in_range(ef, as_number(ef)?, range)?;
+                        let to = in_range(et, as_number(et)?, range)?;
+                        let step = as_number(es)?;
+                        if !(step > 0.0 && step.is_finite()) || to < from {
+                            return Err(ScenarioError::Invalid {
+                                span: es.value_span,
+                                msg: "sweep needs step > 0 and to >= from".to_string(),
+                            });
+                        }
+                        // Tolerate the usual floating-point shortfall at
+                        // the top end so `1360..1370 step 2` includes 1370.
+                        let n = ((to - from) / step + 1e-9).floor() as usize;
+                        (0..=n).map(|i| from + i as f64 * step).collect()
+                    };
+                    if values.is_empty() {
+                        return Err(ScenarioError::Invalid {
+                            span: section.span,
+                            msg: "sweep produced no members".to_string(),
+                        });
+                    }
+                    let workers = match section.get("workers") {
+                        None => 2,
+                        Some(e) => {
+                            let w = as_number(e)?;
+                            if !(w >= 1.0 && w.fract() == 0.0 && w <= 64.0) {
+                                return Err(ScenarioError::Invalid {
+                                    span: e.value_span,
+                                    msg: "workers must be an integer in [1, 64]".to_string(),
+                                });
+                            }
+                            w as usize
+                        }
+                    };
+                    sc.sweep = Some(Sweep {
+                        axis: axis.to_string(),
+                        values,
+                        workers,
+                    });
+                }
+                _ => {
+                    return Err(ScenarioError::UnknownSection {
+                        span: section.span,
+                        name: section.name.clone(),
+                    })
+                }
+            }
+        }
+        if !saw_scenario {
+            return Err(ScenarioError::MissingKey {
+                section: "scenario".to_string(),
+                key: "name".to_string(),
+            });
+        }
+        Ok(sc)
+    }
+
+    /// Lower to a runnable base configuration: preset, then the slab
+    /// ablation, then static overrides, then the forcing series — and
+    /// finally the model's own `validate` as the backstop.
+    pub fn config(&self) -> Result<FoamConfig, ScenarioError> {
+        let mut cfg = match self.preset.as_str() {
+            "century" => FoamConfig::century(self.seed),
+            "paper" => FoamConfig::paper(4, self.seed),
+            _ => FoamConfig::tiny(self.seed),
+        };
+        if self.ocean == OceanKind::Slab {
+            // Slab ablation: collapse the deep ocean to a shallow
+            // two-level mixed layer with no stretching. The coupler and
+            // grids are untouched — only the water column thins.
+            cfg.ocean.nz = 2;
+            cfg.ocean.depth = 100.0;
+            cfg.ocean.stretch = 1.0;
+        }
+        if let Some(v) = self.obliquity_deg {
+            cfg.atm.physics.obliquity_deg = v;
+        }
+        if let Some(v) = self.co2_factor {
+            cfg.atm.physics.rad.co2_factor = v;
+        }
+        if let Some(v) = self.solar_scale {
+            cfg.atm.physics.rad.solar_scale = v;
+        }
+        if let Some(v) = self.aerosol_od {
+            cfg.atm.physics.rad.aerosol_od = v;
+        }
+        cfg.forcings = self.forcings.clone();
+        cfg.validate()
+            .map_err(|e| ScenarioError::Config(e.to_string()))?;
+        Ok(cfg)
+    }
+
+    /// Lower the `[sweep]` section (if any) to an ensemble: one member
+    /// per swept value, all sharing the scenario seed so the sweep
+    /// isolates the parameter, not the initial condition.
+    pub fn ensemble(&self) -> Result<Option<EnsembleSpec>, ScenarioError> {
+        let sweep = match &self.sweep {
+            None => return Ok(None),
+            Some(s) => s,
+        };
+        let base = self.config()?;
+        let mut spec = EnsembleSpec::seed_sweep(base, self.days, sweep.values.len());
+        spec.workers = sweep.workers;
+        for (i, m) in spec.members.iter_mut().enumerate() {
+            m.seed = self.seed;
+            m.overrides = vec![sweep.override_for(i)];
+        }
+        spec.validate()
+            .map_err(|e| ScenarioError::Config(e.to_string()))?;
+        Ok(Some(spec))
+    }
+
+    /// A content digest over everything that determines simulated bits:
+    /// the lowered config digest (preset, seed, statics, forcings) plus
+    /// the scenario-level run shape (days, sweep axis and values).
+    pub fn content_digest(&self) -> Result<String, ScenarioError> {
+        let mut h = CanonicalHasher::new();
+        h.field_digest("config", &self.config()?.canonical_digest())
+            .field_f64("days", self.days);
+        if let Some(sweep) = &self.sweep {
+            h.field_str("sweep_axis", &sweep.axis)
+                .field_f64s("sweep_values", &sweep.values);
+        }
+        Ok(h.finish())
+    }
+}

@@ -12,21 +12,57 @@
 //! `foam-ckpt` snapshot commits: a reader never observes a torn file,
 //! and a crash mid-write leaves only a `*.tmp` that the next store
 //! overwrites harmlessly.
+//!
+//! # Eviction
+//!
+//! An optional byte budget bounds the cache. Every access (`get` or
+//! `put`) stamps the digest with a monotonic sequence number persisted
+//! in a `<digest>.at` sidecar; when a `put` pushes the total report
+//! bytes over the budget, the least-recently-stamped entries are
+//! evicted until the cache fits again. The sequence survives restarts
+//! (it resumes from the largest stamp on disk), so recency is a
+//! property of the cache directory, not of one server incarnation.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub struct ResultCache {
     dir: PathBuf,
+    /// Byte budget over the stored report bytes; `None` = unbounded.
+    budget: Option<u64>,
+    /// Monotonic access clock; the next stamp to hand out.
+    clock: AtomicU64,
 }
 
 impl ResultCache {
-    /// Open (creating if needed) the cache directory under `root`.
+    /// Open (creating if needed) the cache directory under `root`,
+    /// with no size bound.
     pub fn open(root: &Path) -> io::Result<ResultCache> {
+        ResultCache::open_with_budget(root, None)
+    }
+
+    /// Open the cache with an optional LRU byte budget over the stored
+    /// report bytes (sidecar stamps are not counted; they are tens of
+    /// bytes per entry).
+    pub fn open_with_budget(root: &Path, budget: Option<u64>) -> io::Result<ResultCache> {
         let dir = root.join("cache");
         fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        // Resume the access clock past every stamp already on disk.
+        let mut max_stamp = 0u64;
+        for e in fs::read_dir(&dir)?.flatten() {
+            if let Some(name) = e.file_name().to_str() {
+                if let Some(digest) = name.strip_suffix(".at") {
+                    max_stamp = max_stamp.max(read_stamp(&dir, digest));
+                }
+            }
+        }
+        Ok(ResultCache {
+            dir,
+            budget,
+            clock: AtomicU64::new(max_stamp + 1),
+        })
     }
 
     fn path(&self, digest: &str) -> PathBuf {
@@ -36,20 +72,39 @@ impl ResultCache {
         self.dir.join(format!("{digest}.json"))
     }
 
+    fn stamp_path(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.at"))
+    }
+
+    /// Record an access: bump the clock and persist the stamp.
+    fn touch(&self, digest: &str) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::write(self.stamp_path(digest), stamp.to_string());
+    }
+
     /// The cached report bytes, if this digest has completed before.
+    /// Refreshes the entry's recency.
     pub fn get(&self, digest: &str) -> Option<Vec<u8>> {
-        fs::read(self.path(digest)).ok()
+        let bytes = fs::read(self.path(digest)).ok()?;
+        self.touch(digest);
+        Some(bytes)
     }
 
     pub fn contains(&self, digest: &str) -> bool {
         self.path(digest).is_file()
     }
 
-    /// Atomically store the report for `digest`.
+    /// Atomically store the report for `digest`, then evict the
+    /// least-recently-used entries if the byte budget is exceeded. The
+    /// entry just stored is the most recent, so a single oversized
+    /// report can only evict *others*, never break the cache.
     pub fn put(&self, digest: &str, bytes: &[u8]) -> io::Result<()> {
         let tmp = self.dir.join(format!("{digest}.tmp"));
         fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, self.path(digest))
+        fs::rename(&tmp, self.path(digest))?;
+        self.touch(digest);
+        self.evict_to_budget();
+        Ok(())
     }
 
     /// All cached digests, sorted (restart uses this to list completed
@@ -67,16 +122,78 @@ impl ResultCache {
         out.sort();
         out
     }
+
+    /// Total stored report bytes (the quantity the budget bounds).
+    pub fn total_bytes(&self) -> u64 {
+        self.entries().iter().map(|e| e.bytes).sum()
+    }
+
+    fn entries(&self) -> Vec<EntryMeta> {
+        self.digests()
+            .into_iter()
+            .map(|digest| {
+                let bytes = fs::metadata(self.path(&digest))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                let stamp = read_stamp(&self.dir, &digest);
+                EntryMeta {
+                    digest,
+                    bytes,
+                    stamp,
+                }
+            })
+            .collect()
+    }
+
+    fn evict_to_budget(&self) {
+        let Some(budget) = self.budget else { return };
+        let mut entries = self.entries();
+        let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+        if total <= budget {
+            return;
+        }
+        // Oldest stamp first; unstamped entries (foreign files) first
+        // of all. Ties break on digest so eviction is deterministic.
+        entries.sort_by(|a, b| a.stamp.cmp(&b.stamp).then(a.digest.cmp(&b.digest)));
+        // Never evict the newest entry (the one just stored): a report
+        // larger than the whole budget must still be servable.
+        for e in &entries[..entries.len() - 1] {
+            if total <= budget {
+                break;
+            }
+            let _ = fs::remove_file(self.path(&e.digest));
+            let _ = fs::remove_file(self.stamp_path(&e.digest));
+            total = total.saturating_sub(e.bytes);
+        }
+    }
+}
+
+struct EntryMeta {
+    digest: String,
+    bytes: u64,
+    stamp: u64,
+}
+
+fn read_stamp(dir: &Path, digest: &str) -> u64 {
+    fs::read_to_string(dir.join(format!("{digest}.at")))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("foam-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn put_get_round_trips_exact_bytes() {
-        let dir = std::env::temp_dir().join(format!("foam-cache-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
+        let dir = tmp_dir("rt");
         let cache = ResultCache::open(&dir).unwrap();
         assert!(cache.get("00ff00ff00ff00ff").is_none());
         let payload = b"{\"x\": 0.30000000000000004}\n".to_vec();
@@ -87,6 +204,58 @@ mod tests {
         // Reopening sees the same content (it is all on disk).
         let reopened = ResultCache::open(&dir).unwrap();
         assert_eq!(reopened.get("00ff00ff00ff00ff").unwrap(), payload);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let dir = tmp_dir("lru");
+        // Budget for ~2.5 100-byte entries.
+        let cache = ResultCache::open_with_budget(&dir, Some(250)).unwrap();
+        let blob = vec![b'x'; 100];
+        cache.put("aaaaaaaaaaaaaaaa", &blob).unwrap();
+        cache.put("bbbbbbbbbbbbbbbb", &blob).unwrap();
+        // Refresh `a`: it is now more recent than `b`.
+        assert!(cache.get("aaaaaaaaaaaaaaaa").is_some());
+        // Third entry busts the budget: the LRU entry (`b`) goes.
+        cache.put("cccccccccccccccc", &blob).unwrap();
+        assert!(cache.contains("aaaaaaaaaaaaaaaa"), "recently read survives");
+        assert!(!cache.contains("bbbbbbbbbbbbbbbb"), "LRU entry evicted");
+        assert!(cache.contains("cccccccccccccccc"), "fresh entry survives");
+        assert!(cache.total_bytes() <= 250);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recency_survives_restart_and_oversize_put_keeps_itself() {
+        let dir = tmp_dir("restart");
+        {
+            let cache = ResultCache::open_with_budget(&dir, Some(250)).unwrap();
+            cache.put("aaaaaaaaaaaaaaaa", &[b'x'; 100]).unwrap();
+            cache.put("bbbbbbbbbbbbbbbb", &[b'x'; 100]).unwrap();
+            assert!(cache.get("aaaaaaaaaaaaaaaa").is_some());
+        }
+        // A new incarnation resumes the clock: `b` is still the LRU.
+        let cache = ResultCache::open_with_budget(&dir, Some(250)).unwrap();
+        cache.put("cccccccccccccccc", &[b'x'; 100]).unwrap();
+        assert!(cache.contains("aaaaaaaaaaaaaaaa"));
+        assert!(!cache.contains("bbbbbbbbbbbbbbbb"));
+        // A single report larger than the whole budget evicts everything
+        // else but remains cached itself.
+        cache.put("dddddddddddddddd", &[b'x'; 400]).unwrap();
+        assert!(cache.contains("dddddddddddddddd"));
+        assert_eq!(cache.digests(), vec!["dddddddddddddddd".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let dir = tmp_dir("unbounded");
+        let cache = ResultCache::open(&dir).unwrap();
+        for i in 0..8 {
+            cache.put(&format!("{i:016x}"), &[b'x'; 1000]).unwrap();
+        }
+        assert_eq!(cache.digests().len(), 8);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -57,7 +57,7 @@ pub mod spec;
 
 pub use cache::ResultCache;
 pub use job::{Job, JobState};
-pub use spec::{JobKind, JobSpec, SpecError};
+pub use spec::{JobKind, JobSpec, ScenarioJob, SpecError};
 
 use http::{respond_bytes, respond_error, respond_json, NdjsonStream, Request};
 use job::JobObserver;
@@ -74,6 +74,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-job recovery budget handed to [`foam::supervisor`].
     pub max_recoveries: u32,
+    /// LRU byte budget for the result cache (`None` = unbounded).
+    /// Recency is persisted on disk, so the budget is enforced across
+    /// server restarts, not just within one incarnation.
+    pub cache_budget_bytes: Option<u64>,
 }
 
 impl ServerConfig {
@@ -82,6 +86,7 @@ impl ServerConfig {
             root: root.into(),
             workers: 2,
             max_recoveries: 3,
+            cache_budget_bytes: None,
         }
     }
 }
@@ -111,7 +116,7 @@ impl Server {
     pub fn start(cfg: ServerConfig, addr: &str) -> io::Result<Server> {
         let jobs_dir = cfg.root.join("jobs");
         fs::create_dir_all(&jobs_dir)?;
-        let cache = ResultCache::open(&cfg.root)?;
+        let cache = ResultCache::open_with_budget(&cfg.root, cfg.cache_budget_bytes)?;
         let shared = Arc::new(Shared {
             jobs: Mutex::new(BTreeMap::new()),
             queue: FairShareQueue::new(),

@@ -18,6 +18,7 @@
 
 use foam::{CanonicalHasher, FoamConfig};
 use foam_ensemble::EnsembleSpec;
+use foam_scenario::Scenario;
 use foam_telemetry::json::{parse, Value};
 
 /// What kind of computation a job performs.
@@ -60,6 +61,20 @@ pub struct JobSpec {
     pub priority: i32,
     /// Checkpoint cadence in coupling intervals.
     pub ckpt_interval: usize,
+    /// The scenario this job was submitted as, if any. When present,
+    /// `kind`, `preset`, `seed`, `days`, and `members` are *derived*
+    /// from the scenario (a sweep becomes an ensemble) and may not be
+    /// given alongside it.
+    pub scenario: Option<ScenarioJob>,
+}
+
+/// A scenario-file submission: the raw source (persisted in
+/// `spec.json` so restart recovery can re-derive everything) plus its
+/// parsed, validated form.
+#[derive(Debug, Clone)]
+pub struct ScenarioJob {
+    pub src: String,
+    pub scenario: Scenario,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,7 +109,7 @@ impl JobSpec {
         let obj = v
             .as_object()
             .ok_or_else(|| SpecError("body must be a JSON object".to_string()))?;
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 11] = [
             "kind",
             "preset",
             "seed",
@@ -105,11 +120,26 @@ impl JobSpec {
             "tenant",
             "priority",
             "ckpt_interval",
+            "scenario",
         ];
         for key in obj.keys() {
             if !KNOWN.contains(&key.as_str()) {
                 return Err(SpecError(format!("unknown key {key:?}")));
             }
+        }
+        if let Some(sv) = v.get("scenario") {
+            let src = sv
+                .as_str()
+                .ok_or_else(|| SpecError("scenario must be a string".to_string()))?;
+            // Everything content-shaped is the scenario's to decide.
+            for key in ["kind", "preset", "seed", "days", "ranks", "members"] {
+                if obj.contains_key(key) {
+                    return Err(SpecError(format!(
+                        "{key:?} cannot be given alongside \"scenario\" (the scenario defines it)"
+                    )));
+                }
+            }
+            return Self::parse_scenario_job(src, &v);
         }
         let kind = match v.get("kind").and_then(Value::as_str).unwrap_or("run") {
             "run" => JobKind::Run,
@@ -152,13 +182,77 @@ impl JobSpec {
             tenant,
             priority,
             ckpt_interval: get_u64(&v, "ckpt_interval", 4)?.max(1) as usize,
+            scenario: None,
         };
         Ok(spec)
+    }
+
+    /// Build a spec from a scenario-file submission: parse + validate
+    /// the scenario (spans and all — the diagnostic text goes straight
+    /// back to the client), then derive the content fields from it.
+    /// Placement fields still come from the surrounding JSON.
+    fn parse_scenario_job(src: &str, v: &Value) -> Result<JobSpec, SpecError> {
+        let scenario = Scenario::parse(src).map_err(|e| SpecError(format!("scenario: {e}")))?;
+        // Validate the lowering now so config()/ensemble() cannot fail
+        // later on the executor thread.
+        scenario
+            .config()
+            .map_err(|e| SpecError(format!("scenario: {e}")))?;
+        let lowered = scenario
+            .ensemble()
+            .map_err(|e| SpecError(format!("scenario: {e}")))?;
+        let tenant = v
+            .get("tenant")
+            .and_then(Value::as_str)
+            .unwrap_or("anonymous")
+            .to_string();
+        if tenant.is_empty() || tenant.len() > 64 {
+            return Err(SpecError("tenant must be 1..=64 characters".to_string()));
+        }
+        let priority = v
+            .get("priority")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+            .clamp(-1_000.0, 1_000.0) as i32;
+        let (kind, members, workers) = match (&scenario.sweep, lowered) {
+            (Some(sweep), Some(spec)) => (
+                JobKind::Ensemble,
+                spec.members.len(),
+                get_u64(v, "workers", sweep.workers as u64)?.clamp(1, 64) as usize,
+            ),
+            _ => (
+                JobKind::Run,
+                1,
+                get_u64(v, "workers", 2)?.clamp(1, 64) as usize,
+            ),
+        };
+        Ok(JobSpec {
+            kind,
+            preset: scenario.preset.clone(),
+            seed: scenario.seed,
+            days: scenario.days,
+            ranks: 4,
+            members,
+            workers,
+            tenant,
+            priority,
+            ckpt_interval: get_u64(v, "ckpt_interval", 4)?.max(1) as usize,
+            scenario: Some(ScenarioJob {
+                src: src.to_string(),
+                scenario,
+            }),
+        })
     }
 
     /// The base model configuration this spec names (checkpoint and
     /// telemetry routing are the executor's business, not the spec's).
     pub fn config(&self) -> FoamConfig {
+        if let Some(sj) = &self.scenario {
+            return sj
+                .scenario
+                .config()
+                .expect("scenario lowering validated at parse");
+        }
         match self.preset.as_str() {
             "century" => FoamConfig::century(self.seed),
             "paper" => FoamConfig::paper(self.ranks, self.seed),
@@ -184,20 +278,54 @@ impl JobSpec {
                     0
                 },
             );
+        if let Some(sj) = &self.scenario {
+            // The config digest already folds the scenario's forcings
+            // and statics; the scenario content digest adds what lives
+            // outside the config — the sweep axis and values.
+            h.field_digest(
+                "scenario",
+                &sj.scenario
+                    .content_digest()
+                    .expect("scenario lowering validated at parse"),
+            );
+        }
         h.finish()
     }
 
-    /// The ensemble expansion of this spec (`kind == Ensemble`).
+    /// The ensemble expansion of this spec (`kind == Ensemble`): the
+    /// scenario's sweep when this is a scenario job, a seed sweep
+    /// otherwise.
     pub fn ensemble(&self) -> EnsembleSpec {
-        let mut spec = EnsembleSpec::seed_sweep(self.config(), self.days, self.members);
+        let mut spec = match &self.scenario {
+            Some(sj) => sj
+                .scenario
+                .ensemble()
+                .expect("scenario lowering validated at parse")
+                .expect("kind Ensemble implies a sweep"),
+            None => EnsembleSpec::seed_sweep(self.config(), self.days, self.members),
+        };
         spec.workers = self.workers;
         spec.ckpt_interval = self.ckpt_interval;
         spec
     }
 
     /// Canonical JSON form — what `spec.json` stores for restart
-    /// recovery and what job listings embed.
+    /// recovery and what job listings embed. A scenario job stores the
+    /// scenario source plus placement only: the content fields are
+    /// derived, and re-deriving on re-parse keeps one source of truth.
     pub fn to_value(&self) -> Value {
+        if let Some(sj) = &self.scenario {
+            return Value::object([
+                ("scenario".to_string(), Value::from(sj.src.as_str())),
+                ("workers".to_string(), Value::from(self.workers)),
+                ("tenant".to_string(), Value::from(self.tenant.as_str())),
+                (
+                    "priority".to_string(),
+                    Value::from(f64::from(self.priority)),
+                ),
+                ("ckpt_interval".to_string(), Value::from(self.ckpt_interval)),
+            ]);
+        }
         Value::object([
             ("kind".to_string(), Value::from(self.kind.as_str())),
             ("preset".to_string(), Value::from(self.preset.as_str())),
@@ -245,6 +373,75 @@ mod tests {
         assert_ne!(a.digest(), c.digest());
         assert_ne!(a.digest(), d.digest());
         assert_ne!(a.digest(), e.digest());
+    }
+
+    #[test]
+    fn scenario_jobs_derive_content_and_get_distinct_digests() {
+        let ramp = "[scenario]\nname = \"ramp\"\npreset = tiny\nseed = 7\ndays = 4\n\
+                    [forcing.co2]\nkind = ramp\nfrom = 1.0\nto = 2.0\nstart_day = 0\nend_day = 4\n";
+        let pulse = "[scenario]\nname = \"pulse\"\npreset = tiny\nseed = 7\ndays = 4\n\
+                     [forcing.aerosol]\nkind = pulse\npeak = 0.1\nonset_day = 0\n\
+                     rise_days = 1\ndecay_days = 2\n";
+        let control = "[scenario]\nname = \"control\"\npreset = tiny\nseed = 7\ndays = 4\n";
+        let body = |src: &str| {
+            Value::object([("scenario".to_string(), Value::from(src))]).to_string_pretty()
+        };
+        let a = JobSpec::parse(&body(ramp)).unwrap();
+        let b = JobSpec::parse(&body(pulse)).unwrap();
+        let c = JobSpec::parse(&body(control)).unwrap();
+        assert_eq!(a.kind, JobKind::Run);
+        assert_eq!(a.preset, "tiny");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.days, 4.0);
+        // The satellite regression: same base preset/seed/days, but the
+        // scenarios' forcing content keeps every digest distinct.
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_ne!(b.digest(), c.digest());
+        // spec.json round-trip re-derives identical content.
+        let rt = JobSpec::parse(&a.to_value().to_string_pretty()).unwrap();
+        assert_eq!(rt.digest(), a.digest());
+        assert_eq!(
+            rt.config().canonical_digest(),
+            a.config().canonical_digest()
+        );
+    }
+
+    #[test]
+    fn sweep_scenarios_become_ensemble_jobs() {
+        let sweep = "[scenario]\nname = \"sweep\"\ndays = 2\n\
+                     [sweep]\naxis = solar_scale\nvalues = [0.99, 1.0, 1.01]\nworkers = 3\n";
+        let body = Value::object([("scenario".to_string(), Value::from(sweep))]);
+        let spec = JobSpec::parse(&body.to_string_pretty()).unwrap();
+        assert_eq!(spec.kind, JobKind::Ensemble);
+        assert_eq!(spec.members, 3);
+        assert_eq!(spec.workers, 3);
+        let es = spec.ensemble();
+        assert_eq!(es.members.len(), 3);
+        assert_eq!(
+            es.member_config(&es.members[0]).atm.physics.rad.solar_scale,
+            0.99
+        );
+    }
+
+    #[test]
+    fn scenario_jobs_reject_conflicts_and_bad_sources() {
+        let body = Value::object([
+            (
+                "scenario".to_string(),
+                Value::from("[scenario]\nname = \"x\"\n"),
+            ),
+            ("seed".to_string(), Value::from(9u64)),
+        ]);
+        let err = JobSpec::parse(&body.to_string_pretty()).unwrap_err();
+        assert!(err.0.contains("seed"), "{err}");
+        // Scenario diagnostics (with spans) surface through SpecError.
+        let bad = Value::object([(
+            "scenario".to_string(),
+            Value::from("[scenario]\nname = \"x\"\ndayz = 1\n"),
+        )]);
+        let err = JobSpec::parse(&bad.to_string_pretty()).unwrap_err();
+        assert!(err.0.contains("line 3"), "{err}");
     }
 
     #[test]

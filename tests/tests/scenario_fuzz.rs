@@ -1,0 +1,205 @@
+//! Property tests of the scenario front end: for *any* input — valid
+//! library files, randomly generated valid scenarios, or random
+//! mutations of either — the parser must never panic, and every error
+//! must be typed with an in-bounds source span. Random *valid*
+//! scenarios must parse, lower, and digest deterministically.
+
+use std::path::PathBuf;
+
+use foam_scenario::{Scenario, ScenarioError};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+fn library_sources() -> Vec<String> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../scenarios");
+    let mut out: Vec<String> = std::fs::read_dir(dir)
+        .expect("scenarios/ exists")
+        .flatten()
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("toml"))
+        .map(|e| std::fs::read_to_string(e.path()).unwrap())
+        .collect();
+    out.sort();
+    assert!(out.len() >= 6);
+    out
+}
+
+/// The error's span (when it has one) must point inside the source —
+/// a diagnostic at line 40 of a 12-line file is a bug.
+fn assert_span_in_bounds(src: &str, err: &ScenarioError) {
+    let n_lines = src.lines().count().max(1);
+    let span = match err {
+        ScenarioError::Syntax { span, .. }
+        | ScenarioError::DuplicateKey { span, .. }
+        | ScenarioError::UnknownSection { span, .. }
+        | ScenarioError::UnknownKey { span, .. }
+        | ScenarioError::Expected { span, .. }
+        | ScenarioError::OutOfRange { span, .. }
+        | ScenarioError::Invalid { span, .. } => *span,
+        ScenarioError::MissingKey { .. } | ScenarioError::Config(_) => return,
+    };
+    assert!(
+        span.line >= 1 && span.line <= n_lines,
+        "span {span:?} outside {n_lines}-line source: {err}"
+    );
+    assert!(span.col >= 1, "columns are 1-based: {err}");
+    let line = src.lines().nth(span.line - 1).unwrap_or("");
+    assert!(
+        span.col <= line.chars().count() + 2,
+        "span {span:?} beyond end of line {:?}: {err}",
+        line
+    );
+}
+
+/// Apply `n` random single-edit mutations (byte tweak, deletion,
+/// insertion, line duplication, line swap) to `src`.
+fn mutate(src: &str, rng: &mut TestRng, n: usize) -> String {
+    let mut text = src.to_string();
+    const GLYPHS: &[u8] = b"[]=#\".,_-eE0123456789xyz \n";
+    for _ in 0..n {
+        if text.is_empty() {
+            break;
+        }
+        match rng.next_range_usize(0, 5) {
+            0 => {
+                // Overwrite one character with a grammar-relevant glyph.
+                let g = GLYPHS[rng.next_range_usize(0, GLYPHS.len())] as char;
+                let mut bytes: Vec<char> = text.chars().collect();
+                let j = rng.next_range_usize(0, bytes.len());
+                bytes[j] = g;
+                text = bytes.into_iter().collect();
+            }
+            1 => {
+                // Delete a character.
+                let mut bytes: Vec<char> = text.chars().collect();
+                let j = rng.next_range_usize(0, bytes.len());
+                bytes.remove(j);
+                text = bytes.into_iter().collect();
+            }
+            2 => {
+                // Insert a glyph.
+                let mut bytes: Vec<char> = text.chars().collect();
+                let j = rng.next_range_usize(0, bytes.len() + 1);
+                let g = GLYPHS[rng.next_range_usize(0, GLYPHS.len())] as char;
+                bytes.insert(j, g);
+                text = bytes.into_iter().collect();
+            }
+            3 => {
+                // Duplicate a line (tickles duplicate-key/section checks).
+                let lines: Vec<&str> = text.lines().collect();
+                if !lines.is_empty() {
+                    let j = rng.next_range_usize(0, lines.len());
+                    let mut out: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+                    out.insert(j, lines[j].to_string());
+                    text = out.join("\n");
+                }
+            }
+            _ => {
+                // Swap two lines (tickles section-ordering assumptions).
+                let lines: Vec<&str> = text.lines().collect();
+                if lines.len() >= 2 {
+                    let a = rng.next_range_usize(0, lines.len());
+                    let b = rng.next_range_usize(0, lines.len());
+                    let mut out: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+                    out.swap(a, b);
+                    text = out.join("\n");
+                }
+            }
+        }
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random mutations of valid scenario files never panic the
+    /// parser, and any rejection is a typed error whose span points
+    /// inside the mutated source.
+    #[test]
+    fn mutated_library_files_fail_closed_with_useful_spans(
+        seed in 0u32..1_000_000,
+        edits in 1usize..6,
+    ) {
+        let sources = library_sources();
+        let mut rng = TestRng::from_seed(seed as u64);
+        let base = &sources[rng.next_range_usize(0, sources.len())];
+        let mutated = mutate(base, &mut rng, edits);
+        match Scenario::parse(&mutated) {
+            // Mutation happened to stay valid: lowering must not panic
+            // either (it may still reject via the config backstop).
+            Ok(sc) => {
+                let _ = sc.config();
+                let _ = sc.ensemble();
+            }
+            Err(e) => {
+                // Displayable, typed, in-bounds.
+                let _ = e.to_string();
+                assert_span_in_bounds(&mutated, &e);
+            }
+        }
+    }
+
+    /// Arbitrary byte soup (not derived from a valid file) also fails
+    /// closed.
+    #[test]
+    fn random_text_never_panics(seed in 0u32..1_000_000, len in 0usize..400) {
+        let mut rng = TestRng::from_seed(seed as u64 ^ 0xdead_beef);
+        let text: String = (0..len)
+            .map(|_| {
+                let b = rng.next_range_usize(0x09, 0x7f) as u8;
+                b as char
+            })
+            .collect();
+        if let Err(e) = Scenario::parse(&text) {
+            assert_span_in_bounds(&text, &e);
+        }
+    }
+
+    /// Randomly *generated* valid scenarios always parse, lower, and
+    /// produce a deterministic content digest (parse twice → same
+    /// digest).
+    #[test]
+    fn generated_valid_scenarios_parse_and_lower(
+        seed in 0u32..1000,
+        days in 1.0f64..30.0,
+        co2_to in 0.5f64..8.0,
+        end_day in 5.0f64..300.0,
+        solar in 0.85f64..1.15,
+        peak in 0.0f64..2.0,
+        obliquity in 5.0f64..40.0,
+        pick in 0u32..8,
+    ) {
+        let mut src = format!(
+            "[scenario]\nname = \"generated\"\nseed = {seed}\ndays = {days}\n"
+        );
+        if pick & 1 != 0 {
+            src.push_str(&format!(
+                "[forcing.co2]\nkind = ramp\nfrom = 1.0\nto = {co2_to}\n\
+                 start_day = 0\nend_day = {end_day}\n"
+            ));
+        }
+        if pick & 2 != 0 {
+            src.push_str(&format!("[forcing.solar]\nkind = constant\nvalue = {solar}\n"));
+        }
+        if pick & 4 != 0 {
+            src.push_str(&format!(
+                "[forcing.aerosol]\nkind = pulse\npeak = {peak}\nonset_day = 3\n\
+                 rise_days = 2\ndecay_days = {end_day}\n[model]\nobliquity_deg = {obliquity}\n"
+            ));
+        }
+        let sc = Scenario::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let cfg = sc.config().unwrap_or_else(|e| panic!("{e}\n{src}"));
+        prop_assert!(cfg.validate().is_ok());
+        let again = Scenario::parse(&src).unwrap();
+        prop_assert_eq!(sc.content_digest().unwrap(), again.content_digest().unwrap());
+        // The digest folds the forcing content (the canonical-digest
+        // satellite): any forced variant differs from the unforced base.
+        if pick != 0 {
+            let base = Scenario::parse(&format!(
+                "[scenario]\nname = \"generated\"\nseed = {seed}\ndays = {days}\n"
+            ))
+            .unwrap();
+            prop_assert_ne!(sc.content_digest().unwrap(), base.content_digest().unwrap());
+        }
+    }
+}
